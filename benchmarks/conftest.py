@@ -1,0 +1,96 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper and
+writes its report to ``benchmarks/results/<name>.txt`` (also echoed to
+stdout, visible with ``pytest -s``).
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE=quick`` (default) runs reduced Monte-Carlo sample
+counts and the smaller designs so the whole harness finishes in minutes.
+``REPRO_BENCH_SCALE=full`` reproduces the paper's full setup (C1-C6 at
+real device counts, 1000-chip MC references, 10000-chip failure-time MC).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The current benchmark scale ("quick" or "full")."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick/full, got {scale!r}")
+    return scale
+
+
+def is_full_scale() -> bool:
+    """True when the paper's full experimental scale was requested."""
+    return bench_scale() == "full"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Fixture form of :func:`bench_scale`."""
+    return bench_scale()
+
+
+#: Report files already written this session (first write truncates,
+#: subsequent tests of the same module append).
+_WRITTEN: set[str] = set()
+
+
+class ReportWriter:
+    """Accumulates a text report and persists it under results/."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        """Append one line to the report."""
+        self.lines.append(text)
+
+    def table(self, header: list[str], rows: list[list[str]]) -> None:
+        """Append an aligned text table."""
+        widths = [
+            max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+            if rows
+            else len(str(header[i]))
+            for i in range(len(header))
+        ]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        self.lines.append(fmt.format(*header))
+        self.lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.lines.append(fmt.format(*[str(c) for c in row]))
+
+    def flush(self) -> str:
+        """Write the report to disk and stdout; returns the text."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(self.lines) + "\n"
+        path = RESULTS_DIR / f"{self.name}.txt"
+        if self.name in _WRITTEN:
+            with path.open("a") as handle:
+                handle.write("\n" + text)
+        else:
+            path.write_text(text)
+            _WRITTEN.add(self.name)
+        print(f"\n===== {self.name} =====\n{text}")
+        return text
+
+
+@pytest.fixture()
+def report(request) -> ReportWriter:
+    """A report writer named after the requesting module."""
+    name = request.module.__name__.removeprefix("test_")
+    writer = ReportWriter(name)
+    yield writer
+    if writer.lines:
+        writer.flush()

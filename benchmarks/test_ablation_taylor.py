@@ -1,0 +1,108 @@
+"""Ablation — first-order Taylor combination (eq. (18)) vs exact product.
+
+The paper linearises the across-block product of survivals into
+``1 - sum_j (1 - E_j)`` to split the 2N-dimensional integral into N double
+integrals. This bench quantifies the linearisation error across the
+failure-probability range: negligible in the ppm region of interest,
+growing only where chips are already failing in bulk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.design_cache import prepared_analyzer
+from repro.core.closed_form import (
+    conditional_chip_reliability_exact,
+    conditional_chip_reliability_taylor,
+)
+
+
+def test_ablation_taylor_vs_exact_product(report, benchmark):
+    analyzer = prepared_analyzer("C3")
+    blocks = analyzer.blocks
+    u = np.array([b.blod.u_nominal for b in blocks])
+    v = np.array([b.blod.v_mean() for b in blocks])
+    bs = np.array([b.b for b in blocks])
+    areas = np.array([b.blod.area for b in blocks])
+    alphas = np.array([b.alpha for b in blocks])
+
+    t10 = analyzer.lifetime(10)
+    rows = []
+    gaps = {}
+    for factor in (0.3, 1.0, 3.0, 10.0, 30.0, 100.0):
+        t = factor * t10
+        log_t_ratios = np.log(t / alphas)
+        exact = conditional_chip_reliability_exact(u, v, log_t_ratios, bs, areas)
+        taylor = conditional_chip_reliability_taylor(
+            u, v, log_t_ratios, bs, areas
+        )
+        gap = abs(taylor - exact)
+        gaps[factor] = gap
+        rows.append(
+            [
+                f"{factor:g} x t10ppm",
+                f"{1.0 - exact:.3e}",
+                f"{1.0 - taylor:.3e}",
+                f"{gap:.3e}",
+            ]
+        )
+
+    benchmark.pedantic(
+        lambda: conditional_chip_reliability_taylor(
+            u, v, np.log(t10 / alphas), bs, areas
+        ),
+        rounds=10,
+        iterations=1,
+    )
+
+    report.line("Ablation - Taylor (eq. 18) vs exact product (eq. 15)")
+    report.line()
+    report.table(
+        ["time", "exact failure", "taylor failure", "|gap|"], rows
+    )
+
+    # In the ppm region the linearisation is essentially exact.
+    assert gaps[1.0] < 1e-8
+    assert gaps[0.3] < 1e-10
+    # The gap grows as failures accumulate (until both forms saturate at
+    # certain failure, where the clipped Taylor value rejoins the exact
+    # one — hence the comparison stops at 30x).
+    ordered = [gaps[f] for f in (1.0, 10.0, 30.0)]
+    assert ordered[0] <= ordered[1] <= ordered[2]
+
+
+def test_ablation_taylor_is_conservative(report, benchmark):
+    """The Taylor form never overestimates reliability, so the paper's
+    simplification errs on the safe side."""
+    analyzer = prepared_analyzer("C2")
+    blocks = analyzer.blocks
+    u = np.array([b.blod.u_nominal for b in blocks])
+    v = np.array([b.blod.v_mean() for b in blocks])
+    bs = np.array([b.b for b in blocks])
+    areas = np.array([b.blod.area for b in blocks])
+    alphas = np.array([b.alpha for b in blocks])
+    t10 = analyzer.lifetime(10)
+
+    times = np.logspace(np.log10(t10) - 1.0, np.log10(t10) + 2.5, 30)
+    violations = 0
+    for t in times:
+        log_t_ratios = np.log(t / alphas)
+        exact = conditional_chip_reliability_exact(u, v, log_t_ratios, bs, areas)
+        taylor = conditional_chip_reliability_taylor(
+            u, v, log_t_ratios, bs, areas, clip=False
+        )
+        if taylor > exact + 1e-12:
+            violations += 1
+    benchmark.pedantic(
+        lambda: conditional_chip_reliability_exact(
+            u, v, np.log(t10 / alphas), bs, areas
+        ),
+        rounds=10,
+        iterations=1,
+    )
+    report.line(
+        f"Taylor <= exact at all {times.size} probed times: "
+        f"{violations} violations"
+    )
+    assert violations == 0

@@ -1,0 +1,116 @@
+"""Fig. 1 — temperature profiles of an alpha processor and a many-core die.
+
+Regenerates the two thermal maps the paper uses to motivate block-level
+temperature awareness: (a) an EV6-like alpha processor with hot execution
+units and cool caches, (b) a many-core design whose active cores form
+clustered hot spots. The claims checked are the ones the analysis relies
+on: global unevenness (tens of degrees hot-spot contrast) with local
+(block-level) uniformity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HotSpotLite, make_alpha_processor, make_manycore
+
+
+def _block_level_uniformity(hotspot, floorplan, result) -> float:
+    """Worst within-block cell-temperature spread (degC)."""
+    mesh = hotspot.mesh_for(floorplan)
+    worst = 0.0
+    for block in floorplan.blocks:
+        fractions = mesh.overlap_fractions(block.rect)
+        cells = np.nonzero(fractions > 0.0)[0]
+        spread = float(np.ptp(result.field.values[cells]))
+        worst = max(worst, spread)
+    return worst
+
+
+def test_fig1a_alpha_processor_profile(report, benchmark):
+    hotspot = HotSpotLite(mesh_resolution=64)
+    floorplan = make_alpha_processor()
+    result = benchmark.pedantic(
+        lambda: hotspot.analyze(floorplan), rounds=3, iterations=1
+    )
+
+    temps = result.block_temperature_map(floorplan)
+    report.line("Fig. 1(a) - EV6-like alpha processor temperature profile")
+    report.line()
+    report.table(
+        ["block", "T (degC)", "power (W)", "power density (W/mm^2)"],
+        [
+            [
+                name,
+                f"{temps[name]:.1f}",
+                f"{floorplan.block(name).power:.1f}",
+                f"{floorplan.block(name).power_density:.2f}",
+            ]
+            for name in sorted(temps, key=temps.get, reverse=True)
+        ],
+    )
+    report.line()
+    report.line(f"cell-level spread : {result.field.spread:.1f} degC")
+    report.line(f"block-level spread: {result.block_spread:.1f} degC")
+
+    # Shape checks: hot spots in the integer/FP execution cluster, cool
+    # caches, and a clear tens-of-degrees contrast (paper quotes ~30 degC).
+    execution_cluster = {"intexec", "intreg", "intq", "fpadd", "fpmul", "fpreg"}
+    hottest = max(temps, key=temps.get)
+    assert hottest in execution_cluster
+    assert temps["icache"] < temps[hottest] - 5.0
+    assert temps["l2_left"] < temps[hottest] - 5.0
+    assert 10.0 <= result.field.spread <= 60.0
+
+    uniformity = _block_level_uniformity(hotspot, floorplan, result)
+    report.line(f"worst within-block spread: {uniformity:.1f} degC")
+    # Local uniformity: within-block spread far below across-die spread.
+    assert uniformity < result.field.spread
+
+
+def test_fig1b_manycore_profile(report, benchmark):
+    hotspot = HotSpotLite(mesh_resolution=64)
+    floorplan = make_manycore(
+        n_cores_x=4, n_cores_y=4, die_size=12.0, active_cores=(0, 5, 10, 15)
+    )
+    result = benchmark.pedantic(
+        lambda: hotspot.analyze(floorplan), rounds=3, iterations=1
+    )
+    temps = result.block_temperature_map(floorplan)
+    active = {"core_0_0", "core_1_1", "core_2_2", "core_3_3"}
+
+    report.line("Fig. 1(b) - 16-core die, diagonal workload")
+    report.line()
+    image = result.field.as_image()
+    # A coarse ASCII rendering of the thermal map (8x8 downsample).
+    step_y = max(1, image.shape[0] // 8)
+    step_x = max(1, image.shape[1] // 8)
+    coarse = image[::step_y, ::step_x]
+    lo, hi = coarse.min(), coarse.max()
+    ramp = " .:-=+*#%@"
+    for row in coarse[::-1]:
+        report.line(
+            "".join(
+                ramp[int((t - lo) / max(hi - lo, 1e-9) * (len(ramp) - 1))]
+                for t in row
+            )
+        )
+    report.line()
+    report.table(
+        ["core", "T (degC)", "active"],
+        [
+            [name, f"{temps[name]:.1f}", "yes" if name in active else "no"]
+            for name in floorplan.block_names
+        ],
+    )
+
+    hottest = max(temps, key=temps.get)
+    assert hottest in active
+    mean_active = np.mean([temps[n] for n in active])
+    mean_idle = np.mean([temps[n] for n in temps if n not in active])
+    report.line()
+    report.line(
+        f"mean active core: {mean_active:.1f} degC, "
+        f"mean idle core: {mean_idle:.1f} degC"
+    )
+    assert mean_active > mean_idle + 3.0

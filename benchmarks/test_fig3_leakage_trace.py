@@ -1,0 +1,83 @@
+"""Fig. 3 — gate-leakage trace of a stressed device: SBD through HBD.
+
+The paper stresses a 45 nm device at 3.1 V / 100 degC and shows the gate
+leakage staying flat until soft breakdown, jumping 10-20x, then growing
+monotonically to hard breakdown. The measured trace is proprietary; this
+bench regenerates the same shape from the stochastic degradation
+simulator and checks each feature the paper calls out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AreaScaledWeibull, GateLeakageSimulator, OBDModel
+
+
+def test_fig3_sbd_to_hbd_trace(report, benchmark):
+    model = OBDModel()
+    stress = model.device_params(100.0, vdd=3.1)
+    law = AreaScaledWeibull(alpha=stress.alpha, beta=stress.b * 2.2, area=1.0)
+    simulator = GateLeakageSimulator(law)
+
+    rng = np.random.default_rng(42)
+    trace = benchmark.pedantic(
+        lambda: simulator.simulate_until_hbd(
+            np.random.default_rng(42), n_points=400
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    ratio = trace.leakage_ratio()
+    report.line("Fig. 3 - gate leakage vs stress time (3.1 V, 100 degC)")
+    report.line()
+    report.line(f"characteristic SBD life : {law.characteristic_life():.3f} h")
+    report.line(f"first SBD at            : {trace.sbd_time:.3f} h")
+    report.line(f"HBD at                  : {trace.hbd_time:.3f} h")
+    jump_index = np.searchsorted(trace.times, trace.sbd_time)
+    report.line(
+        f"leakage jump at SBD     : {ratio[min(jump_index, len(ratio)-1)]:.1f}x"
+    )
+    report.line()
+    # Log-leakage sparkline over time.
+    log_ratio = np.log10(ratio)
+    step = max(1, len(log_ratio) // 72)
+    ramp = " .:-=+*#%@"
+    lo, hi = log_ratio.min(), log_ratio.max()
+    report.line(
+        "".join(
+            ramp[int((v - lo) / max(hi - lo, 1e-12) * (len(ramp) - 1))]
+            for v in log_ratio[::step]
+        )
+    )
+    report.line("^ log10(I/I0) over stress time (flat -> SBD jump -> growth -> HBD)")
+
+    # Feature assertions (the paper's qualitative claims).
+    before = trace.times < trace.sbd_time
+    after = trace.times >= trace.sbd_time
+    assert before.sum() > 3, "trace must show the flat pre-SBD region"
+    np.testing.assert_allclose(ratio[before], 1.0)
+    first_after = ratio[after][0]
+    assert 5.0 <= first_after <= 40.0, "SBD jump should be ~10-20x"
+    assert np.all(np.diff(trace.current[after]) >= -1e-18), "monotone growth"
+    assert trace.reached_hbd
+    assert ratio.max() >= 500.0, "HBD raises leakage by orders of magnitude"
+
+    # Statistical check: SBD times across traces follow the Weibull law.
+    sbd_times = []
+    horizon = 8.0 * law.characteristic_life()
+    grid = np.linspace(1e-6, horizon, 128)
+    for _ in range(300):
+        t = simulator.simulate(grid, rng, max_breakdowns=1)
+        if np.isfinite(t.sbd_time):
+            sbd_times.append(t.sbd_time)
+    sbd_times = np.array(sbd_times)
+    empirical_median = float(np.median(sbd_times))
+    report.line()
+    report.line(
+        f"SBD-time median over {len(sbd_times)} traces: "
+        f"{empirical_median:.3f} h (Weibull median {law.ppf(0.5):.3f} h)"
+    )
+    assert empirical_median == abs(empirical_median)
+    assert abs(empirical_median - law.ppf(0.5)) / law.ppf(0.5) < 0.25

@@ -1,0 +1,44 @@
+"""Table II — experiment parameter setup for the OBD reliability analysis.
+
+Verifies and reports the exact parameter set every other benchmark uses:
+nominal 2.2 nm oxide, 1.2 V supply, 4 % total 3-sigma variation split
+50/25/25 across inter-die / spatially-correlated / independent components.
+"""
+
+import numpy as np
+
+from repro import OBDModel, VariationBudget
+
+
+def test_table2_parameter_setup(report, benchmark):
+    budget = benchmark(VariationBudget.table2)
+    obd = OBDModel()
+
+    assert budget.nominal_thickness == 2.2
+    assert budget.three_sigma_ratio == 0.04
+    assert budget.global_fraction == 0.50
+    assert budget.spatial_fraction == 0.25
+    assert budget.independent_fraction == 0.25
+    assert obd.v_ref == 1.2
+    np.testing.assert_allclose(
+        budget.sigma_global**2
+        + budget.sigma_spatial**2
+        + budget.sigma_independent**2,
+        budget.variance_total,
+    )
+
+    report.line("Table II - experiment parameter setup")
+    report.line()
+    report.table(
+        ["Quantity", "Value"],
+        [
+            ["z0, nominal oxide thickness", f"{budget.nominal_thickness} nm"],
+            ["VDDnom, nominal supply voltage", f"{obd.v_ref} V"],
+            ["3*sigma_tot/z0, total variation", f"{budget.three_sigma_ratio:.0%}"],
+            ["inter-die variance ratio", f"{budget.global_fraction:.0%}"],
+            ["spatially correlated variance ratio", f"{budget.spatial_fraction:.0%}"],
+            ["independent variance ratio", f"{budget.independent_fraction:.0%}"],
+            ["sigma_total", f"{budget.sigma_total:.5f} nm"],
+            ["x_min (guard-band thickness)", f"{budget.minimum_thickness:.4f} nm"],
+        ],
+    )

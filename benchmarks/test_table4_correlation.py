@@ -1,0 +1,82 @@
+"""Table IV — accuracy versus spatial correlation distance.
+
+The paper re-runs the comparison for rho_dist in {0.25, 0.5, 0.75} and
+shows the statistical method stays within a few percent of MC for every
+correlation structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from benchmarks.design_cache import designs_for, mc_chips_for, prepared_analyzer
+
+_RHOS = (0.25, 0.5, 0.75)
+_PPMS = (1.0, 10.0)
+
+
+def test_table4_error_vs_correlation_distance(report, benchmark):
+    scale = bench_scale()
+    names = designs_for(scale)
+    mc_chips = mc_chips_for(scale)
+
+    rows = []
+    max_err = 0.0
+    for name in names:
+        cells = [name]
+        for rho in _RHOS:
+            analyzer = prepared_analyzer(name, rho_dist=rho)
+            for ppm in _PPMS:
+                lt_fast = analyzer.lifetime(ppm, method="st_fast")
+                lt_mc = analyzer.mc_lifetime(
+                    ppm, n_chips=mc_chips, seed=int(rho * 100)
+                )
+                err = abs(lt_fast - lt_mc) / lt_mc * 100.0
+                max_err = max(max_err, err)
+                cells.append(f"{err:.2f}")
+        rows.append(cells)
+
+    benchmark.pedantic(
+        lambda: prepared_analyzer(names[0], rho_dist=0.25).lifetime(10),
+        rounds=3,
+        iterations=1,
+    )
+
+    header = ["ckt"]
+    for rho in _RHOS:
+        for ppm in _PPMS:
+            header.append(f"r{rho}/{ppm:g}ppm")
+    report.line(
+        "Table IV - st_fast lifetime error (%) w.r.t. MC for correlation "
+        f"distances {_RHOS}  [scale={scale}, mc_chips={mc_chips}]"
+    )
+    report.line()
+    report.table(header, rows)
+    report.line()
+    report.line(f"worst-case error: {max_err:.2f}%")
+
+    # Paper shape: good accuracy (low single digits) at every rho.
+    assert max_err < 10.0
+
+
+@pytest.mark.parametrize("rho", _RHOS)
+def test_table4_correlation_changes_structure_not_accuracy(
+    report, benchmark, rho
+):
+    """Sanity: rho changes the PCA spectrum substantially while the
+    statistical methods keep agreeing with each other."""
+    analyzer = prepared_analyzer("C2", rho_dist=rho)
+    lt_fast = benchmark.pedantic(
+        lambda: analyzer.lifetime(10, method="st_fast"), rounds=3, iterations=1
+    )
+    lt_mc_method = analyzer.lifetime(10, method="st_mc")
+    assert lt_mc_method == pytest.approx(lt_fast, rel=0.05)
+    # Stronger correlation concentrates the spatial variance in fewer PCs.
+    spectrum = np.sum(analyzer.canonical.sensitivities[:, 1:] ** 2, axis=0)
+    top = spectrum[0] / spectrum.sum()
+    report.line(
+        f"rho={rho}: factors={analyzer.canonical.n_factors}, "
+        f"top-PC share={top:.2%}, lifetime(10ppm)={lt_fast:.3e} h"
+    )

@@ -1,0 +1,74 @@
+"""Alpha-processor case study: which blocks limit the chip's lifetime?
+
+Reproduces the paper's C6 scenario end to end: the EV6-like floorplan
+(0.84M devices, 18 modules), a HotSpotLite thermal solve, and the
+temperature-aware statistical OBD analysis. The per-block failure
+breakdown shows how hot execution units dominate the weakest-link budget
+even though the (cool) caches hold most of the oxide area — exactly the
+effect a worst-case-temperature analysis gets wrong.
+
+Run:  python examples/alpha_processor_lifetime.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ReliabilityAnalyzer, make_alpha_processor
+from repro.units import hours_to_years
+
+
+def main() -> None:
+    floorplan = make_alpha_processor()
+    analyzer = ReliabilityAnalyzer(floorplan)
+
+    print("EV6-like alpha processor (C6): thermal profile")
+    print()
+    temps = analyzer.block_temperatures
+    order = np.argsort(temps)[::-1]
+    names = floorplan.block_names
+
+    lifetime = analyzer.lifetime(10, method="st_fast")
+    per_block = analyzer.st_fast.block_failure_probabilities(
+        np.array([lifetime])
+    )[:, 0]
+    share = per_block / per_block.sum()
+
+    print(
+        f"{'block':>10} {'T (degC)':>9} {'devices':>9} "
+        f"{'area share':>11} {'failure share':>14}"
+    )
+    areas = np.array([b.total_oxide_area for b in floorplan.blocks])
+    for j in order:
+        block = floorplan.blocks[j]
+        print(
+            f"{names[j]:>10} {temps[j]:>9.1f} {block.n_devices:>9,} "
+            f"{areas[j] / areas.sum():>10.1%} {share[j]:>13.1%}"
+        )
+
+    print()
+    print(f"10-per-million lifetime: {hours_to_years(lifetime):.1f} years")
+    print(
+        f"hottest block drives "
+        f"{share[np.argmax(temps)]:.0%} of the failure budget with "
+        f"{areas[np.argmax(temps)] / areas.sum():.0%} of the oxide area"
+    )
+
+    # What the two traditional analyses would have concluded:
+    lt_unaware = analyzer.lifetime(10, method="temp_unaware")
+    lt_guard = analyzer.lifetime(10, method="guard")
+    print()
+    print("method comparison at 10/million:")
+    print(f"  temperature-aware statistical : {hours_to_years(lifetime):8.1f} years")
+    print(
+        f"  temp-unaware (worst-case temp): {hours_to_years(lt_unaware):8.1f} years"
+        f"  ({1 - lt_unaware / lifetime:.0%} pessimistic)"
+    )
+    print(
+        f"  guard-band (min thickness)    : {hours_to_years(lt_guard):8.1f} years"
+        f"  ({1 - lt_guard / lifetime:.0%} pessimistic)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: full-chip OBD reliability of a benchmark design.
+
+Builds the paper's C3 benchmark (100K devices), runs the thermal analysis,
+and compares every reliability-evaluation method at the one- and
+ten-faults-per-million criteria.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ReliabilityAnalyzer, make_benchmark
+from repro.units import hours_to_years
+
+
+def main() -> None:
+    # 1. A design: temperature-uniform blocks with device populations.
+    floorplan = make_benchmark("C3")
+    print(
+        f"design C3: {floorplan.n_blocks} blocks, "
+        f"{floorplan.n_devices:,} devices, {floorplan.total_power:.1f} W"
+    )
+
+    # 2. Prepare the analysis. Defaults follow the paper: Table II
+    #    variation budget, 25x25 correlation grid with exponential decay
+    #    (rho_dist = 0.5), HotSpotLite thermal profile from block powers.
+    analyzer = ReliabilityAnalyzer(floorplan)
+    temps = analyzer.block_temperatures
+    print(
+        f"thermal profile: {temps.min():.1f} .. {temps.max():.1f} degC "
+        f"(spread {temps.max() - temps.min():.1f} degC)"
+    )
+
+    # 3. Lifetimes at ppm criteria, every method.
+    print()
+    header = f"{'method':>14} {'1/million':>16} {'10/million':>16}"
+    print(header)
+    print("-" * len(header))
+    for method in ("st_fast", "st_mc", "hybrid", "temp_unaware", "guard"):
+        row = [
+            analyzer.lifetime(ppm, method=method) for ppm in (1.0, 10.0)
+        ]
+        print(
+            f"{method:>14} "
+            + " ".join(f"{hours_to_years(t):>9.1f} years" for t in row)
+        )
+
+    # 4. A Monte-Carlo spot check of the ten-per-million lifetime.
+    lt_fast = analyzer.lifetime(10, method="st_fast")
+    lt_mc = analyzer.mc_lifetime(10, n_chips=300, seed=0)
+    print()
+    print(
+        f"MC reference (300 chips): {hours_to_years(lt_mc):.1f} years; "
+        f"st_fast error {abs(lt_fast - lt_mc) / lt_mc:.2%}"
+    )
+
+    # 5. The reliability curve around the design target.
+    times = np.logspace(np.log10(lt_fast) - 0.5, np.log10(lt_fast) + 0.5, 7)
+    print()
+    print("reliability curve (st_fast):")
+    for t, r in zip(times, np.asarray(analyzer.reliability(times))):
+        print(f"  t = {hours_to_years(t):7.1f} years   1 - R = {1.0 - r:.3e}")
+
+
+if __name__ == "__main__":
+    main()

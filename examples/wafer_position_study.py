@@ -1,0 +1,85 @@
+"""Wafer-position study: systematic across-wafer patterns and reliability.
+
+Section II notes that part of the intra-die correlated variation is really
+a deterministic across-wafer pattern (slanted or bowl shaped, refs
+[21]-[23]) and that the model accommodates it by making the per-grid means
+location dependent. This example places the same design at several wafer
+positions under a bowl-shaped thickness pattern and quantifies how chip
+position changes the predicted ppm lifetime — the information a binning /
+outgoing-quality flow would use.
+
+Run:  python examples/wafer_position_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ReliabilityAnalyzer,
+    WaferPattern,
+    make_benchmark,
+)
+from repro.core.blod import characterize_blods
+from repro.core.ensemble import BlockReliability, StFastAnalyzer
+from repro.core.lifetime import ppm_to_reliability, solve_lifetime
+from repro.units import hours_to_years
+from repro.variation.pca import build_canonical_model
+
+
+def main() -> None:
+    floorplan = make_benchmark("C1")
+    analyzer = ReliabilityAnalyzer(floorplan)  # nominal (flat wafer) flow
+
+    # A bowl: oxide 1.5% of nominal thicker at the wafer edge than centre.
+    pattern = WaferPattern.bowl(depth=0.015 * 2.2, wafer_radius=150.0)
+    positions = {
+        "centre": (-floorplan.width / 2.0, -floorplan.height / 2.0),
+        "mid-radius": (70.0, 0.0),
+        "edge": (130.0, 0.0),
+        "corner": (90.0, 90.0),
+    }
+
+    print("bowl pattern: +%.3f nm at wafer edge" % pattern.offset_at(150.0, 0.0))
+    print()
+    print(f"{'position':>12} {'mean offset':>12} {'10ppm lifetime':>15}")
+
+    nominal_lifetime = None
+    lifetimes = {}
+    for label, (cx, cy) in positions.items():
+        offsets = pattern.grid_offsets(analyzer.grid, chip_x=cx, chip_y=cy)
+        model = build_canonical_model(
+            analyzer.budget,
+            analyzer.correlation,
+            mean_offsets=offsets,
+        )
+        blods = characterize_blods(floorplan, analyzer.grid, model)
+        blocks = [
+            BlockReliability(blod=blod, alpha=b.alpha, b=b.b)
+            for blod, b in zip(blods, analyzer.blocks)
+        ]
+        positioned = StFastAnalyzer(blocks)
+        lifetime = solve_lifetime(
+            lambda t: float(positioned.reliability(t)),
+            ppm_to_reliability(10.0),
+            t_guess=1e5,
+        )
+        lifetimes[label] = lifetime
+        if label == "centre":
+            nominal_lifetime = lifetime
+        print(
+            f"{label:>12} {offsets.mean():>+11.4f}nm "
+            f"{hours_to_years(lifetime):>9.1f} years"
+        )
+
+    print()
+    edge_gain = lifetimes["edge"] / lifetimes["centre"] - 1.0
+    print(
+        f"edge chips (thicker oxide) live {edge_gain:+.0%} longer than "
+        "centre chips under this pattern -- position-aware binning "
+        "information the flat model cannot provide."
+    )
+    assert nominal_lifetime is not None
+    assert lifetimes["edge"] > lifetimes["centre"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Chip geometry, floorplans and benchmark designs."""

@@ -1,0 +1,279 @@
+"""Benchmark designs used in the paper's evaluation (Sec. V).
+
+The paper tests six designs: C1--C5 are automatically generated synthetic
+circuits with 50K to 0.5M devices, and C6 is an alpha-processor design with
+15 functional modules and approximately 0.84M transistors. The original
+synthetic generators and the alpha netlist are not public, so this module
+rebuilds them:
+
+- :func:`make_synthetic_design` produces a random slicing-tree floorplan
+  with realistic block-to-block power-density contrast (hot execution
+  clusters next to cool memory arrays), which is all the analysis consumes.
+- :func:`make_alpha_processor` is an EV6-like floorplan with the 15
+  classic Alpha 21264 functional modules (the same processor HotSpot ships
+  as its demo floorplan) and a Wattch-like power vector.
+- :func:`make_manycore` builds the regular tiled many-core die of
+  Fig. 1(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chip.floorplan import Block, Floorplan
+from repro.chip.geometry import Rect
+from repro.errors import ConfigurationError
+
+#: Device counts of the paper's six benchmark designs (Table III).
+BENCHMARK_DEVICE_COUNTS = {
+    "C1": 50_000,
+    "C2": 80_000,
+    "C3": 100_000,
+    "C4": 200_000,
+    "C5": 500_000,
+    "C6": 840_000,
+}
+
+#: Block counts used for the synthetic designs (tens of blocks capture the
+#: thermal profile, per footnote 1 of the paper).
+_SYNTHETIC_BLOCK_COUNTS = {"C1": 8, "C2": 10, "C3": 12, "C4": 14, "C5": 16}
+
+#: Synthetic die edge lengths in millimetres, growing with design size.
+_SYNTHETIC_DIE_SIZES = {"C1": 4.0, "C2": 5.0, "C3": 6.0, "C4": 8.0, "C5": 10.0}
+
+
+def _slicing_tree_rects(die: Rect, n_leaves: int, rng: np.random.Generator) -> list[Rect]:
+    """Partition ``die`` into ``n_leaves`` rectangles with a random slicing tree.
+
+    At each step the largest rectangle is split, alternating preference for
+    the long direction, with a random split fraction in [0.35, 0.65] so block
+    aspect ratios stay reasonable.
+    """
+    rects = [die]
+    while len(rects) < n_leaves:
+        rects.sort(key=lambda r: r.area, reverse=True)
+        target = rects.pop(0)
+        fraction = float(rng.uniform(0.35, 0.65))
+        if target.width >= target.height:
+            first, second = target.split_horizontal(fraction)
+        else:
+            first, second = target.split_vertical(fraction)
+        rects.extend([first, second])
+    return rects
+
+
+def make_synthetic_design(
+    name: str,
+    n_devices: int,
+    n_blocks: int,
+    die_size: float,
+    seed: int,
+    total_power: float | None = None,
+) -> Floorplan:
+    """Generate a synthetic benchmark floorplan.
+
+    Devices are distributed across blocks proportionally to block area with
+    a lognormal density perturbation (memory-like blocks are denser than
+    random-logic blocks). Power densities are drawn so that a few blocks are
+    distinctly hot, giving the ~30 degC across-die temperature spread the
+    paper observes.
+
+    Parameters
+    ----------
+    name:
+        Design name used to prefix block names.
+    n_devices:
+        Total number of gate-oxide devices on the chip.
+    n_blocks:
+        Number of temperature-uniform blocks.
+    die_size:
+        Edge length of the (square) die in millimetres.
+    seed:
+        Seed for the deterministic generator.
+    total_power:
+        Total chip power in watts; defaults to ``0.4 W/mm^2`` of die area,
+        a typical high-performance density.
+    """
+    if n_devices < n_blocks:
+        raise ConfigurationError(
+            f"need at least one device per block: {n_devices} < {n_blocks}"
+        )
+    rng = np.random.default_rng(seed)
+    die = Rect(0.0, 0.0, die_size, die_size)
+    rects = _slicing_tree_rects(die, n_blocks, rng)
+
+    areas = np.array([r.area for r in rects])
+    density_jitter = rng.lognormal(mean=0.0, sigma=0.35, size=n_blocks)
+    device_weights = areas * density_jitter
+    device_counts = _apportion(n_devices, device_weights)
+
+    if total_power is None:
+        total_power = 0.4 * die.area
+    # A third of the blocks are "hot" (execution-like), the rest cool
+    # (memory-like): the contrast produces the hot-spot/inactive-region
+    # temperature difference of Fig. 1.
+    n_hot = max(1, n_blocks // 3)
+    hot_indices = rng.choice(n_blocks, size=n_hot, replace=False)
+    density_scale = np.full(n_blocks, 1.0)
+    density_scale[hot_indices] = rng.uniform(2.5, 4.5, size=n_hot)
+    power_weights = areas * density_scale
+    powers = total_power * power_weights / power_weights.sum()
+
+    blocks = tuple(
+        Block(
+            name=f"{name}_b{j}",
+            rect=rects[j],
+            n_devices=int(device_counts[j]),
+            avg_device_area=float(rng.uniform(0.8, 1.6)),
+            power=float(powers[j]),
+        )
+        for j in range(n_blocks)
+    )
+    return Floorplan(width=die_size, height=die_size, blocks=blocks)
+
+
+def _apportion(total: int, weights: np.ndarray) -> np.ndarray:
+    """Split integer ``total`` proportionally to ``weights``.
+
+    Uses the largest-remainder method and guarantees every entry gets at
+    least one unit.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights <= 0.0):
+        raise ConfigurationError("apportionment weights must be positive")
+    n_bins = len(weights)
+    if total < n_bins:
+        raise ConfigurationError(f"cannot apportion {total} into {n_bins} bins")
+    # Reserve one unit per bin, then split the remainder.
+    remainder_total = total - n_bins
+    raw = remainder_total * weights / weights.sum()
+    counts = np.floor(raw).astype(int)
+    shortfall = remainder_total - counts.sum()
+    if shortfall > 0:
+        order = np.argsort(raw - counts)[::-1]
+        counts[order[:shortfall]] += 1
+    return counts + 1
+
+
+def make_benchmark(name: str, seed: int | None = None) -> Floorplan:
+    """Build one of the paper's benchmark designs C1--C6 by name."""
+    key = name.upper()
+    if key == "C6":
+        return make_alpha_processor()
+    if key not in _SYNTHETIC_BLOCK_COUNTS:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{sorted(BENCHMARK_DEVICE_COUNTS)}"
+        )
+    return make_synthetic_design(
+        name=key,
+        n_devices=BENCHMARK_DEVICE_COUNTS[key],
+        n_blocks=_SYNTHETIC_BLOCK_COUNTS[key],
+        die_size=_SYNTHETIC_DIE_SIZES[key],
+        seed=seed if seed is not None else _default_seed(key),
+    )
+
+
+def _default_seed(name: str) -> int:
+    # Stable per-design seeds so that "C3" always means the same floorplan.
+    return 1000 + int(name[1:])
+
+
+# EV6-like (Alpha 21264) floorplan. Geometry follows the classic HotSpot
+# ``ev6.flp`` demo layout, expressed here on a 16 mm x 16 mm die. Device
+# counts total ~0.84M, weighted towards the caches (SRAM-dense) as on the
+# real part. Powers are representative Wattch steady-state values: the
+# integer/FP execution units and register files run hot, the large caches
+# stay cool.
+_ALPHA_MODULES = (
+    # name,         x,     y,   width, height, devices, avg_area, power (W)
+    ("icache",     0.0,  11.2,   8.0,   4.8,  155_000, 1.00,  6.5),
+    ("dcache",     8.0,  11.2,   8.0,   4.8,  155_000, 1.00,  7.0),
+    ("l2_left",    0.0,   0.0,   2.4,  11.2,  100_000, 1.00,  3.0),
+    ("l2_right",  13.6,   0.0,   2.4,  11.2,  100_000, 1.00,  3.0),
+    ("bpred",      2.4,   9.6,   3.2,   1.6,   40_000, 1.10,  3.5),
+    ("dtb",        5.6,   9.6,   2.8,   1.6,   24_000, 1.10,  2.2),
+    ("itb",        8.4,   9.6,   2.4,   1.6,   20_000, 1.10,  1.8),
+    ("ldstq",     10.8,   9.6,   2.8,   1.6,   26_000, 1.20,  4.0),
+    ("fpmap",      2.4,   8.0,   2.6,   1.6,   14_000, 1.20,  2.5),
+    ("fpq",        5.0,   8.0,   2.6,   1.6,   14_000, 1.20,  2.8),
+    ("fpreg",      7.6,   8.0,   3.0,   1.6,   22_000, 1.30,  5.5),
+    ("fpadd",      2.4,   4.8,   4.0,   3.2,   32_000, 1.30,  9.0),
+    ("fpmul",      6.4,   4.8,   4.0,   3.2,   34_000, 1.30,  9.5),
+    ("intmap",    10.6,   8.0,   3.0,   1.6,   14_000, 1.20,  3.0),
+    ("intq",       2.4,   3.2,   4.0,   1.6,   16_000, 1.20,  4.5),
+    ("intreg",     6.4,   3.2,   4.0,   1.6,   22_000, 1.30,  7.5),
+    ("intexec",    2.4,   0.0,   8.0,   3.2,   36_000, 1.30, 14.0),
+    ("iq",        10.4,   4.8,   3.2,   3.2,   16_000, 1.20,  4.8),
+)
+
+
+def make_alpha_processor() -> Floorplan:
+    """The C6 benchmark: an EV6-like alpha processor.
+
+    The paper describes C6 as "an alpha processor design with 15 functional
+    modules and approximately 0.84M transistors"; our layout keeps the
+    classic EV6 module set (the two L2 slabs count as one logical module
+    split for layout, and the two level-1 caches are separate), yielding the
+    same device count and the characteristic hot-core / cool-cache thermal
+    profile of Fig. 1(a).
+    """
+    blocks = tuple(
+        Block(
+            name=name,
+            rect=Rect(x, y, w, h),
+            n_devices=devices,
+            avg_device_area=avg_area,
+            power=power,
+        )
+        for name, x, y, w, h, devices, avg_area, power in _ALPHA_MODULES
+    )
+    return Floorplan(width=16.0, height=16.0, blocks=blocks)
+
+
+def make_manycore(
+    n_cores_x: int = 4,
+    n_cores_y: int = 4,
+    die_size: float = 12.0,
+    devices_per_core: int = 40_000,
+    core_power: float = 4.0,
+    active_cores: tuple[int, ...] | None = None,
+) -> Floorplan:
+    """A tiled many-core die like Fig. 1(b).
+
+    Each core tile is a block; cores listed in ``active_cores`` (flat
+    row-major indices) dissipate ``core_power`` watts, the rest idle at a
+    tenth of that. By default a diagonal band of cores is active, which
+    produces the clustered hot spots of the figure.
+    """
+    if n_cores_x < 1 or n_cores_y < 1:
+        raise ConfigurationError("need at least a 1x1 core array")
+    n_cores = n_cores_x * n_cores_y
+    if active_cores is None:
+        active_cores = tuple(
+            row * n_cores_x + col
+            for row in range(n_cores_y)
+            for col in range(n_cores_x)
+            if abs(row - col) <= 0
+        )
+    bad = [c for c in active_cores if not 0 <= c < n_cores]
+    if bad:
+        raise ConfigurationError(f"active core indices out of range: {bad}")
+    tile_w = die_size / n_cores_x
+    tile_h = die_size / n_cores_y
+    active = set(active_cores)
+    blocks = []
+    for row in range(n_cores_y):
+        for col in range(n_cores_x):
+            index = row * n_cores_x + col
+            power = core_power if index in active else 0.1 * core_power
+            blocks.append(
+                Block(
+                    name=f"core_{row}_{col}",
+                    rect=Rect(col * tile_w, row * tile_h, tile_w, tile_h),
+                    n_devices=devices_per_core,
+                    avg_device_area=1.0,
+                    power=power,
+                )
+            )
+    return Floorplan(width=die_size, height=die_size, blocks=tuple(blocks))

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``info``        design summary: blocks, devices, thermal profile
+``lifetime``    ppm lifetime by any method (st_fast/st_mc/hybrid/guard/...)
+``curve``       reliability curve over a time range
+``thermal``     block temperatures from the power model
+``sensitivity`` lifetime elasticities (tornado)
+``report``      one-page design report (thermal map, lifetimes, budget)
+
+Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
+setup file (``--setup``, see :mod:`repro.io.design_json`) or a HotSpot
+floorplan (``--flp``, optionally with ``--ptrace``). Add ``--json`` for
+machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro import __version__
+from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
+from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
+from repro.errors import ReproError
+from repro.units import hours_to_years
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--design",
+        choices=sorted(BENCHMARK_DEVICE_COUNTS),
+        help="one of the paper's benchmark designs",
+    )
+    source.add_argument(
+        "--setup", metavar="FILE", help="JSON analysis setup file"
+    )
+    source.add_argument(
+        "--flp", metavar="FILE", help="HotSpot floorplan file"
+    )
+    parser.add_argument(
+        "--ptrace",
+        metavar="FILE",
+        help="HotSpot power trace applied to the --flp floorplan",
+    )
+    parser.add_argument(
+        "--grid", type=int, default=25, help="correlation grid size (default 25)"
+    )
+    parser.add_argument(
+        "--rho", type=float, default=0.5, help="correlation distance (default 0.5)"
+    )
+    parser.add_argument(
+        "--vdd", type=float, default=None, help="supply voltage override"
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+
+
+def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
+    if args.setup:
+        from repro.io.design_json import load_setup
+
+        floorplan, budget, obd_model, config = load_setup(args.setup)
+        if args.vdd is not None:
+            import dataclasses
+
+            config = dataclasses.replace(config, vdd=args.vdd)
+        return ReliabilityAnalyzer(
+            floorplan, budget=budget, obd_model=obd_model, config=config
+        )
+    if args.flp:
+        from repro.io.hotspot_files import apply_ptrace_sample, read_flp, read_ptrace
+
+        floorplan = read_flp(args.flp)
+        if args.ptrace:
+            names, powers = read_ptrace(args.ptrace)
+            floorplan = apply_ptrace_sample(floorplan, names, powers)
+    else:
+        floorplan = make_benchmark(args.design)
+    config = AnalysisConfig(grid_size=args.grid, rho_dist=args.rho, vdd=args.vdd)
+    return ReliabilityAnalyzer(floorplan, config=config)
+
+
+def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    analyzer = _build_analyzer(args)
+    summary = analyzer.summary()
+    lines = [
+        f"blocks : {summary['design']['blocks']}",
+        f"devices: {summary['design']['devices']:,}",
+        f"oxide area (normalized): {summary['design']['total_oxide_area']:.3e}",
+        f"PCA factors: {summary['variation']['pca_factors']}",
+        "block temperatures (degC):",
+    ]
+    for name, temp in sorted(
+        summary["temperatures_c"].items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {name:>16} {temp:7.1f}")
+    _emit(args, summary, "\n".join(lines))
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    analyzer = _build_analyzer(args)
+    results = {}
+    for method in args.method:
+        if method == "mc":
+            value = analyzer.mc_lifetime(
+                args.ppm, n_chips=args.mc_chips, seed=args.seed
+            )
+        else:
+            value = analyzer.lifetime(args.ppm, method=method)
+        results[method] = value
+    payload = {
+        "ppm": args.ppm,
+        "lifetime_hours": results,
+        "lifetime_years": {m: hours_to_years(v) for m, v in results.items()},
+    }
+    text = "\n".join(
+        f"{m:>14}: {v:.4e} h = {hours_to_years(v):8.1f} years"
+        for m, v in results.items()
+    )
+    _emit(args, payload, text)
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    analyzer = _build_analyzer(args)
+    times = np.logspace(
+        np.log10(args.t_min), np.log10(args.t_max), args.points
+    )
+    reliability = np.atleast_1d(
+        analyzer.reliability(times, method=args.method[0])
+    )
+    payload = {
+        "method": args.method[0],
+        "times_hours": times.tolist(),
+        "reliability": reliability.tolist(),
+    }
+    text = "\n".join(
+        f"{t:.4e} h   R = {r:.8f}   1-R = {1.0 - r:.3e}"
+        for t, r in zip(times, reliability)
+    )
+    _emit(args, payload, text)
+    return 0
+
+
+def _cmd_thermal(args: argparse.Namespace) -> int:
+    analyzer = _build_analyzer(args)
+    temps = dict(
+        zip(
+            analyzer.floorplan.block_names,
+            (float(t) for t in analyzer.block_temperatures),
+        )
+    )
+    payload = {
+        "block_temperatures_c": temps,
+        "spread_c": max(temps.values()) - min(temps.values()),
+    }
+    text = "\n".join(
+        f"{name:>16} {temp:7.1f} degC"
+        for name, temp in sorted(temps.items(), key=lambda kv: -kv[1])
+    )
+    _emit(args, payload, text)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import design_report
+
+    analyzer = _build_analyzer(args)
+    text = design_report(analyzer)
+    if args.json:
+        print(json.dumps({"report": text}))
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import lifetime_sensitivities, tornado_text
+
+    analyzer = _build_analyzer(args)
+    results = lifetime_sensitivities(analyzer, ppm=args.ppm)
+    payload = {
+        "ppm": args.ppm,
+        "elasticities": {r.parameter: r.elasticity for r in results},
+    }
+    _emit(args, payload, tornado_text(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Process variation and temperature-aware full-chip "
+        "OBD reliability analysis",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="design and thermal summary")
+    _add_design_arguments(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_life = sub.add_parser("lifetime", help="ppm lifetime by method")
+    _add_design_arguments(p_life)
+    p_life.add_argument("--ppm", type=float, default=10.0)
+    p_life.add_argument(
+        "--method",
+        nargs="+",
+        choices=METHODS,
+        default=["st_fast"],
+    )
+    p_life.add_argument("--mc-chips", type=int, default=500)
+    p_life.add_argument("--seed", type=int, default=0)
+    p_life.set_defaults(func=_cmd_lifetime)
+
+    p_curve = sub.add_parser("curve", help="reliability curve over time")
+    _add_design_arguments(p_curve)
+    p_curve.add_argument("--t-min", type=float, required=True)
+    p_curve.add_argument("--t-max", type=float, required=True)
+    p_curve.add_argument("--points", type=int, default=20)
+    p_curve.add_argument(
+        "--method", nargs=1, choices=METHODS, default=["st_fast"]
+    )
+    p_curve.set_defaults(func=_cmd_curve)
+
+    p_thermal = sub.add_parser("thermal", help="block temperatures")
+    _add_design_arguments(p_thermal)
+    p_thermal.set_defaults(func=_cmd_thermal)
+
+    p_sens = sub.add_parser("sensitivity", help="lifetime elasticities")
+    _add_design_arguments(p_sens)
+    p_sens.add_argument("--ppm", type=float, default=10.0)
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_report = sub.add_parser("report", help="one-page design report")
+    _add_design_arguments(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

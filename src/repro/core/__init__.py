@@ -1,0 +1,1 @@
+"""Core OBD reliability analysis: BLOD projection and ensemble analyzers."""

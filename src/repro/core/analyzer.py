@@ -1,0 +1,423 @@
+"""Top-level facade: full-chip OBD reliability analysis of a design.
+
+:class:`ReliabilityAnalyzer` wires the whole flow of Fig. 9 together:
+
+1. thermal profile (HotSpotLite, unless block temperatures are given),
+2. spatial-correlation grid + PCA canonical thickness model,
+3. closed-form BLOD characterisation per block (eq. (22)/(24)),
+4. one of the evaluation methods:
+
+   - ``st_fast``   — marginal-product statistical analysis (Sec. IV-D),
+   - ``st_mc``     — numerical joint PDF from PC samples (Sec. IV-C),
+   - ``hybrid``    — table look-up with bilinear interpolation (Sec. IV-E),
+   - ``temp_unaware`` — statistical thickness, worst-case temperature,
+   - ``guard``     — traditional guard-band corner (eq. (33)-(34)),
+   - ``mc``        — Monte-Carlo reference over sample chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.chip.floorplan import Floorplan
+from repro.core.blod import characterize_blods
+from repro.core.ensemble import (
+    BlockReliability,
+    StFastAnalyzer,
+    StMcAnalyzer,
+    worst_case_blocks,
+)
+from repro.core.guardband import GuardBandAnalyzer
+from repro.core.hybrid import HybridAnalyzer
+from repro.core.lifetime import ppm_to_reliability, solve_lifetime
+from repro.core.montecarlo import MonteCarloEngine, ReliabilityCurve
+from repro.core.obd_model import OBDModel
+from repro.errors import ConfigurationError
+from repro.thermal.hotspot import HotSpotLite, uniform_temperature_result
+from repro.variation.components import VariationBudget
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.pca import build_canonical_model
+from repro.variation.sampling import ChipSampler
+
+#: Evaluation methods accepted by :meth:`ReliabilityAnalyzer.reliability`.
+METHODS = ("st_fast", "st_mc", "hybrid", "temp_unaware", "guard", "mc")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs of the analysis flow (defaults follow the paper's setup).
+
+    Parameters
+    ----------
+    grid_size:
+        Spatial-correlation grid resolution per axis (paper: 25x25).
+    rho_dist:
+        Correlation distance relative to the chip dimension (paper: 0.5).
+    kernel:
+        Spatial correlation kernel (paper: exponential decay [38]).
+    correlation_model:
+        ``"grid"`` (paper default: grid covariance + PCA) or
+        ``"quadtree"`` (the [24] alternative; ``rho_dist``/``kernel`` are
+        then unused).
+    quadtree_levels:
+        Tree depth for the quad-tree correlation model.
+    pca_energy:
+        Variance fraction retained by the PCA truncation.
+    max_factors:
+        Optional hard cap on spatial principal components.
+    l0:
+        Integration sub-domains per dimension (paper: 10).
+    tail:
+        Tail mass excluded per side of each integration bracket.
+    integration_rule:
+        ``"midpoint"`` (paper) or ``"gauss"``.
+    vdd:
+        Operating supply voltage; ``None`` uses the OBD model reference.
+    st_mc_samples:
+        Principal-component draws for the st_mc analyzer.
+    st_mc_estimator:
+        ``"samples"`` or ``"histogram"`` (see :class:`StMcAnalyzer`).
+    seed:
+        Seed for the stochastic analyzers (st_mc); MC references take
+        their own seeds per call.
+    hybrid_n_alpha, hybrid_n_b:
+        Look-up table resolution (paper: 100x100).
+    mc_device_mode:
+        ``"binned"`` or ``"exact"`` device handling for MC references.
+    mc_chunk_size:
+        Chips per vectorised MC batch.
+    include_residual_fluctuation:
+        Keep the residual sampling fluctuation in the BLOD-variance
+        surrogate.
+    """
+
+    grid_size: int = 25
+    rho_dist: float = 0.5
+    kernel: str = "exponential"
+    correlation_model: str = "grid"
+    quadtree_levels: int = 3
+    pca_energy: float = 0.9999
+    max_factors: int | None = None
+    l0: int = 10
+    tail: float = 1e-6
+    integration_rule: str = "midpoint"
+    vdd: float | None = None
+    st_mc_samples: int = 20000
+    st_mc_estimator: str = "samples"
+    seed: int = 2024
+    hybrid_n_alpha: int = 100
+    hybrid_n_b: int = 100
+    mc_device_mode: str = "binned"
+    mc_chunk_size: int = 100
+    include_residual_fluctuation: bool = True
+
+
+class ReliabilityAnalyzer:
+    """Process-variation and temperature-aware full-chip OBD analysis.
+
+    Parameters
+    ----------
+    floorplan:
+        The design: temperature-uniform blocks with device populations.
+    budget:
+        Thickness-variation budget; defaults to the paper's Table II.
+    obd_model:
+        Device-level OBD model; defaults to the calibrated
+        :class:`OBDModel`.
+    config:
+        Flow configuration; defaults to the paper's setup.
+    block_temperatures:
+        Optional explicit per-block temperatures (celsius, floorplan
+        order). When omitted, a thermal analysis is run on the floorplan's
+        block powers; if the floorplan carries no power at all, every
+        block is placed at the OBD model's reference temperature.
+    thermal_model:
+        Thermal analyzer used when temperatures are not given.
+    mean_offsets:
+        Optional per-grid-cell deterministic thickness offsets (nm) — a
+        wafer-level systematic pattern, typically from
+        :meth:`repro.variation.wafer.WaferPattern.grid_offsets`.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        budget: VariationBudget | None = None,
+        obd_model: OBDModel | None = None,
+        config: AnalysisConfig | None = None,
+        block_temperatures: np.ndarray | None = None,
+        thermal_model: HotSpotLite | None = None,
+        mean_offsets: np.ndarray | None = None,
+    ) -> None:
+        self.floorplan = floorplan
+        self.budget = budget if budget is not None else VariationBudget.table2()
+        self.obd_model = obd_model if obd_model is not None else OBDModel()
+        self.config = config if config is not None else AnalysisConfig()
+
+        if block_temperatures is not None:
+            block_temperatures = np.asarray(block_temperatures, dtype=float)
+            if block_temperatures.shape != (floorplan.n_blocks,):
+                raise ConfigurationError(
+                    f"expected {floorplan.n_blocks} block temperatures, got "
+                    f"shape {block_temperatures.shape}"
+                )
+            self.thermal = None
+            self.block_temperatures = block_temperatures
+        elif floorplan.total_power > 0.0:
+            thermal_model = (
+                thermal_model if thermal_model is not None else HotSpotLite()
+            )
+            self.thermal = thermal_model.analyze(floorplan)
+            self.block_temperatures = self.thermal.block_temperatures
+        else:
+            self.thermal = uniform_temperature_result(
+                floorplan, self.obd_model.t_ref
+            )
+            self.block_temperatures = self.thermal.block_temperatures
+
+        cfg = self.config
+        self.grid = floorplan.make_grid(cfg.grid_size)
+        if cfg.correlation_model == "grid":
+            self.correlation = SpatialCorrelationModel(
+                grid=self.grid, rho_dist=cfg.rho_dist, kernel=cfg.kernel
+            )
+            self.canonical = build_canonical_model(
+                self.budget,
+                self.correlation,
+                energy=cfg.pca_energy,
+                max_factors=cfg.max_factors,
+                mean_offsets=mean_offsets,
+            )
+        elif cfg.correlation_model == "quadtree":
+            from repro.variation.quadtree import build_quadtree_model
+
+            self.correlation = None
+            self.canonical = build_quadtree_model(
+                self.budget,
+                self.grid,
+                levels=cfg.quadtree_levels,
+                mean_offsets=mean_offsets,
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown correlation model {cfg.correlation_model!r}; "
+                "expected 'grid' or 'quadtree'"
+            )
+        self.sampler = ChipSampler(floorplan, self.grid, self.canonical)
+        self.blods = characterize_blods(
+            floorplan, self.grid, self.canonical, self.sampler.assignments
+        )
+        params = self.obd_model.block_params(self.block_temperatures, cfg.vdd)
+        self.blocks = [
+            BlockReliability(blod=blod, alpha=p.alpha, b=p.b)
+            for blod, p in zip(self.blods, params)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lazily constructed per-method analyzers
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def st_fast(self) -> StFastAnalyzer:
+        """The marginal-product statistical analyzer."""
+        cfg = self.config
+        return StFastAnalyzer(
+            self.blocks,
+            l0=cfg.l0,
+            tail=cfg.tail,
+            rule=cfg.integration_rule,
+            include_residual_fluctuation=cfg.include_residual_fluctuation,
+        )
+
+    @cached_property
+    def st_mc(self) -> StMcAnalyzer:
+        """The numerical-joint-PDF statistical analyzer."""
+        cfg = self.config
+        return StMcAnalyzer(
+            self.blocks,
+            n_samples=cfg.st_mc_samples,
+            seed=cfg.seed,
+            estimator=cfg.st_mc_estimator,
+            bins=cfg.l0,
+        )
+
+    @cached_property
+    def hybrid(self) -> HybridAnalyzer:
+        """The table-look-up analyzer."""
+        cfg = self.config
+        return HybridAnalyzer(
+            self.blocks,
+            n_alpha=cfg.hybrid_n_alpha,
+            n_b=cfg.hybrid_n_b,
+            l0=cfg.l0,
+            tail=cfg.tail,
+            include_residual_fluctuation=cfg.include_residual_fluctuation,
+        )
+
+    @cached_property
+    def temp_unaware(self) -> StFastAnalyzer:
+        """Statistical analysis at a uniform worst-case temperature."""
+        cfg = self.config
+        return StFastAnalyzer(
+            worst_case_blocks(self.blocks),
+            l0=cfg.l0,
+            tail=cfg.tail,
+            rule=cfg.integration_rule,
+            include_residual_fluctuation=cfg.include_residual_fluctuation,
+        )
+
+    @cached_property
+    def guard(self) -> GuardBandAnalyzer:
+        """The traditional guard-band baseline."""
+        worst_temp = float(np.max(self.block_temperatures))
+        params = self.obd_model.device_params(worst_temp, self.config.vdd)
+        return GuardBandAnalyzer(
+            total_area=self.floorplan.total_oxide_area,
+            alpha_worst=params.alpha,
+            b_worst=params.b,
+            x_min=self.budget.minimum_thickness,
+        )
+
+    @cached_property
+    def mc_engine(self) -> MonteCarloEngine:
+        """The Monte-Carlo reference engine."""
+        cfg = self.config
+        return MonteCarloEngine(
+            self.sampler,
+            self.blocks,
+            device_mode=cfg.mc_device_mode,
+            chunk_size=cfg.mc_chunk_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Unified evaluation API
+    # ------------------------------------------------------------------
+
+    def reliability(
+        self,
+        times: np.ndarray | float,
+        method: str = "st_fast",
+        mc_chips: int = 500,
+        mc_seed: int = 0,
+    ) -> np.ndarray | float:
+        """Ensemble chip reliability ``R_c(t)`` by the chosen method."""
+        times_arr = np.asarray(times, dtype=float)
+        scalar = times_arr.ndim == 0
+        if method == "st_fast":
+            value = np.atleast_1d(self.st_fast.reliability(times_arr))
+        elif method == "st_mc":
+            value = np.atleast_1d(self.st_mc.reliability(times_arr))
+        elif method == "hybrid":
+            value = np.atleast_1d(self.hybrid.reliability(times_arr))
+        elif method == "temp_unaware":
+            value = np.atleast_1d(self.temp_unaware.reliability(times_arr))
+        elif method == "guard":
+            value = np.atleast_1d(self.guard.reliability(times_arr))
+        elif method == "mc":
+            curve = self.mc_reliability_curve(
+                np.atleast_1d(times_arr), n_chips=mc_chips, seed=mc_seed
+            )
+            value = curve.reliability
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        return float(value[0]) if scalar else value
+
+    def lifetime(
+        self,
+        ppm: float,
+        method: str = "st_fast",
+    ) -> float:
+        """Lifetime (hours) at an n-faults-per-million criterion.
+
+        For the MC reference use :meth:`mc_lifetime`, which controls its
+        own sample size.
+        """
+        if method == "mc":
+            raise ConfigurationError("use mc_lifetime for the MC reference")
+        if method == "guard":
+            return self.guard.lifetime(ppm_to_reliability(ppm))
+        # Seed the bracketing with the analytic guard-band estimate, which
+        # is within ~2x of every statistical method's answer.
+        guess = self.guard.lifetime(ppm_to_reliability(ppm))
+        return solve_lifetime(
+            lambda t: float(self.reliability(t, method=method)),
+            ppm_to_reliability(ppm),
+            t_guess=guess,
+        )
+
+    def mc_reliability_curve(
+        self,
+        times: np.ndarray,
+        n_chips: int = 1000,
+        seed: int = 0,
+    ) -> ReliabilityCurve:
+        """Monte-Carlo reference reliability curve."""
+        rng = np.random.default_rng(seed)
+        return self.mc_engine.reliability_curve(
+            np.asarray(times, dtype=float), n_chips, rng
+        )
+
+    def mc_lifetime(
+        self,
+        ppm: float,
+        n_chips: int = 1000,
+        seed: int = 0,
+        span_decades: float = 1.2,
+        n_times: int = 33,
+    ) -> float:
+        """Lifetime at a ppm criterion from the Monte-Carlo reference.
+
+        Samples the MC curve on a log-time window centred at the st_fast
+        estimate, then solves on the interpolated curve.
+        """
+        from repro.core.lifetime import lifetime_from_curve
+
+        center = self.lifetime(ppm, method="st_fast")
+        times = np.logspace(
+            np.log10(center) - span_decades / 2.0,
+            np.log10(center) + span_decades / 2.0,
+            n_times,
+        )
+        curve = self.mc_reliability_curve(times, n_chips=n_chips, seed=seed)
+        return lifetime_from_curve(
+            curve.times, curve.reliability, ppm_to_reliability(ppm)
+        )
+
+    def mc_failure_times(
+        self, n_chips: int = 10000, seed: int = 0
+    ) -> np.ndarray:
+        """Failure-time samples for the Fig. 10 style comparison."""
+        rng = np.random.default_rng(seed)
+        return self.mc_engine.failure_times(n_chips, rng)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """A human-readable description of the prepared analysis."""
+        return {
+            "design": {
+                "blocks": self.floorplan.n_blocks,
+                "devices": self.floorplan.n_devices,
+                "total_oxide_area": self.floorplan.total_oxide_area,
+            },
+            "temperatures_c": {
+                name: round(float(t), 2)
+                for name, t in zip(
+                    self.floorplan.block_names, self.block_temperatures
+                )
+            },
+            "variation": {
+                "nominal_nm": self.budget.nominal_thickness,
+                "sigma_total_nm": self.budget.sigma_total,
+                "rho_dist": self.config.rho_dist,
+                "grid": f"{self.config.grid_size}x{self.config.grid_size}",
+                "pca_factors": self.canonical.n_factors,
+            },
+        }

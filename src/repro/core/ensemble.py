@@ -1,0 +1,315 @@
+"""Design-time ensemble reliability analyzers (Sec. IV-B/C/D).
+
+Two statistical analyzers evaluate eq. (28) — the sum of ``N`` per-block
+double integrals of the conditional block survival over the BLOD moment
+distributions:
+
+- :class:`StFastAnalyzer` (``st_fast``): analytical marginals — Gaussian
+  ``u_j`` and the chi-square-matched ``v_j`` — combined under the
+  independence approximation justified by the Lemma and Fig. 6/7, then
+  integrated with the paper's ``l0 x l0`` midpoint rule (or Gauss-Hermite /
+  quantile rules as higher-order alternatives).
+- :class:`StMcAnalyzer` (``st_mc``): the joint distribution of
+  ``(u_j, v_j)`` is constructed numerically from Monte-Carlo samples of the
+  principal components (eq. (22)/(24)), retaining any u-v dependence, at a
+  modest runtime overhead.
+
+Both share the eq. (18) first-order combination across blocks, so only the
+per-block expectation differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blod import BlodModel
+from repro.core.closed_form import _EXP_MAX, _EXP_MIN, safe_log_t_ratio
+from repro.errors import ConfigurationError
+from repro.stats.integration import (
+    Rule1D,
+    gauss_hermite_rule,
+    midpoint_rule,
+    quantile_rule,
+)
+
+
+@dataclass(frozen=True)
+class BlockReliability:
+    """One block's BLOD plus its temperature-dependent Weibull parameters."""
+
+    blod: BlodModel
+    alpha: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.b <= 0.0:
+            raise ConfigurationError(f"b must be positive, got {self.b}")
+
+    @property
+    def name(self) -> str:
+        """Block name."""
+        return self.blod.name
+
+
+def _survival_on_grid(
+    log_t_ratio: np.ndarray,
+    b: float,
+    area: float,
+    u_points: np.ndarray,
+    v_points: np.ndarray,
+) -> np.ndarray:
+    """``exp(-A g(u, v))`` on a (time, u, v) tensor grid.
+
+    ``log_t_ratio`` entries of ``-inf`` (t = 0) map to survival 1.
+    """
+    scaled = b * log_t_ratio[:, None, None]
+    finite = np.isfinite(scaled)
+    scaled_safe = np.where(finite, scaled, 0.0)
+    log_g = (
+        scaled_safe * u_points[None, :, None]
+        + 0.5 * scaled_safe**2 * v_points[None, None, :]
+    )
+    exponent = np.clip(np.log(area) + log_g, _EXP_MIN, _EXP_MAX)
+    survival = np.exp(-np.exp(exponent))
+    return np.where(finite, survival, 1.0)
+
+
+class _EnsembleAnalyzerBase:
+    """Shared eq. (18)/(28) combination logic."""
+
+    blocks: list[BlockReliability]
+
+    def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
+        """``E[exp(-A_j g(u_j, v_j))]`` at each time; per-analyzer."""
+        raise NotImplementedError
+
+    def block_failure_probabilities(self, times: np.ndarray | float) -> np.ndarray:
+        """``(n_blocks, n_times)`` ensemble block failure probabilities."""
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        out = np.empty((len(self.blocks), times.size))
+        for j in range(len(self.blocks)):
+            out[j] = 1.0 - self.block_expectation(j, times)
+        return out
+
+    def reliability(
+        self, times: np.ndarray | float, clip: bool = True
+    ) -> np.ndarray:
+        """Ensemble chip reliability ``R_c(t)`` (eq. (28)).
+
+        ``clip=False`` returns the raw first-order value, which can
+        undershoot 0 far beyond the useful lifetime.
+        """
+        times = np.asarray(times, dtype=float)
+        scalar = times.ndim == 0
+        failures = self.block_failure_probabilities(times)
+        value = 1.0 - failures.sum(axis=0)
+        if clip:
+            value = np.clip(value, 0.0, 1.0)
+        return float(value[0]) if scalar else value
+
+    def failure_probability(self, times: np.ndarray | float) -> np.ndarray:
+        """Ensemble chip failure probability ``1 - R_c(t)``."""
+        times = np.asarray(times, dtype=float)
+        scalar = times.ndim == 0
+        value = 1.0 - np.atleast_1d(self.reliability(times))
+        return float(value[0]) if scalar else value
+
+
+class StFastAnalyzer(_EnsembleAnalyzerBase):
+    """The paper's fast statistical analyzer (Sec. IV-D, ``st_fast``).
+
+    Parameters
+    ----------
+    blocks:
+        Per-block BLOD + Weibull parameters.
+    l0:
+        Sub-domains per integration dimension (the paper's ``l0 = 10``).
+    tail:
+        Probability mass left outside the integration bracket per side.
+    rule:
+        ``"midpoint"`` (paper), or ``"gauss"`` for Gauss-Hermite in ``u``
+        with quantile-stratified points in ``v`` (ablation alternative).
+    include_residual_fluctuation:
+        Fold the chi-square residual-sampling fluctuation of the BLOD
+        variance into its surrogate (exact for single-grid blocks).
+    """
+
+    def __init__(
+        self,
+        blocks: list[BlockReliability],
+        l0: int = 10,
+        tail: float = 1e-6,
+        rule: str = "midpoint",
+        include_residual_fluctuation: bool = True,
+    ) -> None:
+        if not blocks:
+            raise ConfigurationError("need at least one block")
+        if rule not in ("midpoint", "gauss"):
+            raise ConfigurationError(f"unknown rule {rule!r}")
+        self.blocks = list(blocks)
+        self.l0 = l0
+        self._rules: list[tuple[Rule1D, Rule1D]] = []
+        for block in self.blocks:
+            u_dist = block.blod.u_dist()
+            v_dist = block.blod.v_chi2_match(include_residual_fluctuation)
+            if rule == "midpoint":
+                u_rule = midpoint_rule(u_dist, n_points=l0, tail=tail)
+                v_rule = midpoint_rule(v_dist, n_points=l0, tail=tail)
+            else:
+                u_rule = gauss_hermite_rule(u_dist, n_points=max(l0, 8))
+                v_rule = quantile_rule(v_dist, n_points=max(l0, 8))
+            self._rules.append((u_rule, v_rule))
+
+    def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
+        """Midpoint/Gauss tensor-rule evaluation of the double integral."""
+        block = self.blocks[index]
+        u_rule, v_rule = self._rules[index]
+        log_t_ratio = safe_log_t_ratio(times, block.alpha)
+        survival = _survival_on_grid(
+            log_t_ratio, block.b, block.blod.area, u_rule.points, v_rule.points
+        )
+        return np.einsum(
+            "tpq,p,q->t", survival, u_rule.weights, v_rule.weights
+        )
+
+
+def _draw_factors(
+    sampler: str,
+    n_samples: int,
+    n_factors: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Standard-normal factor draws by the chosen (Q)MC scheme."""
+    if sampler == "mc":
+        return rng.standard_normal((n_samples, n_factors))
+    from scipy import stats as sps
+    from scipy.stats import qmc
+
+    seed = int(rng.integers(0, 2**31 - 1))
+    if sampler == "lhs":
+        engine = qmc.LatinHypercube(d=n_factors, seed=seed)
+        uniforms = engine.random(n_samples)
+    else:  # sobol
+        engine = qmc.Sobol(d=n_factors, scramble=True, seed=seed)
+        # Sobol wants a power-of-two count; draw the next power and trim.
+        m = int(np.ceil(np.log2(n_samples)))
+        uniforms = engine.random_base2(m)[:n_samples]
+    # Keep strictly inside (0, 1) before the normal inverse CDF.
+    uniforms = np.clip(uniforms, 1e-12, 1.0 - 1e-12)
+    return sps.norm.ppf(uniforms)
+
+
+class StMcAnalyzer(_EnsembleAnalyzerBase):
+    """Numerical-joint-PDF statistical analyzer (Sec. IV-C, ``st_mc``).
+
+    Samples the principal components, evaluates every block's
+    ``(u_j, v_j)`` on the common factor draws, and estimates the per-block
+    expectation either directly on the samples (``estimator="samples"``) or
+    through a 2-D histogram joint PDF (``estimator="histogram"``, the
+    paper's description).
+
+    Parameters
+    ----------
+    blocks:
+        Per-block BLOD + Weibull parameters.
+    n_samples:
+        Monte-Carlo draws of the principal-component vector.
+    seed:
+        Generator seed (or pass an ``rng``).
+    estimator:
+        ``"samples"`` or ``"histogram"``.
+    bins:
+        Histogram bins per dimension for the histogram estimator.
+    include_residual_noise:
+        Draw the residual sampling factor of ``v_j`` exactly instead of
+        fixing it at its mean.
+    sampler:
+        ``"mc"`` (pseudo-random, the paper's method), ``"lhs"`` (Latin
+        hypercube) or ``"sobol"`` (scrambled Sobol) — the QMC options
+        reduce the estimator variance at the same sample count.
+    """
+
+    def __init__(
+        self,
+        blocks: list[BlockReliability],
+        n_samples: int = 20000,
+        seed: int | None = 0,
+        rng: np.random.Generator | None = None,
+        estimator: str = "samples",
+        bins: int = 10,
+        include_residual_noise: bool = True,
+        sampler: str = "mc",
+    ) -> None:
+        if not blocks:
+            raise ConfigurationError("need at least one block")
+        if estimator not in ("samples", "histogram"):
+            raise ConfigurationError(f"unknown estimator {estimator!r}")
+        if sampler not in ("mc", "lhs", "sobol"):
+            raise ConfigurationError(f"unknown sampler {sampler!r}")
+        if n_samples < 100:
+            raise ConfigurationError(f"n_samples must be >= 100, got {n_samples}")
+        n_factors = blocks[0].blod.n_factors
+        if any(block.blod.n_factors != n_factors for block in blocks):
+            raise ConfigurationError("all blocks must share one factor space")
+        self.blocks = list(blocks)
+        self.estimator = estimator
+        self.bins = bins
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        factors = _draw_factors(sampler, n_samples, n_factors, rng)
+        self._u_samples = [b.blod.u_samples(factors) for b in self.blocks]
+        noise_rng = rng if include_residual_noise else None
+        self._v_samples = [
+            b.blod.v_samples(factors, rng=noise_rng) for b in self.blocks
+        ]
+
+    def block_moment_samples(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (u, v) sample cloud of one block (diagnostics, Fig. 6/7)."""
+        return self._u_samples[index], self._v_samples[index]
+
+    def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
+        """Sample-average or histogram-integrated block expectation."""
+        block = self.blocks[index]
+        u = self._u_samples[index]
+        v = self._v_samples[index]
+        log_t_ratio = safe_log_t_ratio(times, block.alpha)
+        if self.estimator == "samples":
+            scaled = block.b * log_t_ratio[:, None]
+            finite = np.isfinite(scaled)
+            scaled_safe = np.where(finite, scaled, 0.0)
+            log_g = scaled_safe * u[None, :] + 0.5 * scaled_safe**2 * v[None, :]
+            exponent = np.clip(
+                np.log(block.blod.area) + log_g, _EXP_MIN, _EXP_MAX
+            )
+            survival = np.where(finite, np.exp(-np.exp(exponent)), 1.0)
+            return survival.mean(axis=1)
+        counts, u_edges, v_edges = np.histogram2d(u, v, bins=self.bins)
+        probabilities = counts / counts.sum()
+        u_mid = 0.5 * (u_edges[:-1] + u_edges[1:])
+        v_mid = 0.5 * (v_edges[:-1] + v_edges[1:])
+        survival = _survival_on_grid(
+            log_t_ratio, block.b, block.blod.area, u_mid, v_mid
+        )
+        return np.einsum("tpq,pq->t", survival, probabilities)
+
+
+def worst_case_blocks(
+    blocks: list[BlockReliability],
+) -> list[BlockReliability]:
+    """Temperature-unaware variant: every block gets the worst parameters.
+
+    The hottest block has the smallest ``alpha``; its ``(alpha, b)`` pair is
+    applied chip-wide, reproducing the "temperature-unaware approach by
+    using the worst-case temperature across the chip" of Fig. 10.
+    """
+    if not blocks:
+        raise ConfigurationError("need at least one block")
+    worst = min(blocks, key=lambda block: block.alpha)
+    return [
+        BlockReliability(blod=block.blod, alpha=worst.alpha, b=worst.b)
+        for block in blocks
+    ]

@@ -1,0 +1,319 @@
+"""Monte-Carlo reference analyses over sample chips.
+
+Two engines, both honouring the full variation model (shared inter-die +
+spatial factors per chip, independent residual per device):
+
+- :meth:`MonteCarloEngine.reliability_curve` — the paper's "1000 samples of
+  MC" reference: draw sample chips, evaluate each chip's *conditional*
+  reliability exactly from eq. (11) (every device's thickness enters the
+  Weibull exponent), and average across chips. Resolves ppm-level targets
+  because the conditional reliability is computed analytically.
+- :meth:`MonteCarloEngine.failure_times` — the Fig. 10 reference: draw
+  sample chips *and* every device's breakdown time, recording the chip's
+  weakest-link failure time.
+
+Device modes
+------------
+``exact``
+    Per-device residual draws. Faithful but O(m) memory/time per chip —
+    use for designs up to ~100K devices.
+``binned`` (default)
+    The residual standard normal is discretised into fine equal-width
+    bins; per grid cell the device count per bin is drawn from the exact
+    multinomial distribution. Because the devices of a cell are
+    exchangeable, this is *distributionally identical* to per-device
+    sampling up to the within-bin thickness quantisation (default 128 bins
+    over +/-5 sigma, i.e. < 0.08 sigma quantisation — far below any other
+    model error), while running orders of magnitude faster. The
+    weakest-link property collapses each bin's minimum breakdown time to a
+    single Weibull draw with the bin's aggregate area, keeping the
+    failure-time engine exact under the same quantisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.core.ensemble import BlockReliability
+from repro.errors import ConfigurationError
+from repro.variation.sampling import ChipSampler
+
+#: Exponent clip bound for survival exponent sums.
+_EXP_CLIP = 700.0
+
+
+@dataclass(frozen=True)
+class ResidualBinning:
+    """Equal-width discretisation of the residual standard normal."""
+
+    n_bins: int = 128
+    z_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 8:
+            raise ConfigurationError(f"need >= 8 bins, got {self.n_bins}")
+        if self.z_max <= 0.0:
+            raise ConfigurationError(f"z_max must be positive, got {self.z_max}")
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin-centre z-scores."""
+        edges = np.linspace(-self.z_max, self.z_max, self.n_bins + 1)
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Exact standard-normal bin probabilities (tails folded into the
+        outermost bins so they sum to one)."""
+        edges = np.linspace(-self.z_max, self.z_max, self.n_bins + 1)
+        cdf = sps.norm.cdf(edges)
+        probs = np.diff(cdf)
+        probs[0] += cdf[0]
+        probs[-1] += 1.0 - cdf[-1]
+        return probs
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """An ensemble reliability curve estimated by Monte Carlo."""
+
+    times: np.ndarray
+    reliability: np.ndarray
+    std_error: np.ndarray
+    n_chips: int
+
+    def failure_probability(self) -> np.ndarray:
+        """``1 - R(t)`` along the curve."""
+        return 1.0 - self.reliability
+
+
+class MonteCarloEngine:
+    """Sample-chip Monte-Carlo reference for a prepared design.
+
+    Parameters
+    ----------
+    sampler:
+        Chip sampler binding the floorplan, grid and thickness model.
+    blocks:
+        Per-block BLOD + Weibull parameters (block order must match the
+        sampler's floorplan).
+    device_mode:
+        ``"binned"`` (default) or ``"exact"`` — see the module docstring.
+    binning:
+        Residual discretisation for the binned mode.
+    chunk_size:
+        Chips processed per vectorised batch.
+    """
+
+    def __init__(
+        self,
+        sampler: ChipSampler,
+        blocks: list[BlockReliability],
+        device_mode: str = "binned",
+        binning: ResidualBinning | None = None,
+        chunk_size: int = 100,
+    ) -> None:
+        if device_mode not in ("binned", "exact"):
+            raise ConfigurationError(f"unknown device mode {device_mode!r}")
+        if len(blocks) != sampler.floorplan.n_blocks:
+            raise ConfigurationError(
+                "need one BlockReliability per floorplan block"
+            )
+        for block, fp_block in zip(blocks, sampler.floorplan.blocks):
+            if block.blod.name != fp_block.name:
+                raise ConfigurationError(
+                    f"block order mismatch: {block.blod.name!r} vs "
+                    f"{fp_block.name!r}"
+                )
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.sampler = sampler
+        self.blocks = list(blocks)
+        self.device_mode = device_mode
+        self.binning = binning if binning is not None else ResidualBinning()
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Conditional-reliability MC (Table III reference)
+    # ------------------------------------------------------------------
+
+    def reliability_curve(
+        self,
+        times: np.ndarray,
+        n_chips: int,
+        rng: np.random.Generator,
+    ) -> ReliabilityCurve:
+        """Ensemble reliability by averaging conditional chip reliability.
+
+        ``R_hat(t) = mean_c exp(-sum_j sum_i a_i (t/alpha_j)^(b_j x_i))``
+        over ``n_chips`` sample chips.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        if np.any(times < 0.0):
+            raise ConfigurationError("times must be non-negative")
+        if n_chips < 2:
+            raise ConfigurationError(f"n_chips must be >= 2, got {n_chips}")
+        total = np.zeros(times.size)
+        total_sq = np.zeros(times.size)
+        remaining = n_chips
+        while remaining > 0:
+            batch = min(self.chunk_size, remaining)
+            exponents = self._chunk_exponents(times, batch, rng)
+            survival = np.exp(-np.clip(exponents, 0.0, _EXP_CLIP))
+            total += survival.sum(axis=0)
+            total_sq += (survival**2).sum(axis=0)
+            remaining -= batch
+        mean = total / n_chips
+        variance = np.clip(total_sq / n_chips - mean**2, 0.0, None)
+        std_error = np.sqrt(variance / n_chips)
+        return ReliabilityCurve(
+            times=times, reliability=mean, std_error=std_error, n_chips=n_chips
+        )
+
+    def _chunk_exponents(
+        self, times: np.ndarray, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``(n_chips, n_times)`` Weibull exponent sums for a chip batch."""
+        if self.device_mode == "binned":
+            return self._chunk_exponents_binned(times, n_chips, rng)
+        return self._chunk_exponents_exact(times, n_chips, rng)
+
+    def _chunk_exponents_binned(
+        self, times: np.ndarray, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        z = self.sampler.sample_factors(n_chips, rng)
+        bases = self.sampler.block_base_thickness(z)
+        centers = self.binning.centers
+        probs = self.binning.probabilities
+        sigma_r = self.sampler.model.sigma_independent
+        exponents = np.zeros((n_chips, times.size))
+        with np.errstate(divide="ignore"):
+            log_times = np.where(times > 0.0, np.log(times), -np.inf)
+        for j, block in enumerate(self.blocks):
+            log_t_ratio = log_times - np.log(block.alpha)
+            scaled = block.b * log_t_ratio  # (nt,)
+            finite = np.isfinite(scaled)
+            scaled_safe = np.where(finite, scaled, 0.0)
+            # Residual weight matrix shared by every cell of the block.
+            w = np.exp(
+                np.clip(
+                    np.outer(centers * sigma_r, scaled_safe), -_EXP_CLIP, _EXP_CLIP
+                )
+            )  # (n_bins, nt)
+            assignment = self.sampler.assignments[j]
+            a_avg = block.blod.area / block.blod.n_devices
+            block_bases = bases[j]  # (n_chips, n_cells)
+            cell_sums = np.zeros((n_chips, times.size))
+            for c, m_cell in enumerate(assignment.device_counts):
+                counts = rng.multinomial(int(m_cell), probs, size=n_chips)
+                residual_sum = counts @ w  # (n_chips, nt)
+                base_factor = np.exp(
+                    np.clip(
+                        np.outer(block_bases[:, c], scaled_safe),
+                        -_EXP_CLIP,
+                        _EXP_CLIP,
+                    )
+                )
+                cell_sums += base_factor * residual_sum
+            contribution = a_avg * cell_sums
+            contribution[:, ~finite] = 0.0
+            exponents += contribution
+        return exponents
+
+    def _chunk_exponents_exact(
+        self, times: np.ndarray, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        z = self.sampler.sample_factors(n_chips, rng)
+        exponents = np.zeros((n_chips, times.size))
+        with np.errstate(divide="ignore"):
+            log_times = np.where(times > 0.0, np.log(times), -np.inf)
+        for c in range(n_chips):
+            for j, block in enumerate(self.blocks):
+                thickness = self.sampler.device_thicknesses(z[c], j, rng)
+                log_t_ratio = log_times - np.log(block.alpha)
+                scaled = block.b * log_t_ratio
+                finite = np.isfinite(scaled)
+                scaled_safe = np.where(finite, scaled, 0.0)
+                a_avg = block.blod.area / block.blod.n_devices
+                arg = np.clip(
+                    np.outer(thickness, scaled_safe), -_EXP_CLIP, _EXP_CLIP
+                )
+                contribution = a_avg * np.exp(arg).sum(axis=0)
+                contribution[~finite] = 0.0
+                exponents[c] += contribution
+        return exponents
+
+    # ------------------------------------------------------------------
+    # Failure-time MC (Fig. 10 reference)
+    # ------------------------------------------------------------------
+
+    def failure_times(
+        self, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Weakest-link chip failure times for ``n_chips`` sample chips."""
+        if n_chips < 1:
+            raise ConfigurationError(f"n_chips must be >= 1, got {n_chips}")
+        out = np.empty(n_chips)
+        done = 0
+        while done < n_chips:
+            batch = min(self.chunk_size, n_chips - done)
+            if self.device_mode == "binned":
+                out[done : done + batch] = self._chunk_failure_times_binned(
+                    batch, rng
+                )
+            else:
+                out[done : done + batch] = self._chunk_failure_times_exact(
+                    batch, rng
+                )
+            done += batch
+        return out
+
+    def _chunk_failure_times_binned(
+        self, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        z = self.sampler.sample_factors(n_chips, rng)
+        bases = self.sampler.block_base_thickness(z)
+        centers = self.binning.centers
+        probs = self.binning.probabilities
+        sigma_r = self.sampler.model.sigma_independent
+        chip_min = np.full(n_chips, np.inf)
+        for j, block in enumerate(self.blocks):
+            assignment = self.sampler.assignments[j]
+            a_avg = block.blod.area / block.blod.n_devices
+            block_bases = bases[j]  # (n_chips, n_cells)
+            for c, m_cell in enumerate(assignment.device_counts):
+                counts = rng.multinomial(int(m_cell), probs, size=n_chips)
+                thickness = (
+                    block_bases[:, c : c + 1] + sigma_r * centers[None, :]
+                )  # (n_chips, n_bins)
+                beta = block.b * np.clip(thickness, 1e-3, None)
+                # Weakest link within a bin: min of k iid Weibulls is a
+                # Weibull with k-fold area.
+                exponential = rng.exponential(size=(n_chips, counts.shape[1]))
+                with np.errstate(divide="ignore"):
+                    log_t = (
+                        np.log(exponential) - np.log(counts * a_avg)
+                    ) / beta + np.log(block.alpha)
+                log_t = np.where(counts > 0, log_t, np.inf)
+                chip_min = np.minimum(chip_min, log_t.min(axis=1))
+        return np.exp(chip_min)
+
+    def _chunk_failure_times_exact(
+        self, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        z = self.sampler.sample_factors(n_chips, rng)
+        chip_min = np.full(n_chips, np.inf)
+        for c in range(n_chips):
+            for j, block in enumerate(self.blocks):
+                thickness = self.sampler.device_thicknesses(z[c], j, rng)
+                beta = block.b * np.clip(thickness, 1e-3, None)
+                a_avg = block.blod.area / block.blod.n_devices
+                exponential = rng.exponential(size=thickness.size)
+                log_t = (
+                    np.log(exponential) - np.log(a_avg)
+                ) / beta + np.log(block.alpha)
+                chip_min[c] = min(chip_min[c], float(log_t.min()))
+        return np.exp(chip_min)

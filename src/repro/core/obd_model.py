@@ -1,0 +1,257 @@
+"""Device-level gate-oxide breakdown model (Sec. III, eq. (3)-(4)).
+
+Time-to-breakdown of a device is Weibull with
+
+    F(t) = 1 - exp(-a * (t / alpha)^(b x))
+
+where the Weibull slope is linear in oxide thickness ``x`` (Degraeve [6])
+and both the characteristic life ``alpha`` and the slope coefficient ``b``
+depend on temperature and stress voltage (Wu [7], [8]; Degraeve [9];
+Stathis [27]). The paper characterises ``alpha`` and ``b`` "using some
+closed-form models or look-up tables w.r.t. temperature for a given
+process"; this module provides both:
+
+- :class:`OBDModel` — closed-form: Arrhenius-like temperature acceleration
+  with a voltage-dependent effective activation energy (the
+  voltage/temperature interplay of [7], [8]) and exponential voltage
+  acceleration,
+- :class:`TabulatedOBDModel` — look-up tables versus temperature with
+  interpolation, as a fab would supply from test structures.
+
+Calibration note: the defaults are tuned so the *chip-level* comparison
+lands inside the bands the paper reports — guard-band lifetime pessimism
+around 50 % (Table III: 42-56 %), temperature-unaware error between the
+statistical methods and guard-band (Fig. 10), and ppm-level chip lifetimes
+in the tens-of-years range at nominal conditions. That places the Weibull
+slope at the nominal thickness around 3 and the block-to-block
+characteristic-life ratio at ~2-4x over a 15 degC block spread; the
+statistical machinery is insensitive to the absolute calibration (see
+DESIGN.md for the full discussion of this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.stats.weibull import AreaScaledWeibull
+from repro.units import BOLTZMANN_EV, celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class DeviceReliabilityParams:
+    """The ``(alpha_j, b_j)`` pair of one temperature-uniform block."""
+
+    alpha: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.b <= 0.0:
+            raise ConfigurationError(f"b must be positive, got {self.b}")
+
+    def beta(self, thickness: float) -> float:
+        """Weibull slope at oxide thickness ``thickness`` (nm)."""
+        return self.b * thickness
+
+    def weibull(self, thickness: float, area: float = 1.0) -> AreaScaledWeibull:
+        """The device failure-time law at a given thickness and area."""
+        return AreaScaledWeibull(
+            alpha=self.alpha, beta=self.beta(thickness), area=area
+        )
+
+
+@dataclass(frozen=True)
+class OBDModel:
+    """Closed-form temperature/voltage dependence of ``alpha`` and ``b``.
+
+    Parameters
+    ----------
+    alpha_ref:
+        Characteristic life (hours, unit area, nominal thickness exponent)
+        at the reference temperature and voltage.
+    b_ref:
+        Weibull slope coefficient (1/nm) at the reference temperature.
+    t_ref:
+        Reference temperature in celsius.
+    v_ref:
+        Reference stress/supply voltage in volts.
+    activation_energy:
+        Effective Arrhenius activation energy (eV) of the characteristic
+        life at the reference voltage.
+    ea_voltage_slope:
+        Reduction of the effective activation energy per volt above the
+        reference — the voltage/temperature acceleration interplay of Wu
+        [7], [8] (eV/V).
+    voltage_acceleration:
+        Exponential voltage-acceleration factor (1/V):
+        ``alpha ~ exp(-gamma (V - v_ref))``.
+    b_temp_slope:
+        Relative change of ``b`` per kelvin (slightly negative: hotter
+        oxides show a shallower Weibull slope).
+    """
+
+    alpha_ref: float = 3.7e8
+    b_ref: float = 1.4
+    t_ref: float = 100.0
+    v_ref: float = 1.2
+    activation_energy: float = 0.5
+    ea_voltage_slope: float = 0.25
+    voltage_acceleration: float = 12.0
+    b_temp_slope: float = -6.0e-4
+
+    def __post_init__(self) -> None:
+        if self.alpha_ref <= 0.0:
+            raise ConfigurationError("alpha_ref must be positive")
+        if self.b_ref <= 0.0:
+            raise ConfigurationError("b_ref must be positive")
+        if self.activation_energy <= 0.0:
+            raise ConfigurationError("activation energy must be positive")
+        # Validate the reference temperature converts.
+        celsius_to_kelvin(self.t_ref)
+
+    def effective_activation_energy(self, vdd: float) -> float:
+        """Voltage-dependent effective activation energy in eV.
+
+        Clamped below at 0.05 eV so unphysical voltage extrapolations
+        degrade gracefully instead of inverting the temperature trend.
+        """
+        ea = self.activation_energy - self.ea_voltage_slope * (vdd - self.v_ref)
+        return max(ea, 0.05)
+
+    def alpha(self, temperature: float, vdd: float | None = None) -> float:
+        """Characteristic life (hours) at ``temperature`` (celsius)."""
+        vdd = self.v_ref if vdd is None else vdd
+        if vdd <= 0.0:
+            raise ConfigurationError(f"vdd must be positive, got {vdd}")
+        temp_k = celsius_to_kelvin(temperature)
+        ref_k = celsius_to_kelvin(self.t_ref)
+        ea = self.effective_activation_energy(vdd)
+        arrhenius = np.exp(ea / BOLTZMANN_EV * (1.0 / temp_k - 1.0 / ref_k))
+        voltage = np.exp(-self.voltage_acceleration * (vdd - self.v_ref))
+        return float(self.alpha_ref * arrhenius * voltage)
+
+    def b(self, temperature: float) -> float:
+        """Weibull slope coefficient (1/nm) at ``temperature`` (celsius)."""
+        temp_k = celsius_to_kelvin(temperature)
+        ref_k = celsius_to_kelvin(self.t_ref)
+        value = self.b_ref * (1.0 + self.b_temp_slope * (temp_k - ref_k))
+        if value <= 0.0:
+            raise ConfigurationError(
+                f"b became non-positive at {temperature} degC; the linear "
+                "temperature model is outside its validity range"
+            )
+        return float(value)
+
+    def device_params(
+        self, temperature: float, vdd: float | None = None
+    ) -> DeviceReliabilityParams:
+        """``(alpha, b)`` for devices at one temperature/voltage point."""
+        return DeviceReliabilityParams(
+            alpha=self.alpha(temperature, vdd), b=self.b(temperature)
+        )
+
+    def block_params(
+        self, temperatures: np.ndarray, vdd: float | None = None
+    ) -> list[DeviceReliabilityParams]:
+        """Per-block parameters for an array of block temperatures."""
+        return [
+            self.device_params(float(temp), vdd)
+            for temp in np.asarray(temperatures, dtype=float)
+        ]
+
+    def lifetime_acceleration(
+        self, hot: float, cool: float, vdd: float | None = None
+    ) -> float:
+        """Characteristic-life ratio between a cool and a hot block.
+
+        The paper notes a 30 degC difference corresponds to roughly one
+        order of magnitude of device reliability.
+        """
+        return self.alpha(cool, vdd) / self.alpha(hot, vdd)
+
+
+class TabulatedOBDModel:
+    """Look-up-table characterisation of ``alpha(T)`` and ``b(T)``.
+
+    The form a fab supplies from stress measurements on test capacitors:
+    sampled temperatures with log-interpolated ``alpha`` and linearly
+    interpolated ``b``. Voltage is fixed at the characterisation voltage.
+    """
+
+    def __init__(
+        self,
+        temperatures: np.ndarray,
+        alphas: np.ndarray,
+        bs: np.ndarray,
+    ) -> None:
+        temperatures = np.asarray(temperatures, dtype=float)
+        alphas = np.asarray(alphas, dtype=float)
+        bs = np.asarray(bs, dtype=float)
+        if temperatures.ndim != 1 or len(temperatures) < 2:
+            raise ConfigurationError("need at least two table temperatures")
+        if alphas.shape != temperatures.shape or bs.shape != temperatures.shape:
+            raise ConfigurationError("table columns must have matching lengths")
+        if np.any(np.diff(temperatures) <= 0.0):
+            raise ConfigurationError("table temperatures must be increasing")
+        if np.any(alphas <= 0.0) or np.any(bs <= 0.0):
+            raise ConfigurationError("alpha and b table entries must be positive")
+        self.temperatures = temperatures
+        self.log_alphas = np.log(alphas)
+        self.bs = bs
+
+    @classmethod
+    def from_model(
+        cls,
+        model: OBDModel,
+        temperatures: np.ndarray,
+        vdd: float | None = None,
+    ) -> "TabulatedOBDModel":
+        """Sample a closed-form model into a table (for round-trip tests
+        and for exporting characterisation data)."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        alphas = np.array([model.alpha(float(t), vdd) for t in temperatures])
+        bs = np.array([model.b(float(t)) for t in temperatures])
+        return cls(temperatures, alphas, bs)
+
+    def _check_range(self, temperature: float) -> None:
+        if not (
+            self.temperatures[0] <= temperature <= self.temperatures[-1]
+        ):
+            raise ConfigurationError(
+                f"temperature {temperature} degC outside the table range "
+                f"[{self.temperatures[0]}, {self.temperatures[-1]}]"
+            )
+
+    def alpha(self, temperature: float, vdd: float | None = None) -> float:
+        """Interpolated characteristic life; ``vdd`` ignored (the table is
+        characterised at a single voltage)."""
+        self._check_range(temperature)
+        return float(
+            np.exp(np.interp(temperature, self.temperatures, self.log_alphas))
+        )
+
+    def b(self, temperature: float) -> float:
+        """Interpolated Weibull slope coefficient."""
+        self._check_range(temperature)
+        return float(np.interp(temperature, self.temperatures, self.bs))
+
+    def device_params(
+        self, temperature: float, vdd: float | None = None
+    ) -> DeviceReliabilityParams:
+        """``(alpha, b)`` at one temperature."""
+        return DeviceReliabilityParams(
+            alpha=self.alpha(temperature, vdd), b=self.b(temperature)
+        )
+
+    def block_params(
+        self, temperatures: np.ndarray, vdd: float | None = None
+    ) -> list[DeviceReliabilityParams]:
+        """Per-block parameters for an array of block temperatures."""
+        return [
+            self.device_params(float(temp), vdd)
+            for temp in np.asarray(temperatures, dtype=float)
+        ]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro (oxsure) library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single exception type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An input object (budget, floorplan, model) is inconsistent."""
+
+
+class FloorplanError(ConfigurationError):
+    """A floorplan violates a geometric constraint (overlap, out of die)."""
+
+
+class NumericalError(ReproError):
+    """A numerical routine failed to converge or produced invalid values."""
+
+
+class SolverError(NumericalError):
+    """A linear or nonlinear solver failed."""

@@ -1,0 +1,53 @@
+"""File-format support: HotSpot floorplans/traces, JSON setups, tables."""
+
+from repro.io.design_json import (
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_setup,
+    save_setup,
+    setup_from_dict,
+    setup_to_dict,
+)
+from repro.io.hotspot_files import (
+    apply_ptrace_sample,
+    format_flp,
+    format_ptrace,
+    parse_flp,
+    parse_ptrace,
+    read_flp,
+    read_ptrace,
+    write_flp,
+    write_ptrace,
+)
+from repro.io.tables import (
+    format_obd_table,
+    load_hybrid_tables,
+    load_obd_table,
+    parse_obd_table,
+    save_hybrid_tables,
+    save_obd_table,
+)
+
+__all__ = [
+    "apply_ptrace_sample",
+    "floorplan_from_dict",
+    "floorplan_to_dict",
+    "format_flp",
+    "format_obd_table",
+    "format_ptrace",
+    "load_hybrid_tables",
+    "load_obd_table",
+    "load_setup",
+    "parse_flp",
+    "parse_obd_table",
+    "parse_ptrace",
+    "read_flp",
+    "read_ptrace",
+    "save_hybrid_tables",
+    "save_obd_table",
+    "save_setup",
+    "setup_from_dict",
+    "setup_to_dict",
+    "write_flp",
+    "write_ptrace",
+]

@@ -1,0 +1,132 @@
+"""JSON serialisation of designs and analysis setups.
+
+A portable, versioned description of everything the analysis consumes:
+the floorplan (blocks with device counts and powers), the variation
+budget, the OBD model calibration, and the analysis configuration. The
+round-trip is exact so a design characterised once can be archived and
+re-analysed later or on another machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.chip.floorplan import Block, Floorplan
+from repro.chip.geometry import Rect
+from repro.core.analyzer import AnalysisConfig
+from repro.core.obd_model import OBDModel
+from repro.errors import ConfigurationError
+from repro.variation.components import VariationBudget
+
+#: Format version written into every file (bump on breaking change).
+FORMAT_VERSION = 1
+
+
+def floorplan_to_dict(floorplan: Floorplan) -> dict[str, Any]:
+    """A JSON-ready dictionary describing a floorplan."""
+    return {
+        "width": floorplan.width,
+        "height": floorplan.height,
+        "blocks": [
+            {
+                "name": block.name,
+                "x": block.rect.x,
+                "y": block.rect.y,
+                "width": block.rect.width,
+                "height": block.rect.height,
+                "n_devices": block.n_devices,
+                "avg_device_area": block.avg_device_area,
+                "power": block.power,
+            }
+            for block in floorplan.blocks
+        ],
+    }
+
+
+def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
+    """Rebuild a floorplan from its dictionary form."""
+    try:
+        blocks = tuple(
+            Block(
+                name=entry["name"],
+                rect=Rect(
+                    entry["x"], entry["y"], entry["width"], entry["height"]
+                ),
+                n_devices=int(entry["n_devices"]),
+                avg_device_area=float(entry.get("avg_device_area", 1.0)),
+                power=float(entry.get("power", 0.0)),
+            )
+            for entry in data["blocks"]
+        )
+        return Floorplan(
+            width=float(data["width"]),
+            height=float(data["height"]),
+            blocks=blocks,
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"floorplan JSON missing field {exc}") from exc
+
+
+def setup_to_dict(
+    floorplan: Floorplan,
+    budget: VariationBudget | None = None,
+    obd_model: OBDModel | None = None,
+    config: AnalysisConfig | None = None,
+) -> dict[str, Any]:
+    """Bundle a complete analysis setup into one dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "floorplan": floorplan_to_dict(floorplan),
+        "budget": dataclasses.asdict(
+            budget if budget is not None else VariationBudget.table2()
+        ),
+        "obd_model": dataclasses.asdict(
+            obd_model if obd_model is not None else OBDModel()
+        ),
+        "config": dataclasses.asdict(
+            config if config is not None else AnalysisConfig()
+        ),
+    }
+
+
+def setup_from_dict(
+    data: dict[str, Any],
+) -> tuple[Floorplan, VariationBudget, OBDModel, AnalysisConfig]:
+    """Rebuild the full analysis setup from its dictionary form."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported setup format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    floorplan = floorplan_from_dict(data["floorplan"])
+    budget = VariationBudget(**data["budget"])
+    obd_model = OBDModel(**data["obd_model"])
+    config = AnalysisConfig(**data["config"])
+    return floorplan, budget, obd_model, config
+
+
+def save_setup(
+    path: str | Path,
+    floorplan: Floorplan,
+    budget: VariationBudget | None = None,
+    obd_model: OBDModel | None = None,
+    config: AnalysisConfig | None = None,
+) -> None:
+    """Write a complete analysis setup to a JSON file."""
+    payload = setup_to_dict(floorplan, budget, obd_model, config)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_setup(
+    path: str | Path,
+) -> tuple[Floorplan, VariationBudget, OBDModel, AnalysisConfig]:
+    """Read a complete analysis setup from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid setup JSON: {exc}") from exc
+    return setup_from_dict(data)

@@ -1,0 +1,202 @@
+"""HotSpot-compatible file formats: floorplans (.flp) and power traces.
+
+HotSpot [10] — the thermal simulator the paper uses — consumes a
+floorplan file with one line per block::
+
+    <name> <width_m> <height_m> <left_x_m> <bottom_y_m>
+
+(dimensions in metres) and a power trace file with a header line of block
+names followed by rows of per-block watts. Supporting these formats lets
+users drop in existing HotSpot designs; device counts, which HotSpot does
+not track, are estimated from block area by a configurable density unless
+supplied explicitly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.chip.floorplan import Block, Floorplan
+from repro.chip.geometry import Rect
+from repro.errors import ConfigurationError
+
+#: Metres per millimetre (HotSpot files are in metres, repro uses mm).
+_M_TO_MM = 1000.0
+
+#: Default device density used when a .flp file carries no device counts,
+#: devices per mm^2 (a mixed logic/SRAM figure for a mature planar node).
+DEFAULT_DEVICE_DENSITY = 4000.0
+
+
+def parse_flp(
+    text: str,
+    device_density: float = DEFAULT_DEVICE_DENSITY,
+    device_counts: dict[str, int] | None = None,
+) -> Floorplan:
+    """Parse a HotSpot ``.flp`` floorplan from its text contents.
+
+    Parameters
+    ----------
+    text:
+        File contents; ``#`` comments and blank lines are ignored.
+    device_density:
+        Devices per mm^2 used to populate blocks (HotSpot floorplans do
+        not carry device counts).
+    device_counts:
+        Optional explicit per-block device counts overriding the density
+        estimate.
+    """
+    if device_density <= 0.0:
+        raise ConfigurationError("device density must be positive")
+    blocks: list[Block] = []
+    max_x = max_y = 0.0
+    entries: list[tuple[str, float, float, float, float]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) < 5:
+            raise ConfigurationError(
+                f"flp line {line_no}: expected 'name w h x y', got {raw!r}"
+            )
+        name = parts[0]
+        try:
+            width, height, left, bottom = (float(p) for p in parts[1:5])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"flp line {line_no}: non-numeric geometry in {raw!r}"
+            ) from exc
+        entries.append((name, width, height, left, bottom))
+        max_x = max(max_x, (left + width) * _M_TO_MM)
+        max_y = max(max_y, (bottom + height) * _M_TO_MM)
+
+    if not entries:
+        raise ConfigurationError("flp file contains no blocks")
+
+    for name, width, height, left, bottom in entries:
+        rect = Rect(
+            left * _M_TO_MM,
+            bottom * _M_TO_MM,
+            width * _M_TO_MM,
+            height * _M_TO_MM,
+        )
+        if device_counts is not None and name in device_counts:
+            n_devices = device_counts[name]
+        else:
+            n_devices = max(1, round(rect.area * device_density))
+        blocks.append(Block(name=name, rect=rect, n_devices=n_devices))
+    return Floorplan(width=max_x, height=max_y, blocks=tuple(blocks))
+
+
+def read_flp(
+    path: str | Path,
+    device_density: float = DEFAULT_DEVICE_DENSITY,
+    device_counts: dict[str, int] | None = None,
+) -> Floorplan:
+    """Read a HotSpot ``.flp`` floorplan file."""
+    return parse_flp(
+        Path(path).read_text(),
+        device_density=device_density,
+        device_counts=device_counts,
+    )
+
+
+def format_flp(floorplan: Floorplan) -> str:
+    """Render a floorplan in HotSpot ``.flp`` format (metres)."""
+    lines = [
+        "# HotSpot floorplan written by repro",
+        "# name\twidth(m)\theight(m)\tleft(m)\tbottom(m)",
+    ]
+    for block in floorplan.blocks:
+        rect = block.rect
+        lines.append(
+            f"{block.name}\t{rect.width / _M_TO_MM:.6e}\t"
+            f"{rect.height / _M_TO_MM:.6e}\t{rect.x / _M_TO_MM:.6e}\t"
+            f"{rect.y / _M_TO_MM:.6e}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_flp(floorplan: Floorplan, path: str | Path) -> None:
+    """Write a floorplan as a HotSpot ``.flp`` file."""
+    Path(path).write_text(format_flp(floorplan))
+
+
+def parse_ptrace(text: str) -> tuple[list[str], np.ndarray]:
+    """Parse a HotSpot power trace: header of block names + rows of watts.
+
+    Returns ``(block_names, powers)`` with ``powers`` of shape
+    ``(n_samples, n_blocks)``.
+    """
+    lines = [
+        line.split("#", 1)[0].strip()
+        for line in text.splitlines()
+    ]
+    lines = [line for line in lines if line]
+    if len(lines) < 2:
+        raise ConfigurationError("ptrace needs a header and at least one row")
+    names = lines[0].split()
+    rows = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        parts = line.split()
+        if len(parts) != len(names):
+            raise ConfigurationError(
+                f"ptrace line {line_no}: expected {len(names)} values, "
+                f"got {len(parts)}"
+            )
+        try:
+            rows.append([float(p) for p in parts])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"ptrace line {line_no}: non-numeric power"
+            ) from exc
+    powers = np.asarray(rows)
+    if np.any(powers < 0.0):
+        raise ConfigurationError("ptrace powers must be non-negative")
+    return names, powers
+
+
+def read_ptrace(path: str | Path) -> tuple[list[str], np.ndarray]:
+    """Read a HotSpot ``.ptrace`` power trace file."""
+    return parse_ptrace(Path(path).read_text())
+
+
+def format_ptrace(names: list[str], powers: np.ndarray) -> str:
+    """Render block names and per-sample powers as a ``.ptrace`` file."""
+    powers = np.atleast_2d(np.asarray(powers, dtype=float))
+    if powers.shape[1] != len(names):
+        raise ConfigurationError(
+            f"expected {len(names)} power columns, got {powers.shape[1]}"
+        )
+    lines = ["\t".join(names)]
+    for row in powers:
+        lines.append("\t".join(f"{p:.6g}" for p in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_ptrace(
+    names: list[str], powers: np.ndarray, path: str | Path
+) -> None:
+    """Write a HotSpot ``.ptrace`` power trace file."""
+    Path(path).write_text(format_ptrace(names, powers))
+
+
+def apply_ptrace_sample(
+    floorplan: Floorplan, names: list[str], powers: np.ndarray, sample: int = 0
+) -> Floorplan:
+    """A floorplan with powers taken from one row of a power trace."""
+    powers = np.atleast_2d(np.asarray(powers, dtype=float))
+    if not 0 <= sample < powers.shape[0]:
+        raise ConfigurationError(
+            f"sample {sample} out of range for {powers.shape[0]} trace rows"
+        )
+    mapping = dict(zip(names, powers[sample].tolist()))
+    unknown = set(mapping) - set(floorplan.block_names)
+    if unknown:
+        raise ConfigurationError(
+            f"trace names not in the floorplan: {sorted(unknown)}"
+        )
+    return floorplan.with_powers(mapping)

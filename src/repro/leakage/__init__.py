@@ -1,0 +1,1 @@
+"""Gate-leakage degradation simulation (SBD to HBD traces)."""

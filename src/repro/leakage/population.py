@@ -1,0 +1,166 @@
+"""Chip-level gate-leakage growth from accumulating soft breakdowns.
+
+Section III's argument for the SBD failure criterion is economic: each
+soft breakdown multiplies a device's gate leakage by 10-20x, and "such
+significant leakage increase may easily lead to cache failure, which
+dominates the CPU lifetest fallout". This module lifts the single-device
+trace of Fig. 3 to the chip: the number of SBD events by time ``t`` across
+the chip's oxide area is (to first order, while events are rare) a Poisson
+process driven by the Weibull hazard, and every event contributes a
+growing percolation-path current.
+
+Both an analytic expectation and a Monte-Carlo sampler are provided, so a
+designer can set a chip leakage budget and read off the time at which
+accumulated breakdowns exceed it — a *leakage-based* end-of-life criterion
+complementing the first-breakdown criterion of the main analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import integrate
+
+from repro.errors import ConfigurationError
+from repro.leakage.degradation import DegradationParams
+from repro.stats.weibull import AreaScaledWeibull
+
+
+@dataclass(frozen=True)
+class ChipLeakagePopulation:
+    """SBD-event population of a full chip.
+
+    Parameters
+    ----------
+    sbd_law:
+        Device-level Weibull breakdown law at the operating condition
+        (unit area).
+    total_area:
+        Chip's total normalized oxide area.
+    params:
+        Post-SBD path-growth parameters (shared with the Fig. 3 model).
+    """
+
+    sbd_law: AreaScaledWeibull
+    total_area: float
+    params: DegradationParams = DegradationParams()
+
+    def __post_init__(self) -> None:
+        if self.total_area <= 0.0:
+            raise ConfigurationError("total area must be positive")
+
+    @property
+    def growth_time_constant(self) -> float:
+        """Resolved post-SBD growth time constant (hours)."""
+        if self.params.growth_time_constant is not None:
+            return self.params.growth_time_constant
+        return (
+            DegradationParams.RELATIVE_GROWTH_TIME
+            * self.sbd_law.characteristic_life()
+        )
+
+    def expected_events(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Expected number of SBD events on the chip by time ``t``.
+
+        The per-unit-area cumulative hazard of the Weibull law is
+        ``(t/alpha)^beta``; summed over the chip area it gives the Poisson
+        mean while breakdowns are rare (each device contributes at most a
+        handful of paths).
+        """
+        t = np.asarray(t, dtype=float)
+        out = self.total_area * (t / self.sbd_law.alpha) ** self.sbd_law.beta
+        return out if out.ndim else float(out)
+
+    def _path_current(self, age: np.ndarray) -> np.ndarray:
+        p = self.params
+        initial = (p.sbd_jump_ratio - 1.0) * p.baseline_current
+        return initial * (1.0 + age / self.growth_time_constant) ** p.growth_exponent
+
+    def expected_extra_current(self, t: float) -> float:
+        """Expected breakdown-induced chip leakage at time ``t`` (A).
+
+        Integrates the path current over the event-age distribution: an
+        event at time ``s <= t`` has age ``t - s`` and arrival density
+        proportional to the hazard ``beta s^(beta-1)``.
+        """
+        if t < 0.0:
+            raise ConfigurationError("time must be non-negative")
+        if t == 0.0:
+            return 0.0
+        beta = self.sbd_law.beta
+        rate_scale = self.total_area / self.sbd_law.alpha**beta
+
+        def integrand(s: float) -> float:
+            density = rate_scale * beta * s ** (beta - 1.0)
+            return density * float(self._path_current(np.asarray(t - s)))
+
+        value, _err = integrate.quad(integrand, 0.0, t, limit=200)
+        return value
+
+    def baseline_current(self) -> float:
+        """Pre-breakdown chip gate leakage (A)."""
+        return self.total_area * self.params.baseline_current
+
+    def sample_total_current(
+        self,
+        times: np.ndarray,
+        n_chips: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Monte-Carlo chip leakage traces: ``(n_chips, n_times)`` amperes.
+
+        Events are a non-homogeneous Poisson process with mean
+        :meth:`expected_events`; event times are drawn from the
+        conditional arrival distribution ``(s/t)^beta``.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 1:
+            raise ConfigurationError("need a 1-D time grid")
+        if np.any(times < 0.0) or np.any(np.diff(times) <= 0.0):
+            raise ConfigurationError("times must be non-negative, increasing")
+        if n_chips < 1:
+            raise ConfigurationError("need at least one chip")
+        horizon = float(times[-1])
+        mean_events = float(self.expected_events(horizon))
+        beta = self.sbd_law.beta
+        traces = np.full((n_chips, times.size), self.baseline_current())
+        counts = rng.poisson(mean_events, size=n_chips)
+        for c in range(n_chips):
+            if counts[c] == 0:
+                continue
+            # Conditional arrival CDF on [0, horizon] is (s/horizon)^beta.
+            arrivals = horizon * rng.random(counts[c]) ** (1.0 / beta)
+            for s in arrivals:
+                active = times >= s
+                traces[c, active] += self._path_current(times[active] - s)
+        return traces
+
+    def time_to_budget(
+        self,
+        budget_ratio: float,
+        t_guess: float | None = None,
+    ) -> float:
+        """Time until expected chip leakage reaches ``budget_ratio`` times
+        the baseline (a leakage-based end-of-life criterion)."""
+        if budget_ratio <= 1.0:
+            raise ConfigurationError("budget ratio must exceed 1")
+        from scipy import optimize
+
+        target_extra = (budget_ratio - 1.0) * self.baseline_current()
+        t0 = t_guess if t_guess is not None else self.sbd_law.characteristic_life()
+
+        def objective(log_t: float) -> float:
+            return self.expected_extra_current(float(np.exp(log_t))) - target_extra
+
+        lo = hi = float(np.log(t0))
+        for _ in range(200):
+            if objective(lo) < 0.0:
+                break
+            lo -= 1.0
+        for _ in range(200):
+            if objective(hi) > 0.0:
+                break
+            hi += 1.0
+        root = optimize.brentq(objective, lo, hi, xtol=1e-10)
+        return float(np.exp(root))

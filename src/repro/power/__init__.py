@@ -1,0 +1,1 @@
+"""Architectural power modeling (Wattch-like substrate)."""

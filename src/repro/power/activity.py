@@ -1,0 +1,118 @@
+"""Workload activity profiles for the architectural power model.
+
+Wattch [35] derives per-block power from per-structure access counts of a
+simulated workload. Here a workload is reduced to its essence for thermal
+purposes: a per-block *activity factor* in [0, 1] that scales dynamic
+power. Presets model the usual suspects (integer-heavy, FP-heavy,
+memory-bound, idle); custom profiles are plain dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chip.floorplan import Floorplan
+from repro.errors import ConfigurationError
+
+#: Block-name keywords used to classify blocks into activity classes.
+_CLASS_KEYWORDS = {
+    "cache": ("cache", "l2", "sram", "mem"),
+    "integer": ("int", "alu", "exec", "ldstq", "iq"),
+    "floating": ("fp",),
+    "frontend": ("bpred", "itb", "dtb", "map", "fetch", "decode"),
+}
+
+#: Activity factor per class per workload preset.
+_PRESETS: dict[str, dict[str, float]] = {
+    "typical": {
+        "cache": 0.35,
+        "integer": 0.75,
+        "floating": 0.45,
+        "frontend": 0.55,
+        "other": 0.50,
+    },
+    "int_heavy": {
+        "cache": 0.40,
+        "integer": 0.95,
+        "floating": 0.05,
+        "frontend": 0.70,
+        "other": 0.50,
+    },
+    "fp_heavy": {
+        "cache": 0.40,
+        "integer": 0.35,
+        "floating": 0.95,
+        "frontend": 0.60,
+        "other": 0.50,
+    },
+    "memory_bound": {
+        "cache": 0.80,
+        "integer": 0.25,
+        "floating": 0.10,
+        "frontend": 0.35,
+        "other": 0.30,
+    },
+    "idle": {
+        "cache": 0.05,
+        "integer": 0.05,
+        "floating": 0.02,
+        "frontend": 0.05,
+        "other": 0.05,
+    },
+}
+
+
+def classify_block(name: str) -> str:
+    """Best-effort activity class of a block from its name."""
+    lowered = name.lower()
+    for cls, keywords in _CLASS_KEYWORDS.items():
+        if any(keyword in lowered for keyword in keywords):
+            return cls
+    return "other"
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Per-block activity factors for one workload.
+
+    Missing blocks fall back to the profile's default factor.
+    """
+
+    name: str
+    factors: dict[str, float] = field(default_factory=dict)
+    default: float = 0.5
+
+    def __post_init__(self) -> None:
+        for block, factor in self.factors.items():
+            _check_factor(block, factor)
+        _check_factor("<default>", self.default)
+
+    @classmethod
+    def preset(cls, preset: str, floorplan: Floorplan) -> "ActivityProfile":
+        """Build a profile for a floorplan from a named preset."""
+        if preset not in _PRESETS:
+            raise ConfigurationError(
+                f"unknown preset {preset!r}; expected one of {sorted(_PRESETS)}"
+            )
+        table = _PRESETS[preset]
+        factors = {
+            block.name: table[classify_block(block.name)]
+            for block in floorplan.blocks
+        }
+        return cls(name=preset, factors=factors, default=table["other"])
+
+    def factor(self, block_name: str) -> float:
+        """The activity factor for one block."""
+        return self.factors.get(block_name, self.default)
+
+
+def _check_factor(label: str, factor: float) -> None:
+    if not 0.0 <= factor <= 1.0:
+        raise ConfigurationError(
+            f"activity factor for {label!r} must be in [0, 1], got {factor}"
+        )
+
+
+def available_presets() -> tuple[str, ...]:
+    """Names of the built-in workload presets."""
+    return tuple(sorted(_PRESETS))

@@ -1,0 +1,94 @@
+"""Power-thermal fixed-point iteration.
+
+Leakage grows with temperature and temperature grows with power, so block
+powers and the thermal profile must be solved together. The loop converges
+in a handful of iterations for any physical operating point; a failure to
+converge indicates thermal runaway for the given package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip.floorplan import Floorplan
+from repro.errors import SolverError
+from repro.power.activity import ActivityProfile
+from repro.power.model import BlockPowerModel
+from repro.thermal.hotspot import HotSpotLite, ThermalResult
+
+
+@dataclass(frozen=True)
+class PowerThermalSolution:
+    """Converged workload power/temperature operating point.
+
+    Attributes
+    ----------
+    floorplan:
+        The input floorplan with converged per-block powers filled in.
+    thermal:
+        The matching thermal analysis result.
+    iterations:
+        Fixed-point iterations used.
+    """
+
+    floorplan: Floorplan
+    thermal: ThermalResult
+    iterations: int
+
+    @property
+    def block_temperatures(self) -> np.ndarray:
+        """Converged per-block temperatures, celsius, floorplan order."""
+        return self.thermal.block_temperatures
+
+
+def solve_power_thermal(
+    floorplan: Floorplan,
+    profile: ActivityProfile,
+    power_model: BlockPowerModel | None = None,
+    thermal_model: HotSpotLite | None = None,
+    max_iterations: int = 25,
+    tolerance: float = 0.05,
+) -> PowerThermalSolution:
+    """Solve the coupled power/temperature fixed point for a workload.
+
+    Parameters
+    ----------
+    floorplan:
+        Design under analysis (block powers in the input are ignored and
+        recomputed from the activity profile).
+    profile:
+        Workload activity profile.
+    power_model, thermal_model:
+        Substrate models; defaults are constructed when omitted.
+    max_iterations:
+        Iteration cap; exceeding it raises :class:`SolverError` (thermal
+        runaway or an unphysical configuration).
+    tolerance:
+        Convergence threshold on the max block-temperature change, celsius.
+    """
+    power_model = power_model if power_model is not None else BlockPowerModel()
+    thermal_model = thermal_model if thermal_model is not None else HotSpotLite()
+
+    temperatures = np.full(
+        floorplan.n_blocks, thermal_model.package.ambient_temperature
+    )
+    current = floorplan
+    thermal: ThermalResult | None = None
+    for iteration in range(1, max_iterations + 1):
+        powers = power_model.floorplan_powers(floorplan, profile, temperatures)
+        current = floorplan.with_powers(powers)
+        thermal = thermal_model.analyze(current)
+        change = float(
+            np.max(np.abs(thermal.block_temperatures - temperatures))
+        )
+        temperatures = thermal.block_temperatures
+        if change <= tolerance:
+            return PowerThermalSolution(
+                floorplan=current, thermal=thermal, iterations=iteration
+            )
+    raise SolverError(
+        f"power-thermal loop did not converge in {max_iterations} iterations "
+        "(possible thermal runaway for this package)"
+    )

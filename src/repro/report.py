@@ -1,0 +1,178 @@
+"""Plain-text rendering of analysis artefacts.
+
+Terminal-friendly views of the objects the library produces: aligned
+tables, ASCII heat maps of temperature fields, log-scale sparklines of
+reliability curves, and a one-stop design report. No plotting dependency —
+these render anywhere a CLI runs, and the benchmark harness writes them
+into its result files.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.analyzer import ReliabilityAnalyzer
+from repro.errors import ConfigurationError
+from repro.thermal.solver import TemperatureField
+from repro.units import hours_to_years
+
+#: Character ramp used by the heat-map and sparkline renderers.
+_RAMP = " .:-=+*#%@"
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a separator under the header."""
+    if not header:
+        raise ConfigurationError("table needs a header")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(header):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header {len(header)}"
+            )
+    widths = [
+        max(len(str(header[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [fmt.format(*[str(h) for h in header])]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _ramp_char(value: float, lo: float, hi: float) -> str:
+    span = max(hi - lo, 1e-300)
+    index = int(np.clip((value - lo) / span, 0.0, 1.0) * (len(_RAMP) - 1))
+    return _RAMP[index]
+
+
+def heat_map(
+    field: TemperatureField,
+    max_width: int = 64,
+    legend: bool = True,
+) -> str:
+    """An ASCII rendering of a temperature field (hotter = denser glyph).
+
+    The map is printed with the die's y axis pointing up (row 0 of the
+    output is the top of the die).
+    """
+    if max_width < 4:
+        raise ConfigurationError("max_width must be at least 4")
+    image = field.as_image()
+    step_x = max(1, int(np.ceil(image.shape[1] / max_width)))
+    step_y = max(1, int(np.ceil(image.shape[0] / (max_width // 2))))
+    coarse = image[::step_y, ::step_x]
+    lo, hi = float(coarse.min()), float(coarse.max())
+    lines = [
+        "".join(_ramp_char(v, lo, hi) for v in row) for row in coarse[::-1]
+    ]
+    if legend:
+        lines.append(f"[{lo:.1f} degC '{_RAMP[0]}' .. {hi:.1f} degC '{_RAMP[-1]}']")
+    return "\n".join(lines)
+
+
+def reliability_sparkline(
+    times: np.ndarray,
+    reliability: np.ndarray,
+    width: int = 64,
+) -> str:
+    """A log-failure sparkline of a reliability curve."""
+    times = np.asarray(times, dtype=float)
+    reliability = np.asarray(reliability, dtype=float)
+    if times.shape != reliability.shape or times.ndim != 1 or times.size < 2:
+        raise ConfigurationError("need matching 1-D curve arrays (>= 2 points)")
+    failure = np.clip(1.0 - reliability, 1e-300, 1.0)
+    log_f = np.log10(failure)
+    step = max(1, int(np.ceil(times.size / width)))
+    values = log_f[::step]
+    lo, hi = float(values.min()), float(values.max())
+    line = "".join(_ramp_char(v, lo, hi) for v in values)
+    return (
+        f"{line}\n"
+        f"[t: {times[0]:.2e}..{times[-1]:.2e} h | "
+        f"1-R: 1e{lo:.1f}..1e{hi:.1f}]"
+    )
+
+
+def design_report(
+    analyzer: ReliabilityAnalyzer,
+    ppms: Sequence[float] = (1.0, 10.0, 100.0),
+    methods: Sequence[str] = ("st_fast", "temp_unaware", "guard"),
+) -> str:
+    """A complete one-page text report for a prepared design analysis.
+
+    Sections: design summary, thermal profile (table + map when a thermal
+    solve ran), per-method ppm lifetimes, and the per-block failure
+    budget at the first ppm target.
+    """
+    floorplan = analyzer.floorplan
+    lines: list[str] = []
+    lines.append(
+        f"design: {floorplan.n_blocks} blocks, "
+        f"{floorplan.n_devices:,} devices, "
+        f"{floorplan.total_power:.1f} W"
+    )
+    lines.append(
+        f"variation: {analyzer.budget.nominal_thickness} nm nominal, "
+        f"3sigma/u0 = {analyzer.budget.three_sigma_ratio:.1%}, "
+        f"rho_dist = {analyzer.config.rho_dist}"
+    )
+    lines.append("")
+
+    temps = analyzer.block_temperatures
+    order = np.argsort(temps)[::-1]
+    lines.append("thermal profile (hottest first):")
+    lines.append(
+        format_table(
+            ["block", "T (degC)"],
+            [
+                [floorplan.block_names[j], f"{temps[j]:.1f}"]
+                for j in order
+            ],
+        )
+    )
+    if analyzer.thermal is not None and analyzer.thermal.field.spread > 0.0:
+        lines.append("")
+        lines.append(heat_map(analyzer.thermal.field))
+    lines.append("")
+
+    rows = []
+    for method in methods:
+        cells = [method]
+        for ppm in ppms:
+            lifetime = analyzer.lifetime(ppm, method=method)
+            cells.append(f"{hours_to_years(lifetime):.1f}y")
+        rows.append(cells)
+    lines.append("lifetimes:")
+    lines.append(
+        format_table(
+            ["method", *[f"{p:g} ppm" for p in ppms]],
+            rows,
+        )
+    )
+    lines.append("")
+
+    t_ref = analyzer.lifetime(ppms[0], method="st_fast")
+    failures = analyzer.st_fast.block_failure_probabilities(
+        np.array([t_ref])
+    )[:, 0]
+    shares = failures / max(failures.sum(), 1e-300)
+    lines.append(
+        f"failure budget at the {ppms[0]:g}-ppm lifetime (largest first):"
+    )
+    budget_order = np.argsort(shares)[::-1]
+    lines.append(
+        format_table(
+            ["block", "share"],
+            [
+                [floorplan.block_names[j], f"{shares[j]:.1%}"]
+                for j in budget_order[: min(10, len(shares))]
+            ],
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Statistical utilities: Weibull, quadratic forms, integration, diagnostics."""

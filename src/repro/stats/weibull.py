@@ -1,0 +1,168 @@
+"""Weibull time-to-breakdown distribution with area scaling (eq. (3)-(4)).
+
+The OBD time of a device of normalized area ``a`` follows
+
+    F(t) = 1 - exp(-a * (t / alpha)^beta)
+
+where ``alpha`` is the characteristic life of a minimum-area device (63.2 %
+failure point at ``a = 1``) and ``beta`` the Weibull slope. Area scaling is
+the weakest-link property: a device of area ``a`` behaves like ``a``
+minimum-area devices in series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AreaScaledWeibull:
+    """A Weibull OBD-time law ``F(t) = 1 - exp(-a (t/alpha)^beta)``.
+
+    Parameters
+    ----------
+    alpha:
+        Scale parameter (characteristic life at unit area), hours.
+    beta:
+        Shape parameter (Weibull slope); for gate oxide this is ``b * x``
+        with ``x`` the oxide thickness.
+    area:
+        Normalized device area ``a`` (>= any positive value; 1 is the
+        minimum device).
+    """
+
+    alpha: float
+    beta: float
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.beta <= 0.0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+        if self.area <= 0.0:
+            raise ConfigurationError(f"area must be positive, got {self.area}")
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Failure probability by time ``t``."""
+        t = np.asarray(t, dtype=float)
+        out = -np.expm1(-self.area * (t / self.alpha) ** self.beta)
+        return out if out.ndim else float(out)
+
+    def sf(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Survivor (reliability) function ``R(t) = 1 - F(t)``."""
+        t = np.asarray(t, dtype=float)
+        out = np.exp(-self.area * (t / self.alpha) ** self.beta)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Failure-time probability density."""
+        t = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = t / self.alpha
+            out = np.where(
+                t > 0.0,
+                self.area
+                * self.beta
+                / self.alpha
+                * ratio ** (self.beta - 1.0)
+                * np.exp(-self.area * ratio**self.beta),
+                0.0,
+            )
+        return out if out.ndim else float(out)
+
+    def ppf(self, q: np.ndarray | float) -> np.ndarray | float:
+        """Failure-time quantile: smallest ``t`` with ``F(t) >= q``."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q >= 1.0)):
+            raise ValueError("quantile must be in [0, 1)")
+        out = self.alpha * (-np.log1p(-q) / self.area) ** (1.0 / self.beta)
+        return out if out.ndim else float(out)
+
+    def hazard(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Instantaneous hazard rate ``f(t) / R(t)``."""
+        t = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(
+                t > 0.0,
+                self.area
+                * self.beta
+                / self.alpha
+                * (t / self.alpha) ** (self.beta - 1.0),
+                np.inf if self.beta < 1.0 else (0.0 if self.beta > 1.0 else
+                                                self.area / self.alpha),
+            )
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """Mean time to breakdown."""
+        return (
+            self.alpha
+            * self.area ** (-1.0 / self.beta)
+            * math.gamma(1.0 + 1.0 / self.beta)
+        )
+
+    def characteristic_life(self) -> float:
+        """63.2 % failure point at this area."""
+        return self.alpha * self.area ** (-1.0 / self.beta)
+
+    def sample(self, rng: np.random.Generator, size: int | tuple = ()) -> np.ndarray:
+        """Draw failure times: ``t = alpha * (E / a)^(1/beta)``, E ~ Exp(1)."""
+        exponential = rng.exponential(size=size)
+        return self.alpha * (exponential / self.area) ** (1.0 / self.beta)
+
+    def scaled_to_area(self, area: float) -> "AreaScaledWeibull":
+        """The same law at a different normalized area."""
+        return AreaScaledWeibull(alpha=self.alpha, beta=self.beta, area=area)
+
+
+def weakest_link_sf(
+    t: np.ndarray | float, laws: list[AreaScaledWeibull]
+) -> np.ndarray | float:
+    """Survivor function of the minimum failure time over independent laws.
+
+    ``R_min(t) = prod_i R_i(t)`` — the series-system (weakest-link) rule
+    the whole chip-level analysis is built on (eq. (7)).
+    """
+    t = np.asarray(t, dtype=float)
+    log_sf = np.zeros_like(t, dtype=float)
+    for law in laws:
+        log_sf = log_sf - law.area * (t / law.alpha) ** law.beta
+    out = np.exp(log_sf)
+    return out if out.ndim else float(out)
+
+
+def weibull_plot_coordinates(
+    times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weibull-paper coordinates from a failure-time sample.
+
+    Returns ``(ln t, ln(-ln(1 - F_hat)))`` using median-rank plotting
+    positions; a straight line on these axes confirms Weibull behaviour and
+    its slope estimates ``beta``.
+    """
+    times = np.sort(np.asarray(times, dtype=float))
+    if times.ndim != 1 or len(times) < 2:
+        raise ValueError("need a 1-D sample of at least two failure times")
+    if np.any(times <= 0.0):
+        raise ValueError("failure times must be positive")
+    n = len(times)
+    ranks = (np.arange(1, n + 1) - 0.3) / (n + 0.4)
+    return np.log(times), np.log(-np.log1p(-ranks))
+
+
+def fit_weibull_slope(times: np.ndarray) -> tuple[float, float]:
+    """Least-squares Weibull fit on plot coordinates.
+
+    Returns ``(beta_hat, alpha_hat)`` for a unit-area sample.
+    """
+    log_t, log_log = weibull_plot_coordinates(times)
+    slope, intercept = np.polyfit(log_t, log_log, 1)
+    beta_hat = float(slope)
+    alpha_hat = float(np.exp(-intercept / slope))
+    return beta_hat, alpha_hat

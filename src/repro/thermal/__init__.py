@@ -1,0 +1,1 @@
+"""Steady-state thermal simulation (HotSpotLite substrate)."""

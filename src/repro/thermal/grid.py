@@ -1,0 +1,87 @@
+"""Thermal mesh and package parameters for the steady-state solver.
+
+A light-weight substitute for HotSpot [10]: the die is meshed with a
+regular grid; every cell conducts laterally through the silicon to its four
+neighbours and vertically through a lumped package resistance to ambient.
+That single-layer model is enough to reproduce the thermal-profile *class*
+the reliability analysis consumes — global unevenness with local uniformity
+and a ~30 degC hot-spot/inactive-region contrast (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PackageModel:
+    """Material and package constants of the thermal model.
+
+    Parameters
+    ----------
+    silicon_conductivity:
+        Thermal conductivity of silicon, W/(mm K). 0.13-0.15 at operating
+        temperature.
+    die_thickness:
+        Die thickness in mm (the lateral conduction cross-section).
+    package_resistance:
+        Area-specific junction-to-ambient resistance, K mm^2 / W. For a
+        256 mm^2 die, 100 K mm^2/W corresponds to ~0.4 K/W total — a
+        high-performance heatsink.
+    ambient_temperature:
+        Ambient (heatsink inlet) temperature in celsius.
+    """
+
+    silicon_conductivity: float = 0.15
+    die_thickness: float = 0.5
+    package_resistance: float = 100.0
+    ambient_temperature: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.silicon_conductivity <= 0.0:
+            raise ConfigurationError("silicon conductivity must be positive")
+        if self.die_thickness <= 0.0:
+            raise ConfigurationError("die thickness must be positive")
+        if self.package_resistance <= 0.0:
+            raise ConfigurationError("package resistance must be positive")
+
+    def lateral_conductance(self, grid: GridSpec) -> tuple[float, float]:
+        """Cell-to-cell conductances ``(G_x, G_y)`` in W/K.
+
+        ``G_x`` couples horizontal neighbours (conduction across the cell
+        width through a ``cell_height x die_thickness`` cross-section).
+        """
+        g_x = (
+            self.silicon_conductivity
+            * self.die_thickness
+            * grid.cell_height
+            / grid.cell_width
+        )
+        g_y = (
+            self.silicon_conductivity
+            * self.die_thickness
+            * grid.cell_width
+            / grid.cell_height
+        )
+        return g_x, g_y
+
+    def vertical_conductance(self, grid: GridSpec) -> float:
+        """Per-cell conductance to ambient in W/K."""
+        cell_area = grid.cell_width * grid.cell_height
+        return cell_area / self.package_resistance
+
+    def spreading_length(self) -> float:
+        """Characteristic lateral heat-spreading length in mm.
+
+        ``sqrt(k * t_die * r_package)`` — hot spots smaller than this blur
+        into their surroundings; block-level features larger than it stay
+        visible in the temperature map.
+        """
+        return (
+            self.silicon_conductivity
+            * self.die_thickness
+            * self.package_resistance
+        ) ** 0.5

@@ -1,0 +1,133 @@
+"""HotSpotLite: floorplan-level thermal analysis facade.
+
+Maps per-block powers onto the thermal mesh, runs the steady-state solver,
+and reports per-block average temperatures — the exact interface the
+reliability analysis needs ("HotSpot [10] to achieve the temperature
+profile of the design", Sec. V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip.floorplan import Floorplan
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.thermal.grid import PackageModel
+from repro.thermal.solver import TemperatureField, solve_steady_state
+
+
+@dataclass(frozen=True)
+class ThermalResult:
+    """Output of a floorplan thermal analysis.
+
+    Attributes
+    ----------
+    field:
+        The solved cell-level temperature map.
+    block_temperatures:
+        Area-averaged temperature of each block (celsius), floorplan order.
+    """
+
+    field: TemperatureField
+    block_temperatures: np.ndarray
+
+    @property
+    def hottest_block_temperature(self) -> float:
+        """Worst-case block temperature — what a guard-band flow assumes
+        for the entire chip."""
+        return float(self.block_temperatures.max())
+
+    @property
+    def block_spread(self) -> float:
+        """Hot-spot minus inactive-region block temperature (Fig. 1 shows
+        ~30 degC on real designs)."""
+        return float(self.block_temperatures.max() - self.block_temperatures.min())
+
+    def block_temperature_map(self, floorplan: Floorplan) -> dict[str, float]:
+        """Block temperatures keyed by block name."""
+        if floorplan.n_blocks != self.block_temperatures.size:
+            raise ConfigurationError("floorplan does not match this result")
+        return dict(zip(floorplan.block_names, self.block_temperatures.tolist()))
+
+
+class HotSpotLite:
+    """Steady-state floorplan thermal analyzer.
+
+    Parameters
+    ----------
+    package:
+        Package and material constants.
+    mesh_resolution:
+        Cells along the longer die edge; the mesh aspect follows the die.
+    """
+
+    def __init__(
+        self,
+        package: PackageModel | None = None,
+        mesh_resolution: int = 48,
+    ) -> None:
+        if mesh_resolution < 4:
+            raise ConfigurationError(
+                f"mesh resolution must be >= 4, got {mesh_resolution}"
+            )
+        self.package = package if package is not None else PackageModel()
+        self.mesh_resolution = mesh_resolution
+
+    def mesh_for(self, floorplan: Floorplan) -> GridSpec:
+        """The thermal mesh used for a given die."""
+        longer = max(floorplan.width, floorplan.height)
+        nx = max(4, round(self.mesh_resolution * floorplan.width / longer))
+        ny = max(4, round(self.mesh_resolution * floorplan.height / longer))
+        return GridSpec(nx=nx, ny=ny, width=floorplan.width, height=floorplan.height)
+
+    def cell_powers(self, floorplan: Floorplan, mesh: GridSpec) -> np.ndarray:
+        """Distribute block powers onto mesh cells by overlap area."""
+        powers = np.zeros(mesh.n_cells)
+        for block in floorplan.blocks:
+            fractions = mesh.overlap_fractions(block.rect)
+            total = fractions.sum()
+            if total <= 0.0:
+                raise ConfigurationError(
+                    f"block {block.name!r} does not overlap the thermal mesh"
+                )
+            powers += block.power * fractions / total
+        return powers
+
+    def analyze(self, floorplan: Floorplan) -> ThermalResult:
+        """Solve the steady-state profile and per-block temperatures."""
+        mesh = self.mesh_for(floorplan)
+        cell_power = self.cell_powers(floorplan, mesh)
+        field = solve_steady_state(mesh, cell_power, self.package)
+        block_temps = np.array(
+            [
+                field.average_over(mesh.overlap_fractions(block.rect))
+                for block in floorplan.blocks
+            ]
+        )
+        return ThermalResult(field=field, block_temperatures=block_temps)
+
+
+def uniform_temperature_result(
+    floorplan: Floorplan, temperature: float, mesh_resolution: int = 8
+) -> ThermalResult:
+    """A degenerate thermal result with every block at one temperature.
+
+    Used by the temperature-unaware baseline, which assumes the worst-case
+    temperature across the whole chip.
+    """
+    mesh = GridSpec(
+        nx=mesh_resolution,
+        ny=mesh_resolution,
+        width=floorplan.width,
+        height=floorplan.height,
+    )
+    field = TemperatureField(
+        grid=mesh, values=np.full(mesh.n_cells, float(temperature))
+    )
+    return ThermalResult(
+        field=field,
+        block_temperatures=np.full(floorplan.n_blocks, float(temperature)),
+    )

@@ -1,0 +1,137 @@
+"""Sparse steady-state solver for the thermal grid.
+
+Solves the per-cell energy balance
+
+    sum_neighbours G_lat (T_nb - T_i) + G_v (T_amb - T_i) + P_i = 0
+
+as one sparse SPD linear system. Die edges are adiabatic laterally (heat
+leaves only through the package), the standard HotSpot assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.chip.geometry import GridSpec
+from repro.errors import SolverError
+from repro.thermal.grid import PackageModel
+
+
+@dataclass(frozen=True)
+class TemperatureField:
+    """A solved temperature map on a thermal grid (values in celsius)."""
+
+    grid: GridSpec
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.shape != (self.grid.n_cells,):
+            raise SolverError(
+                f"expected {self.grid.n_cells} cell temperatures, "
+                f"got shape {values.shape}"
+            )
+        object.__setattr__(self, "values", values)
+
+    @property
+    def max(self) -> float:
+        """Hottest cell temperature."""
+        return float(self.values.max())
+
+    @property
+    def min(self) -> float:
+        """Coolest cell temperature."""
+        return float(self.values.min())
+
+    @property
+    def spread(self) -> float:
+        """Across-die temperature spread (hot spot minus coolest region)."""
+        return self.max - self.min
+
+    def as_image(self) -> np.ndarray:
+        """The field as an ``(ny, nx)`` image for plotting."""
+        return self.grid.field_to_image(self.values)
+
+    def average_over(self, fractions: np.ndarray) -> float:
+        """Area-weighted average temperature for a region.
+
+        ``fractions`` is the per-cell overlap-fraction vector of the region
+        (e.g. from :meth:`GridSpec.overlap_fractions`); it is renormalized
+        internally.
+        """
+        fractions = np.asarray(fractions, dtype=float)
+        total = fractions.sum()
+        if total <= 0.0:
+            raise SolverError("region does not overlap the thermal grid")
+        return float(self.values @ fractions / total)
+
+
+def _build_conductance_matrix(
+    grid: GridSpec, package: PackageModel
+) -> csr_matrix:
+    """Assemble the sparse conductance (stiffness) matrix."""
+    g_x, g_y = package.lateral_conductance(grid)
+    g_v = package.vertical_conductance(grid)
+    nx, ny = grid.nx, grid.ny
+    n = grid.n_cells
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    diag = np.full(n, g_v)
+
+    def couple(i: int, j: int, g: float) -> None:
+        rows.extend((i, j))
+        cols.extend((j, i))
+        vals.extend((-g, -g))
+        diag[i] += g
+        diag[j] += g
+
+    for row in range(ny):
+        for col in range(nx):
+            index = row * nx + col
+            if col + 1 < nx:
+                couple(index, index + 1, g_x)
+            if row + 1 < ny:
+                couple(index, index + nx, g_y)
+
+    rows.extend(range(n))
+    cols.extend(range(n))
+    vals.extend(diag)
+    return csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def solve_steady_state(
+    grid: GridSpec,
+    cell_power: np.ndarray,
+    package: PackageModel,
+) -> TemperatureField:
+    """Solve for the steady-state temperature of every grid cell.
+
+    Parameters
+    ----------
+    grid:
+        Thermal mesh.
+    cell_power:
+        Power injected into each cell in watts (flat, row-major).
+    package:
+        Material/package constants.
+    """
+    cell_power = np.asarray(cell_power, dtype=float)
+    if cell_power.shape != (grid.n_cells,):
+        raise SolverError(
+            f"expected {grid.n_cells} cell powers, got shape {cell_power.shape}"
+        )
+    if np.any(cell_power < 0.0):
+        raise SolverError("cell powers must be non-negative")
+    matrix = _build_conductance_matrix(grid, package)
+    g_v = package.vertical_conductance(grid)
+    rhs = cell_power + g_v * package.ambient_temperature
+    temperatures = spsolve(matrix, rhs)
+    if not np.all(np.isfinite(temperatures)):
+        raise SolverError("thermal solve produced non-finite temperatures")
+    return TemperatureField(grid=grid, values=np.asarray(temperatures))

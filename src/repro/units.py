@@ -1,0 +1,69 @@
+"""Physical constants and unit conventions used across the library.
+
+Conventions
+-----------
+- Oxide thickness: nanometres (nm).
+- Temperature: kelvin inside models; helpers convert from/to celsius because
+  the paper quotes block temperatures in celsius.
+- Time: hours. Weibull scale parameters are therefore in hours.
+- Device area: normalized to the minimum device area (the ``a`` of the
+  Weibull model, eq. (3) of the paper), i.e. dimensionless.
+- Chip geometry: millimetres.
+- Power: watts.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant in eV/K (used in Arrhenius-type acceleration models).
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Offset between the celsius and kelvin scales.
+CELSIUS_OFFSET = 273.15
+
+#: Hours in a year (365.25 days), for human-readable lifetime reporting.
+HOURS_PER_YEAR = 24.0 * 365.25
+
+#: Absolute zero expressed in celsius; temperatures below this are invalid.
+ABSOLUTE_ZERO_CELSIUS = -CELSIUS_OFFSET
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from celsius to kelvin.
+
+    Raises
+    ------
+    ValueError
+        If the temperature is below absolute zero or not finite.
+    """
+    if not math.isfinite(temp_c):
+        raise ValueError(f"temperature must be finite, got {temp_c!r}")
+    if temp_c < ABSOLUTE_ZERO_CELSIUS:
+        raise ValueError(f"temperature {temp_c} degC is below absolute zero")
+    return temp_c + CELSIUS_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to celsius.
+
+    Raises
+    ------
+    ValueError
+        If the temperature is negative or not finite.
+    """
+    if not math.isfinite(temp_k):
+        raise ValueError(f"temperature must be finite, got {temp_k!r}")
+    if temp_k < 0.0:
+        raise ValueError(f"temperature {temp_k} K is below absolute zero")
+    return temp_k - CELSIUS_OFFSET
+
+
+def hours_to_years(hours: float) -> float:
+    """Convert a duration in hours to years (365.25-day years)."""
+    return hours / HOURS_PER_YEAR
+
+
+def years_to_hours(years: float) -> float:
+    """Convert a duration in years (365.25-day years) to hours."""
+    return years * HOURS_PER_YEAR

@@ -1,0 +1,1 @@
+"""Oxide-thickness variation modeling: budgets, correlation, PCA, sampling."""

@@ -1,0 +1,127 @@
+"""Oxide-thickness variation budget (eq. (1) and Table II of the paper).
+
+Thickness of any device decomposes as
+
+    x = u0 + z_g + z_corr + z_eps
+
+with ``z_g`` the inter-die (global) component, ``z_corr`` the spatially
+correlated intra-die component and ``z_eps`` the independent residual. The
+paper's experimental setup (Table II) puts the total 3-sigma at 4 % of the
+2.2 nm nominal and splits the variance 50/25/25 between the three
+components.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Tolerance when checking that the variance fractions sum to one.
+_FRACTION_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class VariationBudget:
+    """Total thickness-variation magnitude and its split across components.
+
+    Parameters
+    ----------
+    nominal_thickness:
+        Nominal oxide thickness ``u0`` in nm.
+    three_sigma_ratio:
+        Total variation expressed as ``3 * sigma_total / u0``.
+    global_fraction, spatial_fraction, independent_fraction:
+        Fractions of the total *variance* assigned to the inter-die,
+        spatially correlated intra-die, and independent components. Must be
+        non-negative and sum to 1.
+    """
+
+    nominal_thickness: float = 2.2
+    three_sigma_ratio: float = 0.04
+    global_fraction: float = 0.50
+    spatial_fraction: float = 0.25
+    independent_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.nominal_thickness <= 0.0:
+            raise ConfigurationError(
+                f"nominal thickness must be positive, got {self.nominal_thickness}"
+            )
+        if self.three_sigma_ratio <= 0.0:
+            raise ConfigurationError(
+                f"3-sigma ratio must be positive, got {self.three_sigma_ratio}"
+            )
+        fractions = (
+            self.global_fraction,
+            self.spatial_fraction,
+            self.independent_fraction,
+        )
+        if any(f < 0.0 for f in fractions):
+            raise ConfigurationError(f"variance fractions must be >= 0, got {fractions}")
+        if abs(sum(fractions) - 1.0) > _FRACTION_TOL:
+            raise ConfigurationError(
+                f"variance fractions must sum to 1, got {sum(fractions)}"
+            )
+
+    @classmethod
+    def table2(cls) -> "VariationBudget":
+        """The exact parameter set of Table II of the paper."""
+        return cls(
+            nominal_thickness=2.2,
+            three_sigma_ratio=0.04,
+            global_fraction=0.50,
+            spatial_fraction=0.25,
+            independent_fraction=0.25,
+        )
+
+    @property
+    def sigma_total(self) -> float:
+        """Total thickness standard deviation in nm."""
+        return self.three_sigma_ratio * self.nominal_thickness / 3.0
+
+    @property
+    def variance_total(self) -> float:
+        """Total thickness variance in nm^2."""
+        return self.sigma_total**2
+
+    @property
+    def sigma_global(self) -> float:
+        """Standard deviation of the inter-die component in nm."""
+        return math.sqrt(self.global_fraction) * self.sigma_total
+
+    @property
+    def sigma_spatial(self) -> float:
+        """Standard deviation of the spatially correlated component in nm."""
+        return math.sqrt(self.spatial_fraction) * self.sigma_total
+
+    @property
+    def sigma_independent(self) -> float:
+        """Standard deviation of the independent residual in nm."""
+        return math.sqrt(self.independent_fraction) * self.sigma_total
+
+    @property
+    def minimum_thickness(self) -> float:
+        """Worst-case (guard-band) thickness: nominal minus 3 sigma.
+
+        This is the uniform ``x_min`` the traditional guard-band method
+        assumes for every device on every chip (eq. (33) of the paper).
+        """
+        return self.nominal_thickness - 3.0 * self.sigma_total
+
+    def scaled(self, factor: float) -> "VariationBudget":
+        """A budget with the total variation magnitude scaled by ``factor``.
+
+        The component split is preserved; only ``three_sigma_ratio``
+        changes. Useful for sensitivity studies.
+        """
+        if factor <= 0.0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return VariationBudget(
+            nominal_thickness=self.nominal_thickness,
+            three_sigma_ratio=self.three_sigma_ratio * factor,
+            global_fraction=self.global_fraction,
+            spatial_fraction=self.spatial_fraction,
+            independent_fraction=self.independent_fraction,
+        )

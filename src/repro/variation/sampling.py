@@ -1,0 +1,176 @@
+"""Monte-Carlo sampling of manufactured chips.
+
+A "sample chip" is one draw of the shared factor vector ``z`` (inter-die +
+spatial principal components) plus independent residuals for each device.
+:class:`ChipSampler` binds a floorplan to a canonical thickness model and
+produces per-device thickness samples block by block — the raw material for
+the Monte-Carlo reference analyses and for the BLOD histograms of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip.floorplan import Floorplan
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.pca import CanonicalThicknessModel
+
+
+@dataclass(frozen=True)
+class BlockGridAssignment:
+    """Devices of one block distributed over spatial-correlation grid cells.
+
+    Attributes
+    ----------
+    grid_indices:
+        Indices of the grid cells the block overlaps.
+    device_counts:
+        Integer device count per overlapped cell (sums to the block's
+        ``n_devices``).
+    """
+
+    grid_indices: np.ndarray
+    device_counts: np.ndarray
+
+    @property
+    def n_devices(self) -> int:
+        """Total devices covered by this assignment."""
+        return int(self.device_counts.sum())
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Device fraction per overlapped cell."""
+        return self.device_counts / self.n_devices
+
+
+def assign_devices_to_grid(
+    floorplan: Floorplan, grid: GridSpec
+) -> list[BlockGridAssignment]:
+    """Deterministically distribute each block's devices over grid cells.
+
+    Devices are spread proportionally to the block/cell overlap area using
+    largest-remainder rounding, so the integer counts are reproducible and
+    exactly sum to each block's device count.
+    """
+    fractions_matrix = floorplan.device_grid_fractions(grid)
+    assignments: list[BlockGridAssignment] = []
+    for j, block in enumerate(floorplan.blocks):
+        fractions = fractions_matrix[j]
+        nonzero = np.nonzero(fractions > 0.0)[0]
+        weights = fractions[nonzero]
+        raw = block.n_devices * weights / weights.sum()
+        counts = np.floor(raw).astype(int)
+        shortfall = block.n_devices - counts.sum()
+        if shortfall > 0:
+            order = np.argsort(raw - counts)[::-1]
+            counts[order[:shortfall]] += 1
+        keep = counts > 0
+        assignments.append(
+            BlockGridAssignment(
+                grid_indices=nonzero[keep], device_counts=counts[keep]
+            )
+        )
+    return assignments
+
+
+class ChipSampler:
+    """Draws manufactured-chip samples for a design.
+
+    Parameters
+    ----------
+    floorplan:
+        The design's temperature-uniform blocks.
+    grid:
+        Spatial-correlation grid of the thickness model.
+    model:
+        Canonical thickness model on that grid.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        grid: GridSpec,
+        model: CanonicalThicknessModel,
+    ) -> None:
+        if model.n_grids != grid.n_cells:
+            raise ConfigurationError(
+                f"model has {model.n_grids} grids but grid has "
+                f"{grid.n_cells} cells"
+            )
+        self.floorplan = floorplan
+        self.grid = grid
+        self.model = model
+        self.assignments = assign_devices_to_grid(floorplan, grid)
+
+    def sample_factors(
+        self, n_chips: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``(n_chips, n_factors)`` standard-normal factor draws."""
+        if n_chips < 1:
+            raise ConfigurationError(f"n_chips must be >= 1, got {n_chips}")
+        return rng.standard_normal((n_chips, self.model.n_factors))
+
+    def block_base_thickness(self, z: np.ndarray) -> list[np.ndarray]:
+        """Per-block per-grid base thickness for factor draw(s) ``z``.
+
+        For a single chip (``z`` of shape ``(n_factors,)``) returns, for
+        each block, the base thickness of each overlapped grid cell. For a
+        batch, each entry has shape ``(n_chips, n_cells_of_block)``.
+        """
+        base = self.model.base_thickness(z)
+        return [base[..., a.grid_indices] for a in self.assignments]
+
+    def device_thicknesses(
+        self, z: np.ndarray, block_index: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All device thicknesses of one block for a single chip.
+
+        Returns an ``(m_j,)`` array: base thickness of the device's grid
+        cell plus an independent residual draw. Devices appear grouped by
+        grid cell (order within a block carries no meaning: the analysis is
+        location-free within a cell).
+        """
+        z = np.asarray(z, dtype=float)
+        if z.ndim != 1:
+            raise ConfigurationError("device_thicknesses needs a single chip draw")
+        assignment = self.assignments[block_index]
+        base = self.model.base_thickness(z)[assignment.grid_indices]
+        per_device_base = np.repeat(base, assignment.device_counts)
+        residual = self.model.sigma_independent * rng.standard_normal(
+            per_device_base.shape[0]
+        )
+        return per_device_base + residual
+
+    def chip_thicknesses(
+        self, z: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Device thicknesses for every block of a single chip."""
+        return [
+            self.device_thicknesses(z, j, rng)
+            for j in range(self.floorplan.n_blocks)
+        ]
+
+    def sample_block_moments(
+        self, n_chips: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical BLOD sample means and variances across chips.
+
+        Draws ``n_chips`` chips, computes for each block the sample mean
+        ``u_j`` and unbiased sample variance ``v_j`` of its device
+        thicknesses. Returns arrays of shape ``(n_chips, n_blocks)``. This
+        is the brute-force reference the analytical BLOD characterisation
+        (eq. (22)/(24)) is validated against.
+        """
+        n_blocks = self.floorplan.n_blocks
+        means = np.empty((n_chips, n_blocks))
+        variances = np.empty((n_chips, n_blocks))
+        factors = self.sample_factors(n_chips, rng)
+        for c in range(n_chips):
+            for j in range(n_blocks):
+                thickness = self.device_thicknesses(factors[c], j, rng)
+                means[c, j] = thickness.mean()
+                variances[c, j] = thickness.var(ddof=1)
+        return means, variances

@@ -1,0 +1,102 @@
+"""Wafer-level systematic variation patterns (Sec. II, refs [21]-[23]).
+
+Part of what looks like intra-die spatially correlated variation is in fact
+a deterministic across-wafer pattern (slanted or bowl shaped), usually
+characterised by a low-order polynomial of wafer position. Given the
+location of a chip on the wafer, the pattern induces a *location-dependent
+mean offset* for each grid cell, which the canonical model accepts through
+its ``mean_offsets`` argument — exactly the compatibility path the paper
+describes (replace the uniform inter-die term with a per-grid component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WaferPattern:
+    """A quadratic across-wafer systematic thickness pattern.
+
+    The offset at wafer coordinates ``(wx, wy)`` (millimetres, origin at
+    the wafer centre) is::
+
+        offset = c0 + cx*wx + cy*wy + cxx*wx^2 + cyy*wy^2 + cxy*wx*wy
+
+    Typical shapes:
+
+    - *bowl*: positive ``cxx``/``cyy``, zero linear terms.
+    - *slanted*: nonzero linear terms, zero quadratic terms.
+    """
+
+    c0: float = 0.0
+    cx: float = 0.0
+    cy: float = 0.0
+    cxx: float = 0.0
+    cyy: float = 0.0
+    cxy: float = 0.0
+    wafer_radius: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.wafer_radius <= 0.0:
+            raise ConfigurationError(
+                f"wafer radius must be positive, got {self.wafer_radius}"
+            )
+
+    @classmethod
+    def bowl(cls, depth: float, wafer_radius: float = 150.0) -> "WaferPattern":
+        """A radially symmetric bowl: ``depth`` nm offset at the wafer edge."""
+        curvature = depth / wafer_radius**2
+        return cls(cxx=curvature, cyy=curvature, wafer_radius=wafer_radius)
+
+    @classmethod
+    def slanted(
+        cls, slope_x: float, slope_y: float = 0.0, wafer_radius: float = 150.0
+    ) -> "WaferPattern":
+        """A planar tilt in nm/mm along each wafer axis."""
+        return cls(cx=slope_x, cy=slope_y, wafer_radius=wafer_radius)
+
+    def offset_at(self, wx: np.ndarray, wy: np.ndarray) -> np.ndarray:
+        """Pattern offset (nm) at wafer coordinates ``(wx, wy)``."""
+        wx = np.asarray(wx, dtype=float)
+        wy = np.asarray(wy, dtype=float)
+        return (
+            self.c0
+            + self.cx * wx
+            + self.cy * wy
+            + self.cxx * wx**2
+            + self.cyy * wy**2
+            + self.cxy * wx * wy
+        )
+
+    def grid_offsets(
+        self, grid: GridSpec, chip_x: float, chip_y: float
+    ) -> np.ndarray:
+        """Per-grid-cell mean offsets for a chip placed on the wafer.
+
+        ``(chip_x, chip_y)`` locates the chip's lower-left corner in wafer
+        coordinates. The entire chip must fit on the wafer.
+
+        Returns an ``(n_cells,)`` vector suitable for
+        :func:`repro.variation.pca.build_canonical_model`'s
+        ``mean_offsets``.
+        """
+        corners_x = np.array([chip_x, chip_x + grid.width])
+        corners_y = np.array([chip_y, chip_y + grid.height])
+        corner_r = np.sqrt(
+            np.add.outer(corners_x**2, corners_y**2)
+        ).max()
+        if corner_r > self.wafer_radius:
+            raise ConfigurationError(
+                f"chip at ({chip_x}, {chip_y}) extends beyond the "
+                f"{self.wafer_radius} mm wafer radius"
+            )
+        centers = grid.cell_centers()
+        return np.asarray(
+            self.offset_at(chip_x + centers[:, 0], chip_y + centers[:, 1])
+        )

@@ -1,0 +1,156 @@
+"""Unit tests for the benchmark design generators (C1-C6, many-core)."""
+
+import numpy as np
+import pytest
+
+from repro.chip.benchmarks import (
+    BENCHMARK_DEVICE_COUNTS,
+    _apportion,
+    make_alpha_processor,
+    make_benchmark,
+    make_manycore,
+    make_synthetic_design,
+)
+from repro.errors import ConfigurationError
+
+
+class TestApportion:
+    def test_exact_total(self):
+        counts = _apportion(1000, np.array([1.0, 2.0, 3.0]))
+        assert counts.sum() == 1000
+
+    def test_proportionality(self):
+        counts = _apportion(6000, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(counts, [1000, 2000, 3000], atol=2)
+
+    def test_every_bin_gets_at_least_one(self):
+        counts = _apportion(4, np.array([1e6, 1.0, 1.0, 1.0]))
+        assert counts.min() >= 1
+        assert counts.sum() == 4
+
+    def test_rejects_too_few_units(self):
+        with pytest.raises(ConfigurationError):
+            _apportion(2, np.array([1.0, 1.0, 1.0]))
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ConfigurationError):
+            _apportion(10, np.array([1.0, 0.0]))
+
+
+class TestSyntheticDesigns:
+    def test_device_count_exact(self):
+        fp = make_synthetic_design("X", 12345, 7, 4.0, seed=1)
+        assert fp.n_devices == 12345
+        assert fp.n_blocks == 7
+
+    def test_deterministic_by_seed(self):
+        a = make_synthetic_design("X", 5000, 5, 3.0, seed=9)
+        b = make_synthetic_design("X", 5000, 5, 3.0, seed=9)
+        assert a.block_names == b.block_names
+        for ba, bb in zip(a.blocks, b.blocks):
+            assert ba.rect == bb.rect
+            assert ba.n_devices == bb.n_devices
+            assert ba.power == bb.power
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_design("X", 5000, 5, 3.0, seed=1)
+        b = make_synthetic_design("X", 5000, 5, 3.0, seed=2)
+        assert any(
+            ba.n_devices != bb.n_devices for ba, bb in zip(a.blocks, b.blocks)
+        )
+
+    def test_blocks_tile_die(self):
+        fp = make_synthetic_design("X", 5000, 9, 4.0, seed=3)
+        assert fp.coverage() == pytest.approx(1.0)
+
+    def test_power_contrast_present(self):
+        fp = make_synthetic_design("X", 5000, 9, 4.0, seed=3)
+        densities = np.array([b.power_density for b in fp.blocks])
+        assert densities.max() / densities.min() > 1.5
+
+    def test_total_power_default_density(self):
+        fp = make_synthetic_design("X", 5000, 5, 4.0, seed=1)
+        assert fp.total_power == pytest.approx(0.4 * 16.0)
+
+    def test_explicit_total_power(self):
+        fp = make_synthetic_design("X", 5000, 5, 4.0, seed=1, total_power=30.0)
+        assert fp.total_power == pytest.approx(30.0)
+
+    def test_rejects_more_blocks_than_devices(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_design("X", 3, 5, 4.0, seed=1)
+
+
+class TestPaperBenchmarks:
+    @pytest.mark.parametrize("name", ["C1", "C2", "C3", "C4", "C5"])
+    def test_synthetic_benchmark_device_counts(self, name):
+        fp = make_benchmark(name)
+        assert fp.n_devices == BENCHMARK_DEVICE_COUNTS[name]
+
+    def test_case_insensitive(self):
+        assert make_benchmark("c1").n_devices == 50_000
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_benchmark("C9")
+
+    def test_benchmarks_are_stable(self):
+        a = make_benchmark("C2")
+        b = make_benchmark("C2")
+        assert [blk.rect for blk in a.blocks] == [blk.rect for blk in b.blocks]
+
+
+class TestAlphaProcessor:
+    def test_device_count_is_paper_c6(self):
+        fp = make_alpha_processor()
+        assert fp.n_devices == 840_000
+        assert fp.n_devices == BENCHMARK_DEVICE_COUNTS["C6"]
+
+    def test_classic_module_names_present(self):
+        fp = make_alpha_processor()
+        for name in ("icache", "dcache", "bpred", "fpadd", "intexec"):
+            assert name in fp.block_names
+
+    def test_valid_floorplan_geometry(self):
+        fp = make_alpha_processor()
+        # Construction already validates non-overlap/in-die; sanity checks:
+        assert fp.width == 16.0
+        assert 0.9 <= fp.coverage() <= 1.0
+
+    def test_execution_units_hotter_than_caches(self):
+        fp = make_alpha_processor()
+        exec_density = fp.block("intexec").power_density
+        cache_density = fp.block("icache").power_density
+        assert exec_density > 2.0 * cache_density
+
+    def test_make_benchmark_c6_is_alpha(self):
+        fp = make_benchmark("C6")
+        assert fp.block_names == make_alpha_processor().block_names
+
+
+class TestManycore:
+    def test_tile_layout(self):
+        fp = make_manycore(n_cores_x=3, n_cores_y=2, die_size=6.0)
+        assert fp.n_blocks == 6
+        assert fp.coverage() == pytest.approx(1.0)
+
+    def test_active_cores_hotter(self):
+        fp = make_manycore(
+            n_cores_x=2, n_cores_y=2, active_cores=(0,), core_power=4.0
+        )
+        powers = [b.power for b in fp.blocks]
+        assert powers[0] == pytest.approx(4.0)
+        assert powers[1] == pytest.approx(0.4)
+
+    def test_default_diagonal_band(self):
+        fp = make_manycore(n_cores_x=4, n_cores_y=4)
+        # Diagonal cores are the active ones.
+        assert fp.block("core_0_0").power > fp.block("core_0_1").power
+
+    def test_rejects_bad_active_index(self):
+        with pytest.raises(ConfigurationError):
+            make_manycore(n_cores_x=2, n_cores_y=2, active_cores=(7,))
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ConfigurationError):
+            make_manycore(n_cores_x=0, n_cores_y=2)

@@ -1,0 +1,170 @@
+"""Unit tests for rectangles and regular grids."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec, Rect
+from repro.errors import FloorplanError
+
+
+class TestRect:
+    def test_basic_properties(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.x2 == 4.0
+        assert rect.y2 == 6.0
+        assert rect.area == 12.0
+        assert rect.center == (2.5, 4.0)
+
+    @pytest.mark.parametrize("w,h", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_rejects_non_positive_size(self, w, h):
+        with pytest.raises(FloorplanError):
+            Rect(0.0, 0.0, w, h)
+
+    def test_contains_point_boundary_inclusive(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_point(0.0, 0.0)
+        assert rect.contains_point(1.0, 1.0)
+        assert rect.contains_point(0.5, 0.5)
+        assert not rect.contains_point(1.01, 0.5)
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 4.0, 4.0)
+        inner = Rect(1.0, 1.0, 2.0, 2.0)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_overlap_area_partial(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 2.0, 2.0)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert b.overlap_area(a) == pytest.approx(1.0)
+
+    def test_overlap_area_disjoint_and_touching(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        assert a.overlap_area(Rect(2.0, 2.0, 1.0, 1.0)) == 0.0
+        # Touching edges share no area.
+        assert a.overlap_area(Rect(1.0, 0.0, 1.0, 1.0)) == 0.0
+
+    def test_intersection(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 0.5, 3.0, 1.0)
+        inter = a.intersection(b)
+        assert inter == Rect(1.0, 0.5, 1.0, 1.0)
+        assert a.intersection(Rect(5.0, 5.0, 1.0, 1.0)) is None
+
+    def test_split_horizontal_preserves_area(self):
+        rect = Rect(0.0, 0.0, 4.0, 2.0)
+        left, right = rect.split_horizontal(0.25)
+        assert left.width == pytest.approx(1.0)
+        assert right.x == pytest.approx(1.0)
+        assert left.area + right.area == pytest.approx(rect.area)
+
+    def test_split_vertical_preserves_area(self):
+        rect = Rect(0.0, 0.0, 4.0, 2.0)
+        bottom, top = rect.split_vertical(0.5)
+        assert bottom.height == pytest.approx(1.0)
+        assert top.y == pytest.approx(1.0)
+        assert bottom.area + top.area == pytest.approx(rect.area)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 1.5])
+    def test_split_rejects_bad_fraction(self, fraction):
+        with pytest.raises(FloorplanError):
+            Rect(0.0, 0.0, 1.0, 1.0).split_horizontal(fraction)
+
+    def test_distance_between_centers(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)  # centre (1, 1)
+        b = Rect(3.0, 4.0, 2.0, 2.0)  # centre (4, 5)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+
+class TestGridSpec:
+    def test_cell_counts_and_sizes(self):
+        grid = GridSpec(nx=4, ny=2, width=8.0, height=2.0)
+        assert grid.n_cells == 8
+        assert grid.cell_width == pytest.approx(2.0)
+        assert grid.cell_height == pytest.approx(1.0)
+        assert grid.diagonal == pytest.approx(np.hypot(8.0, 2.0))
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(FloorplanError):
+            GridSpec(nx=0, ny=2, width=1.0, height=1.0)
+        with pytest.raises(FloorplanError):
+            GridSpec(nx=2, ny=2, width=0.0, height=1.0)
+
+    def test_cell_rect_row_major(self):
+        grid = GridSpec(nx=3, ny=2, width=3.0, height=2.0)
+        assert grid.cell_rect(0) == Rect(0.0, 0.0, 1.0, 1.0)
+        assert grid.cell_rect(2) == Rect(2.0, 0.0, 1.0, 1.0)
+        assert grid.cell_rect(3) == Rect(0.0, 1.0, 1.0, 1.0)
+
+    def test_cell_rect_index_bounds(self):
+        grid = GridSpec(nx=2, ny=2, width=2.0, height=2.0)
+        with pytest.raises(FloorplanError):
+            grid.cell_rect(4)
+        with pytest.raises(FloorplanError):
+            grid.cell_rect(-1)
+
+    def test_cell_of_point_round_trip(self):
+        grid = GridSpec(nx=5, ny=5, width=5.0, height=5.0)
+        for index in range(grid.n_cells):
+            cx, cy = grid.cell_rect(index).center
+            assert grid.cell_of_point(cx, cy) == index
+
+    def test_cell_of_point_clamps_boundary(self):
+        grid = GridSpec(nx=2, ny=2, width=2.0, height=2.0)
+        assert grid.cell_of_point(2.0, 2.0) == 3
+
+    def test_cell_of_point_rejects_outside(self):
+        grid = GridSpec(nx=2, ny=2, width=2.0, height=2.0)
+        with pytest.raises(FloorplanError):
+            grid.cell_of_point(-0.1, 1.0)
+
+    def test_cell_centers_shape_and_order(self):
+        grid = GridSpec(nx=2, ny=3, width=2.0, height=3.0)
+        centers = grid.cell_centers()
+        assert centers.shape == (6, 2)
+        np.testing.assert_allclose(centers[0], [0.5, 0.5])
+        np.testing.assert_allclose(centers[1], [1.5, 0.5])
+        np.testing.assert_allclose(centers[2], [0.5, 1.5])
+
+    def test_pairwise_distances_symmetric_zero_diag(self):
+        grid = GridSpec(nx=3, ny=3, width=3.0, height=3.0)
+        dist = grid.pairwise_center_distances()
+        assert dist.shape == (9, 9)
+        np.testing.assert_allclose(dist, dist.T)
+        np.testing.assert_allclose(np.diag(dist), 0.0)
+        assert dist[0, 1] == pytest.approx(1.0)
+        assert dist[0, 4] == pytest.approx(np.sqrt(2.0))
+
+    def test_overlap_fractions_sum_to_one_on_die(self):
+        grid = GridSpec(nx=4, ny=4, width=4.0, height=4.0)
+        rect = Rect(0.5, 0.5, 2.0, 1.5)
+        fractions = grid.overlap_fractions(rect)
+        assert fractions.shape == (16,)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_overlap_fractions_single_cell(self):
+        grid = GridSpec(nx=2, ny=2, width=2.0, height=2.0)
+        rect = Rect(0.1, 0.1, 0.5, 0.5)  # entirely in cell 0
+        fractions = grid.overlap_fractions(rect)
+        assert fractions[0] == pytest.approx(1.0)
+        assert fractions[1:].sum() == pytest.approx(0.0)
+
+    def test_overlap_fractions_even_split(self):
+        grid = GridSpec(nx=2, ny=1, width=2.0, height=1.0)
+        rect = Rect(0.5, 0.0, 1.0, 1.0)  # half in each column
+        fractions = grid.overlap_fractions(rect)
+        np.testing.assert_allclose(fractions, [0.5, 0.5])
+
+    def test_field_to_image_shape(self):
+        grid = GridSpec(nx=3, ny=2, width=3.0, height=2.0)
+        image = grid.field_to_image(np.arange(6.0))
+        assert image.shape == (2, 3)
+        assert image[0, 2] == 2.0
+        assert image[1, 0] == 3.0
+
+    def test_field_to_image_rejects_wrong_size(self):
+        grid = GridSpec(nx=3, ny=2, width=3.0, height=2.0)
+        with pytest.raises(ValueError):
+            grid.field_to_image(np.arange(5.0))

@@ -1,0 +1,118 @@
+"""Unit tests for burn-in / screening analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.burnin import BurnInAnalyzer, ExtrinsicDefectModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def analyzer(request):
+    return request.getfixturevalue("small_analyzer")
+
+
+@pytest.fixture(scope="module")
+def defects():
+    return ExtrinsicDefectModel(
+        density=5.0e-7, alpha=5.0e5, beta=0.4, acceleration=2000.0
+    )
+
+
+class TestExtrinsicDefectModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExtrinsicDefectModel(density=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExtrinsicDefectModel(beta=1.5)  # wearout slopes not allowed
+        with pytest.raises(ConfigurationError):
+            ExtrinsicDefectModel(acceleration=0.5)
+
+    def test_exponent_monotone_in_time(self, defects):
+        e1 = defects.exponent(1e5, t_use=1e3, t_stress=0.0)
+        e2 = defects.exponent(1e5, t_use=1e4, t_stress=0.0)
+        assert 0.0 < e1 < e2
+
+    def test_burnin_advances_effective_age(self, defects):
+        no_burnin = defects.exponent(1e5, t_use=1e3, t_stress=0.0)
+        with_burnin = defects.exponent(1e5, t_use=1e3, t_stress=10.0)
+        assert with_burnin > no_burnin
+
+    def test_decreasing_hazard(self, defects):
+        # Infant mortality: most of the defect failure probability is
+        # consumed early.
+        area = 1e5
+        first_decade = defects.exponent(area, 1e2, 0.0)
+        second_decade = defects.exponent(area, 1e3, 0.0) - first_decade
+        assert first_decade > second_decade / 9.0  # strongly front-loaded
+
+
+class TestBurnInIntrinsicOnly:
+    def test_burnin_consumes_intrinsic_life(self, analyzer):
+        """With no defect population, burn-in can only hurt: wearout slope
+        above 1 means no infant mortality to screen."""
+        burnin = BurnInAnalyzer(analyzer, defects=None)
+        warranty = analyzer.lifetime(1000)  # observable failure level
+        f_none = burnin.field_failure_probability(warranty, 0.0)
+        f_some = burnin.field_failure_probability(warranty, 24.0)
+        assert f_some >= f_none
+
+    def test_zero_burnin_matches_static_analysis(self, analyzer):
+        burnin = BurnInAnalyzer(analyzer, defects=None)
+        t10 = analyzer.lifetime(10)
+        assert burnin.survival(t10, 0.0) == pytest.approx(
+            float(analyzer.reliability(t10)), abs=1e-9
+        )
+
+    def test_yield_decreases_with_burnin_time(self, analyzer):
+        burnin = BurnInAnalyzer(analyzer, defects=None)
+        yields = [burnin.burnin_yield(t) for t in (0.0, 10.0, 100.0)]
+        assert yields[0] == pytest.approx(1.0)
+        assert yields[0] >= yields[1] >= yields[2]
+
+    def test_stress_condition_accelerates(self, analyzer):
+        mild = BurnInAnalyzer(
+            analyzer, burnin_temperature=105.0, burnin_vdd=1.25, defects=None
+        )
+        harsh = BurnInAnalyzer(
+            analyzer, burnin_temperature=140.0, burnin_vdd=1.6, defects=None
+        )
+        assert harsh.burnin_yield(24.0) <= mild.burnin_yield(24.0)
+
+
+class TestBurnInWithDefects:
+    def test_burnin_pays_off_with_infant_mortality(self, analyzer, defects):
+        burnin = BurnInAnalyzer(analyzer, defects=defects)
+        warranty = 5.0 * 8766.0  # five years
+        f_none = burnin.field_failure_probability(warranty, 0.0)
+        f_screened = burnin.field_failure_probability(warranty, 12.0)
+        assert f_screened < f_none
+
+    def test_optimizer_finds_interior_optimum(self, analyzer, defects):
+        burnin = BurnInAnalyzer(analyzer, defects=defects)
+        warranty = 5.0 * 8766.0
+        candidates = np.array([0.0, 1.0, 6.0, 24.0, 96.0, 384.0])
+        best, curve = burnin.optimize_burnin(warranty, candidates)
+        assert set(curve) == set(candidates.tolist())
+        # Screening helps, so "no burn-in" is not optimal...
+        assert best > 0.0
+        # ...but unbounded burn-in consumes intrinsic life: the curve must
+        # eventually turn back up (or the longest candidate is not best).
+        assert curve[best] <= min(curve.values())
+
+    def test_optimizer_picks_zero_without_defects(self, analyzer):
+        burnin = BurnInAnalyzer(analyzer, defects=None)
+        warranty = analyzer.lifetime(1000)
+        best, _curve = burnin.optimize_burnin(
+            warranty, np.array([0.0, 24.0, 96.0])
+        )
+        assert best == 0.0
+
+    def test_validation(self, analyzer, defects):
+        burnin = BurnInAnalyzer(analyzer, defects=defects)
+        with pytest.raises(ConfigurationError):
+            burnin.survival(-1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            burnin.field_failure_probability(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            burnin.optimize_burnin(1e4, np.array([]))

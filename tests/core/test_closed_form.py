@@ -1,0 +1,171 @@
+"""Unit tests for the closed-form conditional reliability (eq. (9)-(18))."""
+
+import numpy as np
+import pytest
+from scipy import integrate, stats as sps
+
+from repro.core.closed_form import (
+    block_failure,
+    block_survival,
+    conditional_chip_reliability_exact,
+    conditional_chip_reliability_taylor,
+    device_conditional_reliability,
+    log_g,
+    safe_log_t_ratio,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLogG:
+    def test_matches_gaussian_integral(self):
+        """g(u, v) is the exact integral of eq. (17): compare against
+        numerical quadrature of phi((x-u)/sqrt(v)) * (t/alpha)^(b x)."""
+        u, v, b = 2.2, 2.5e-4, 1.4
+        log_t_ratio = -8.0
+        expected, _ = integrate.quad(
+            lambda x: sps.norm.pdf(x, u, np.sqrt(v))
+            * np.exp(log_t_ratio * b * x),
+            u - 10.0 * np.sqrt(v),
+            u + 10.0 * np.sqrt(v),
+        )
+        assert np.exp(log_g(u, v, log_t_ratio, b)) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_zero_variance_reduces_to_point(self):
+        u, b, log_t_ratio = 2.2, 1.4, -10.0
+        assert log_g(u, 0.0, log_t_ratio, b) == pytest.approx(
+            log_t_ratio * b * u
+        )
+
+    def test_variance_increases_g(self):
+        # Thickness spread always hurts: the thin tail dominates.
+        base = log_g(2.2, 0.0, -10.0, 1.4)
+        spread = log_g(2.2, 3e-4, -10.0, 1.4)
+        assert spread > base
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ConfigurationError):
+            log_g(2.2, 1e-4, -10.0, 0.0)
+
+
+class TestBlockSurvival:
+    def test_in_unit_interval(self):
+        log_t = np.linspace(-30.0, 2.0, 50)
+        s = block_survival(2.2, 2e-4, log_t, 1.4, 1e5)
+        assert np.all(s >= 0.0)
+        assert np.all(s <= 1.0)
+
+    def test_monotone_decreasing_in_time(self):
+        log_t = np.linspace(-20.0, -2.0, 50)
+        s = block_survival(2.2, 2e-4, log_t, 1.4, 1e5)
+        assert np.all(np.diff(s) <= 1e-15)
+
+    def test_failure_complementary(self):
+        log_t = np.linspace(-12.0, -4.0, 10)
+        s = block_survival(2.2, 2e-4, log_t, 1.4, 1e5)
+        f = block_failure(2.2, 2e-4, log_t, 1.4, 1e5)
+        np.testing.assert_allclose(s + f, 1.0, atol=1e-12)
+
+    def test_failure_precise_in_deep_tail(self):
+        # expm1 path keeps precision where 1 - exp(-x) ~ x ~ 1e-12.
+        f = block_failure(2.2, 2e-4, np.array([-20.0]), 1.4, 1e5)
+        assert 0.0 < f[0] < 1e-6
+
+    def test_area_scaling(self):
+        log_t = np.array([-10.0])
+        f1 = block_failure(2.2, 2e-4, log_t, 1.4, 1e4)
+        f2 = block_failure(2.2, 2e-4, log_t, 1.4, 2e4)
+        # In the rare-failure regime failure probability is ~linear in area.
+        assert f2[0] == pytest.approx(2.0 * f1[0], rel=1e-3)
+
+    def test_thicker_oxide_more_reliable(self):
+        log_t = np.array([-10.0])
+        thin = block_failure(2.1, 2e-4, log_t, 1.4, 1e5)
+        thick = block_failure(2.3, 2e-4, log_t, 1.4, 1e5)
+        assert thick[0] < thin[0]
+
+    def test_no_overflow_far_future(self):
+        s = block_survival(2.2, 2e-4, np.array([50.0]), 1.4, 1e6)
+        assert s[0] == 0.0
+
+
+class TestDeviceConditionalReliability:
+    def test_matches_weibull(self):
+        alpha, b, x, area = 1e8, 1.4, 2.2, 2.0
+        t = np.array([1e4, 1e6])
+        expected = np.exp(-area * (t / alpha) ** (b * x))
+        np.testing.assert_allclose(
+            device_conditional_reliability(t, x, alpha, b, area), expected
+        )
+
+    def test_at_time_zero(self):
+        assert device_conditional_reliability(0.0, 2.2, 1e8, 1.4) == 1.0
+
+    def test_vector_thickness(self):
+        x = np.array([2.1, 2.2, 2.3])
+        r = device_conditional_reliability(1e6, x, 1e8, 1.4)
+        assert np.all(np.diff(r) > 0.0)  # thicker -> more reliable
+
+
+class TestConditionalChipReliability:
+    @pytest.fixture()
+    def chip(self):
+        n = 4
+        return dict(
+            u=np.full(n, 2.2),
+            v=np.full(n, 2e-4),
+            log_t_ratios=np.full(n, -9.0),
+            bs=np.full(n, 1.4),
+            areas=np.full(n, 2e4),
+        )
+
+    def test_exact_is_product_form(self, chip):
+        value = conditional_chip_reliability_exact(**chip)
+        single = block_survival(2.2, 2e-4, np.array([-9.0]), 1.4, 2e4)[0]
+        assert value == pytest.approx(single**4, rel=1e-9)
+
+    def test_taylor_close_to_exact_when_reliable(self, chip):
+        exact = conditional_chip_reliability_exact(**chip)
+        taylor = conditional_chip_reliability_taylor(**chip)
+        assert taylor == pytest.approx(exact, abs=1e-6)
+
+    def test_taylor_undershoots_far_in_time(self, chip):
+        chip["log_t_ratios"] = np.full(4, -0.5)
+        raw = conditional_chip_reliability_taylor(**chip, clip=False)
+        clipped = conditional_chip_reliability_taylor(**chip, clip=True)
+        assert raw < 0.0
+        assert clipped == 0.0
+
+    def test_taylor_upper_bounds_exact(self, chip):
+        # 1 - sum(1-s_j) <= prod(s_j) for s_j in [0, 1].
+        for lt in (-12.0, -8.0, -5.0, -2.0):
+            chip["log_t_ratios"] = np.full(4, lt)
+            exact = conditional_chip_reliability_exact(**chip)
+            taylor = conditional_chip_reliability_taylor(**chip, clip=False)
+            assert taylor <= exact + 1e-12
+
+    def test_shape_mismatch_rejected(self, chip):
+        chip["bs"] = np.full(3, 1.4)
+        with pytest.raises(ConfigurationError):
+            conditional_chip_reliability_exact(**chip)
+
+
+class TestSafeLogTRatio:
+    def test_regular_values(self):
+        np.testing.assert_allclose(
+            safe_log_t_ratio(np.array([1.0, np.e]), 1.0), [0.0, 1.0]
+        )
+
+    def test_zero_time_maps_to_minus_inf(self):
+        out = safe_log_t_ratio(np.array([0.0, 1.0]), 2.0)
+        assert out[0] == -np.inf
+        assert np.isfinite(out[1])
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            safe_log_t_ratio(np.array([-1.0]), 1.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            safe_log_t_ratio(np.array([1.0]), 0.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the guard-band baseline (eq. (33)-(34))."""
+
+import numpy as np
+import pytest
+
+from repro.core.guardband import GuardBandAnalyzer
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def guard():
+    return GuardBandAnalyzer(
+        total_area=1e5, alpha_worst=1e8, b_worst=1.4, x_min=2.112
+    )
+
+
+class TestGuardBandAnalyzer:
+    def test_reliability_form(self, guard):
+        t = 1e4
+        expected = np.exp(-1e5 * (t / 1e8) ** (1.4 * 2.112))
+        assert guard.reliability(t) == pytest.approx(expected, rel=1e-12)
+
+    def test_lifetime_closed_form(self, guard):
+        r_req = 1.0 - 1e-5
+        expected = 1e8 * (-np.log(r_req) / 1e5) ** (1.0 / (1.4 * 2.112))
+        assert guard.lifetime(r_req) == pytest.approx(expected, rel=1e-12)
+
+    def test_lifetime_reliability_round_trip(self, guard):
+        r_req = 1.0 - 1e-6
+        t = guard.lifetime(r_req)
+        assert guard.reliability(t) == pytest.approx(r_req, abs=1e-12)
+
+    def test_failure_probability_stable_in_tail(self, guard):
+        t = guard.lifetime(1.0 - 1e-9)
+        f = guard.failure_probability(t)
+        assert f == pytest.approx(1e-9, rel=1e-6)
+
+    def test_larger_area_shorter_lifetime(self):
+        small = GuardBandAnalyzer(1e4, 1e8, 1.4, 2.112)
+        large = GuardBandAnalyzer(1e6, 1e8, 1.4, 2.112)
+        r = 1.0 - 1e-5
+        assert large.lifetime(r) < small.lifetime(r)
+
+    def test_thinner_guard_band_shorter_lifetime(self):
+        thick = GuardBandAnalyzer(1e5, 1e8, 1.4, 2.2)
+        thin = GuardBandAnalyzer(1e5, 1e8, 1.4, 2.0)
+        assert thin.lifetime(1.0 - 1e-5) < thick.lifetime(1.0 - 1e-5)
+
+    def test_monotone_reliability(self, guard):
+        t = np.logspace(2.0, 7.0, 30)
+        assert np.all(np.diff(guard.reliability(t)) < 0.0)
+
+    def test_scalar_and_vector(self, guard):
+        t = np.array([1e3, 1e4])
+        vec = guard.reliability(t)
+        assert vec.shape == (2,)
+        assert guard.reliability(1e3) == pytest.approx(vec[0])
+
+    def test_rejects_bad_target(self, guard):
+        with pytest.raises(ConfigurationError):
+            guard.lifetime(0.0)
+        with pytest.raises(ConfigurationError):
+            guard.lifetime(1.0)
+
+    def test_rejects_negative_time(self, guard):
+        with pytest.raises(ConfigurationError):
+            guard.reliability(np.array([-1.0]))
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            GuardBandAnalyzer(0.0, 1e8, 1.4, 2.1)
+        with pytest.raises(ConfigurationError):
+            GuardBandAnalyzer(1e5, 1e8, 1.4, -2.1)
+
+
+class TestGuardVsStatistical:
+    def test_guard_is_pessimistic(self, small_analyzer):
+        """Table III: guard-band underestimates lifetime by ~half."""
+        lt_stat = small_analyzer.lifetime(10, method="st_fast")
+        lt_guard = small_analyzer.lifetime(10, method="guard")
+        assert lt_guard < lt_stat
+        error = 1.0 - lt_guard / lt_stat
+        assert 0.25 < error < 0.75

@@ -1,0 +1,166 @@
+"""Unit tests for the Monte-Carlo reference engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import (
+    MonteCarloEngine,
+    ResidualBinning,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    return request.getfixturevalue("small_analyzer").mc_engine
+
+
+@pytest.fixture(scope="module")
+def times(request):
+    analyzer = request.getfixturevalue("small_analyzer")
+    center = analyzer.lifetime(10, method="st_fast")
+    return np.logspace(np.log10(center) - 0.6, np.log10(center) + 0.8, 8)
+
+
+class TestResidualBinning:
+    def test_probabilities_sum_to_one(self):
+        binning = ResidualBinning(n_bins=64, z_max=5.0)
+        assert binning.probabilities.sum() == pytest.approx(1.0, abs=1e-12)
+        assert binning.centers.shape == (64,)
+
+    def test_centers_symmetric(self):
+        binning = ResidualBinning(n_bins=100)
+        np.testing.assert_allclose(
+            binning.centers, -binning.centers[::-1], atol=1e-12
+        )
+
+    def test_moments_of_binned_normal(self):
+        binning = ResidualBinning(n_bins=256, z_max=6.0)
+        mean = binning.probabilities @ binning.centers
+        var = binning.probabilities @ binning.centers**2
+        assert mean == pytest.approx(0.0, abs=1e-12)
+        assert var == pytest.approx(1.0, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResidualBinning(n_bins=2)
+        with pytest.raises(ConfigurationError):
+            ResidualBinning(z_max=0.0)
+
+
+class TestReliabilityCurve:
+    def test_curve_shape_and_monotonicity(self, engine, times, rng):
+        curve = engine.reliability_curve(times, 200, rng)
+        assert curve.reliability.shape == times.shape
+        assert np.all((0.0 <= curve.reliability) & (curve.reliability <= 1.0))
+        assert np.all(np.diff(curve.reliability) <= 1e-12)
+        assert curve.n_chips == 200
+
+    def test_std_error_shrinks_with_chips(self, engine, times):
+        small = engine.reliability_curve(times, 100, np.random.default_rng(0))
+        large = engine.reliability_curve(times, 800, np.random.default_rng(0))
+        # Compare where failure is resolvable.
+        idx = -1
+        assert large.std_error[idx] < small.std_error[idx]
+
+    def test_matches_st_fast(self, engine, times, small_analyzer, rng):
+        """The paper's core accuracy claim at design scale."""
+        curve = engine.reliability_curve(times, 600, rng)
+        f_mc = curve.failure_probability()
+        f_fast = np.asarray(small_analyzer.st_fast.failure_probability(times))
+        mask = f_fast > 1e-10
+        np.testing.assert_allclose(f_mc[mask], f_fast[mask], rtol=0.15)
+
+    def test_failure_probability_complement(self, engine, times, rng):
+        curve = engine.reliability_curve(times, 100, rng)
+        np.testing.assert_allclose(
+            curve.failure_probability(), 1.0 - curve.reliability
+        )
+
+    def test_time_zero_included(self, engine, rng):
+        curve = engine.reliability_curve(np.array([0.0, 1e5]), 50, rng)
+        assert curve.reliability[0] == pytest.approx(1.0)
+
+    def test_rejects_too_few_chips(self, engine, times, rng):
+        with pytest.raises(ConfigurationError):
+            engine.reliability_curve(times, 1, rng)
+
+    def test_rejects_negative_times(self, engine, rng):
+        with pytest.raises(ConfigurationError):
+            engine.reliability_curve(np.array([-1.0]), 10, rng)
+
+
+class TestExactVsBinned:
+    def test_modes_agree(self, small_analyzer, times):
+        binned = MonteCarloEngine(
+            small_analyzer.sampler,
+            small_analyzer.blocks,
+            device_mode="binned",
+            chunk_size=50,
+        )
+        exact = MonteCarloEngine(
+            small_analyzer.sampler,
+            small_analyzer.blocks,
+            device_mode="exact",
+            chunk_size=50,
+        )
+        c_binned = binned.reliability_curve(
+            times, 400, np.random.default_rng(3)
+        )
+        c_exact = exact.reliability_curve(times, 400, np.random.default_rng(3))
+        f_b = c_binned.failure_probability()
+        f_e = c_exact.failure_probability()
+        mask = f_e > 1e-10
+        np.testing.assert_allclose(f_b[mask], f_e[mask], rtol=0.25)
+
+    def test_unknown_mode_rejected(self, small_analyzer):
+        with pytest.raises(ConfigurationError):
+            MonteCarloEngine(
+                small_analyzer.sampler,
+                small_analyzer.blocks,
+                device_mode="quantum",
+            )
+
+    def test_block_order_mismatch_rejected(self, small_analyzer):
+        with pytest.raises(ConfigurationError):
+            MonteCarloEngine(
+                small_analyzer.sampler, small_analyzer.blocks[::-1]
+            )
+
+
+class TestFailureTimes:
+    def test_all_positive_finite(self, engine, rng):
+        ft = engine.failure_times(300, rng)
+        assert ft.shape == (300,)
+        assert np.all(ft > 0.0)
+        assert np.all(np.isfinite(ft))
+
+    def test_quantiles_match_reliability_curve(self, engine, rng):
+        """Weakest-link sampling and conditional-reliability averaging are
+        two estimators of the same distribution."""
+        ft = engine.failure_times(3000, rng)
+        for q in (0.05, 0.25, 0.5):
+            t_q = float(np.quantile(ft, q))
+            curve = engine.reliability_curve(
+                np.array([t_q]), 400, np.random.default_rng(17)
+            )
+            assert 1.0 - curve.reliability[0] == pytest.approx(q, abs=0.05)
+
+    def test_exact_mode_agrees(self, small_analyzer, rng):
+        exact = MonteCarloEngine(
+            small_analyzer.sampler,
+            small_analyzer.blocks,
+            device_mode="exact",
+            chunk_size=50,
+        )
+        ft_binned = small_analyzer.mc_engine.failure_times(
+            1500, np.random.default_rng(5)
+        )
+        ft_exact = exact.failure_times(1500, np.random.default_rng(6))
+        assert np.median(ft_exact) == pytest.approx(
+            np.median(ft_binned), rel=0.1
+        )
+
+    def test_rejects_zero_chips(self, engine, rng):
+        with pytest.raises(ConfigurationError):
+            engine.failure_times(0, rng)

@@ -1,0 +1,155 @@
+"""Unit tests for the device-level OBD model."""
+
+import numpy as np
+import pytest
+
+from repro.core.obd_model import (
+    DeviceReliabilityParams,
+    OBDModel,
+    TabulatedOBDModel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDeviceReliabilityParams:
+    def test_beta_linear_in_thickness(self):
+        params = DeviceReliabilityParams(alpha=1e8, b=1.4)
+        assert params.beta(2.2) == pytest.approx(1.4 * 2.2)
+        assert params.beta(2.0) == pytest.approx(2.8)
+
+    def test_weibull_law_construction(self):
+        params = DeviceReliabilityParams(alpha=1e8, b=1.4)
+        law = params.weibull(thickness=2.2, area=3.0)
+        assert law.alpha == 1e8
+        assert law.beta == pytest.approx(3.08)
+        assert law.area == 3.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            DeviceReliabilityParams(alpha=0.0, b=1.0)
+        with pytest.raises(ConfigurationError):
+            DeviceReliabilityParams(alpha=1.0, b=-1.0)
+
+
+class TestOBDModel:
+    def test_reference_point(self, obd_model):
+        assert obd_model.alpha(obd_model.t_ref) == pytest.approx(
+            obd_model.alpha_ref
+        )
+        assert obd_model.b(obd_model.t_ref) == pytest.approx(obd_model.b_ref)
+
+    def test_hotter_is_less_reliable(self, obd_model):
+        assert obd_model.alpha(120.0) < obd_model.alpha(100.0)
+        assert obd_model.alpha(100.0) < obd_model.alpha(70.0)
+
+    def test_arrhenius_form(self, obd_model):
+        # ln(alpha) is linear in 1/T.
+        from repro.units import BOLTZMANN_EV, celsius_to_kelvin
+
+        t1, t2 = 80.0, 110.0
+        ratio = obd_model.alpha(t1) / obd_model.alpha(t2)
+        expected = np.exp(
+            obd_model.activation_energy
+            / BOLTZMANN_EV
+            * (1.0 / celsius_to_kelvin(t1) - 1.0 / celsius_to_kelvin(t2))
+        )
+        assert ratio == pytest.approx(expected, rel=1e-10)
+
+    def test_meaningful_acceleration_over_30c(self, obd_model):
+        # A hot-spot/inactive-region temperature difference of ~30 degC
+        # costs a multiple of the characteristic life.
+        acceleration = obd_model.lifetime_acceleration(hot=100.0, cool=70.0)
+        assert 2.0 < acceleration < 20.0
+
+    def test_voltage_acceleration(self, obd_model):
+        assert obd_model.alpha(100.0, vdd=1.3) < obd_model.alpha(100.0, vdd=1.2)
+        # Stress voltages shorten life by many orders of magnitude.
+        assert obd_model.alpha(100.0, vdd=3.1) < obd_model.alpha(100.0) * 1e-8
+
+    def test_voltage_temperature_interplay(self, obd_model):
+        # Higher voltage lowers the effective activation energy (Wu).
+        ea_nom = obd_model.effective_activation_energy(1.2)
+        ea_high = obd_model.effective_activation_energy(1.5)
+        assert ea_high < ea_nom
+
+    def test_ea_clamped_at_extreme_voltage(self, obd_model):
+        assert obd_model.effective_activation_energy(10.0) == pytest.approx(0.05)
+
+    def test_b_decreases_with_temperature(self, obd_model):
+        assert obd_model.b(125.0) < obd_model.b(75.0)
+
+    def test_b_out_of_range_raises(self, obd_model):
+        with pytest.raises(ConfigurationError):
+            obd_model.b(100.0 + 2.0 / abs(obd_model.b_temp_slope))
+
+    def test_block_params_list(self, obd_model):
+        temps = np.array([70.0, 85.0, 100.0])
+        params = obd_model.block_params(temps)
+        assert len(params) == 3
+        assert params[0].alpha > params[1].alpha > params[2].alpha
+
+    def test_invalid_vdd(self, obd_model):
+        with pytest.raises(ConfigurationError):
+            obd_model.alpha(100.0, vdd=0.0)
+
+    def test_invalid_temperature(self, obd_model):
+        with pytest.raises(ValueError):
+            obd_model.alpha(-300.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            OBDModel(alpha_ref=0.0)
+        with pytest.raises(ConfigurationError):
+            OBDModel(b_ref=-1.0)
+        with pytest.raises(ConfigurationError):
+            OBDModel(activation_energy=0.0)
+
+
+class TestTabulatedOBDModel:
+    @pytest.fixture()
+    def table(self, obd_model):
+        temps = np.linspace(40.0, 130.0, 10)
+        return TabulatedOBDModel.from_model(obd_model, temps)
+
+    def test_round_trip_at_table_points(self, table, obd_model):
+        assert table.alpha(70.0) == pytest.approx(obd_model.alpha(70.0), rel=1e-10)
+        assert table.b(70.0) == pytest.approx(obd_model.b(70.0), rel=1e-10)
+
+    def test_interpolation_between_points(self, table, obd_model):
+        # Log-linear interpolation of an Arrhenius law in celsius is not
+        # exact but very close over a 10 degC spacing.
+        assert table.alpha(87.3) == pytest.approx(obd_model.alpha(87.3), rel=0.01)
+        assert table.b(87.3) == pytest.approx(obd_model.b(87.3), rel=1e-6)
+
+    def test_monotone_alpha(self, table):
+        temps = np.linspace(40.0, 130.0, 50)
+        alphas = [table.alpha(float(t)) for t in temps]
+        assert np.all(np.diff(alphas) < 0.0)
+
+    def test_out_of_range_raises(self, table):
+        with pytest.raises(ConfigurationError):
+            table.alpha(30.0)
+        with pytest.raises(ConfigurationError):
+            table.b(140.0)
+
+    def test_block_params(self, table):
+        params = table.block_params(np.array([50.0, 100.0]))
+        assert params[0].alpha > params[1].alpha
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedOBDModel(
+                np.array([1.0]), np.array([1.0]), np.array([1.0])
+            )
+        with pytest.raises(ConfigurationError):
+            TabulatedOBDModel(
+                np.array([2.0, 1.0]),
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+            )
+        with pytest.raises(ConfigurationError):
+            TabulatedOBDModel(
+                np.array([1.0, 2.0]),
+                np.array([1.0, -1.0]),
+                np.array([1.0, 1.0]),
+            )

@@ -1,0 +1,195 @@
+"""Systematic cross-validation of the three statistical evaluators.
+
+The paper's core correctness claim is that st_fast, st_mc and hybrid are
+interchangeable estimates of the same ensemble reliability. This suite
+sweeps the modelling space — variation magnitude, component split,
+correlation distance, grid resolution, temperature spread — and asserts
+the evaluators stay mutually consistent and the physical orderings hold at
+every point.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnalysisConfig,
+    OBDModel,
+    ReliabilityAnalyzer,
+    VariationBudget,
+    make_synthetic_design,
+)
+
+_BASE_CONFIG = AnalysisConfig(grid_size=6, st_mc_samples=6000)
+
+
+def _analyzer(budget=None, config=None, temps=None, floorplan=None):
+    if floorplan is None:
+        floorplan = make_synthetic_design("XV", 8000, 5, 2.5, seed=99)
+    return ReliabilityAnalyzer(
+        floorplan,
+        budget=budget,
+        config=config if config is not None else _BASE_CONFIG,
+        block_temperatures=temps,
+    )
+
+
+def _assert_methods_agree(analyzer, rel=0.05):
+    lt_fast = analyzer.lifetime(10, method="st_fast")
+    lt_mc = analyzer.lifetime(10, method="st_mc")
+    lt_hyb = analyzer.lifetime(10, method="hybrid")
+    assert lt_mc == pytest.approx(lt_fast, rel=rel)
+    assert lt_hyb == pytest.approx(lt_fast, rel=rel)
+    return lt_fast
+
+
+class TestAcrossVariationMagnitude:
+    @pytest.mark.parametrize("three_sigma", [0.01, 0.02, 0.04, 0.08])
+    def test_methods_agree(self, three_sigma):
+        budget = VariationBudget(three_sigma_ratio=three_sigma)
+        _assert_methods_agree(_analyzer(budget=budget))
+
+    def test_lifetime_monotone_in_variation(self):
+        lifetimes = []
+        for three_sigma in (0.01, 0.04, 0.08):
+            budget = VariationBudget(three_sigma_ratio=three_sigma)
+            lifetimes.append(_analyzer(budget=budget).lifetime(10))
+        assert lifetimes[0] > lifetimes[1] > lifetimes[2]
+
+    def test_guard_gap_grows_with_variation(self):
+        gaps = []
+        for three_sigma in (0.01, 0.08):
+            budget = VariationBudget(three_sigma_ratio=three_sigma)
+            analyzer = _analyzer(budget=budget)
+            gap = 1.0 - analyzer.lifetime(10, "guard") / analyzer.lifetime(10)
+            gaps.append(gap)
+        assert gaps[1] > gaps[0]
+
+
+class TestAcrossComponentSplit:
+    @pytest.mark.parametrize(
+        "split",
+        [
+            (0.8, 0.1, 0.1),
+            (0.1, 0.8, 0.1),
+            (0.1, 0.1, 0.8),
+            (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+        ],
+    )
+    def test_methods_agree(self, split):
+        g, s, i = split
+        budget = VariationBudget(
+            global_fraction=g, spatial_fraction=s, independent_fraction=i
+        )
+        _assert_methods_agree(_analyzer(budget=budget))
+
+    def test_ppm_lifetime_depends_only_on_total_variance(self):
+        """In the rare-failure (ppm) regime the chip failure probability
+        linearises to the device-level expectation, so only the *total*
+        thickness variance matters — the component split is irrelevant.
+        (A notable consequence of the model, verified here; the split
+        matters for the failure-time *dispersion*, next test.)"""
+        lifetimes = []
+        for split in ((0.9, 0.05, 0.05), (0.05, 0.05, 0.9)):
+            budget = VariationBudget(
+                global_fraction=split[0],
+                spatial_fraction=split[1],
+                independent_fraction=split[2],
+            )
+            lifetimes.append(_analyzer(budget=budget).lifetime(1))
+        assert lifetimes[0] == pytest.approx(lifetimes[1], rel=0.01)
+
+    def test_global_heavy_split_widens_failure_dispersion(self):
+        """Global variation moves whole chips together: good chips and bad
+        chips, i.e. a wider chip failure-time distribution than the
+        self-averaging independent component produces."""
+        spreads = {}
+        for name, split in {
+            "global": (0.9, 0.05, 0.05),
+            "independent": (0.05, 0.05, 0.9),
+        }.items():
+            budget = VariationBudget(
+                global_fraction=split[0],
+                spatial_fraction=split[1],
+                independent_fraction=split[2],
+            )
+            analyzer = _analyzer(budget=budget)
+            failure_times = analyzer.mc_failure_times(n_chips=800, seed=4)
+            log_t = np.log(failure_times)
+            spreads[name] = float(
+                np.quantile(log_t, 0.9) - np.quantile(log_t, 0.1)
+            )
+        assert spreads["global"] > spreads["independent"]
+
+
+class TestAcrossCorrelationStructure:
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 1.5])
+    def test_methods_agree(self, rho):
+        config = dataclasses.replace(_BASE_CONFIG, rho_dist=rho)
+        _assert_methods_agree(_analyzer(config=config))
+
+    @pytest.mark.parametrize("grid", [3, 8, 14])
+    def test_methods_agree_across_grid_resolution(self, grid):
+        config = dataclasses.replace(_BASE_CONFIG, grid_size=grid)
+        _assert_methods_agree(_analyzer(config=config))
+
+    @pytest.mark.parametrize("kernel", ["exponential", "gaussian", "linear"])
+    def test_methods_agree_across_kernels(self, kernel):
+        config = dataclasses.replace(_BASE_CONFIG, kernel=kernel)
+        _assert_methods_agree(_analyzer(config=config))
+
+
+class TestAcrossTemperatureProfiles:
+    @pytest.mark.parametrize("spread", [0.0, 10.0, 30.0])
+    def test_methods_agree(self, spread):
+        temps = 85.0 + np.linspace(-spread / 2.0, spread / 2.0, 5)
+        _assert_methods_agree(_analyzer(temps=temps))
+
+    def test_uniform_profile_equals_temp_unaware(self):
+        """With a flat thermal profile the temperature-unaware analysis is
+        identical to the aware one."""
+        temps = np.full(5, 90.0)
+        analyzer = _analyzer(temps=temps)
+        lt_aware = analyzer.lifetime(10, "st_fast")
+        lt_unaware = analyzer.lifetime(10, "temp_unaware")
+        assert lt_unaware == pytest.approx(lt_aware, rel=1e-9)
+
+    def test_unaware_error_grows_with_spread(self):
+        errors = []
+        for spread in (5.0, 30.0):
+            temps = 85.0 + np.linspace(-spread / 2.0, spread / 2.0, 5)
+            analyzer = _analyzer(temps=temps)
+            errors.append(
+                1.0
+                - analyzer.lifetime(10, "temp_unaware")
+                / analyzer.lifetime(10, "st_fast")
+            )
+        assert errors[1] > errors[0]
+
+
+class TestAcrossObdCalibrations:
+    @pytest.mark.parametrize("b_ref", [0.7, 1.4, 2.0])
+    def test_methods_agree(self, b_ref):
+        floorplan = make_synthetic_design("XV", 8000, 5, 2.5, seed=99)
+        analyzer = ReliabilityAnalyzer(
+            floorplan,
+            obd_model=OBDModel(b_ref=b_ref),
+            config=_BASE_CONFIG,
+        )
+        _assert_methods_agree(analyzer)
+
+    def test_ordering_invariant_under_calibration(self):
+        """guard <= temp_unaware <= st_fast lifetimes at every b."""
+        floorplan = make_synthetic_design("XV", 8000, 5, 2.5, seed=99)
+        for b_ref in (0.7, 2.0):
+            analyzer = ReliabilityAnalyzer(
+                floorplan,
+                obd_model=OBDModel(b_ref=b_ref),
+                config=_BASE_CONFIG,
+            )
+            lt = {
+                m: analyzer.lifetime(10, m)
+                for m in ("guard", "temp_unaware", "st_fast")
+            }
+            assert lt["guard"] <= lt["temp_unaware"] <= lt["st_fast"]

@@ -1,0 +1,95 @@
+"""Unit tests for JSON setup serialisation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import AnalysisConfig, OBDModel, VariationBudget
+from repro.errors import ConfigurationError
+from repro.io.design_json import (
+    FORMAT_VERSION,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_setup,
+    save_setup,
+    setup_from_dict,
+    setup_to_dict,
+)
+
+
+class TestFloorplanRoundTrip:
+    def test_exact_round_trip(self, small_floorplan):
+        rebuilt = floorplan_from_dict(floorplan_to_dict(small_floorplan))
+        assert rebuilt.width == small_floorplan.width
+        assert rebuilt.block_names == small_floorplan.block_names
+        for a, b in zip(small_floorplan.blocks, rebuilt.blocks):
+            assert a.rect == b.rect
+            assert a.n_devices == b.n_devices
+            assert a.avg_device_area == b.avg_device_area
+            assert a.power == b.power
+
+    def test_json_serialisable(self, small_floorplan):
+        text = json.dumps(floorplan_to_dict(small_floorplan))
+        rebuilt = floorplan_from_dict(json.loads(text))
+        assert rebuilt.n_devices == small_floorplan.n_devices
+
+    def test_missing_field_rejected(self, small_floorplan):
+        data = floorplan_to_dict(small_floorplan)
+        del data["blocks"][0]["n_devices"]
+        with pytest.raises(ConfigurationError, match="missing field"):
+            floorplan_from_dict(data)
+
+
+class TestSetupRoundTrip:
+    def test_full_round_trip(self, small_floorplan):
+        budget = VariationBudget(three_sigma_ratio=0.05)
+        obd = OBDModel(alpha_ref=1e9, b_ref=1.1)
+        config = AnalysisConfig(grid_size=7, rho_dist=0.3, vdd=1.15)
+        data = setup_to_dict(small_floorplan, budget, obd, config)
+        fp2, budget2, obd2, config2 = setup_from_dict(data)
+        assert fp2.n_devices == small_floorplan.n_devices
+        assert budget2 == budget
+        assert obd2 == obd
+        assert config2 == config
+
+    def test_defaults_filled(self, small_floorplan):
+        data = setup_to_dict(small_floorplan)
+        _fp, budget, obd, config = setup_from_dict(data)
+        assert budget == VariationBudget.table2()
+        assert obd == OBDModel()
+        assert config == AnalysisConfig()
+
+    def test_version_checked(self, small_floorplan):
+        data = setup_to_dict(small_floorplan)
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            setup_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path, small_floorplan):
+        path = tmp_path / "setup.json"
+        save_setup(path, small_floorplan, config=AnalysisConfig(grid_size=5))
+        fp, _budget, _obd, config = load_setup(path)
+        assert fp.block_names == small_floorplan.block_names
+        assert config.grid_size == 5
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid"):
+            load_setup(path)
+
+    def test_analysis_equivalence(self, tmp_path, small_floorplan, fast_config):
+        """A reloaded setup produces the identical analysis result."""
+        from repro import ReliabilityAnalyzer
+
+        path = tmp_path / "setup.json"
+        temps_source = ReliabilityAnalyzer(small_floorplan, config=fast_config)
+        save_setup(path, small_floorplan, config=fast_config)
+        fp, budget, obd, config = load_setup(path)
+        reloaded = ReliabilityAnalyzer(
+            fp, budget=budget, obd_model=obd, config=config
+        )
+        assert reloaded.lifetime(10) == pytest.approx(
+            temps_source.lifetime(10), rel=1e-12
+        )

@@ -1,0 +1,106 @@
+"""Failure-injection tests: corrupted or hostile inputs must fail loudly.
+
+A production tool's I/O layer sees truncated files, wrong formats and
+stale archives; every such case must raise a library error (never crash
+with a bare traceback from numpy/json internals, never silently produce
+wrong numbers).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridAnalyzer
+from repro.errors import ConfigurationError, ReproError
+from repro.io.design_json import load_setup
+from repro.io.hotspot_files import parse_flp, read_flp
+from repro.io.tables import load_hybrid_tables, parse_obd_table
+
+
+class TestCorruptedFlp:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "b -1e-3 1e-3 0 0\n",  # negative width
+            "b 1e-3 1e-3 nan 0\n",  # NaN coordinate -> invalid rect math
+            "b 1e-3\n",  # truncated row
+        ],
+    )
+    def test_geometry_errors_are_library_errors(self, text):
+        with pytest.raises(ReproError):
+            parse_flp(text)
+
+    def test_overlapping_blocks_rejected(self):
+        text = (
+            "a 2e-3 2e-3 0 0\n"
+            "b 2e-3 2e-3 1e-3 1e-3\n"  # overlaps a
+        )
+        with pytest.raises(ReproError, match="overlap"):
+            parse_flp(text)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_flp(tmp_path / "nope.flp")
+
+
+class TestCorruptedSetups:
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"format_version": 1, "floorplan": ')
+        with pytest.raises(ConfigurationError):
+            load_setup(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"format_version": 1, "flooplan": {}}))
+        with pytest.raises((ConfigurationError, KeyError)):
+            load_setup(path)
+
+    def test_hostile_values(self, tmp_path, small_floorplan):
+        from repro.io.design_json import setup_to_dict
+
+        data = setup_to_dict(small_floorplan)
+        data["budget"]["three_sigma_ratio"] = -1.0
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            load_setup(path)
+
+
+class TestCorruptedObdTables:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",  # empty
+            "temperature_c,alpha_hours,b_per_nm\n",  # header only
+            "temperature_c,alpha_hours,b_per_nm\n100,-1,1\n50,1,1\n",
+        ],
+    )
+    def test_invalid_tables_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_obd_table(text)
+
+
+class TestStaleLutArchives:
+    def test_truncated_archive(self, tmp_path, small_analyzer):
+        path = tmp_path / "lut.npz"
+        path.write_bytes(b"PK\x03\x04 garbage")
+        with pytest.raises(Exception):
+            load_hybrid_tables(path, small_analyzer.blocks)
+
+    def test_shape_tampered_archive(self, tmp_path, small_analyzer):
+        blocks = small_analyzer.blocks
+        hybrid = HybridAnalyzer(blocks, n_alpha=10, n_b=10)
+        path = tmp_path / "lut.npz"
+        np.savez_compressed(
+            path,
+            log_t_axis=hybrid.log_t_axis,
+            b_axis=hybrid.b_axis,
+            tables=hybrid.tables[:, :5, :],  # truncated tables
+            alphas=np.array([b.alpha for b in blocks]),
+            bs=np.array([b.b for b in blocks]),
+            names=np.array([b.name for b in blocks]),
+        )
+        with pytest.raises(ConfigurationError, match="shape"):
+            load_hybrid_tables(path, blocks)

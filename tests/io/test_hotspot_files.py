@@ -1,0 +1,165 @@
+"""Unit tests for HotSpot .flp and .ptrace file support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.hotspot_files import (
+    apply_ptrace_sample,
+    format_flp,
+    format_ptrace,
+    parse_flp,
+    parse_ptrace,
+    read_flp,
+    read_ptrace,
+    write_flp,
+    write_ptrace,
+)
+
+_SAMPLE_FLP = """
+# a 2 mm x 2 mm die with two blocks (dimensions in metres)
+core\t2.0e-3\t1.0e-3\t0.0\t0.0
+cache\t2.0e-3\t1.0e-3\t0.0\t1.0e-3   # top half
+"""
+
+_SAMPLE_PTRACE = """
+core\tcache
+2.0\t0.5
+3.0\t0.6
+"""
+
+
+class TestFlpParsing:
+    def test_geometry_converted_to_mm(self):
+        fp = parse_flp(_SAMPLE_FLP)
+        assert fp.width == pytest.approx(2.0)
+        assert fp.height == pytest.approx(2.0)
+        core = fp.block("core")
+        assert core.rect.width == pytest.approx(2.0)
+        assert core.rect.height == pytest.approx(1.0)
+        cache = fp.block("cache")
+        assert cache.rect.y == pytest.approx(1.0)
+
+    def test_device_density_estimate(self):
+        fp = parse_flp(_SAMPLE_FLP, device_density=1000.0)
+        # Each block is 2 mm^2 -> 2000 devices.
+        assert fp.block("core").n_devices == 2000
+
+    def test_explicit_device_counts(self):
+        fp = parse_flp(_SAMPLE_FLP, device_counts={"core": 5555})
+        assert fp.block("core").n_devices == 5555
+        assert fp.block("cache").n_devices > 0
+
+    def test_comments_and_blanks_ignored(self):
+        fp = parse_flp("# only\n\nb 1e-3 1e-3 0 0\n")
+        assert fp.n_blocks == 1
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            parse_flp("b 1e-3 1e-3 0\n")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            parse_flp("b w h x y\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="no blocks"):
+            parse_flp("# nothing\n")
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            parse_flp(_SAMPLE_FLP, device_density=0.0)
+
+
+class TestFlpRoundTrip:
+    def test_write_read_round_trip(self, tmp_path, small_floorplan):
+        path = tmp_path / "design.flp"
+        write_flp(small_floorplan, path)
+        counts = {
+            block.name: block.n_devices for block in small_floorplan.blocks
+        }
+        loaded = read_flp(path, device_counts=counts)
+        assert loaded.block_names == small_floorplan.block_names
+        for original, roundtrip in zip(small_floorplan.blocks, loaded.blocks):
+            assert roundtrip.rect.x == pytest.approx(original.rect.x, abs=1e-6)
+            assert roundtrip.rect.area == pytest.approx(
+                original.rect.area, rel=1e-6
+            )
+            assert roundtrip.n_devices == original.n_devices
+
+    def test_format_is_hotspot_shaped(self, small_floorplan):
+        text = format_flp(small_floorplan)
+        lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(lines) == small_floorplan.n_blocks
+        parts = lines[0].split("\t")
+        assert len(parts) == 5
+
+
+class TestPtrace:
+    def test_parse(self):
+        names, powers = parse_ptrace(_SAMPLE_PTRACE)
+        assert names == ["core", "cache"]
+        np.testing.assert_allclose(powers, [[2.0, 0.5], [3.0, 0.6]])
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.ptrace"
+        write_ptrace(["a", "b"], np.array([[1.0, 2.0]]), path)
+        names, powers = read_ptrace(path)
+        assert names == ["a", "b"]
+        np.testing.assert_allclose(powers, [[1.0, 2.0]])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            parse_ptrace("a b\n1.0\n")
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            parse_ptrace("a\n-1.0\n")
+
+    def test_rejects_headerless(self):
+        with pytest.raises(ConfigurationError):
+            parse_ptrace("a\n")
+
+    def test_format_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            format_ptrace(["a", "b"], np.array([[1.0]]))
+
+
+class TestApplyPtrace:
+    def test_applies_row(self):
+        fp = parse_flp(_SAMPLE_FLP)
+        names, powers = parse_ptrace(_SAMPLE_PTRACE)
+        updated = apply_ptrace_sample(fp, names, powers, sample=1)
+        assert updated.block("core").power == pytest.approx(3.0)
+        assert updated.block("cache").power == pytest.approx(0.6)
+
+    def test_rejects_unknown_names(self):
+        fp = parse_flp(_SAMPLE_FLP)
+        with pytest.raises(ConfigurationError):
+            apply_ptrace_sample(fp, ["zzz"], np.array([[1.0]]))
+
+    def test_rejects_bad_sample_index(self):
+        fp = parse_flp(_SAMPLE_FLP)
+        names, powers = parse_ptrace(_SAMPLE_PTRACE)
+        with pytest.raises(ConfigurationError):
+            apply_ptrace_sample(fp, names, powers, sample=5)
+
+
+class TestEndToEnd:
+    def test_flp_to_reliability(self, tmp_path):
+        """A HotSpot floorplan drives the full analysis."""
+        from repro import AnalysisConfig, ReliabilityAnalyzer
+
+        path = tmp_path / "chip.flp"
+        path.write_text(
+            "hot\t1.0e-3\t1.0e-3\t0.0\t0.0\n"
+            "cold\t1.0e-3\t1.0e-3\t1.0e-3\t0.0\n"
+        )
+        fp = read_flp(path, device_density=3000.0)
+        fp = fp.with_powers({"hot": 1.5, "cold": 0.1})
+        analyzer = ReliabilityAnalyzer(
+            fp, config=AnalysisConfig(grid_size=4)
+        )
+        assert analyzer.lifetime(10) > 0.0

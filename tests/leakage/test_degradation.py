@@ -1,0 +1,132 @@
+"""Unit tests for the SBD-to-HBD leakage degradation simulator (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.obd_model import OBDModel
+from repro.errors import ConfigurationError
+from repro.leakage.degradation import (
+    DegradationParams,
+    GateLeakageSimulator,
+)
+from repro.stats.weibull import AreaScaledWeibull
+
+
+@pytest.fixture()
+def stress_law():
+    # A stressed device: 3.1 V at 100 degC accelerates breakdown to hours.
+    model = OBDModel()
+    params = model.device_params(100.0, vdd=3.1)
+    return AreaScaledWeibull(alpha=params.alpha, beta=params.b * 2.2, area=1.0)
+
+
+@pytest.fixture()
+def simulator(stress_law):
+    return GateLeakageSimulator(stress_law)
+
+
+class TestDegradationParams:
+    def test_defaults_valid(self):
+        params = DegradationParams()
+        assert params.sbd_jump_ratio > 1.0
+
+    def test_rejects_non_increasing_sbd(self):
+        with pytest.raises(ConfigurationError):
+            DegradationParams(sbd_jump_ratio=0.9)
+
+    def test_rejects_hbd_below_sbd(self):
+        with pytest.raises(ConfigurationError):
+            DegradationParams(sbd_jump_ratio=20.0, hbd_current_ratio=10.0)
+
+
+class TestGateLeakageSimulator:
+    def test_stress_accelerates_breakdown(self, stress_law):
+        nominal = OBDModel().device_params(100.0, vdd=1.2)
+        assert stress_law.alpha < nominal.alpha / 1e6
+
+    def test_flat_before_sbd(self, simulator, rng):
+        trace = simulator.simulate_until_hbd(rng)
+        before = trace.times < trace.sbd_time
+        assert before.sum() > 0
+        np.testing.assert_allclose(
+            trace.current[before], simulator.params.baseline_current
+        )
+
+    def test_jump_at_sbd(self, simulator, rng):
+        trace = simulator.simulate_until_hbd(rng)
+        after = trace.times >= trace.sbd_time
+        first_after = trace.current[after][0]
+        ratio = first_after / simulator.params.baseline_current
+        # The paper quotes a 10-20x jump.
+        assert ratio > 0.5 * simulator.params.sbd_jump_ratio
+
+    def test_monotone_growth_after_sbd(self, simulator, rng):
+        trace = simulator.simulate_until_hbd(rng)
+        after = trace.current[trace.times >= trace.sbd_time]
+        assert np.all(np.diff(after) >= -1e-18)
+
+    def test_hbd_reached_and_after_sbd(self, simulator, rng):
+        trace = simulator.simulate_until_hbd(rng)
+        assert trace.reached_hbd
+        assert trace.hbd_time > trace.sbd_time
+        hbd_level = (
+            simulator.params.hbd_current_ratio
+            * simulator.params.baseline_current
+        )
+        assert trace.current[-1] >= hbd_level or trace.reached_hbd
+
+    def test_leakage_ratio_normalised(self, simulator, rng):
+        trace = simulator.simulate_until_hbd(rng)
+        ratio = trace.leakage_ratio()
+        assert ratio[0] == pytest.approx(1.0)
+        assert ratio.max() >= simulator.params.hbd_current_ratio * 0.5
+
+    def test_no_breakdown_within_short_window(self, simulator, rng):
+        # A window of 1e-6 characteristic lives has a ~1e-(6*beta) SBD
+        # probability: the trace stays flat at baseline.
+        horizon = 1e-6 * simulator.sbd_law.characteristic_life()
+        times = np.linspace(horizon / 50.0, horizon, 50)
+        trace = simulator.simulate(times, rng)
+        assert not trace.reached_hbd
+        np.testing.assert_allclose(
+            trace.current, simulator.params.baseline_current
+        )
+
+    def test_sbd_times_follow_weibull(self, stress_law, rng):
+        simulator = GateLeakageSimulator(stress_law)
+        horizon = 50.0 * stress_law.characteristic_life()
+        times = np.linspace(1e-6, horizon, 64)
+        draws = []
+        for _ in range(400):
+            trace = simulator.simulate(times, rng, max_breakdowns=1)
+            if np.isfinite(trace.sbd_time):
+                draws.append(trace.sbd_time)
+        draws = np.array(draws)
+        assert len(draws) > 350
+        # Median of the Weibull law vs empirical median.
+        assert np.median(draws) == pytest.approx(
+            stress_law.ppf(0.5), rel=0.2
+        )
+
+    def test_path_current_grows_as_power_law(self, simulator):
+        p = simulator.params
+        tau = simulator.growth_time_constant
+        i1 = simulator.path_current(np.array(tau))
+        i0 = simulator.path_current(np.array(0.0))
+        assert i1 / i0 == pytest.approx(2.0**p.growth_exponent)
+
+    def test_growth_time_scales_with_stress(self, stress_law):
+        relaxed = AreaScaledWeibull(
+            alpha=stress_law.alpha * 100.0, beta=stress_law.beta
+        )
+        fast = GateLeakageSimulator(stress_law)
+        slow = GateLeakageSimulator(relaxed)
+        assert slow.growth_time_constant == pytest.approx(
+            100.0 * fast.growth_time_constant
+        )
+
+    def test_simulate_validates_grid(self, simulator, rng):
+        with pytest.raises(ConfigurationError):
+            simulator.simulate(np.array([3.0, 2.0, 1.0]), rng)
+        with pytest.raises(ConfigurationError):
+            simulator.simulate(np.array([5.0]), rng)

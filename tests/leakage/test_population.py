@@ -1,0 +1,118 @@
+"""Unit tests for chip-level SBD leakage population modeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.leakage.degradation import DegradationParams
+from repro.leakage.population import ChipLeakagePopulation
+from repro.stats.weibull import AreaScaledWeibull
+
+
+@pytest.fixture(scope="module")
+def population():
+    # A stressed operating point so events appear within the test window.
+    law = AreaScaledWeibull(alpha=1.0e6, beta=3.0, area=1.0)
+    return ChipLeakagePopulation(
+        sbd_law=law, total_area=1.0e5, params=DegradationParams()
+    )
+
+
+class TestExpectedEvents:
+    def test_weibull_hazard_form(self, population):
+        t = 1e4
+        expected = 1e5 * (t / 1e6) ** 3.0
+        assert population.expected_events(t) == pytest.approx(expected)
+
+    def test_monotone(self, population):
+        times = np.logspace(3, 5, 10)
+        events = np.asarray(population.expected_events(times))
+        assert np.all(np.diff(events) > 0.0)
+
+    def test_matches_poisson_sampler(self, population, rng):
+        horizon = 3e4
+        traces = population.sample_total_current(
+            np.array([horizon]), n_chips=400, rng=rng
+        )
+        # Count chips with at least one event (trace above baseline).
+        frac_hit = float((traces[:, 0] > population.baseline_current()).mean())
+        mean_events = float(population.expected_events(horizon))
+        expected_frac = 1.0 - np.exp(-mean_events)
+        assert frac_hit == pytest.approx(expected_frac, abs=0.08)
+
+
+class TestExpectedExtraCurrent:
+    def test_zero_at_time_zero(self, population):
+        assert population.expected_extra_current(0.0) == 0.0
+
+    def test_monotone_growth(self, population):
+        values = [
+            population.expected_extra_current(t) for t in (1e3, 1e4, 5e4)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_matches_monte_carlo(self, population, rng):
+        times = np.array([2e4, 4e4])
+        traces = population.sample_total_current(times, n_chips=1500, rng=rng)
+        extra = traces - population.baseline_current()
+        for k, t in enumerate(times):
+            analytic = population.expected_extra_current(float(t))
+            mc = float(extra[:, k].mean())
+            se = float(extra[:, k].std(ddof=1) / np.sqrt(len(extra)))
+            assert abs(mc - analytic) < max(5.0 * se, 0.05 * analytic)
+
+    def test_rejects_negative_time(self, population):
+        with pytest.raises(ConfigurationError):
+            population.expected_extra_current(-1.0)
+
+
+class TestSampler:
+    def test_traces_monotone(self, population, rng):
+        times = np.linspace(1e3, 5e4, 20)
+        traces = population.sample_total_current(times, n_chips=30, rng=rng)
+        assert np.all(np.diff(traces, axis=1) >= -1e-18)
+
+    def test_baseline_floor(self, population, rng):
+        times = np.linspace(1e3, 5e4, 5)
+        traces = population.sample_total_current(times, n_chips=30, rng=rng)
+        assert np.all(traces >= population.baseline_current() - 1e-18)
+
+    def test_validation(self, population, rng):
+        with pytest.raises(ConfigurationError):
+            population.sample_total_current(np.array([2.0, 1.0]), 5, rng)
+        with pytest.raises(ConfigurationError):
+            population.sample_total_current(np.array([1.0]), 0, rng)
+
+
+class TestTimeToBudget:
+    def test_budget_round_trip(self, population):
+        t = population.time_to_budget(budget_ratio=1.5)
+        extra = population.expected_extra_current(t)
+        assert extra == pytest.approx(
+            0.5 * population.baseline_current(), rel=1e-6
+        )
+
+    def test_larger_budget_later(self, population):
+        assert population.time_to_budget(2.0) > population.time_to_budget(1.2)
+
+    def test_rejects_sub_unity_budget(self, population):
+        with pytest.raises(ConfigurationError):
+            population.time_to_budget(0.9)
+
+    def test_leakage_criterion_vs_first_breakdown(self, population):
+        """A 10%-leakage-budget end of life lands *after* the time of the
+        first expected breakdown but within a few characteristic decades —
+        the regime the paper's SBD criterion conservatively bounds."""
+        t_budget = population.time_to_budget(1.1)
+        # Time at which one SBD is expected on the chip:
+        t_first = population.sbd_law.alpha * (
+            1.0 / population.total_area
+        ) ** (1.0 / population.sbd_law.beta)
+        assert t_budget > t_first
+
+
+class TestValidation:
+    def test_rejects_bad_area(self):
+        law = AreaScaledWeibull(alpha=1e6, beta=2.0)
+        with pytest.raises(ConfigurationError):
+            ChipLeakagePopulation(sbd_law=law, total_area=0.0)

@@ -1,0 +1,73 @@
+"""Property-based tests on the analysis pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AnalysisConfig,
+    ReliabilityAnalyzer,
+    VariationBudget,
+    make_synthetic_design,
+)
+from repro.core.lifetime import ppm_to_reliability
+
+
+@st.composite
+def budgets(draw):
+    g = draw(st.floats(min_value=0.1, max_value=0.8))
+    s = draw(st.floats(min_value=0.1, max_value=0.9 - g))
+    return VariationBudget(
+        nominal_thickness=draw(st.floats(min_value=1.5, max_value=3.0)),
+        three_sigma_ratio=draw(st.floats(min_value=0.01, max_value=0.08)),
+        global_fraction=g,
+        spatial_fraction=s,
+        independent_fraction=1.0 - g - s,
+    )
+
+
+_CONFIG = AnalysisConfig(grid_size=4, st_mc_samples=1000)
+
+
+class TestAnalyzerProperties:
+    @given(budgets(), st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=10, deadline=None)
+    def test_lifetime_positive_and_guard_pessimistic(self, budget, seed):
+        design = make_synthetic_design("P", 3000, 3, 2.0, seed=seed)
+        analyzer = ReliabilityAnalyzer(design, budget=budget, config=_CONFIG)
+        lt_stat = analyzer.lifetime(10)
+        lt_guard = analyzer.lifetime(10, method="guard")
+        assert lt_stat > 0.0
+        assert lt_guard <= lt_stat
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=8, deadline=None)
+    def test_reliability_curve_valid(self, seed):
+        design = make_synthetic_design("P", 3000, 3, 2.0, seed=seed)
+        analyzer = ReliabilityAnalyzer(design, config=_CONFIG)
+        t10 = analyzer.lifetime(10)
+        times = np.logspace(np.log10(t10) - 1.0, np.log10(t10) + 2.0, 15)
+        r = np.asarray(analyzer.reliability(times))
+        assert np.all((0.0 <= r) & (r <= 1.0))
+        assert np.all(np.diff(r) <= 1e-12)
+
+    @given(
+        st.floats(min_value=0.5, max_value=500.0),
+        st.floats(min_value=1.5, max_value=10.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_lifetime_monotone_in_ppm(self, ppm, factor):
+        design = make_synthetic_design("P", 3000, 3, 2.0, seed=11)
+        analyzer = ReliabilityAnalyzer(design, config=_CONFIG)
+        assert analyzer.lifetime(ppm) < analyzer.lifetime(ppm * factor)
+
+    @given(st.floats(min_value=0.5, max_value=1000.0))
+    @settings(max_examples=10, deadline=None)
+    def test_lifetime_solves_target(self, ppm):
+        design = make_synthetic_design("P", 3000, 3, 2.0, seed=13)
+        analyzer = ReliabilityAnalyzer(design, config=_CONFIG)
+        t = analyzer.lifetime(ppm)
+        assert float(analyzer.reliability(t)) == pytest.approx(
+            ppm_to_reliability(ppm), abs=1e-9
+        )

@@ -1,0 +1,83 @@
+"""Property-based tests for quadratic-form distribution invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.quadform import QuadraticForm
+
+dims = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def psd_forms(draw):
+    dim = draw(dims)
+    raw = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(dim, dim),
+            elements=st.floats(min_value=-2.0, max_value=2.0),
+        )
+    )
+    matrix = raw @ raw.T / dim + 1e-6 * np.eye(dim)
+    offset = draw(st.floats(min_value=0.0, max_value=10.0))
+    return QuadraticForm(offset=offset, matrix=matrix)
+
+
+class TestQuadraticFormProperties:
+    @given(psd_forms())
+    def test_mean_at_least_offset(self, form):
+        assert form.mean() >= form.offset
+
+    @given(psd_forms())
+    def test_variance_nonnegative(self, form):
+        assert form.var() >= 0.0
+
+    @given(psd_forms())
+    def test_psd_forms_right_skewed(self, form):
+        assert form.skewness() >= -1e-12
+
+    @given(psd_forms())
+    @settings(max_examples=30)
+    def test_chi2_match_preserves_two_moments(self, form):
+        match = form.chi2_match()
+        assert abs(match.mean() - form.mean()) < 1e-9 * max(form.mean(), 1.0)
+        assert abs(match.var() - form.var()) < 1e-9 * max(form.var(), 1.0)
+
+    @given(psd_forms())
+    @settings(max_examples=30)
+    def test_chi2_match_cdf_monotone_bounded(self, form):
+        match = form.chi2_match()
+        xs = np.linspace(match.ppf(1e-6), match.ppf(1.0 - 1e-6), 25)
+        cdf = match.cdf(xs)
+        assert np.all(cdf >= 0.0)
+        assert np.all(cdf <= 1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    @given(psd_forms(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_samples_above_offset(self, form, seed):
+        samples = form.sample(np.random.default_rng(seed), 200)
+        assert np.all(samples >= form.offset - 1e-9)
+
+    @given(psd_forms(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15)
+    def test_factor_evaluation_matches_mixture_distribution(self, form, seed):
+        """Both sampling paths draw from the same distribution: compare
+        means (cheap two-sample check)."""
+        rng = np.random.default_rng(seed)
+        direct = form.sample(rng, 4000)
+        z = rng.standard_normal((4000, form.matrix.shape[0]))
+        via_factors = form.sample_from_factors(z)
+        sd = max(form.std(), 1e-12)
+        assert abs(direct.mean() - via_factors.mean()) < 6.0 * sd / np.sqrt(4000) + 1e-9
+
+    @given(psd_forms())
+    @settings(max_examples=10, deadline=None)
+    def test_imhof_consistent_with_chi2_match_median(self, form):
+        match = form.chi2_match()
+        median = float(match.ppf(0.5))
+        imhof = form.imhof_cdf(median)
+        # Two-moment match is accurate near the bulk.
+        assert abs(imhof - 0.5) < 0.15

@@ -1,0 +1,99 @@
+"""Property-based tests for Weibull and closed-form reliability invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closed_form import (
+    block_failure,
+    block_survival,
+    log_g,
+)
+from repro.stats.weibull import AreaScaledWeibull, weakest_link_sf
+
+alphas = st.floats(min_value=1e-2, max_value=1e12)
+betas = st.floats(min_value=0.2, max_value=8.0)
+areas = st.floats(min_value=1e-3, max_value=1e8)
+times = st.floats(min_value=0.0, max_value=1e14)
+
+
+class TestWeibullProperties:
+    @given(alphas, betas, areas, times)
+    def test_cdf_in_unit_interval(self, alpha, beta, area, t):
+        law = AreaScaledWeibull(alpha=alpha, beta=beta, area=area)
+        value = law.cdf(t)
+        assert 0.0 <= value <= 1.0
+
+    @given(alphas, betas, areas, times, times)
+    def test_cdf_monotone(self, alpha, beta, area, t1, t2):
+        law = AreaScaledWeibull(alpha=alpha, beta=beta, area=area)
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert law.cdf(lo) <= law.cdf(hi) + 1e-15
+
+    @given(alphas, betas, areas, st.floats(min_value=1e-9, max_value=1.0 - 1e-9))
+    def test_ppf_inverts_cdf(self, alpha, beta, area, q):
+        law = AreaScaledWeibull(alpha=alpha, beta=beta, area=area)
+        assert law.cdf(law.ppf(q)) == abs(q) or abs(law.cdf(law.ppf(q)) - q) < 1e-9
+
+    @given(alphas, betas, areas, st.floats(min_value=1.1, max_value=100.0), times)
+    def test_more_area_less_reliable(self, alpha, beta, area, factor, t):
+        small = AreaScaledWeibull(alpha=alpha, beta=beta, area=area)
+        large = AreaScaledWeibull(alpha=alpha, beta=beta, area=area * factor)
+        assert large.sf(t) <= small.sf(t) + 1e-15
+
+    @given(alphas, betas, st.integers(min_value=1, max_value=6), times)
+    def test_weakest_link_never_more_reliable_than_any_member(
+        self, alpha, beta, n, t
+    ):
+        laws = [
+            AreaScaledWeibull(alpha=alpha * (1.0 + i), beta=beta, area=1.0 + i)
+            for i in range(n)
+        ]
+        combined = weakest_link_sf(t, laws)
+        for law in laws:
+            assert combined <= law.sf(t) + 1e-15
+
+
+u_values = st.floats(min_value=1.5, max_value=3.0)
+v_values = st.floats(min_value=0.0, max_value=1e-2)
+log_t_ratios = st.floats(min_value=-30.0, max_value=0.0)
+b_values = st.floats(min_value=0.3, max_value=3.0)
+block_areas = st.floats(min_value=1.0, max_value=1e7)
+
+
+class TestClosedFormProperties:
+    @given(u_values, v_values, log_t_ratios, b_values, block_areas)
+    def test_survival_is_probability(self, u, v, lt, b, area):
+        s = block_survival(u, v, np.array([lt]), b, area)
+        assert 0.0 <= s[0] <= 1.0
+
+    @given(u_values, v_values, log_t_ratios, b_values, block_areas)
+    def test_survival_failure_complement(self, u, v, lt, b, area):
+        s = block_survival(u, v, np.array([lt]), b, area)
+        f = block_failure(u, v, np.array([lt]), b, area)
+        assert abs(s[0] + f[0] - 1.0) < 1e-12
+
+    @given(u_values, v_values, b_values, block_areas, st.data())
+    @settings(max_examples=60)
+    def test_survival_monotone_in_time(self, u, v, b, area, data):
+        lt1 = data.draw(log_t_ratios)
+        lt2 = data.draw(log_t_ratios)
+        lo, hi = min(lt1, lt2), max(lt1, lt2)
+        s = block_survival(u, v, np.array([lo, hi]), b, area)
+        assert s[0] >= s[1] - 1e-12
+
+    @given(u_values, v_values, log_t_ratios, b_values)
+    def test_g_increases_with_variance(self, u, v, lt, b):
+        assert log_g(u, v + 1e-4, lt, b) >= log_g(u, v, lt, b)
+
+    @given(u_values, v_values, log_t_ratios, b_values)
+    def test_g_decreases_with_thickness(self, u, v, lt, b):
+        # Thicker mean oxide -> smaller g -> higher reliability
+        # (for t < alpha, i.e. negative log ratio).
+        assert log_g(u + 0.1, v, lt, b) <= log_g(u, v, lt, b) + 1e-12
+
+    @given(u_values, v_values, log_t_ratios, b_values, block_areas)
+    def test_failure_monotone_in_area(self, u, v, lt, b, area):
+        f1 = block_failure(u, v, np.array([lt]), b, area)
+        f2 = block_failure(u, v, np.array([lt]), b, 2.0 * area)
+        assert f2[0] >= f1[0] - 1e-15

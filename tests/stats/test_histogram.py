@@ -1,0 +1,73 @@
+"""Unit tests for histogram diagnostics (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.histogram import empirical_cdf, gaussian_fit_r2, histogram_pdf
+
+
+class TestGaussianFit:
+    def test_gaussian_sample_has_high_r2(self, rng):
+        samples = rng.normal(2.2, 0.015, size=20000)
+        result = gaussian_fit_r2(samples, bins=40)
+        assert result.r_square > 0.98
+        assert result.mean == pytest.approx(2.2, abs=1e-3)
+        assert result.sigma == pytest.approx(0.015, rel=0.05)
+
+    def test_uniform_sample_has_poor_r2(self, rng):
+        samples = rng.uniform(0.0, 1.0, size=20000)
+        result = gaussian_fit_r2(samples, bins=40)
+        assert result.r_square < 0.9
+
+    def test_bimodal_sample_has_poor_r2(self, rng):
+        samples = np.concatenate(
+            [rng.normal(-2.0, 0.3, 10000), rng.normal(2.0, 0.3, 10000)]
+        )
+        result = gaussian_fit_r2(samples, bins=40)
+        assert result.r_square < 0.5
+
+    def test_fitted_density_peaks_at_mean(self, rng):
+        samples = rng.normal(0.0, 1.0, size=5000)
+        result = gaussian_fit_r2(samples, bins=30)
+        fitted = result.fitted_density
+        peak_center = result.bin_centers[np.argmax(fitted)]
+        assert abs(peak_center - result.mean) < 0.5
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_fit_r2(np.arange(5.0))
+
+    def test_rejects_constant_sample(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_fit_r2(np.full(100, 3.0))
+
+    def test_rejects_too_few_bins(self, rng):
+        with pytest.raises(ConfigurationError):
+            gaussian_fit_r2(rng.normal(size=100), bins=2)
+
+
+class TestHistogramPdf:
+    def test_density_normalisation(self, rng):
+        samples = rng.normal(size=5000)
+        centers, density = histogram_pdf(samples, bins=25)
+        width = centers[1] - centers[0]
+        assert (density * width).sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            histogram_pdf(np.array([1.0]))
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_bounded(self, rng):
+        samples = rng.normal(size=1000)
+        xs, cdf = empirical_cdf(samples)
+        assert np.all(np.diff(xs) >= 0.0)
+        assert np.all(np.diff(cdf) > 0.0)
+        assert cdf[0] == pytest.approx(1.0 / 1000)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf(np.array([]))

@@ -1,0 +1,181 @@
+"""Unit tests for the integration rules of eq. (28)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ConfigurationError
+from repro.stats.integration import (
+    NormalDist,
+    PointMass,
+    expectation_2d,
+    expectation_2d_adaptive,
+    gauss_hermite_rule,
+    midpoint_rule,
+    quantile_rule,
+)
+from repro.stats.quadform import Chi2Match
+
+
+@pytest.fixture()
+def normal():
+    return NormalDist(mean=2.2, sigma=0.02)
+
+
+@pytest.fixture()
+def chi2():
+    return Chi2Match(offset=1e-4, scale=2e-5, dof=3.0)
+
+
+class TestNormalDist:
+    def test_pdf_matches_scipy(self, normal):
+        x = np.array([2.15, 2.2, 2.25])
+        np.testing.assert_allclose(
+            normal.pdf(x), sps.norm.pdf(x, 2.2, 0.02), rtol=1e-12
+        )
+
+    def test_ppf_matches_scipy(self, normal):
+        q = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(
+            normal.ppf(q), sps.norm.ppf(q, 2.2, 0.02), rtol=1e-12
+        )
+
+    def test_degenerate(self):
+        dist = NormalDist(mean=1.0, sigma=0.0)
+        assert dist.is_degenerate
+        np.testing.assert_allclose(dist.ppf(np.array([0.1, 0.9])), 1.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NormalDist(mean=0.0, sigma=-1.0)
+
+
+class TestMidpointRule:
+    def test_weights_sum_to_one(self, normal):
+        rule = midpoint_rule(normal, n_points=10)
+        assert rule.weights.sum() == pytest.approx(1.0)
+        assert rule.points.shape == (10,)
+
+    def test_unnormalized_weights_close_to_one(self, normal):
+        rule = midpoint_rule(normal, n_points=50, normalize=False)
+        assert rule.weights.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_points_bracket_distribution(self, normal):
+        rule = midpoint_rule(normal, n_points=10, tail=1e-6)
+        assert rule.points[0] > normal.mean - 6.0 * normal.sigma
+        assert rule.points[-1] < normal.mean + 6.0 * normal.sigma
+        assert np.all(np.diff(rule.points) > 0.0)
+
+    def test_expectation_of_identity(self, normal):
+        rule = midpoint_rule(normal, n_points=10)
+        assert rule.weights @ rule.points == pytest.approx(normal.mean, rel=1e-6)
+
+    def test_expectation_of_square(self, normal):
+        # l0 = 10 already integrates smooth moments well (paper claim).
+        rule = midpoint_rule(normal, n_points=10)
+        second = rule.weights @ rule.points**2
+        assert second == pytest.approx(
+            normal.mean**2 + normal.sigma**2, rel=1e-3
+        )
+
+    def test_works_for_chi2(self, chi2):
+        rule = midpoint_rule(chi2, n_points=10)
+        mean = rule.weights @ rule.points
+        assert mean == pytest.approx(chi2.mean(), rel=0.02)
+
+    def test_point_mass(self):
+        rule = midpoint_rule(PointMass(3.0), n_points=10)
+        assert rule.points.tolist() == [3.0]
+        assert rule.weights.tolist() == [1.0]
+
+    def test_degenerate_normal(self):
+        rule = midpoint_rule(NormalDist(mean=5.0, sigma=0.0), n_points=10)
+        assert rule.points.tolist() == [5.0]
+
+    def test_rejects_bad_args(self, normal):
+        with pytest.raises(ConfigurationError):
+            midpoint_rule(normal, n_points=0)
+        with pytest.raises(ConfigurationError):
+            midpoint_rule(normal, tail=0.7)
+
+
+class TestGaussHermiteRule:
+    def test_integrates_polynomials_exactly(self, normal):
+        rule = gauss_hermite_rule(normal, n_points=8)
+        assert rule.weights.sum() == pytest.approx(1.0, rel=1e-12)
+        assert rule.weights @ rule.points == pytest.approx(normal.mean)
+        assert rule.weights @ rule.points**2 == pytest.approx(
+            normal.mean**2 + normal.sigma**2
+        )
+        third = rule.weights @ rule.points**3
+        expected = normal.mean**3 + 3.0 * normal.mean * normal.sigma**2
+        assert third == pytest.approx(expected)
+
+    def test_integrates_exp(self, normal):
+        # E[e^X] = e^(mu + sigma^2/2) for X ~ N(mu, sigma^2).
+        rule = gauss_hermite_rule(normal, n_points=16)
+        value = rule.weights @ np.exp(rule.points)
+        assert value == pytest.approx(
+            np.exp(normal.mean + normal.sigma**2 / 2.0), rel=1e-10
+        )
+
+    def test_degenerate(self):
+        rule = gauss_hermite_rule(NormalDist(mean=2.0, sigma=0.0))
+        assert rule.points.tolist() == [2.0]
+
+
+class TestQuantileRule:
+    def test_mean_reproduced(self, chi2):
+        rule = quantile_rule(chi2, n_points=200)
+        assert rule.weights @ rule.points == pytest.approx(chi2.mean(), rel=0.01)
+
+    def test_equal_weights(self, chi2):
+        rule = quantile_rule(chi2, n_points=16)
+        np.testing.assert_allclose(rule.weights, 1.0 / 16.0)
+
+    def test_point_mass(self):
+        rule = quantile_rule(PointMass(2.0), n_points=16)
+        assert rule.points.tolist() == [2.0]
+
+
+class TestExpectation2D:
+    def test_separable_function(self, normal, chi2):
+        rule_u = gauss_hermite_rule(normal, n_points=16)
+        rule_v = quantile_rule(chi2, n_points=400)
+        value = expectation_2d(lambda u, v: u * v, rule_u, rule_v)
+        assert value == pytest.approx(normal.mean * chi2.mean(), rel=0.01)
+
+    def test_constant_function(self, normal, chi2):
+        rule_u = midpoint_rule(normal, n_points=10)
+        rule_v = midpoint_rule(chi2, n_points=10)
+        value = expectation_2d(lambda u, v: np.ones_like(u * v), rule_u, rule_v)
+        assert value == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, normal, chi2):
+        rule_u = midpoint_rule(normal, n_points=10)
+        rule_v = midpoint_rule(chi2, n_points=10)
+        with pytest.raises(ConfigurationError):
+            expectation_2d(lambda u, v: np.zeros(3), rule_u, rule_v)
+
+    def test_midpoint_matches_adaptive_reference(self, normal, chi2):
+        # The paper's l0 x l0 midpoint sum against scipy dblquad.
+        def g(u, v):
+            return np.exp(-3.0 * u) * (1.0 + v * 1e3)
+
+        rule_u = midpoint_rule(normal, n_points=10)
+        rule_v = midpoint_rule(chi2, n_points=10)
+        fast = expectation_2d(g, rule_u, rule_v)
+        exact = expectation_2d_adaptive(g, normal, chi2)
+        assert fast == pytest.approx(exact, rel=2e-3)
+
+    def test_adaptive_degenerate_dims(self):
+        u = PointMass(2.0)
+        v = NormalDist(mean=3.0, sigma=0.0)
+        value = expectation_2d_adaptive(lambda a, b: a * b, u, v)
+        assert value == pytest.approx(6.0)
+
+    def test_adaptive_one_degenerate_dim(self, normal):
+        value = expectation_2d_adaptive(
+            lambda u, v: u + v, normal, PointMass(1.0)
+        )
+        assert value == pytest.approx(normal.mean + 1.0, rel=1e-6)

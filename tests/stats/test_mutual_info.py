@@ -1,0 +1,99 @@
+"""Unit tests for the joint-PDF diagnostics (Fig. 6/7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.mutual_info import (
+    correlation_coefficient,
+    joint_pdf_comparison,
+    mutual_information,
+)
+
+
+class TestMutualInformation:
+    def test_independent_variables_near_zero(self, rng):
+        u = rng.normal(size=100000)
+        v = rng.normal(size=100000)
+        mi = mutual_information(u, v, bins=20)
+        assert 0.0 <= mi < 0.01
+
+    def test_identical_variables_high(self, rng):
+        u = rng.normal(size=50000)
+        mi = mutual_information(u, u, bins=20)
+        assert mi > 1.5
+
+    def test_linear_dependence_detected(self, rng):
+        u = rng.normal(size=50000)
+        v = 0.8 * u + 0.2 * rng.normal(size=50000)
+        assert mutual_information(u, v) > 0.5
+
+    def test_nonlinear_dependence_detected(self, rng):
+        # Zero correlation but strong dependence.
+        u = rng.normal(size=50000)
+        v = u**2 + 0.1 * rng.normal(size=50000)
+        assert abs(correlation_coefficient(u, v)) < 0.05
+        assert mutual_information(u, v) > 0.3
+
+    def test_rejects_mismatched_arrays(self, rng):
+        with pytest.raises(ConfigurationError):
+            mutual_information(rng.normal(size=10), rng.normal(size=20))
+
+    def test_symmetry(self, rng):
+        u = rng.normal(size=30000)
+        v = 0.5 * u + rng.normal(size=30000)
+        assert mutual_information(u, v) == pytest.approx(
+            mutual_information(v, u)
+        )
+
+
+class TestJointPdfComparison:
+    def test_independent_pair_small_error(self, rng):
+        u = rng.normal(size=200000)
+        v = rng.chisquare(4, size=200000)
+        cmp = joint_pdf_comparison(u, v, bins=20)
+        # For truly independent variables the normalized error is just
+        # histogram noise.
+        assert cmp.max_normalized_error < 0.15
+
+    def test_dependent_pair_large_error(self, rng):
+        u = rng.normal(size=100000)
+        v = u + 0.1 * rng.normal(size=100000)
+        cmp = joint_pdf_comparison(u, v, bins=20)
+        assert cmp.max_normalized_error > 0.5
+
+    def test_shapes(self, rng):
+        cmp = joint_pdf_comparison(
+            rng.normal(size=5000), rng.normal(size=5000), bins=15
+        )
+        assert cmp.joint.shape == (15, 15)
+        assert cmp.product.shape == (15, 15)
+        assert cmp.u_centers.shape == (15,)
+        assert cmp.normalized_error.shape == (15, 15)
+
+    def test_marginal_product_integrates_to_one(self, rng):
+        cmp = joint_pdf_comparison(
+            rng.normal(size=50000), rng.normal(size=50000), bins=20
+        )
+        du = np.diff(cmp.u_centers).mean()
+        dv = np.diff(cmp.v_centers).mean()
+        assert cmp.product.sum() * du * dv == pytest.approx(1.0, rel=0.02)
+        assert cmp.joint.sum() * du * dv == pytest.approx(1.0, rel=0.02)
+
+    def test_rejects_small_sample(self, rng):
+        with pytest.raises(ConfigurationError):
+            joint_pdf_comparison(rng.normal(size=50), rng.normal(size=50))
+
+
+class TestCorrelationCoefficient:
+    def test_perfect_correlation(self):
+        u = np.arange(100.0)
+        assert correlation_coefficient(u, 2.0 * u + 1.0) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        u = np.arange(100.0)
+        assert correlation_coefficient(u, -u) == pytest.approx(-1.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            correlation_coefficient(np.array([1.0]), np.array([2.0]))

@@ -1,0 +1,147 @@
+"""Unit tests for the area-scaled Weibull distribution."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ConfigurationError
+from repro.stats.weibull import (
+    AreaScaledWeibull,
+    fit_weibull_slope,
+    weakest_link_sf,
+    weibull_plot_coordinates,
+)
+
+
+class TestAreaScaledWeibull:
+    def test_cdf_sf_complementary(self):
+        law = AreaScaledWeibull(alpha=100.0, beta=2.0, area=3.0)
+        t = np.linspace(0.0, 300.0, 20)
+        np.testing.assert_allclose(law.cdf(t) + law.sf(t), 1.0, atol=1e-12)
+
+    def test_characteristic_life_unit_area(self):
+        law = AreaScaledWeibull(alpha=100.0, beta=2.0, area=1.0)
+        assert law.cdf(100.0) == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_area_scaling_weakest_link(self):
+        # A device of area 4 == four unit devices in series.
+        big = AreaScaledWeibull(alpha=100.0, beta=1.5, area=4.0)
+        unit = AreaScaledWeibull(alpha=100.0, beta=1.5, area=1.0)
+        t = np.array([20.0, 60.0, 120.0])
+        np.testing.assert_allclose(big.sf(t), unit.sf(t) ** 4)
+
+    def test_ppf_cdf_round_trip(self):
+        law = AreaScaledWeibull(alpha=55.0, beta=1.3, area=2.5)
+        q = np.array([1e-9, 1e-4, 0.1, 0.5, 0.99])
+        np.testing.assert_allclose(law.cdf(law.ppf(q)), q, rtol=1e-10)
+
+    def test_ppf_rejects_out_of_range(self):
+        law = AreaScaledWeibull(alpha=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            law.ppf(1.0)
+
+    def test_pdf_integrates_to_cdf(self):
+        law = AreaScaledWeibull(alpha=10.0, beta=2.4, area=1.7)
+        t = np.linspace(0.0, 40.0, 20001)
+        integral = np.trapezoid(law.pdf(t), t)
+        assert integral == pytest.approx(law.cdf(40.0), rel=1e-5)
+
+    def test_pdf_zero_at_origin_for_beta_gt_one(self):
+        law = AreaScaledWeibull(alpha=10.0, beta=2.0)
+        assert law.pdf(0.0) == 0.0
+
+    def test_matches_scipy_weibull_min(self):
+        alpha, beta = 42.0, 1.8
+        law = AreaScaledWeibull(alpha=alpha, beta=beta, area=1.0)
+        t = np.array([5.0, 20.0, 60.0])
+        np.testing.assert_allclose(
+            law.cdf(t), sps.weibull_min.cdf(t, beta, scale=alpha), rtol=1e-12
+        )
+
+    def test_mean_against_scipy(self):
+        law = AreaScaledWeibull(alpha=42.0, beta=1.8, area=1.0)
+        assert law.mean() == pytest.approx(
+            sps.weibull_min.mean(1.8, scale=42.0), rel=1e-10
+        )
+
+    def test_mean_decreases_with_area(self):
+        small = AreaScaledWeibull(alpha=42.0, beta=1.8, area=1.0)
+        large = AreaScaledWeibull(alpha=42.0, beta=1.8, area=10.0)
+        assert large.mean() < small.mean()
+
+    def test_sampling_matches_distribution(self, rng):
+        law = AreaScaledWeibull(alpha=30.0, beta=1.4, area=2.0)
+        samples = law.sample(rng, size=40000)
+        result = sps.kstest(samples, law.cdf)
+        assert result.pvalue > 0.01
+
+    def test_hazard_constant_for_beta_one(self):
+        law = AreaScaledWeibull(alpha=10.0, beta=1.0, area=2.0)
+        t = np.array([1.0, 5.0, 20.0])
+        np.testing.assert_allclose(law.hazard(t), 0.2)
+
+    def test_hazard_increasing_for_beta_gt_one(self):
+        law = AreaScaledWeibull(alpha=10.0, beta=2.0)
+        assert law.hazard(2.0) < law.hazard(8.0)
+
+    def test_scaled_to_area(self):
+        law = AreaScaledWeibull(alpha=10.0, beta=2.0, area=1.0)
+        other = law.scaled_to_area(5.0)
+        assert other.area == 5.0
+        assert other.alpha == law.alpha
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0, "beta": 1.0},
+            {"alpha": 1.0, "beta": -1.0},
+            {"alpha": 1.0, "beta": 1.0, "area": 0.0},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AreaScaledWeibull(**kwargs)
+
+
+class TestWeakestLink:
+    def test_product_rule(self):
+        laws = [
+            AreaScaledWeibull(alpha=100.0, beta=1.5, area=2.0),
+            AreaScaledWeibull(alpha=150.0, beta=2.0, area=3.0),
+        ]
+        t = np.array([30.0, 90.0])
+        expected = laws[0].sf(t) * laws[1].sf(t)
+        np.testing.assert_allclose(weakest_link_sf(t, laws), expected)
+
+    def test_single_law_identity(self):
+        law = AreaScaledWeibull(alpha=100.0, beta=1.5)
+        t = np.array([10.0, 50.0])
+        np.testing.assert_allclose(weakest_link_sf(t, [law]), law.sf(t))
+
+    def test_scalar_input(self):
+        law = AreaScaledWeibull(alpha=100.0, beta=1.5)
+        assert isinstance(weakest_link_sf(10.0, [law]), float)
+
+
+class TestWeibullFit:
+    def test_recovers_parameters(self, rng):
+        law = AreaScaledWeibull(alpha=200.0, beta=1.7, area=1.0)
+        samples = law.sample(rng, size=20000)
+        beta_hat, alpha_hat = fit_weibull_slope(samples)
+        assert beta_hat == pytest.approx(1.7, rel=0.05)
+        assert alpha_hat == pytest.approx(200.0, rel=0.05)
+
+    def test_plot_coordinates_monotone(self, rng):
+        law = AreaScaledWeibull(alpha=200.0, beta=1.7)
+        samples = law.sample(rng, size=500)
+        log_t, log_log = weibull_plot_coordinates(samples)
+        assert np.all(np.diff(log_log) > 0.0)
+        assert log_t.shape == log_log.shape
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(ValueError):
+            weibull_plot_coordinates(np.array([1.0, -2.0, 3.0]))
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            weibull_plot_coordinates(np.array([1.0]))

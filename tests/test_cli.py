@@ -1,0 +1,196 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def tiny_args():
+    # A coarse grid keeps CLI invocations fast in tests.
+    return ["--design", "C1", "--grid", "6"]
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_and_setup_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["info", "--design", "C1", "--setup", "x.json"]
+            )
+
+
+class TestInfo:
+    def test_text_output(self, capsys, tiny_args):
+        code, out, _err = _run(capsys, "info", *tiny_args)
+        assert code == 0
+        assert "devices: 50,000" in out
+        assert "block temperatures" in out
+
+    def test_json_output(self, capsys, tiny_args):
+        code, out, _err = _run(capsys, "info", *tiny_args, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["design"]["devices"] == 50_000
+
+
+class TestLifetime:
+    def test_single_method(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys, "lifetime", *tiny_args, "--ppm", "10", "--method", "st_fast"
+        )
+        assert code == 0
+        assert "st_fast" in out
+        assert "years" in out
+
+    def test_multiple_methods_json(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys,
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "st_fast",
+            "guard",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload["lifetime_hours"]) == {"st_fast", "guard"}
+        assert (
+            payload["lifetime_hours"]["guard"]
+            < payload["lifetime_hours"]["st_fast"]
+        )
+
+    def test_mc_method(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys,
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "mc",
+            "--mc-chips",
+            "60",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["lifetime_hours"]["mc"] > 0.0
+
+
+class TestCurve:
+    def test_curve_points(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys,
+            "curve",
+            *tiny_args,
+            "--t-min",
+            "1e5",
+            "--t-max",
+            "1e6",
+            "--points",
+            "5",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["times_hours"]) == 5
+        rel = payload["reliability"]
+        assert all(0.0 <= r <= 1.0 for r in rel)
+        assert rel == sorted(rel, reverse=True)
+
+
+class TestThermal:
+    def test_reports_all_blocks(self, capsys, tiny_args):
+        code, out, _err = _run(capsys, "thermal", *tiny_args, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["block_temperatures_c"]) == 8  # C1 blocks
+        assert payload["spread_c"] > 0.0
+
+
+class TestSensitivity:
+    def test_tornado_output(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys, "sensitivity", *tiny_args, "--ppm", "10"
+        )
+        assert code == 0
+        assert "vdd" in out
+
+    def test_json_output(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys, "sensitivity", *tiny_args, "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["elasticities"]["vdd"] < 0.0
+
+
+class TestReport:
+    def test_one_page_report(self, capsys, tiny_args):
+        code, out, _err = _run(capsys, "report", *tiny_args)
+        assert code == 0
+        assert "failure budget" in out
+        assert "lifetimes:" in out
+
+
+class TestFileInputs:
+    def test_flp_input(self, capsys, tmp_path):
+        flp = tmp_path / "chip.flp"
+        flp.write_text(
+            "hot\t1.0e-3\t1.0e-3\t0.0\t0.0\n"
+            "cold\t1.0e-3\t1.0e-3\t1.0e-3\t0.0\n"
+        )
+        ptrace = tmp_path / "chip.ptrace"
+        ptrace.write_text("hot\tcold\n1.5\t0.1\n")
+        code, out, _err = _run(
+            capsys,
+            "thermal",
+            "--flp",
+            str(flp),
+            "--ptrace",
+            str(ptrace),
+            "--grid",
+            "4",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert (
+            payload["block_temperatures_c"]["hot"]
+            > payload["block_temperatures_c"]["cold"]
+        )
+
+    def test_setup_input(self, capsys, tmp_path, small_floorplan, fast_config):
+        from repro.io.design_json import save_setup
+
+        path = tmp_path / "setup.json"
+        save_setup(path, small_floorplan, config=fast_config)
+        code, out, _err = _run(
+            capsys, "info", "--setup", str(path), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["design"]["devices"] == small_floorplan.n_devices
+
+    def test_missing_setup_reports_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        code, _out, err = _run(capsys, "info", "--setup", str(bad))
+        assert code == 2
+        assert "error:" in err

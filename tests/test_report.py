@@ -1,0 +1,99 @@
+"""Unit tests for the text-report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import (
+    design_report,
+    format_table,
+    heat_map,
+    reliability_sparkline,
+)
+from repro.thermal.solver import TemperatureField
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows_ok(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestHeatMap:
+    @pytest.fixture()
+    def field(self, small_analyzer):
+        assert small_analyzer.thermal is not None
+        return small_analyzer.thermal.field
+
+    def test_renders_with_legend(self, field):
+        text = heat_map(field)
+        assert "degC" in text
+        assert len(text.splitlines()) >= 2
+
+    def test_hottest_cell_densest_glyph(self, field):
+        text = heat_map(field, legend=False)
+        assert "@" in text  # the max is always mapped to the ramp top
+
+    def test_uniform_field(self, small_analyzer):
+        grid = small_analyzer.thermal.field.grid
+        uniform = TemperatureField(
+            grid=grid, values=np.full(grid.n_cells, 50.0)
+        )
+        text = heat_map(uniform, legend=False)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_max_width_respected(self, field):
+        text = heat_map(field, max_width=16, legend=False)
+        assert all(len(line) <= 16 for line in text.splitlines())
+
+    def test_rejects_tiny_width(self, field):
+        with pytest.raises(ConfigurationError):
+            heat_map(field, max_width=2)
+
+
+class TestSparkline:
+    def test_monotone_curve_renders(self):
+        times = np.logspace(4, 6, 30)
+        reliability = np.exp(-((times / 1e6) ** 2))
+        text = reliability_sparkline(times, reliability)
+        assert "1-R" in text
+        assert len(text.splitlines()) == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reliability_sparkline(np.arange(3.0), np.arange(4.0))
+
+
+class TestDesignReport:
+    def test_contains_all_sections(self, small_analyzer):
+        text = design_report(small_analyzer, ppms=(10.0,))
+        assert "design:" in text
+        assert "thermal profile" in text
+        assert "lifetimes:" in text
+        assert "failure budget" in text
+        for name in small_analyzer.floorplan.block_names:
+            assert name in text
+
+    def test_method_ordering_visible(self, small_analyzer):
+        text = design_report(small_analyzer, ppms=(10.0,))
+        # st_fast line shows a larger lifetime than the guard line.
+        lines = {line.split()[0]: line for line in text.splitlines()
+                 if line.strip().startswith(("st_fast", "guard"))}
+        st = float(lines["st_fast"].split()[-1].rstrip("y"))
+        guard = float(lines["guard"].split()[-1].rstrip("y"))
+        assert st > guard

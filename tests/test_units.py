@@ -1,0 +1,49 @@
+"""Unit tests for physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTemperatureConversion:
+    def test_round_trip(self):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(85.0)
+        ) == pytest.approx(85.0)
+
+    def test_known_points(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.celsius_to_kelvin(100.0) == pytest.approx(373.15)
+        assert units.kelvin_to_celsius(273.15) == pytest.approx(0.0)
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-300.0)
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(-1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(math.nan)
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(math.inf)
+
+
+class TestDurationConversion:
+    def test_round_trip(self):
+        assert units.hours_to_years(
+            units.years_to_hours(10.0)
+        ) == pytest.approx(10.0)
+
+    def test_one_year(self):
+        assert units.years_to_hours(1.0) == pytest.approx(24.0 * 365.25)
+
+
+class TestConstants:
+    def test_boltzmann(self):
+        assert units.BOLTZMANN_EV == pytest.approx(8.617e-5, rel=1e-3)
+
+    def test_absolute_zero(self):
+        assert units.ABSOLUTE_ZERO_CELSIUS == pytest.approx(-273.15)

@@ -1,0 +1,92 @@
+"""Unit tests for the HotSpotLite floorplan thermal facade."""
+
+import numpy as np
+import pytest
+
+from repro.chip.benchmarks import make_alpha_processor, make_manycore
+from repro.errors import ConfigurationError
+from repro.thermal.grid import PackageModel
+from repro.thermal.hotspot import HotSpotLite, uniform_temperature_result
+
+
+@pytest.fixture()
+def hotspot():
+    return HotSpotLite(mesh_resolution=32)
+
+
+class TestHotSpotLite:
+    def test_mesh_follows_die_aspect(self, hotspot, tiny_floorplan):
+        mesh = hotspot.mesh_for(tiny_floorplan)
+        assert mesh.width == tiny_floorplan.width
+        assert mesh.height == tiny_floorplan.height
+        assert mesh.nx == 32
+
+    def test_cell_powers_conserve_total(self, hotspot, tiny_floorplan):
+        mesh = hotspot.mesh_for(tiny_floorplan)
+        cell_power = hotspot.cell_powers(tiny_floorplan, mesh)
+        assert cell_power.sum() == pytest.approx(tiny_floorplan.total_power)
+
+    def test_hot_block_is_hotter(self, hotspot, tiny_floorplan):
+        result = hotspot.analyze(tiny_floorplan)
+        temps = result.block_temperature_map(tiny_floorplan)
+        assert temps["hot"] > temps["cool"]
+        assert result.block_spread > 0.0
+
+    def test_block_temperatures_above_ambient(self, hotspot, tiny_floorplan):
+        result = hotspot.analyze(tiny_floorplan)
+        assert np.all(
+            result.block_temperatures > hotspot.package.ambient_temperature
+        )
+
+    def test_hottest_block_temperature(self, hotspot, tiny_floorplan):
+        result = hotspot.analyze(tiny_floorplan)
+        assert result.hottest_block_temperature == pytest.approx(
+            result.block_temperatures.max()
+        )
+
+    def test_alpha_processor_profile_shape(self, hotspot):
+        # Fig. 1(a): execution units form hot spots, caches stay cool, and
+        # there is a clear tens-of-degrees contrast across the die.
+        fp = make_alpha_processor()
+        result = hotspot.analyze(fp)
+        temps = result.block_temperature_map(fp)
+        assert temps["intexec"] > temps["icache"]
+        assert temps["fpadd"] > temps["l2_left"]
+        assert 5.0 < result.block_spread < 60.0
+
+    def test_manycore_active_cores_hotter(self, hotspot):
+        # Fig. 1(b): active tiles are local hot spots.
+        fp = make_manycore(n_cores_x=4, n_cores_y=4, active_cores=(5,))
+        result = hotspot.analyze(fp)
+        temps = result.block_temperature_map(fp)
+        active = temps["core_1_1"]
+        assert all(
+            active >= temps[name] for name in fp.block_names
+        )
+
+    def test_higher_package_resistance_runs_hotter(self, tiny_floorplan):
+        cool = HotSpotLite(PackageModel(package_resistance=50.0))
+        warm = HotSpotLite(PackageModel(package_resistance=150.0))
+        assert (
+            warm.analyze(tiny_floorplan).hottest_block_temperature
+            > cool.analyze(tiny_floorplan).hottest_block_temperature
+        )
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ConfigurationError):
+            HotSpotLite(mesh_resolution=2)
+
+    def test_block_temperature_map_checks_floorplan(
+        self, hotspot, tiny_floorplan, small_floorplan
+    ):
+        result = hotspot.analyze(tiny_floorplan)
+        with pytest.raises(ConfigurationError):
+            result.block_temperature_map(small_floorplan)
+
+
+class TestUniformTemperatureResult:
+    def test_all_blocks_at_given_temperature(self, tiny_floorplan):
+        result = uniform_temperature_result(tiny_floorplan, 100.0)
+        np.testing.assert_allclose(result.block_temperatures, 100.0)
+        assert result.block_spread == 0.0
+        assert result.field.spread == 0.0

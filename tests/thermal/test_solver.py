@@ -1,0 +1,133 @@
+"""Unit tests for the steady-state thermal solver."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError, SolverError
+from repro.thermal.grid import PackageModel
+from repro.thermal.solver import TemperatureField, solve_steady_state
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec(nx=12, ny=12, width=6.0, height=6.0)
+
+
+@pytest.fixture()
+def package():
+    return PackageModel(ambient_temperature=45.0)
+
+
+class TestPackageModel:
+    def test_lateral_conductance_square_cells(self, grid, package):
+        g_x, g_y = package.lateral_conductance(grid)
+        assert g_x == pytest.approx(g_y)
+        assert g_x == pytest.approx(
+            package.silicon_conductivity * package.die_thickness
+        )
+
+    def test_vertical_conductance(self, grid, package):
+        g_v = package.vertical_conductance(grid)
+        cell_area = grid.cell_width * grid.cell_height
+        assert g_v == pytest.approx(cell_area / package.package_resistance)
+
+    def test_spreading_length_reasonable(self, package):
+        # For the default constants the spreading length is a few mm.
+        assert 1.0 < package.spreading_length() < 5.0
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ConfigurationError):
+            PackageModel(silicon_conductivity=0.0)
+        with pytest.raises(ConfigurationError):
+            PackageModel(die_thickness=-1.0)
+        with pytest.raises(ConfigurationError):
+            PackageModel(package_resistance=0.0)
+
+
+class TestSolveSteadyState:
+    def test_zero_power_gives_ambient(self, grid, package):
+        field = solve_steady_state(grid, np.zeros(grid.n_cells), package)
+        np.testing.assert_allclose(field.values, 45.0, atol=1e-9)
+
+    def test_uniform_power_gives_uniform_rise(self, grid, package):
+        density = 0.3  # W/mm^2
+        cell_area = grid.cell_width * grid.cell_height
+        power = np.full(grid.n_cells, density * cell_area)
+        field = solve_steady_state(grid, power, package)
+        expected = 45.0 + density * package.package_resistance
+        np.testing.assert_allclose(field.values, expected, rtol=1e-9)
+
+    def test_hot_spot_local_maximum(self, grid, package):
+        power = np.zeros(grid.n_cells)
+        center = grid.cell_of_point(3.0, 3.0)
+        power[center] = 2.0
+        field = solve_steady_state(grid, power, package)
+        assert np.argmax(field.values) == center
+        assert field.spread > 0.0
+
+    def test_temperature_decays_away_from_hot_spot(self, grid, package):
+        power = np.zeros(grid.n_cells)
+        center = grid.cell_of_point(3.0, 3.0)
+        power[center] = 2.0
+        field = solve_steady_state(grid, power, package)
+        t_center = field.values[center]
+        t_near = field.values[grid.cell_of_point(3.5, 3.0)]
+        t_far = field.values[grid.cell_of_point(5.75, 5.75)]
+        assert t_center > t_near > t_far
+
+    def test_energy_balance(self, grid, package, rng):
+        # Total heat leaving through the package equals total power in.
+        power = rng.uniform(0.0, 0.5, size=grid.n_cells)
+        field = solve_steady_state(grid, power, package)
+        g_v = package.vertical_conductance(grid)
+        heat_out = g_v * np.sum(field.values - package.ambient_temperature)
+        assert heat_out == pytest.approx(power.sum(), rel=1e-9)
+
+    def test_superposition(self, grid, package, rng):
+        # The system is linear: solutions superpose (minus ambient).
+        p1 = rng.uniform(0.0, 0.5, size=grid.n_cells)
+        p2 = rng.uniform(0.0, 0.5, size=grid.n_cells)
+        f1 = solve_steady_state(grid, p1, package).values - 45.0
+        f2 = solve_steady_state(grid, p2, package).values - 45.0
+        f12 = solve_steady_state(grid, p1 + p2, package).values - 45.0
+        np.testing.assert_allclose(f12, f1 + f2, rtol=1e-9)
+
+    def test_rejects_negative_power(self, grid, package):
+        power = np.zeros(grid.n_cells)
+        power[0] = -1.0
+        with pytest.raises(SolverError):
+            solve_steady_state(grid, power, package)
+
+    def test_rejects_wrong_shape(self, grid, package):
+        with pytest.raises(SolverError):
+            solve_steady_state(grid, np.zeros(grid.n_cells - 1), package)
+
+
+class TestTemperatureField:
+    def test_statistics(self, grid):
+        values = np.linspace(40.0, 80.0, grid.n_cells)
+        field = TemperatureField(grid=grid, values=values)
+        assert field.min == 40.0
+        assert field.max == 80.0
+        assert field.spread == pytest.approx(40.0)
+
+    def test_as_image_shape(self, grid):
+        field = TemperatureField(grid=grid, values=np.zeros(grid.n_cells))
+        assert field.as_image().shape == (grid.ny, grid.nx)
+
+    def test_average_over_region(self, grid):
+        values = np.arange(float(grid.n_cells))
+        field = TemperatureField(grid=grid, values=values)
+        fractions = np.zeros(grid.n_cells)
+        fractions[0] = fractions[1] = 0.5
+        assert field.average_over(fractions) == pytest.approx(0.5)
+
+    def test_average_over_rejects_empty_region(self, grid):
+        field = TemperatureField(grid=grid, values=np.zeros(grid.n_cells))
+        with pytest.raises(SolverError):
+            field.average_over(np.zeros(grid.n_cells))
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(SolverError):
+            TemperatureField(grid=grid, values=np.zeros(3))

@@ -1,0 +1,102 @@
+"""Unit tests for the variation budget (Table II)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variation.components import VariationBudget
+
+
+class TestVariationBudget:
+    def test_table2_values(self):
+        budget = VariationBudget.table2()
+        assert budget.nominal_thickness == 2.2
+        assert budget.three_sigma_ratio == 0.04
+        assert budget.global_fraction == 0.50
+        assert budget.spatial_fraction == 0.25
+        assert budget.independent_fraction == 0.25
+
+    def test_sigma_total(self):
+        budget = VariationBudget.table2()
+        assert budget.sigma_total == pytest.approx(0.04 * 2.2 / 3.0)
+
+    def test_component_variances_sum_to_total(self):
+        budget = VariationBudget.table2()
+        total = (
+            budget.sigma_global**2
+            + budget.sigma_spatial**2
+            + budget.sigma_independent**2
+        )
+        assert total == pytest.approx(budget.variance_total)
+
+    def test_component_split_ratios(self):
+        budget = VariationBudget.table2()
+        assert budget.sigma_global**2 / budget.variance_total == pytest.approx(0.5)
+        assert budget.sigma_spatial**2 / budget.variance_total == pytest.approx(0.25)
+        assert budget.sigma_independent**2 / budget.variance_total == pytest.approx(
+            0.25
+        )
+
+    def test_minimum_thickness_is_three_sigma_corner(self):
+        budget = VariationBudget.table2()
+        assert budget.minimum_thickness == pytest.approx(2.2 * 0.96)
+
+    def test_scaled_preserves_split(self):
+        budget = VariationBudget.table2().scaled(2.0)
+        assert budget.three_sigma_ratio == pytest.approx(0.08)
+        assert budget.sigma_global**2 / budget.variance_total == pytest.approx(0.5)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            VariationBudget.table2().scaled(0.0)
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            VariationBudget(
+                global_fraction=0.5,
+                spatial_fraction=0.3,
+                independent_fraction=0.3,
+            )
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ConfigurationError):
+            VariationBudget(
+                global_fraction=1.2,
+                spatial_fraction=-0.1,
+                independent_fraction=-0.1,
+            )
+
+    def test_rejects_bad_nominal(self):
+        with pytest.raises(ConfigurationError):
+            VariationBudget(nominal_thickness=0.0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            VariationBudget(three_sigma_ratio=-0.04)
+
+    def test_zero_component_fraction_allowed(self):
+        budget = VariationBudget(
+            global_fraction=1.0,
+            spatial_fraction=0.0,
+            independent_fraction=0.0,
+        )
+        assert budget.sigma_spatial == 0.0
+        assert budget.sigma_independent == 0.0
+        assert budget.sigma_global == pytest.approx(budget.sigma_total)
+
+    def test_frozen(self):
+        budget = VariationBudget.table2()
+        with pytest.raises(Exception):
+            budget.nominal_thickness = 3.0  # type: ignore[misc]
+
+    def test_sigma_values_are_finite_and_positive(self):
+        budget = VariationBudget.table2()
+        for value in (
+            budget.sigma_total,
+            budget.sigma_global,
+            budget.sigma_spatial,
+            budget.sigma_independent,
+        ):
+            assert math.isfinite(value)
+            assert value > 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for the grid-based spatial correlation model."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.correlation import (
+    SpatialCorrelationModel,
+    cholesky_factor,
+    exponential_kernel,
+    gaussian_kernel,
+    linear_kernel,
+    nearest_correlation_matrix,
+)
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec(nx=5, ny=5, width=5.0, height=5.0)
+
+
+class TestKernels:
+    def test_exponential_at_zero_and_decay(self):
+        assert exponential_kernel(np.array(0.0), 2.0) == pytest.approx(1.0)
+        assert exponential_kernel(np.array(2.0), 2.0) == pytest.approx(np.exp(-1.0))
+
+    def test_gaussian_at_zero_and_decay(self):
+        assert gaussian_kernel(np.array(0.0), 2.0) == pytest.approx(1.0)
+        assert gaussian_kernel(np.array(2.0), 2.0) == pytest.approx(np.exp(-1.0))
+
+    def test_linear_clips_at_zero(self):
+        assert linear_kernel(np.array(3.0), 2.0) == 0.0
+        assert linear_kernel(np.array(1.0), 2.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kernel", [exponential_kernel, gaussian_kernel, linear_kernel]
+    )
+    def test_kernels_reject_bad_length(self, kernel):
+        with pytest.raises(ConfigurationError):
+            kernel(np.array(1.0), 0.0)
+
+    def test_monotone_decay(self):
+        d = np.linspace(0.0, 10.0, 50)
+        values = exponential_kernel(d, 3.0)
+        assert np.all(np.diff(values) < 0.0)
+
+
+class TestNearestCorrelationMatrix:
+    def test_psd_input_unchanged(self):
+        matrix = np.array([[1.0, 0.5], [0.5, 1.0]])
+        out = nearest_correlation_matrix(matrix)
+        np.testing.assert_allclose(out, matrix)
+
+    def test_repairs_indefinite_matrix(self):
+        # A "correlation" matrix that is not PSD.
+        matrix = np.array(
+            [[1.0, 0.9, 0.1], [0.9, 1.0, 0.9], [0.1, 0.9, 1.0]]
+        )
+        assert np.linalg.eigvalsh(matrix).min() < 0.0
+        out = nearest_correlation_matrix(matrix)
+        assert np.linalg.eigvalsh(out).min() >= -1e-12
+        np.testing.assert_allclose(np.diag(out), 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            nearest_correlation_matrix(np.ones((2, 3)))
+
+
+class TestSpatialCorrelationModel:
+    def test_correlation_matrix_properties(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        corr = model.correlation_matrix()
+        assert corr.shape == (25, 25)
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        np.testing.assert_allclose(corr, corr.T)
+        assert np.linalg.eigvalsh(corr).min() >= -1e-10
+        assert np.all(corr > 0.0)
+
+    def test_correlation_decays_with_distance(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        corr = model.correlation_matrix()
+        # Cell 0 correlates more with neighbour 1 than with far corner 24.
+        assert corr[0, 1] > corr[0, 24]
+
+    def test_larger_rho_dist_means_stronger_correlation(self, grid):
+        weak = SpatialCorrelationModel(grid=grid, rho_dist=0.25)
+        strong = SpatialCorrelationModel(grid=grid, rho_dist=0.75)
+        assert (
+            strong.correlation_matrix()[0, 24]
+            > weak.correlation_matrix()[0, 24]
+        )
+
+    def test_covariance_scaling(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        sigma = 0.015
+        cov = model.covariance_matrix(sigma)
+        np.testing.assert_allclose(np.diag(cov), sigma**2)
+
+    def test_covariance_zero_sigma(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        np.testing.assert_allclose(model.covariance_matrix(0.0), 0.0)
+
+    def test_covariance_rejects_negative_sigma(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        with pytest.raises(ConfigurationError):
+            model.covariance_matrix(-0.1)
+
+    def test_correlation_between_matches_matrix(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        corr = model.correlation_matrix()
+        assert model.correlation_between(0, 7) == pytest.approx(
+            corr[0, 7], rel=1e-6
+        )
+
+    def test_correlation_length_normalised_to_diagonal(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        assert model.correlation_length == pytest.approx(0.5 * grid.diagonal)
+
+    def test_rejects_unknown_kernel(self, grid):
+        with pytest.raises(ConfigurationError):
+            SpatialCorrelationModel(grid=grid, rho_dist=0.5, kernel="nope")
+
+    def test_rejects_bad_rho(self, grid):
+        with pytest.raises(ConfigurationError):
+            SpatialCorrelationModel(grid=grid, rho_dist=0.0)
+
+    def test_linear_kernel_is_repaired_to_psd(self, grid):
+        model = SpatialCorrelationModel(grid=grid, rho_dist=0.3, kernel="linear")
+        corr = model.correlation_matrix()
+        assert np.linalg.eigvalsh(corr).min() >= -1e-10
+
+
+class TestCholeskyFactor:
+    def test_reconstructs_covariance(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 6))
+        cov = a @ a.T + 0.1 * np.eye(6)
+        factor = cholesky_factor(cov)
+        np.testing.assert_allclose(factor @ factor.T, cov, atol=1e-8)
+
+    def test_handles_rank_deficient(self):
+        v = np.array([[1.0], [2.0], [3.0]])
+        cov = v @ v.T  # rank 1
+        factor = cholesky_factor(cov)
+        np.testing.assert_allclose(factor @ factor.T, cov, atol=1e-6)

@@ -1,0 +1,131 @@
+"""Unit tests for the [20]-style variation-model extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variation.components import VariationBudget
+from repro.variation.extraction import (
+    empirical_site_covariance,
+    extract_variation_model,
+    fit_exponential_correlation,
+    synthesize_measurements,
+)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    # A 6x6 measurement-site array on a 10 mm die.
+    xs = np.linspace(0.5, 9.5, 6)
+    grid_x, grid_y = np.meshgrid(xs, xs)
+    return np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+
+@pytest.fixture(scope="module")
+def campaign(positions, budget):
+    rng = np.random.default_rng(77)
+    measurements = synthesize_measurements(
+        budget, positions, correlation_length=7.0, n_chips=600, rng=rng
+    )
+    return measurements
+
+
+class TestSynthesize:
+    def test_shape(self, campaign, positions):
+        assert campaign.shape == (600, positions.shape[0])
+
+    def test_mean_near_nominal(self, campaign, budget):
+        assert campaign.mean() == pytest.approx(
+            budget.nominal_thickness, abs=0.01
+        )
+
+    def test_total_variance_matches_budget(self, campaign, budget):
+        assert campaign.std() == pytest.approx(budget.sigma_total, rel=0.1)
+
+    def test_validation(self, budget, positions, rng):
+        with pytest.raises(ConfigurationError):
+            synthesize_measurements(budget, positions, 0.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            synthesize_measurements(budget, np.zeros((3, 3)), 1.0, 10, rng)
+
+
+class TestCorrelationFit:
+    def test_recovers_components_and_length(self, campaign, positions, budget):
+        covariance = empirical_site_covariance(campaign)
+        var_g, var_sp, var_ind, length, rms = fit_exponential_correlation(
+            covariance, positions
+        )
+        assert var_g == pytest.approx(budget.sigma_global**2, rel=0.4)
+        assert var_sp == pytest.approx(budget.sigma_spatial**2, rel=0.4)
+        assert var_ind == pytest.approx(budget.sigma_independent**2, rel=0.4)
+        assert length == pytest.approx(7.0, rel=0.5)
+        assert rms < 0.3 * covariance.max()
+
+    def test_pure_independent_data(self, positions, rng):
+        budget = VariationBudget(
+            global_fraction=0.5,
+            spatial_fraction=0.0,
+            independent_fraction=0.5,
+        )
+        measurements = synthesize_measurements(
+            budget, positions, correlation_length=5.0, n_chips=400, rng=rng
+        )
+        covariance = empirical_site_covariance(measurements)
+        _var_g, var_sp, var_ind, _length, _rms = fit_exponential_correlation(
+            covariance, positions
+        )
+        # Essentially all non-global intra variance is the nugget.
+        assert var_sp < 0.5 * var_ind
+
+
+class TestFullExtraction:
+    def test_round_trip_budget(self, campaign, positions, budget):
+        result = extract_variation_model(campaign, positions)
+        recovered = result.to_budget()
+        assert recovered.nominal_thickness == pytest.approx(
+            budget.nominal_thickness, abs=0.01
+        )
+        assert recovered.sigma_total == pytest.approx(
+            budget.sigma_total, rel=0.15
+        )
+        # Component shares within extraction tolerance.
+        assert recovered.global_fraction == pytest.approx(0.5, abs=0.15)
+        assert recovered.spatial_fraction == pytest.approx(0.25, abs=0.15)
+        assert recovered.independent_fraction == pytest.approx(0.25, abs=0.15)
+
+    def test_site_correlation_valid(self, campaign, positions):
+        result = extract_variation_model(campaign, positions)
+        corr = result.site_correlation
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        assert np.linalg.eigvalsh(corr).min() >= -1e-10
+
+    def test_correlation_decays_with_distance(self, campaign, positions):
+        result = extract_variation_model(campaign, positions)
+        corr = result.site_correlation
+        near = corr[0, 1]
+        far = corr[0, len(positions) - 1]
+        assert near > far
+
+    def test_extracted_model_reproduces_lifetime(
+        self, campaign, positions, budget, small_floorplan, fast_config
+    ):
+        """The end-to-end loop: silicon data -> extracted budget ->
+        reliability within a few percent of the true-model answer."""
+        from repro import ReliabilityAnalyzer
+
+        result = extract_variation_model(campaign, positions)
+        true_analyzer = ReliabilityAnalyzer(
+            small_floorplan, budget=budget, config=fast_config
+        )
+        extracted_analyzer = ReliabilityAnalyzer(
+            small_floorplan, budget=result.to_budget(), config=fast_config
+        )
+        lt_true = true_analyzer.lifetime(10)
+        lt_extracted = extracted_analyzer.lifetime(10)
+        assert lt_extracted == pytest.approx(lt_true, rel=0.15)
+
+    def test_validation(self, positions):
+        with pytest.raises(ConfigurationError):
+            extract_variation_model(np.zeros((4, len(positions))), positions)
+        with pytest.raises(ConfigurationError):
+            extract_variation_model(np.zeros((20, 2)), positions[:2])

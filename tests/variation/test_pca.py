@@ -1,0 +1,170 @@
+"""Unit tests for the PCA canonical thickness model (eq. (2))."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.components import VariationBudget
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.pca import (
+    CanonicalThicknessModel,
+    build_canonical_model,
+    explained_variance_ratio,
+)
+
+
+@pytest.fixture()
+def correlation():
+    grid = GridSpec(nx=4, ny=4, width=4.0, height=4.0)
+    return SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+
+
+@pytest.fixture()
+def model(budget, correlation):
+    return build_canonical_model(budget, correlation, energy=1.0)
+
+
+class TestBuildCanonicalModel:
+    def test_dimensions(self, model):
+        assert model.n_grids == 16
+        # Global factor + up to 16 spatial components.
+        assert 2 <= model.n_factors <= 17
+
+    def test_factor_zero_is_global(self, model, budget):
+        np.testing.assert_allclose(
+            model.sensitivities[:, 0], budget.sigma_global
+        )
+
+    def test_grid_means_nominal(self, model, budget):
+        np.testing.assert_allclose(model.grid_means, budget.nominal_thickness)
+
+    def test_sigma_independent(self, model, budget):
+        assert model.sigma_independent == pytest.approx(budget.sigma_independent)
+
+    def test_reconstructs_spatial_covariance(self, budget, correlation):
+        model = build_canonical_model(budget, correlation, energy=1.0)
+        expected = correlation.covariance_matrix(
+            budget.sigma_spatial
+        ) + budget.sigma_global**2
+        np.testing.assert_allclose(model.grid_covariance(), expected, atol=1e-12)
+
+    def test_device_sigma_matches_total_budget(self, model, budget):
+        np.testing.assert_allclose(
+            model.device_sigma(), budget.sigma_total, rtol=1e-10
+        )
+
+    def test_energy_truncation_reduces_factors(self, budget, correlation):
+        full = build_canonical_model(budget, correlation, energy=1.0)
+        truncated = build_canonical_model(budget, correlation, energy=0.9)
+        assert truncated.n_factors < full.n_factors
+        # Truncated model keeps at least 90% of the spatial variance.
+        spatial_full = np.trace(
+            correlation.covariance_matrix(budget.sigma_spatial)
+        )
+        spatial_kept = np.sum(truncated.sensitivities[:, 1:] ** 2)
+        assert spatial_kept >= 0.9 * spatial_full - 1e-12
+
+    def test_max_factors_cap(self, budget, correlation):
+        model = build_canonical_model(budget, correlation, max_factors=3)
+        assert model.n_factors == 4  # global + 3 spatial
+
+    def test_mean_offsets(self, budget, correlation):
+        offsets = np.linspace(-0.01, 0.01, 16)
+        model = build_canonical_model(budget, correlation, mean_offsets=offsets)
+        np.testing.assert_allclose(
+            model.grid_means, budget.nominal_thickness + offsets
+        )
+
+    def test_mean_offsets_shape_checked(self, budget, correlation):
+        with pytest.raises(ConfigurationError):
+            build_canonical_model(
+                budget, correlation, mean_offsets=np.zeros(5)
+            )
+
+    def test_rejects_bad_energy(self, budget, correlation):
+        with pytest.raises(ConfigurationError):
+            build_canonical_model(budget, correlation, energy=0.0)
+
+    def test_zero_spatial_budget(self, correlation):
+        budget = VariationBudget(
+            global_fraction=0.5,
+            spatial_fraction=0.0,
+            independent_fraction=0.5,
+        )
+        model = build_canonical_model(budget, correlation)
+        assert model.n_factors == 1  # only the global factor
+
+
+class TestCanonicalThicknessModel:
+    def test_base_thickness_single_chip(self, model):
+        z = np.zeros(model.n_factors)
+        np.testing.assert_allclose(model.base_thickness(z), model.grid_means)
+
+    def test_base_thickness_global_shift(self, model, budget):
+        z = np.zeros(model.n_factors)
+        z[0] = 1.0
+        base = model.base_thickness(z)
+        np.testing.assert_allclose(
+            base, model.grid_means + budget.sigma_global
+        )
+
+    def test_base_thickness_batch_shape(self, model):
+        z = np.zeros((7, model.n_factors))
+        assert model.base_thickness(z).shape == (7, model.n_grids)
+
+    def test_base_thickness_rejects_wrong_dim(self, model):
+        with pytest.raises(ConfigurationError):
+            model.base_thickness(np.zeros(model.n_factors + 1))
+
+    def test_empirical_covariance_matches(self, model, rng):
+        z = rng.standard_normal((60000, model.n_factors))
+        base = model.base_thickness(z)
+        emp_cov = np.cov(base.T)
+        np.testing.assert_allclose(
+            emp_cov, model.grid_covariance(), atol=3e-5
+        )
+
+    def test_validation_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            CanonicalThicknessModel(
+                grid_means=np.zeros(3),
+                sensitivities=np.zeros((4, 2)),
+                sigma_independent=0.01,
+            )
+
+    def test_validation_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            CanonicalThicknessModel(
+                grid_means=np.zeros(3),
+                sensitivities=np.zeros((3, 2)),
+                sigma_independent=-0.01,
+            )
+
+
+class TestExplainedVariance:
+    def test_sums_to_one(self, budget, correlation):
+        ratios = explained_variance_ratio(budget, correlation)
+        assert ratios.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(ratios) <= 1e-12)  # sorted descending
+
+    def test_strong_correlation_concentrates_energy(self, budget):
+        grid = GridSpec(nx=4, ny=4, width=4.0, height=4.0)
+        strong = SpatialCorrelationModel(grid=grid, rho_dist=2.0)
+        weak = SpatialCorrelationModel(grid=grid, rho_dist=0.05)
+        assert (
+            explained_variance_ratio(budget, strong)[0]
+            > explained_variance_ratio(budget, weak)[0]
+        )
+
+    def test_zero_spatial_returns_zeros(self):
+        grid = GridSpec(nx=2, ny=2, width=2.0, height=2.0)
+        corr = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+        budget = VariationBudget(
+            global_fraction=0.5,
+            spatial_fraction=0.0,
+            independent_fraction=0.5,
+        )
+        np.testing.assert_allclose(
+            explained_variance_ratio(budget, corr), 0.0
+        )

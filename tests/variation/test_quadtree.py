@@ -1,0 +1,108 @@
+"""Unit tests for the quad-tree correlation model."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.components import VariationBudget
+from repro.variation.quadtree import QuadTreeModel, build_quadtree_model
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec(nx=4, ny=4, width=4.0, height=4.0)
+
+
+class TestQuadTreeModel:
+    def test_region_counts(self):
+        tree = QuadTreeModel.equal_split(0.015, levels=3)
+        assert tree.n_regions == 1 + 4 + 16
+
+    def test_total_variance_preserved(self):
+        sigma = 0.015
+        tree = QuadTreeModel.equal_split(sigma, levels=3)
+        assert tree.total_variance == pytest.approx(sigma**2)
+
+    def test_region_of_level0_is_single(self):
+        tree = QuadTreeModel.equal_split(0.01, levels=2)
+        assert tree.region_of(0, 0.1, 0.9) == 0
+        assert tree.region_of(0, 0.99, 0.01) == 0
+
+    def test_region_of_level1_quadrants(self):
+        tree = QuadTreeModel.equal_split(0.01, levels=2)
+        assert tree.region_of(1, 0.1, 0.1) == 0
+        assert tree.region_of(1, 0.9, 0.1) == 1
+        assert tree.region_of(1, 0.1, 0.9) == 2
+        assert tree.region_of(1, 0.9, 0.9) == 3
+
+    def test_region_of_rejects_bad_level(self):
+        tree = QuadTreeModel.equal_split(0.01, levels=2)
+        with pytest.raises(ConfigurationError):
+            tree.region_of(2, 0.5, 0.5)
+
+    def test_rejects_mismatched_variances(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeModel(levels=2, level_variances=(0.1,))
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeModel(levels=1, level_variances=(-0.1,))
+
+    def test_sensitivities_shape(self, grid):
+        tree = QuadTreeModel.equal_split(0.015, levels=2)
+        sens = tree.sensitivities(grid)
+        assert sens.shape == (16, 5)
+
+    def test_covariance_diagonal_is_total_variance(self, grid):
+        sigma = 0.015
+        tree = QuadTreeModel.equal_split(sigma, levels=3)
+        cov = tree.covariance(grid)
+        np.testing.assert_allclose(np.diag(cov), sigma**2, rtol=1e-12)
+
+    def test_covariance_decays_with_tree_distance(self, grid):
+        tree = QuadTreeModel.equal_split(0.015, levels=3)
+        cov = tree.covariance(grid)
+        # Adjacent cells in the same quadrant share more levels than cells
+        # in opposite corners.
+        assert cov[0, 1] > cov[0, 15]
+
+    def test_same_quadrant_cells_fully_share_upper_levels(self, grid):
+        sigma = 0.02
+        tree = QuadTreeModel.equal_split(sigma, levels=2)
+        cov = tree.covariance(grid)
+        # Cells 0 and 1 are both in the lower-left level-1 quadrant: they
+        # share levels 0 and 1 entirely -> covariance = total variance.
+        assert cov[0, 1] == pytest.approx(sigma**2)
+        # Opposite corners share only level 0.
+        assert cov[0, 15] == pytest.approx(sigma**2 / 2.0)
+
+
+class TestBuildQuadtreeModel:
+    def test_canonical_dimensions(self, grid, budget):
+        model = build_quadtree_model(budget, grid, levels=2)
+        assert model.n_grids == 16
+        assert model.n_factors == 1 + 5  # global + tree regions
+
+    def test_global_factor_first(self, grid, budget):
+        model = build_quadtree_model(budget, grid, levels=2)
+        np.testing.assert_allclose(
+            model.sensitivities[:, 0], budget.sigma_global
+        )
+
+    def test_device_sigma_matches_budget(self, grid, budget):
+        model = build_quadtree_model(budget, grid, levels=3)
+        np.testing.assert_allclose(
+            model.device_sigma(), budget.sigma_total, rtol=1e-10
+        )
+
+    def test_mean_offsets_applied(self, grid, budget):
+        offsets = np.full(16, 0.01)
+        model = build_quadtree_model(budget, grid, levels=2, mean_offsets=offsets)
+        np.testing.assert_allclose(
+            model.grid_means, budget.nominal_thickness + 0.01
+        )
+
+    def test_mean_offsets_shape_checked(self, grid, budget):
+        with pytest.raises(ConfigurationError):
+            build_quadtree_model(budget, grid, mean_offsets=np.zeros(3))

@@ -1,0 +1,126 @@
+"""Unit tests for chip sampling (the MC substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.pca import build_canonical_model
+from repro.variation.sampling import ChipSampler, assign_devices_to_grid
+
+
+@pytest.fixture()
+def setup(small_floorplan, budget):
+    grid = small_floorplan.make_grid(5)
+    correlation = SpatialCorrelationModel(grid=grid, rho_dist=0.5)
+    model = build_canonical_model(budget, correlation)
+    sampler = ChipSampler(small_floorplan, grid, model)
+    return small_floorplan, grid, model, sampler
+
+
+class TestAssignDevicesToGrid:
+    def test_counts_sum_to_block_devices(self, setup):
+        floorplan, grid, _model, _sampler = setup
+        assignments = assign_devices_to_grid(floorplan, grid)
+        for block, assignment in zip(floorplan.blocks, assignments):
+            assert assignment.n_devices == block.n_devices
+            assert np.all(assignment.device_counts > 0)
+
+    def test_indices_within_grid(self, setup):
+        floorplan, grid, _model, _sampler = setup
+        for assignment in assign_devices_to_grid(floorplan, grid):
+            assert np.all(assignment.grid_indices >= 0)
+            assert np.all(assignment.grid_indices < grid.n_cells)
+
+    def test_deterministic(self, setup):
+        floorplan, grid, _model, _sampler = setup
+        a = assign_devices_to_grid(floorplan, grid)
+        b = assign_devices_to_grid(floorplan, grid)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.device_counts, y.device_counts)
+
+    def test_fractions_sum_to_one(self, setup):
+        floorplan, grid, _model, _sampler = setup
+        for assignment in assign_devices_to_grid(floorplan, grid):
+            assert assignment.fractions.sum() == pytest.approx(1.0)
+
+
+class TestChipSampler:
+    def test_factor_shape(self, setup, rng):
+        _fp, _grid, model, sampler = setup
+        z = sampler.sample_factors(10, rng)
+        assert z.shape == (10, model.n_factors)
+
+    def test_rejects_grid_model_mismatch(self, small_floorplan, budget):
+        grid = small_floorplan.make_grid(5)
+        other_grid = small_floorplan.make_grid(3)
+        correlation = SpatialCorrelationModel(grid=other_grid, rho_dist=0.5)
+        model = build_canonical_model(budget, correlation)
+        with pytest.raises(ConfigurationError):
+            ChipSampler(small_floorplan, grid, model)
+
+    def test_device_thicknesses_count(self, setup, rng):
+        fp, _grid, _model, sampler = setup
+        z = sampler.sample_factors(1, rng)[0]
+        for j, block in enumerate(fp.blocks):
+            thickness = sampler.device_thicknesses(z, j, rng)
+            assert thickness.shape == (block.n_devices,)
+
+    def test_device_thicknesses_near_nominal(self, setup, budget, rng):
+        _fp, _grid, _model, sampler = setup
+        z = np.zeros(sampler.model.n_factors)
+        thickness = sampler.device_thicknesses(z, 0, rng)
+        # With z = 0, devices deviate only by the independent residual.
+        assert thickness.mean() == pytest.approx(
+            budget.nominal_thickness, abs=4 * budget.sigma_independent
+        )
+        assert thickness.std(ddof=1) == pytest.approx(
+            budget.sigma_independent, rel=0.2
+        )
+
+    def test_global_factor_shifts_everything(self, setup, budget, rng):
+        _fp, _grid, _model, sampler = setup
+        z = np.zeros(sampler.model.n_factors)
+        z[0] = 3.0
+        shifted = sampler.device_thicknesses(z, 0, rng)
+        assert shifted.mean() > budget.nominal_thickness + 2.0 * budget.sigma_global
+
+    def test_chip_thicknesses_all_blocks(self, setup, rng):
+        fp, _grid, _model, sampler = setup
+        z = sampler.sample_factors(1, rng)[0]
+        per_block = sampler.chip_thicknesses(z, rng)
+        assert len(per_block) == fp.n_blocks
+
+    def test_block_base_thickness_batch(self, setup, rng):
+        fp, _grid, _model, sampler = setup
+        z = sampler.sample_factors(5, rng)
+        bases = sampler.block_base_thickness(z)
+        assert len(bases) == fp.n_blocks
+        for j, base in enumerate(bases):
+            assert base.shape == (5, sampler.assignments[j].grid_indices.size)
+
+    def test_sample_block_moments_statistics(self, setup, budget, rng):
+        _fp, _grid, _model, sampler = setup
+        means, variances = sampler.sample_block_moments(150, rng)
+        assert means.shape == variances.shape == (150, sampler.floorplan.n_blocks)
+        # Across chips the BLOD mean is centred at nominal with sigma
+        # dominated by the global component.
+        assert means.mean() == pytest.approx(budget.nominal_thickness, abs=0.01)
+        assert means.std() == pytest.approx(budget.sigma_global, rel=0.35)
+        # The BLOD variance is the residual variance plus the within-block
+        # spatial spread (blocks span several grid cells here).
+        assert variances.mean() >= 0.9 * budget.sigma_independent**2
+        assert variances.mean() <= (
+            budget.sigma_independent**2 + budget.sigma_spatial**2
+        )
+
+    def test_device_thicknesses_rejects_batch_z(self, setup, rng):
+        _fp, _grid, _model, sampler = setup
+        with pytest.raises(ConfigurationError):
+            sampler.device_thicknesses(np.zeros((2, sampler.model.n_factors)), 0, rng)
+
+    def test_sample_factors_rejects_zero(self, setup, rng):
+        _fp, _grid, _model, sampler = setup
+        with pytest.raises(ConfigurationError):
+            sampler.sample_factors(0, rng)

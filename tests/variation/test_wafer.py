@@ -1,0 +1,63 @@
+"""Unit tests for wafer-level systematic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec
+from repro.errors import ConfigurationError
+from repro.variation.wafer import WaferPattern
+
+
+class TestWaferPattern:
+    def test_bowl_is_radially_symmetric(self):
+        pattern = WaferPattern.bowl(depth=0.05, wafer_radius=150.0)
+        r = 80.0
+        a = pattern.offset_at(np.array(r), np.array(0.0))
+        b = pattern.offset_at(np.array(0.0), np.array(r))
+        c = pattern.offset_at(
+            np.array(r / np.sqrt(2.0)), np.array(r / np.sqrt(2.0))
+        )
+        assert a == pytest.approx(b)
+        assert a == pytest.approx(c)
+
+    def test_bowl_depth_at_edge(self):
+        pattern = WaferPattern.bowl(depth=0.05, wafer_radius=150.0)
+        assert pattern.offset_at(np.array(150.0), np.array(0.0)) == pytest.approx(
+            0.05
+        )
+        assert pattern.offset_at(np.array(0.0), np.array(0.0)) == pytest.approx(0.0)
+
+    def test_slanted_linear(self):
+        pattern = WaferPattern.slanted(slope_x=1e-3, slope_y=2e-3)
+        assert pattern.offset_at(np.array(10.0), np.array(5.0)) == pytest.approx(
+            1e-3 * 10.0 + 2e-3 * 5.0
+        )
+
+    def test_grid_offsets_shape(self):
+        pattern = WaferPattern.bowl(depth=0.05)
+        grid = GridSpec(nx=3, ny=3, width=3.0, height=3.0)
+        offsets = pattern.grid_offsets(grid, chip_x=10.0, chip_y=20.0)
+        assert offsets.shape == (9,)
+
+    def test_grid_offsets_vary_across_chip_for_slant(self):
+        pattern = WaferPattern.slanted(slope_x=1e-2)
+        grid = GridSpec(nx=4, ny=1, width=8.0, height=2.0)
+        offsets = pattern.grid_offsets(grid, chip_x=0.0, chip_y=0.0)
+        assert np.all(np.diff(offsets) > 0.0)
+
+    def test_grid_offsets_reject_off_wafer_chip(self):
+        pattern = WaferPattern.bowl(depth=0.05, wafer_radius=50.0)
+        grid = GridSpec(nx=2, ny=2, width=20.0, height=20.0)
+        with pytest.raises(ConfigurationError):
+            pattern.grid_offsets(grid, chip_x=45.0, chip_y=0.0)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            WaferPattern(wafer_radius=0.0)
+
+    def test_chip_at_center_of_bowl_nearly_flat(self):
+        pattern = WaferPattern.bowl(depth=0.05, wafer_radius=150.0)
+        grid = GridSpec(nx=4, ny=4, width=10.0, height=10.0)
+        center = pattern.grid_offsets(grid, chip_x=-5.0, chip_y=-5.0)
+        edge = pattern.grid_offsets(grid, chip_x=90.0, chip_y=0.0)
+        assert np.ptp(center) < np.ptp(edge)
