@@ -14,10 +14,13 @@ real device counts, 1000-chip MC references, 10000-chip failure-time MC).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
+
+from repro import obs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -94,3 +97,38 @@ def report(request) -> ReportWriter:
     yield writer
     if writer.lines:
         writer.flush()
+
+
+#: Metrics files already written this session (first write truncates).
+_METRICS_WRITTEN: set[str] = set()
+
+
+@pytest.fixture(autouse=True)
+def _stage_metrics(request):
+    """Record per-stage wall times and counters for every benchmark test.
+
+    Each benchmark module gets a ``results/metrics_<name>.json`` with one
+    entry per test: the flattened stage timings (``repro.obs`` spans) and
+    the counter/gauge registry, so the perf trajectory carries per-stage
+    breakdowns, not just end-to-end totals.
+    """
+    obs.reset()
+    obs.enable()
+    yield
+    snapshot = obs.observability_snapshot()
+    obs.disable()
+    obs.reset()
+
+    name = request.module.__name__.removeprefix("test_")
+    path = RESULTS_DIR / f"metrics_{name}.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data: dict = {}
+    if name in _METRICS_WRITTEN and path.exists():
+        data = json.loads(path.read_text())
+    data[request.node.name] = {
+        "stages": snapshot["stages"],
+        "counters": snapshot["metrics"]["counters"],
+        "gauges": snapshot["metrics"]["gauges"],
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _METRICS_WRITTEN.add(name)

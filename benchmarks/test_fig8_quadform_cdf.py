@@ -25,7 +25,6 @@ def test_fig8_chi2_approximation_cdf(report, benchmark):
     form = QuadraticForm(offset=blod.v_offset, matrix=blod.v_matrix)
     match = blod.v_chi2_match(include_residual_fluctuation=False)
 
-    rng = np.random.default_rng(2024)
     samples = benchmark.pedantic(
         lambda: form.sample(np.random.default_rng(2024), 400_000),
         rounds=1,

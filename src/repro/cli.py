@@ -13,6 +13,11 @@ Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
 setup file (``--setup``, see :mod:`repro.io.design_json`) or a HotSpot
 floorplan (``--flp``, optionally with ``--ptrace``). Add ``--json`` for
 machine-readable output.
+
+Observability (every command): ``--log-level``/``--log-json`` configure the
+structured diagnostic logger (stderr, stdout output stays clean), and
+``--trace FILE`` enables the :mod:`repro.obs` span/metric collection and
+writes the span tree + counters as JSON when the command finishes.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import Any
 
 import numpy as np
 
-from repro import __version__
+from repro import __version__, obs
 from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError
@@ -59,6 +64,23 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
         "--vdd", type=float, default=None, help="supply voltage override"
     )
     parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="diagnostic log level (DEBUG/INFO/WARNING/ERROR), on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit diagnostics as line-delimited JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="collect spans/metrics and write them as JSON to FILE",
+    )
 
 
 def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
@@ -179,8 +201,20 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import design_report
 
-    analyzer = _build_analyzer(args)
-    text = design_report(analyzer)
+    # The report always carries a stage-timing appendix, so observability
+    # is switched on for the command's duration unless --trace already did.
+    owns_obs = not obs.is_enabled()
+    if owns_obs:
+        obs.reset()
+        obs.enable()
+    try:
+        analyzer = _build_analyzer(args)
+        text = design_report(analyzer)
+        text = f"{text}\n\n{obs.timing_summary()}"
+    finally:
+        if owns_obs:
+            obs.disable()
+            obs.reset()
     if args.json:
         print(json.dumps({"report": text}))
     else:
@@ -260,11 +294,44 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    log_level = getattr(args, "log_level", None)
+    log_json = getattr(args, "log_json", False)
+    if log_level is not None or log_json:
+        try:
+            obs.configure_logging(
+                level=log_level if log_level is not None else "INFO",
+                json_output=log_json,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    trace_file = getattr(args, "trace", None)
+    if trace_file:
+        try:
+            # Fail before the (possibly long) analysis, not after it.
+            with open(trace_file, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+        obs.reset()
+        obs.enable()
     try:
         return args.func(args)
     except ReproError as exc:
+        # The short message is user-facing (stderr); the traceback is a
+        # diagnostic, visible with --log-level DEBUG.
+        obs.get_logger("cli").debug("command failed", exc_info=True)
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_file:
+            snapshot = obs.observability_snapshot()
+            obs.disable()
+            obs.reset()
+            with open(trace_file, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2)
+                handle.write("\n")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,9 @@ from repro.core.lifetime import ppm_to_reliability, solve_lifetime
 from repro.core.montecarlo import MonteCarloEngine, ReliabilityCurve
 from repro.core.obd_model import OBDModel
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
 from repro.thermal.hotspot import HotSpotLite, uniform_temperature_result
 from repro.variation.components import VariationBudget
 from repro.variation.correlation import SpatialCorrelationModel
@@ -44,6 +47,8 @@ from repro.variation.sampling import ChipSampler
 
 #: Evaluation methods accepted by :meth:`ReliabilityAnalyzer.reliability`.
 METHODS = ("st_fast", "st_mc", "hybrid", "temp_unaware", "guard", "mc")
+
+logger = get_logger("core.analyzer")
 
 
 @dataclass(frozen=True)
@@ -157,64 +162,91 @@ class ReliabilityAnalyzer:
         self.obd_model = obd_model if obd_model is not None else OBDModel()
         self.config = config if config is not None else AnalysisConfig()
 
-        if block_temperatures is not None:
-            block_temperatures = np.asarray(block_temperatures, dtype=float)
-            if block_temperatures.shape != (floorplan.n_blocks,):
-                raise ConfigurationError(
-                    f"expected {floorplan.n_blocks} block temperatures, got "
-                    f"shape {block_temperatures.shape}"
+        with span(
+            "analyzer.setup",
+            blocks=floorplan.n_blocks,
+            devices=floorplan.n_devices,
+        ):
+            with span("thermal"):
+                if block_temperatures is not None:
+                    block_temperatures = np.asarray(
+                        block_temperatures, dtype=float
+                    )
+                    if block_temperatures.shape != (floorplan.n_blocks,):
+                        raise ConfigurationError(
+                            f"expected {floorplan.n_blocks} block "
+                            f"temperatures, got shape "
+                            f"{block_temperatures.shape}"
+                        )
+                    self.thermal = None
+                    self.block_temperatures = block_temperatures
+                elif floorplan.total_power > 0.0:
+                    thermal_model = (
+                        thermal_model
+                        if thermal_model is not None
+                        else HotSpotLite()
+                    )
+                    self.thermal = thermal_model.analyze(floorplan)
+                    self.block_temperatures = self.thermal.block_temperatures
+                else:
+                    self.thermal = uniform_temperature_result(
+                        floorplan, self.obd_model.t_ref
+                    )
+                    self.block_temperatures = self.thermal.block_temperatures
+
+            cfg = self.config
+            self.grid = floorplan.make_grid(cfg.grid_size)
+            with span("pca", model=cfg.correlation_model) as pca_span:
+                if cfg.correlation_model == "grid":
+                    self.correlation = SpatialCorrelationModel(
+                        grid=self.grid, rho_dist=cfg.rho_dist, kernel=cfg.kernel
+                    )
+                    self.canonical = build_canonical_model(
+                        self.budget,
+                        self.correlation,
+                        energy=cfg.pca_energy,
+                        max_factors=cfg.max_factors,
+                        mean_offsets=mean_offsets,
+                    )
+                elif cfg.correlation_model == "quadtree":
+                    from repro.variation.quadtree import build_quadtree_model
+
+                    self.correlation = None
+                    self.canonical = build_quadtree_model(
+                        self.budget,
+                        self.grid,
+                        levels=cfg.quadtree_levels,
+                        mean_offsets=mean_offsets,
+                    )
+                else:
+                    raise ConfigurationError(
+                        f"unknown correlation model {cfg.correlation_model!r}; "
+                        "expected 'grid' or 'quadtree'"
+                    )
+                metrics.inc("pca.factors", self.canonical.n_factors)
+                pca_span.set(factors=self.canonical.n_factors)
+
+            with span("blod", blocks=floorplan.n_blocks):
+                self.sampler = ChipSampler(floorplan, self.grid, self.canonical)
+                self.blods = characterize_blods(
+                    floorplan,
+                    self.grid,
+                    self.canonical,
+                    self.sampler.assignments,
                 )
-            self.thermal = None
-            self.block_temperatures = block_temperatures
-        elif floorplan.total_power > 0.0:
-            thermal_model = (
-                thermal_model if thermal_model is not None else HotSpotLite()
-            )
-            self.thermal = thermal_model.analyze(floorplan)
-            self.block_temperatures = self.thermal.block_temperatures
-        else:
-            self.thermal = uniform_temperature_result(
-                floorplan, self.obd_model.t_ref
-            )
-            self.block_temperatures = self.thermal.block_temperatures
-
-        cfg = self.config
-        self.grid = floorplan.make_grid(cfg.grid_size)
-        if cfg.correlation_model == "grid":
-            self.correlation = SpatialCorrelationModel(
-                grid=self.grid, rho_dist=cfg.rho_dist, kernel=cfg.kernel
-            )
-            self.canonical = build_canonical_model(
-                self.budget,
-                self.correlation,
-                energy=cfg.pca_energy,
-                max_factors=cfg.max_factors,
-                mean_offsets=mean_offsets,
-            )
-        elif cfg.correlation_model == "quadtree":
-            from repro.variation.quadtree import build_quadtree_model
-
-            self.correlation = None
-            self.canonical = build_quadtree_model(
-                self.budget,
-                self.grid,
-                levels=cfg.quadtree_levels,
-                mean_offsets=mean_offsets,
-            )
-        else:
-            raise ConfigurationError(
-                f"unknown correlation model {cfg.correlation_model!r}; "
-                "expected 'grid' or 'quadtree'"
-            )
-        self.sampler = ChipSampler(floorplan, self.grid, self.canonical)
-        self.blods = characterize_blods(
-            floorplan, self.grid, self.canonical, self.sampler.assignments
+                params = self.obd_model.block_params(
+                    self.block_temperatures, cfg.vdd
+                )
+                self.blocks = [
+                    BlockReliability(blod=blod, alpha=p.alpha, b=p.b)
+                    for blod, p in zip(self.blods, params)
+                ]
+        logger.debug(
+            "prepared analyzer: %d blocks, %d devices, %d PCA factors",
+            floorplan.n_blocks,
+            floorplan.n_devices,
+            self.canonical.n_factors,
         )
-        params = self.obd_model.block_params(self.block_temperatures, cfg.vdd)
-        self.blocks = [
-            BlockReliability(blod=blod, alpha=p.alpha, b=p.b)
-            for blod, p in zip(self.blods, params)
-        ]
 
     # ------------------------------------------------------------------
     # Lazily constructed per-method analyzers
@@ -306,25 +338,29 @@ class ReliabilityAnalyzer:
         """Ensemble chip reliability ``R_c(t)`` by the chosen method."""
         times_arr = np.asarray(times, dtype=float)
         scalar = times_arr.ndim == 0
-        if method == "st_fast":
-            value = np.atleast_1d(self.st_fast.reliability(times_arr))
-        elif method == "st_mc":
-            value = np.atleast_1d(self.st_mc.reliability(times_arr))
-        elif method == "hybrid":
-            value = np.atleast_1d(self.hybrid.reliability(times_arr))
-        elif method == "temp_unaware":
-            value = np.atleast_1d(self.temp_unaware.reliability(times_arr))
-        elif method == "guard":
-            value = np.atleast_1d(self.guard.reliability(times_arr))
-        elif method == "mc":
-            curve = self.mc_reliability_curve(
-                np.atleast_1d(times_arr), n_chips=mc_chips, seed=mc_seed
-            )
-            value = curve.reliability
-        else:
+        if method not in METHODS:
             raise ConfigurationError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
+        with span("analyzer.reliability", method=method):
+            with span(method, times=int(np.atleast_1d(times_arr).size)):
+                if method == "st_fast":
+                    value = np.atleast_1d(self.st_fast.reliability(times_arr))
+                elif method == "st_mc":
+                    value = np.atleast_1d(self.st_mc.reliability(times_arr))
+                elif method == "hybrid":
+                    value = np.atleast_1d(self.hybrid.reliability(times_arr))
+                elif method == "temp_unaware":
+                    value = np.atleast_1d(
+                        self.temp_unaware.reliability(times_arr)
+                    )
+                elif method == "guard":
+                    value = np.atleast_1d(self.guard.reliability(times_arr))
+                else:  # mc
+                    curve = self.mc_reliability_curve(
+                        np.atleast_1d(times_arr), n_chips=mc_chips, seed=mc_seed
+                    )
+                    value = curve.reliability
         return float(value[0]) if scalar else value
 
     def lifetime(
@@ -339,16 +375,17 @@ class ReliabilityAnalyzer:
         """
         if method == "mc":
             raise ConfigurationError("use mc_lifetime for the MC reference")
-        if method == "guard":
-            return self.guard.lifetime(ppm_to_reliability(ppm))
-        # Seed the bracketing with the analytic guard-band estimate, which
-        # is within ~2x of every statistical method's answer.
-        guess = self.guard.lifetime(ppm_to_reliability(ppm))
-        return solve_lifetime(
-            lambda t: float(self.reliability(t, method=method)),
-            ppm_to_reliability(ppm),
-            t_guess=guess,
-        )
+        with span("analyzer.lifetime", method=method, ppm=ppm):
+            if method == "guard":
+                return self.guard.lifetime(ppm_to_reliability(ppm))
+            # Seed the bracketing with the analytic guard-band estimate,
+            # which is within ~2x of every statistical method's answer.
+            guess = self.guard.lifetime(ppm_to_reliability(ppm))
+            return solve_lifetime(
+                lambda t: float(self.reliability(t, method=method)),
+                ppm_to_reliability(ppm),
+                t_guess=guess,
+            )
 
     def mc_reliability_curve(
         self,

@@ -33,6 +33,8 @@ import numpy as np
 from repro.chip.floorplan import Floorplan
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.stats.integration import NormalDist, PointMass
 from repro.stats.quadform import Chi2Match, QuadraticForm
 from repro.variation.pca import CanonicalThicknessModel
@@ -247,6 +249,20 @@ def characterize_blods(
     if len(assignments) != floorplan.n_blocks:
         raise ConfigurationError("one grid assignment per block is required")
 
+    with span(
+        "blod.characterize",
+        blocks=floorplan.n_blocks,
+        factors=model.n_factors,
+    ):
+        return _characterize(floorplan, model, assignments)
+
+
+def _characterize(
+    floorplan: Floorplan,
+    model: CanonicalThicknessModel,
+    assignments: list[BlockGridAssignment],
+) -> list[BlodModel]:
+    metrics.inc("blod.blocks", floorplan.n_blocks)
     blods: list[BlodModel] = []
     for block, assignment in zip(floorplan.blocks, assignments):
         fractions = assignment.fractions

@@ -27,6 +27,8 @@ import numpy as np
 from repro.core.blod import BlodModel
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN, safe_log_t_ratio
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.stats.integration import (
     Rule1D,
     gauss_hermite_rule,
@@ -153,16 +155,17 @@ class StFastAnalyzer(_EnsembleAnalyzerBase):
         self.blocks = list(blocks)
         self.l0 = l0
         self._rules: list[tuple[Rule1D, Rule1D]] = []
-        for block in self.blocks:
-            u_dist = block.blod.u_dist()
-            v_dist = block.blod.v_chi2_match(include_residual_fluctuation)
-            if rule == "midpoint":
-                u_rule = midpoint_rule(u_dist, n_points=l0, tail=tail)
-                v_rule = midpoint_rule(v_dist, n_points=l0, tail=tail)
-            else:
-                u_rule = gauss_hermite_rule(u_dist, n_points=max(l0, 8))
-                v_rule = quantile_rule(v_dist, n_points=max(l0, 8))
-            self._rules.append((u_rule, v_rule))
+        with span("st_fast.rules", blocks=len(self.blocks), l0=l0, rule=rule):
+            for block in self.blocks:
+                u_dist = block.blod.u_dist()
+                v_dist = block.blod.v_chi2_match(include_residual_fluctuation)
+                if rule == "midpoint":
+                    u_rule = midpoint_rule(u_dist, n_points=l0, tail=tail)
+                    v_rule = midpoint_rule(v_dist, n_points=l0, tail=tail)
+                else:
+                    u_rule = gauss_hermite_rule(u_dist, n_points=max(l0, 8))
+                    v_rule = quantile_rule(v_dist, n_points=max(l0, 8))
+                self._rules.append((u_rule, v_rule))
 
     def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
         """Midpoint/Gauss tensor-rule evaluation of the double integral."""
@@ -171,6 +174,10 @@ class StFastAnalyzer(_EnsembleAnalyzerBase):
         log_t_ratio = safe_log_t_ratio(times, block.alpha)
         survival = _survival_on_grid(
             log_t_ratio, block.b, block.blod.area, u_rule.points, v_rule.points
+        )
+        metrics.inc(
+            "integration.subdomain_evals",
+            times.size * u_rule.points.size * v_rule.points.size,
         )
         return np.einsum(
             "tpq,p,q->t", survival, u_rule.weights, v_rule.weights
@@ -260,12 +267,19 @@ class StMcAnalyzer(_EnsembleAnalyzerBase):
         self.bins = bins
         if rng is None:
             rng = np.random.default_rng(seed)
-        factors = _draw_factors(sampler, n_samples, n_factors, rng)
-        self._u_samples = [b.blod.u_samples(factors) for b in self.blocks]
-        noise_rng = rng if include_residual_noise else None
-        self._v_samples = [
-            b.blod.v_samples(factors, rng=noise_rng) for b in self.blocks
-        ]
+        with span(
+            "st_mc.sample",
+            samples=n_samples,
+            factors=n_factors,
+            sampler=sampler,
+        ):
+            factors = _draw_factors(sampler, n_samples, n_factors, rng)
+            self._u_samples = [b.blod.u_samples(factors) for b in self.blocks]
+            noise_rng = rng if include_residual_noise else None
+            self._v_samples = [
+                b.blod.v_samples(factors, rng=noise_rng) for b in self.blocks
+            ]
+            metrics.inc("st_mc.factor_draws", n_samples)
 
     def block_moment_samples(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """The (u, v) sample cloud of one block (diagnostics, Fig. 6/7)."""

@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN
 from repro.core.ensemble import BlockReliability
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.trace import is_enabled, span
 from repro.stats.integration import midpoint_rule
 
 
@@ -74,10 +76,17 @@ class HybridAnalyzer:
         self.log_t_axis = np.linspace(lo, hi, n_alpha)
         self.b_axis = np.linspace(b_lo, b_hi, n_b)
         self.tables = np.empty((len(blocks), n_alpha, n_b))
-        for j, block in enumerate(blocks):
-            self.tables[j] = self._build_block_table(
-                block, l0, tail, include_residual_fluctuation
-            )
+        with span(
+            "hybrid.build_table",
+            blocks=len(blocks),
+            n_alpha=n_alpha,
+            n_b=n_b,
+        ):
+            for j, block in enumerate(blocks):
+                self.tables[j] = self._build_block_table(
+                    block, l0, tail, include_residual_fluctuation
+                )
+            metrics.inc("hybrid.table_entries", len(blocks) * n_alpha * n_b)
 
     def _build_block_table(
         self,
@@ -161,7 +170,14 @@ class HybridAnalyzer:
             + f01 * (1.0 - tx) * ty
             + f11 * tx * ty
         )
-        return np.where(clamped_low | ~finite, 0.0, np.exp(log_value))
+        missed = clamped_low | ~finite
+        if is_enabled():
+            # "hits" interpolate from the table; "misses" fall outside it
+            # (clamped below the left edge, negligible-failure region).
+            n_miss = int(np.count_nonzero(missed))
+            metrics.inc("hybrid.lut_hits", int(np.size(missed)) - n_miss)
+            metrics.inc("hybrid.lut_misses", n_miss)
+        return np.where(missed, 0.0, np.exp(log_value))
 
     def block_failure_probabilities(
         self,

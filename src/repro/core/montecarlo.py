@@ -32,14 +32,20 @@ Device modes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats as sps
 
 from repro.core.ensemble import BlockReliability
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NumericalError
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
 from repro.variation.sampling import ChipSampler
+
+logger = get_logger("core.montecarlo")
 
 #: Exponent clip bound for survival exponent sums.
 _EXP_CLIP = 700.0
@@ -150,6 +156,13 @@ class MonteCarloEngine:
 
         ``R_hat(t) = mean_c exp(-sum_j sum_i a_i (t/alpha_j)^(b_j x_i))``
         over ``n_chips`` sample chips.
+
+        Chips whose exponent sum comes out non-finite (numerical blow-up in
+        a pathological sample) are dropped with a warning and counted in
+        the ``mc.nonfinite_chunks`` / ``mc.nonfinite_chips`` metrics; the
+        returned curve then averages the remaining valid chips (its
+        ``n_chips`` reflects the valid count).  Only when *every* chip is
+        invalid does the method raise.
         """
         times = np.atleast_1d(np.asarray(times, dtype=float))
         if np.any(times < 0.0):
@@ -158,19 +171,58 @@ class MonteCarloEngine:
             raise ConfigurationError(f"n_chips must be >= 2, got {n_chips}")
         total = np.zeros(times.size)
         total_sq = np.zeros(times.size)
-        remaining = n_chips
-        while remaining > 0:
-            batch = min(self.chunk_size, remaining)
-            exponents = self._chunk_exponents(times, batch, rng)
-            survival = np.exp(-np.clip(exponents, 0.0, _EXP_CLIP))
-            total += survival.sum(axis=0)
-            total_sq += (survival**2).sum(axis=0)
-            remaining -= batch
-        mean = total / n_chips
-        variance = np.clip(total_sq / n_chips - mean**2, 0.0, None)
-        std_error = np.sqrt(variance / n_chips)
+        n_valid = 0
+        done = 0
+        started = time.perf_counter()
+        with span(
+            "mc.reliability_curve",
+            chips=n_chips,
+            times=times.size,
+            device_mode=self.device_mode,
+        ) as curve_span:
+            while done < n_chips:
+                batch = min(self.chunk_size, n_chips - done)
+                exponents = self._chunk_exponents(times, batch, rng)
+                finite_rows = np.isfinite(exponents).all(axis=1)
+                if not finite_rows.all():
+                    n_bad = batch - int(finite_rows.sum())
+                    metrics.inc("mc.nonfinite_chunks")
+                    metrics.inc("mc.nonfinite_chips", n_bad)
+                    logger.warning(
+                        "dropping %d of %d chips in MC chunk: non-finite "
+                        "Weibull exponent sums (curve will average the "
+                        "remaining valid chips)",
+                        n_bad,
+                        batch,
+                        extra={"metric": "mc.nonfinite_chunks"},
+                    )
+                    exponents = exponents[finite_rows]
+                survival = np.exp(-np.clip(exponents, 0.0, _EXP_CLIP))
+                total += survival.sum(axis=0)
+                total_sq += (survival**2).sum(axis=0)
+                n_valid += exponents.shape[0]
+                done += batch
+                metrics.inc("mc.chips", batch)
+                elapsed = time.perf_counter() - started
+                eta = elapsed / done * (n_chips - done)
+                logger.debug(
+                    "mc progress: %d/%d chips (%.2fs elapsed, ETA %.2fs)",
+                    done,
+                    n_chips,
+                    elapsed,
+                    eta,
+                )
+            curve_span.set(valid_chips=n_valid)
+        if n_valid == 0:
+            raise NumericalError(
+                "every MC chip produced non-finite Weibull exponents; "
+                "check the variation budget and Weibull parameters"
+            )
+        mean = total / n_valid
+        variance = np.clip(total_sq / n_valid - mean**2, 0.0, None)
+        std_error = np.sqrt(variance / n_valid)
         return ReliabilityCurve(
-            times=times, reliability=mean, std_error=std_error, n_chips=n_chips
+            times=times, reliability=mean, std_error=std_error, n_chips=n_valid
         )
 
     def _chunk_exponents(
@@ -258,17 +310,32 @@ class MonteCarloEngine:
             raise ConfigurationError(f"n_chips must be >= 1, got {n_chips}")
         out = np.empty(n_chips)
         done = 0
-        while done < n_chips:
-            batch = min(self.chunk_size, n_chips - done)
-            if self.device_mode == "binned":
-                out[done : done + batch] = self._chunk_failure_times_binned(
-                    batch, rng
+        started = time.perf_counter()
+        with span(
+            "mc.failure_times", chips=n_chips, device_mode=self.device_mode
+        ):
+            while done < n_chips:
+                batch = min(self.chunk_size, n_chips - done)
+                if self.device_mode == "binned":
+                    out[done : done + batch] = (
+                        self._chunk_failure_times_binned(batch, rng)
+                    )
+                else:
+                    out[done : done + batch] = (
+                        self._chunk_failure_times_exact(batch, rng)
+                    )
+                done += batch
+                metrics.inc("mc.chips", batch)
+                elapsed = time.perf_counter() - started
+                eta = elapsed / done * (n_chips - done)
+                logger.debug(
+                    "mc failure-time progress: %d/%d chips "
+                    "(%.2fs elapsed, ETA %.2fs)",
+                    done,
+                    n_chips,
+                    elapsed,
+                    eta,
                 )
-            else:
-                out[done : done + batch] = self._chunk_failure_times_exact(
-                    batch, rng
-                )
-            done += batch
         return out
 
     def _chunk_failure_times_binned(

@@ -1,0 +1,98 @@
+"""repro.obs — observability for the analysis pipeline.
+
+Structured tracing (:mod:`repro.obs.trace`), stage metrics
+(:mod:`repro.obs.metrics`), structured logging (:mod:`repro.obs.logging`)
+and profiling hooks (:mod:`repro.obs.profile`) behind one import:
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("blod.characterize", blocks=8):
+        obs.inc("blod.blocks", 8)
+    print(obs.timing_summary())
+
+Everything is a **no-op while disabled** (the default): a disabled span
+allocates no trace node and a disabled counter touches no registry, so the
+paper's Table III runtimes are unperturbed by the instrumentation.
+
+``observability_snapshot()`` bundles the span tree and the metric registry
+into the JSON document the CLI's ``--trace FILE`` writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.logging import JsonFormatter, configure_logging, get_logger
+from repro.obs.metrics import (
+    gauge,
+    get_counter,
+    get_gauge,
+    inc,
+    metrics_snapshot,
+    reset_metrics,
+)
+from repro.obs.profile import (
+    SpanBudgets,
+    clear_span_end,
+    on_span_end,
+    remove_span_end,
+    stage_times,
+    timing_summary,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SpanNode,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    is_enabled,
+    span,
+    trace_snapshot,
+)
+from repro.obs.trace import reset as _reset_trace
+
+__all__ = [
+    "JsonFormatter",
+    "NOOP_SPAN",
+    "SpanBudgets",
+    "SpanNode",
+    "clear_span_end",
+    "configure_logging",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_counter",
+    "get_gauge",
+    "get_logger",
+    "inc",
+    "is_enabled",
+    "metrics_snapshot",
+    "observability_snapshot",
+    "on_span_end",
+    "remove_span_end",
+    "reset",
+    "reset_metrics",
+    "span",
+    "stage_times",
+    "timing_summary",
+    "trace_snapshot",
+]
+
+
+def reset() -> None:
+    """Clear the recorded trace tree *and* every counter/gauge."""
+    _reset_trace()
+    reset_metrics()
+
+
+def observability_snapshot() -> dict[str, Any]:
+    """The full observability state as one JSON-ready document."""
+    return {
+        "trace": trace_snapshot(),
+        "metrics": metrics_snapshot(),
+        "stages": stage_times(),
+    }

@@ -1,0 +1,108 @@
+"""Structured logging for the analysis pipeline.
+
+A thin layer over stdlib :mod:`logging`: every library module gets its
+logger from :func:`get_logger` (all under the ``repro`` namespace), and
+:func:`configure_logging` installs a handler whose formatter is either
+human-readable or line-delimited JSON (``--log-json``).
+
+Diagnostics go through these loggers; user-facing CLI output stays on
+stdout.  Libraries must not configure logging at import time, so nothing
+here runs until :func:`configure_logging` is called (the CLI does, from
+``--log-level``/``--log-json``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, IO
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+#: Root logger name of the library.
+ROOT_LOGGER = "repro"
+
+#: Attributes of a LogRecord that are not user-supplied ``extra`` fields.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger in the library's namespace.
+
+    ``get_logger("core.montecarlo")`` and
+    ``get_logger("repro.core.montecarlo")`` return the same logger;
+    ``get_logger()`` returns the library root logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_logging(
+    level: int | str = "WARNING",
+    json_output: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install (or replace) the library's log handler.
+
+    Parameters
+    ----------
+    level:
+        Logging level name or number for the ``repro`` logger tree.
+    json_output:
+        Emit line-delimited JSON instead of the human-readable format.
+    stream:
+        Destination stream; defaults to ``sys.stderr`` so machine-readable
+        command output on stdout stays clean.
+
+    Returns the configured root library logger.  Calling again replaces the
+    previously installed handler (idempotent for repeated CLI invocations
+    in one process, e.g. under tests).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

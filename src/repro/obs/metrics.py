@@ -1,0 +1,76 @@
+"""Stage metrics: named counters and gauges for the analysis pipeline.
+
+Counters accumulate (``inc("mc.chips", 100)``); gauges record the latest
+value (``gauge("pca.factors", 37)``).  Both live in one process-wide
+thread-safe registry that :func:`metrics_snapshot` serialises alongside the
+trace tree.
+
+Like spans, metrics are **no-ops while observability is disabled** (the
+default), so instrumented hot loops pay only a module-attribute load.
+
+Naming convention (see ``docs/observability.md``): dotted
+``<stage>.<quantity>`` names — e.g. ``pca.factors``, ``blod.blocks``,
+``mc.chips``, ``hybrid.lut_hits``, ``integration.subdomain_evals``,
+``thermal.solves``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.obs import trace as _trace
+
+__all__ = [
+    "gauge",
+    "get_counter",
+    "get_gauge",
+    "inc",
+    "metrics_snapshot",
+    "reset_metrics",
+]
+
+_lock = threading.Lock()
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    """Add ``value`` to counter ``name`` (no-op while disabled)."""
+    if not _trace._enabled:
+        return
+    with _lock:
+        _counters[name] = _counters.get(name, 0.0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    if not _trace._enabled:
+        return
+    with _lock:
+        _gauges[name] = float(value)
+
+
+def get_counter(name: str, default: float = 0.0) -> float:
+    """Current value of a counter (``default`` when never incremented)."""
+    with _lock:
+        return _counters.get(name, default)
+
+
+def get_gauge(name: str, default: float | None = None) -> float | None:
+    """Current value of a gauge (``default`` when never set)."""
+    with _lock:
+        return _gauges.get(name, default)
+
+
+def metrics_snapshot() -> dict[str, dict[str, Any]]:
+    """All counters and gauges as a JSON-ready dict."""
+    with _lock:
+        return {"counters": dict(_counters), "gauges": dict(_gauges)}
+
+
+def reset_metrics() -> None:
+    """Clear every counter and gauge."""
+    with _lock:
+        _counters.clear()
+        _gauges.clear()

@@ -1,0 +1,165 @@
+"""Profiling hooks over the trace stream.
+
+Three consumers of span data:
+
+- :func:`on_span_end` / :func:`remove_span_end` — register a callback fired
+  with every finished :class:`~repro.obs.trace.SpanNode`, so benchmarks and
+  external profilers can observe stages as they complete.
+- :class:`SpanBudgets` — declarative per-stage wall-clock budgets; collects
+  violations while installed, so a benchmark can assert
+  ``thermal <= 2 s`` without hand-rolled timing code.
+- :func:`timing_summary` / :func:`stage_times` — render or flatten the
+  recorded trace tree for reports and metrics files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.trace import (
+    SpanNode,
+    _clear_span_end,
+    _register_span_end,
+    _unregister_span_end,
+    trace_snapshot,
+)
+
+__all__ = [
+    "SpanBudgets",
+    "clear_span_end",
+    "on_span_end",
+    "remove_span_end",
+    "stage_times",
+    "timing_summary",
+]
+
+
+def on_span_end(callback: Callable[[SpanNode], None]) -> Callable[[SpanNode], None]:
+    """Register ``callback(span_node)`` to fire when any span finishes.
+
+    Returns the callback, so it can be used as a decorator.  Callbacks run
+    on the thread that closed the span; keep them cheap.
+    """
+    _register_span_end(callback)
+    return callback
+
+
+def remove_span_end(callback: Callable[[SpanNode], None]) -> None:
+    """Unregister a span-end callback (no error if absent)."""
+    _unregister_span_end(callback)
+
+
+def clear_span_end() -> None:
+    """Unregister every span-end callback."""
+    _clear_span_end()
+
+
+class SpanBudgets:
+    """Assertable wall-clock budgets per span name.
+
+    >>> budgets = SpanBudgets({"thermal": 2.0, "blod": 0.5})
+    >>> with budgets:            # observes spans closed inside the block
+    ...     run_analysis()
+    >>> budgets.violations       # [(name, wall_time, budget), ...]
+    """
+
+    def __init__(self, budgets: dict[str, float]) -> None:
+        for name, limit in budgets.items():
+            if limit < 0.0:
+                raise ValueError(f"budget for {name!r} must be >= 0, got {limit}")
+        self.budgets = dict(budgets)
+        self.violations: list[tuple[str, float, float]] = []
+
+    def _observe(self, node: SpanNode) -> None:
+        limit = self.budgets.get(node.name)
+        if limit is not None and node.wall_time > limit:
+            self.violations.append((node.name, node.wall_time, limit))
+
+    def install(self) -> "SpanBudgets":
+        """Start observing span completions."""
+        _register_span_end(self._observe)
+        return self
+
+    def uninstall(self) -> None:
+        """Stop observing."""
+        _unregister_span_end(self._observe)
+
+    def __enter__(self) -> "SpanBudgets":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.uninstall()
+        return False
+
+    def check(self) -> None:
+        """Raise ``AssertionError`` listing every budget violation."""
+        if self.violations:
+            lines = [
+                f"{name}: {wall:.3f}s > budget {limit:.3f}s"
+                for name, wall, limit in self.violations
+            ]
+            raise AssertionError("stage budget exceeded: " + "; ".join(lines))
+
+
+def stage_times(
+    snapshot: list[dict[str, Any]] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Flatten a trace snapshot into per-stage totals.
+
+    Returns ``{name: {"wall_time_s": total, "count": n}}`` summed over
+    every occurrence of each span name anywhere in the tree — the shape the
+    benchmark metrics files and CI artifacts record.
+    """
+    if snapshot is None:
+        snapshot = trace_snapshot()
+    totals: dict[str, dict[str, float]] = {}
+    stack = list(snapshot)
+    while stack:
+        node = stack.pop()
+        entry = totals.setdefault(node["name"], {"wall_time_s": 0.0, "count": 0})
+        entry["wall_time_s"] += float(node["wall_time_s"])
+        entry["count"] += 1
+        stack.extend(node.get("children", ()))
+    return totals
+
+
+def timing_summary(
+    snapshot: list[dict[str, Any]] | None = None,
+    max_depth: int = 4,
+) -> str:
+    """Human-readable indented rendering of the recorded span tree.
+
+    Appended to the CLI ``report`` output; one line per span with wall time
+    and a ``xN`` multiplier for repeated siblings of the same name.
+    """
+    if snapshot is None:
+        snapshot = trace_snapshot()
+    if not snapshot:
+        return "timing: (no spans recorded)"
+    lines = ["timing:"]
+
+    def merge(nodes: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        merged: dict[str, dict[str, Any]] = {}
+        for node in nodes:
+            slot = merged.setdefault(
+                node["name"],
+                {"name": node["name"], "wall_time_s": 0.0, "count": 0, "children": []},
+            )
+            slot["wall_time_s"] += float(node["wall_time_s"])
+            slot["count"] += 1
+            slot["children"].extend(node.get("children", ()))
+        return list(merged.values())
+
+    def render(nodes: list[dict[str, Any]], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        for node in merge(nodes):
+            suffix = f"  x{node['count']}" if node["count"] > 1 else ""
+            lines.append(
+                f"{'  ' * (depth + 1)}{node['name']:<28} "
+                f"{node['wall_time_s'] * 1e3:10.2f} ms{suffix}"
+            )
+            render(node["children"], depth + 1)
+
+    render(snapshot, 0)
+    return "\n".join(lines)

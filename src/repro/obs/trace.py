@@ -1,0 +1,268 @@
+"""Structured tracing: nestable spans forming an in-process trace tree.
+
+The analysis pipeline (Fig. 9 of the paper) is a staged flow whose runtime
+profile is itself a headline result (Table III).  This module provides the
+span primitive every stage reports into:
+
+    with span("blod.characterize", blocks=n_blocks):
+        ...
+
+Spans nest (a per-thread stack tracks the active span), record wall-clock
+time and user-attached attributes, and aggregate into a thread-safe trace
+tree that :func:`trace_snapshot` serialises to plain dicts (and therefore
+JSON).
+
+Zero cost when disabled
+-----------------------
+Tracing is **off** by default.  A module-level switch guards every entry
+point; a disabled ``span(...)`` call returns one shared no-op context
+manager and allocates *no* trace node, so instrumented hot paths (the
+Table III runtime measurements) are unperturbed.  Enable with
+:func:`enable` (the CLI does this for ``--trace``).
+
+Thread safety
+-------------
+Each thread keeps its own active-span stack, so a worker thread started
+inside a span opens its own root rather than racing the parent's child
+list.  The shared root list and finish-callback registry are guarded by a
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "SpanNode",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "is_enabled",
+    "reset",
+    "span",
+    "trace_snapshot",
+]
+
+#: Master switch — module attribute so the disabled check is one load.
+_enabled: bool = False
+
+_lock = threading.RLock()
+_roots: list[SpanNode] = []
+_tls = threading.local()
+
+#: Callbacks fired when a span finishes (see :mod:`repro.obs.profile`).
+_span_end_callbacks: list[Callable[["SpanNode"], None]] = []
+
+
+class SpanNode:
+    """One node of the trace tree.
+
+    Attributes
+    ----------
+    name:
+        Dotted stage name (``"thermal"``, ``"pca.eig"``, ...).
+    attrs:
+        User-attached attributes (JSON-serialisable values).
+    start, end:
+        ``time.perf_counter()`` stamps; ``end`` is ``None`` while open.
+    children:
+        Nested spans, in start order.
+    error:
+        Exception repr when the span body raised, else ``None``.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "error")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list[SpanNode] = []
+        self.error: str | None = None
+
+    @property
+    def wall_time(self) -> float:
+        """Elapsed seconds (to now for a still-open span)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(end - self.start, 0.0)
+
+    def set(self, **attrs: Any) -> "SpanNode":
+        """Attach attributes to the span; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-ready) form of this node and its subtree."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "wall_time_s": self.wall_time,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanNode({self.name!r}, {self.wall_time:.6f}s)"
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled mode (no allocation per call)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+#: The singleton returned by every ``span(...)`` call while disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+def _stack() -> list[SpanNode]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+class _SpanContext:
+    """Context manager that opens a :class:`SpanNode` on the active stack."""
+
+    __slots__ = ("_name", "_attrs", "_node")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._node: SpanNode | None = None
+
+    def __enter__(self) -> SpanNode:
+        node = SpanNode(self._name, self._attrs)
+        stack = _stack()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with _lock:
+                _roots.append(node)
+        stack.append(node)
+        self._node = node
+        return node
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        node = self._node
+        assert node is not None
+        node.end = time.perf_counter()
+        if exc is not None:
+            node.error = f"{exc_type.__name__}: {exc}"
+        stack = _stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        elif node in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(node)
+        with _lock:
+            callbacks = list(_span_end_callbacks)
+        for callback in callbacks:
+            callback(node)
+        return False
+
+
+def span(name: str, **attrs: Any) -> _SpanContext | _NoopSpan:
+    """A context manager recording one stage of work.
+
+    When tracing is disabled this returns a shared no-op object — no trace
+    node is allocated and nothing is recorded.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return _SpanContext(name, attrs)
+
+
+def current_span() -> SpanNode | None:
+    """The innermost open span of the calling thread (``None`` if none)."""
+    if not _enabled:
+        return None
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def enable() -> None:
+    """Turn tracing (and metric collection) on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off; already-recorded spans are kept until :func:`reset`."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether tracing is currently on."""
+    return _enabled
+
+
+class enabled:
+    """Context manager enabling tracing for a scoped block (test helper)."""
+
+    def __init__(self, *, fresh: bool = True) -> None:
+        self._fresh = fresh
+        self._was_enabled = False
+
+    def __enter__(self) -> None:
+        self._was_enabled = _enabled
+        if self._fresh:
+            reset()
+        enable()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if not self._was_enabled:
+            disable()
+        return False
+
+
+def reset() -> None:
+    """Drop all recorded spans and per-thread stacks."""
+    with _lock:
+        _roots.clear()
+    _tls.stack = []
+
+
+def trace_snapshot() -> list[dict[str, Any]]:
+    """The recorded trace tree as a list of root-span dicts (JSON-ready)."""
+    with _lock:
+        roots = list(_roots)
+    return [node.to_dict() for node in roots]
+
+
+def _register_span_end(callback: Callable[[SpanNode], None]) -> None:
+    with _lock:
+        if callback not in _span_end_callbacks:
+            _span_end_callbacks.append(callback)
+
+
+def _unregister_span_end(callback: Callable[[SpanNode], None]) -> None:
+    with _lock:
+        try:
+            _span_end_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+
+def _clear_span_end() -> None:
+    with _lock:
+        _span_end_callbacks.clear()

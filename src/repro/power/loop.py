@@ -14,9 +14,14 @@ import numpy as np
 
 from repro.chip.floorplan import Floorplan
 from repro.errors import SolverError
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
 from repro.power.activity import ActivityProfile
 from repro.power.model import BlockPowerModel
 from repro.thermal.hotspot import HotSpotLite, ThermalResult
+
+logger = get_logger("power.loop")
 
 
 @dataclass(frozen=True)
@@ -76,18 +81,28 @@ def solve_power_thermal(
     )
     current = floorplan
     thermal: ThermalResult | None = None
-    for iteration in range(1, max_iterations + 1):
-        powers = power_model.floorplan_powers(floorplan, profile, temperatures)
-        current = floorplan.with_powers(powers)
-        thermal = thermal_model.analyze(current)
-        change = float(
-            np.max(np.abs(thermal.block_temperatures - temperatures))
-        )
-        temperatures = thermal.block_temperatures
-        if change <= tolerance:
-            return PowerThermalSolution(
-                floorplan=current, thermal=thermal, iterations=iteration
+    with span("thermal.power_loop", blocks=floorplan.n_blocks) as loop_span:
+        for iteration in range(1, max_iterations + 1):
+            powers = power_model.floorplan_powers(
+                floorplan, profile, temperatures
             )
+            current = floorplan.with_powers(powers)
+            thermal = thermal_model.analyze(current)
+            change = float(
+                np.max(np.abs(thermal.block_temperatures - temperatures))
+            )
+            temperatures = thermal.block_temperatures
+            metrics.inc("thermal.iterations")
+            logger.debug(
+                "power-thermal iteration %d: max block change %.3f degC",
+                iteration,
+                change,
+            )
+            if change <= tolerance:
+                loop_span.set(iterations=iteration)
+                return PowerThermalSolution(
+                    floorplan=current, thermal=thermal, iterations=iteration
+                )
     raise SolverError(
         f"power-thermal loop did not converge in {max_iterations} iterations "
         "(possible thermal runaway for this package)"

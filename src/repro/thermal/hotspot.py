@@ -15,6 +15,7 @@ import numpy as np
 from repro.chip.floorplan import Floorplan
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError
+from repro.obs.trace import span
 from repro.thermal.grid import PackageModel
 from repro.thermal.solver import TemperatureField, solve_steady_state
 
@@ -98,15 +99,20 @@ class HotSpotLite:
 
     def analyze(self, floorplan: Floorplan) -> ThermalResult:
         """Solve the steady-state profile and per-block temperatures."""
-        mesh = self.mesh_for(floorplan)
-        cell_power = self.cell_powers(floorplan, mesh)
-        field = solve_steady_state(mesh, cell_power, self.package)
-        block_temps = np.array(
-            [
-                field.average_over(mesh.overlap_fractions(block.rect))
-                for block in floorplan.blocks
-            ]
-        )
+        with span(
+            "thermal.hotspot",
+            blocks=floorplan.n_blocks,
+            power_w=round(floorplan.total_power, 3),
+        ):
+            mesh = self.mesh_for(floorplan)
+            cell_power = self.cell_powers(floorplan, mesh)
+            field = solve_steady_state(mesh, cell_power, self.package)
+            block_temps = np.array(
+                [
+                    field.average_over(mesh.overlap_fractions(block.rect))
+                    for block in floorplan.blocks
+                ]
+            )
         return ThermalResult(field=field, block_temperatures=block_temps)
 
 

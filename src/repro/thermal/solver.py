@@ -18,6 +18,8 @@ from scipy.sparse.linalg import spsolve
 
 from repro.chip.geometry import GridSpec
 from repro.errors import SolverError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.thermal.grid import PackageModel
 
 
@@ -128,10 +130,12 @@ def solve_steady_state(
         )
     if np.any(cell_power < 0.0):
         raise SolverError("cell powers must be non-negative")
-    matrix = _build_conductance_matrix(grid, package)
-    g_v = package.vertical_conductance(grid)
-    rhs = cell_power + g_v * package.ambient_temperature
-    temperatures = spsolve(matrix, rhs)
+    with span("thermal.solve", cells=grid.n_cells):
+        matrix = _build_conductance_matrix(grid, package)
+        g_v = package.vertical_conductance(grid)
+        rhs = cell_power + g_v * package.ambient_temperature
+        temperatures = spsolve(matrix, rhs)
+        metrics.inc("thermal.solves")
     if not np.all(np.isfinite(temperatures)):
         raise SolverError("thermal solve produced non-finite temperatures")
     return TemperatureField(grid=grid, values=np.asarray(temperatures))

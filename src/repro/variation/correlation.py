@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError, NumericalError
+from repro.obs.trace import span
 
 
 def exponential_kernel(distance: np.ndarray, corr_length: float) -> np.ndarray:
@@ -115,11 +116,16 @@ class SpatialCorrelationModel:
 
     def correlation_matrix(self) -> np.ndarray:
         """The ``n x n`` grid-cell correlation matrix (unit diagonal, PSD)."""
-        distances = self.grid.pairwise_center_distances()
-        kernel_fn = _KERNELS[self.kernel]
-        corr = kernel_fn(distances, self.correlation_length)
-        np.fill_diagonal(corr, 1.0)
-        return nearest_correlation_matrix(corr)
+        with span(
+            "pca.correlation_matrix",
+            cells=self.grid.n_cells,
+            kernel=self.kernel,
+        ):
+            distances = self.grid.pairwise_center_distances()
+            kernel_fn = _KERNELS[self.kernel]
+            corr = kernel_fn(distances, self.correlation_length)
+            np.fill_diagonal(corr, 1.0)
+            return nearest_correlation_matrix(corr)
 
     def covariance_matrix(self, sigma_spatial: float) -> np.ndarray:
         """Covariance of the spatial component across grid cells.

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.variation.components import VariationBudget
 from repro.variation.correlation import SpatialCorrelationModel
 
@@ -140,7 +142,8 @@ def build_canonical_model(
         raise ConfigurationError(f"energy must be in (0, 1], got {energy}")
     n_grids = correlation.grid.n_cells
     covariance = correlation.covariance_matrix(budget.sigma_spatial)
-    eigvals, eigvecs = np.linalg.eigh(covariance)
+    with span("pca.eig", grids=n_grids):
+        eigvals, eigvecs = np.linalg.eigh(covariance)
     # eigh returns ascending order; flip to descending.
     eigvals = eigvals[::-1]
     eigvecs = eigvecs[:, ::-1]
@@ -158,6 +161,7 @@ def build_canonical_model(
             raise ConfigurationError(f"max_factors must be >= 0, got {max_factors}")
         n_keep = min(n_keep, max_factors)
 
+    metrics.gauge("pca.spatial_factors", n_keep)
     spatial_sens = eigvecs[:, :n_keep] * np.sqrt(eigvals[:n_keep])
     global_sens = np.full((n_grids, 1), budget.sigma_global)
     sensitivities = np.hstack([global_sens, spatial_sens])

@@ -182,7 +182,6 @@ class TestStMcAnalyzer:
 
         t_ref = lifetime_at_ppm(lambda t: float(fast.reliability(t)), 100.0)
         times = np.array([t_ref])
-        reference = float(fast.failure_probability(times)[0])
 
         def scatter(sampler):
             values = [

@@ -1,13 +1,16 @@
 """Unit tests for the Monte-Carlo reference engines."""
 
+import logging
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.montecarlo import (
     MonteCarloEngine,
     ResidualBinning,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NumericalError
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +129,64 @@ class TestExactVsBinned:
             MonteCarloEngine(
                 small_analyzer.sampler, small_analyzer.blocks[::-1]
             )
+
+
+class TestNonFiniteRecovery:
+    """A pathological chunk must be survived, not silently poisoned."""
+
+    @staticmethod
+    def _poison_first_chunk(monkeypatch, engine, bad_rows):
+        """Make the first chunk's first ``len(bad_rows)`` chips non-finite."""
+        original = MonteCarloEngine._chunk_exponents
+        state = {"first": True}
+
+        def poisoned(self, times, n_chips, rng):
+            exponents = original(self, times, n_chips, rng)
+            if state["first"]:
+                state["first"] = False
+                for row, value in zip(range(exponents.shape[0]), bad_rows):
+                    exponents[row, 0] = value
+            return exponents
+
+        monkeypatch.setattr(MonteCarloEngine, "_chunk_exponents", poisoned)
+
+    def test_partial_curve_from_valid_chips(
+        self, engine, times, rng, monkeypatch, caplog
+    ):
+        self._poison_first_chunk(monkeypatch, engine, [np.nan, np.inf])
+        with obs.enabled(), caplog.at_level(
+            logging.WARNING, logger="repro.core.montecarlo"
+        ):
+            curve = engine.reliability_curve(times, 120, rng)
+            assert obs.get_counter("mc.nonfinite_chunks") == 1.0
+            assert obs.get_counter("mc.nonfinite_chips") == 2.0
+        assert curve.n_chips == 118
+        assert np.all(np.isfinite(curve.reliability))
+        assert np.all((0.0 <= curve.reliability) & (curve.reliability <= 1.0))
+        assert any(
+            "dropping 2 of" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_close_to_clean_estimate(self, engine, times, monkeypatch):
+        clean = engine.reliability_curve(times, 400, np.random.default_rng(9))
+        self._poison_first_chunk(monkeypatch, engine, [np.nan])
+        partial = engine.reliability_curve(
+            times, 400, np.random.default_rng(9)
+        )
+        assert partial.n_chips == 399
+        np.testing.assert_allclose(
+            partial.reliability, clean.reliability, atol=0.05
+        )
+
+    def test_all_invalid_raises(self, engine, times, rng, monkeypatch):
+        monkeypatch.setattr(
+            MonteCarloEngine,
+            "_chunk_exponents",
+            lambda self, t, n, r: np.full((n, np.size(t)), np.nan),
+        )
+        with pytest.raises(NumericalError, match="non-finite"):
+            engine.reliability_curve(times, 100, rng)
 
 
 class TestFailureTimes:

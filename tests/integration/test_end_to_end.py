@@ -154,7 +154,7 @@ class TestVoltageScaling:
 class TestQuadtreeVariant:
     def test_quadtree_correlation_model_plugs_in(self, design, config, budget):
         """The quad-tree model feeds the same downstream analysis."""
-        from repro import ReliabilityCurve, build_quadtree_model
+        from repro import build_quadtree_model
         from repro.core.blod import characterize_blods
         from repro.core.ensemble import BlockReliability, StFastAnalyzer
 

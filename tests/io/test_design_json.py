@@ -1,6 +1,5 @@
 """Unit tests for JSON setup serialisation."""
 
-import dataclasses
 import json
 
 import pytest

@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with observability disabled and empty."""
+    obs.disable()
+    obs.reset()
+    obs.clear_span_end()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.clear_span_end()

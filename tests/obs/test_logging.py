@@ -1,0 +1,78 @@
+"""Tests for the structured logger."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Leave the ``repro`` logger tree as the test found it."""
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("core.montecarlo").name == "repro.core.montecarlo"
+        assert get_logger("repro.core.montecarlo").name == "repro.core.montecarlo"
+        assert get_logger().name == "repro"
+
+
+class TestConfigureLogging:
+    def test_human_readable_format(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", stream=stream)
+        get_logger("thermal").info("solved %d cells", 625)
+        assert "INFO repro.thermal: solved 625 cells" in stream.getvalue()
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream)
+        get_logger("x").info("hidden")
+        get_logger("x").warning("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_json_output_with_extra_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json_output=True, stream=stream)
+        get_logger("core.montecarlo").warning(
+            "dropping %d chips", 3, extra={"metric": "mc.nonfinite_chunks"}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.core.montecarlo"
+        assert payload["message"] == "dropping 3 chips"
+        assert payload["metric"] == "mc.nonfinite_chunks"
+        assert "ts" in payload
+
+    def test_json_serialises_unserialisable_extra(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json_output=True, stream=stream)
+        get_logger("x").info("msg", extra={"obj": object()})
+        payload = json.loads(stream.getvalue())
+        assert payload["obj"].startswith("<object object")
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(level="INFO", stream=first)
+        configure_logging(level="INFO", stream=second)
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="LOUD")

@@ -1,0 +1,61 @@
+"""Tests for the counter/gauge registry."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import obs
+
+
+class TestCounters:
+    def test_disabled_is_noop(self):
+        obs.inc("mc.chips", 100)
+        obs.gauge("pca.factors", 37)
+        snap = obs.metrics_snapshot()
+        assert snap == {"counters": {}, "gauges": {}}
+
+    def test_counter_aggregation(self):
+        obs.enable()
+        obs.inc("mc.chips", 100)
+        obs.inc("mc.chips", 50)
+        obs.inc("mc.nonfinite_chunks")
+        assert obs.get_counter("mc.chips") == 150.0
+        assert obs.get_counter("mc.nonfinite_chunks") == 1.0
+        assert obs.get_counter("never.seen") == 0.0
+
+    def test_gauge_keeps_latest(self):
+        obs.enable()
+        obs.gauge("pca.factors", 37)
+        obs.gauge("pca.factors", 12)
+        assert obs.get_gauge("pca.factors") == 12.0
+        assert obs.get_gauge("never.seen") is None
+
+    def test_snapshot_json_round_trip(self):
+        obs.enable()
+        obs.inc("blod.blocks", 8)
+        obs.gauge("pca.spatial_factors", 36)
+        snap = obs.metrics_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_reset_clears_registry(self):
+        obs.enable()
+        obs.inc("a", 1)
+        obs.gauge("b", 2)
+        obs.reset()
+        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_thread_safe_aggregation(self):
+        obs.enable()
+        n_threads, n_incs = 8, 500
+
+        def worker():
+            for _ in range(n_incs):
+                obs.inc("contended")
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert obs.get_counter("contended") == float(n_threads * n_incs)

@@ -1,0 +1,77 @@
+"""End-to-end checks: the analysis pipeline reports into repro.obs.
+
+Mirrors the acceptance criteria of the instrumentation work: with tracing
+on, one full analysis records the ``thermal``/``pca``/``blod`` stages, the
+chosen evaluation method, and the PCA-factor/block-count counters; with
+tracing off (the default), results are bit-for-bit identical to an
+uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import ReliabilityAnalyzer, obs
+
+
+class TestStageSpans:
+    def test_full_flow_records_expected_stages(self, small_floorplan, fast_config):
+        with obs.enabled():
+            analyzer = ReliabilityAnalyzer(small_floorplan, config=fast_config)
+            analyzer.reliability(1e5, method="st_fast")
+            stages = obs.stage_times()
+            counters = obs.metrics_snapshot()["counters"]
+        for stage in ("thermal", "pca", "blod", "st_fast"):
+            assert stage in stages, f"missing stage {stage}"
+            assert stages[stage]["wall_time_s"] >= 0.0
+        assert counters["pca.factors"] == analyzer.canonical.n_factors
+        assert counters["blod.blocks"] == small_floorplan.n_blocks
+        assert counters["integration.subdomain_evals"] > 0
+
+    def test_method_span_per_method(self, small_analyzer):
+        for method in ("st_fast", "hybrid", "guard"):
+            with obs.enabled():
+                small_analyzer.reliability(1e5, method=method)
+                assert method in obs.stage_times()
+
+    def test_hybrid_lut_counters(self, small_analyzer):
+        with obs.enabled():
+            small_analyzer.reliability(
+                [1e4, 1e5, 1e6], method="hybrid"
+            )
+            counters = obs.metrics_snapshot()["counters"]
+        hits = counters.get("hybrid.lut_hits", 0)
+        misses = counters.get("hybrid.lut_misses", 0)
+        # 3 times x 4 blocks = 12 look-ups, each either a hit or a miss.
+        assert hits + misses == 12
+
+    def test_mc_chip_counter(self, small_analyzer, rng):
+        with obs.enabled():
+            small_analyzer.mc_engine.reliability_curve(
+                [1e5], n_chips=60, rng=rng
+            )
+            assert obs.get_counter("mc.chips") == 60
+
+    def test_snapshot_is_json_serialisable(self, small_floorplan, fast_config):
+        with obs.enabled():
+            ReliabilityAnalyzer(small_floorplan, config=fast_config)
+            snapshot = obs.observability_snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestDisabledModeIsTransparent:
+    def test_lifetime_bit_for_bit(self, small_floorplan, fast_config):
+        baseline = ReliabilityAnalyzer(
+            small_floorplan, config=fast_config
+        ).lifetime(10, method="st_fast")
+        with obs.enabled():
+            traced = ReliabilityAnalyzer(
+                small_floorplan, config=fast_config
+            ).lifetime(10, method="st_fast")
+        assert traced == baseline  # exact float equality, not approx
+
+    def test_disabled_run_leaves_no_trace(self, small_floorplan, fast_config):
+        analyzer = ReliabilityAnalyzer(small_floorplan, config=fast_config)
+        analyzer.reliability(1e5, method="st_fast")
+        assert obs.trace_snapshot() == []
+        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {}}

@@ -1,0 +1,103 @@
+"""Tests for the profiling hooks: span-end callbacks, budgets, summaries."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+
+
+class TestOnSpanEnd:
+    def test_callback_fires_per_finished_span(self):
+        obs.enable()
+        seen: list[str] = []
+        obs.on_span_end(lambda node: seen.append(node.name))
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        # Inner finishes first.
+        assert seen == ["inner", "outer"]
+
+    def test_remove_span_end(self):
+        obs.enable()
+        seen: list[str] = []
+        callback = obs.on_span_end(lambda node: seen.append(node.name))
+        obs.remove_span_end(callback)
+        with obs.span("stage"):
+            pass
+        assert seen == []
+
+    def test_callback_receives_wall_time(self):
+        obs.enable()
+        walls: list[float] = []
+        obs.on_span_end(lambda node: walls.append(node.wall_time))
+        with obs.span("stage"):
+            time.sleep(0.01)
+        assert walls and walls[0] >= 0.01
+
+
+class TestSpanBudgets:
+    def test_violation_collected(self):
+        obs.enable()
+        with obs.SpanBudgets({"slow": 0.0, "fast": 60.0}) as budgets:
+            with obs.span("slow"):
+                time.sleep(0.005)
+            with obs.span("fast"):
+                pass
+            with obs.span("unbudgeted"):
+                pass
+        assert [v[0] for v in budgets.violations] == ["slow"]
+        with pytest.raises(AssertionError, match="slow"):
+            budgets.check()
+
+    def test_no_violation_passes(self):
+        obs.enable()
+        with obs.SpanBudgets({"fast": 60.0}) as budgets:
+            with obs.span("fast"):
+                pass
+        budgets.check()
+        assert budgets.violations == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            obs.SpanBudgets({"x": -1.0})
+
+
+class TestSummaries:
+    def test_stage_times_flattens_and_merges(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("repeat"):
+                with obs.span("leaf"):
+                    pass
+        stages = obs.stage_times()
+        assert stages["repeat"]["count"] == 3
+        assert stages["leaf"]["count"] == 3
+        assert stages["repeat"]["wall_time_s"] >= stages["leaf"]["wall_time_s"]
+
+    def test_timing_summary_renders_tree(self):
+        obs.enable()
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+            with obs.span("child"):
+                pass
+        text = obs.timing_summary()
+        assert text.startswith("timing:")
+        assert "root" in text
+        assert "child" in text
+        assert "x2" in text
+
+    def test_timing_summary_empty(self):
+        assert "no spans" in obs.timing_summary()
+
+    def test_observability_snapshot_shape(self):
+        obs.enable()
+        with obs.span("stage"):
+            obs.inc("stage.counter", 2)
+        snap = obs.observability_snapshot()
+        assert set(snap) == {"trace", "metrics", "stages"}
+        assert snap["metrics"]["counters"]["stage.counter"] == 2.0
+        assert snap["stages"]["stage"]["count"] == 1

@@ -1,0 +1,134 @@
+"""Tests for the span/trace-tree primitive."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_noop(self):
+        # Zero-cost requirement: a disabled span() call must not allocate
+        # a trace node — every call returns the same singleton.
+        assert obs.span("a") is NOOP_SPAN
+        assert obs.span("b", attr=1) is obs.span("c")
+
+    def test_disabled_span_records_nothing(self):
+        with obs.span("stage") as node:
+            node.set(key="value")
+        assert obs.trace_snapshot() == []
+        assert obs.current_span() is None
+
+    def test_enable_disable_roundtrip(self):
+        assert not obs.is_enabled()
+        obs.enable()
+        assert obs.is_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+
+class TestSpanTree:
+    def test_nesting(self):
+        obs.enable()
+        with obs.span("root"):
+            with obs.span("child_a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child_b"):
+                pass
+        (root,) = obs.trace_snapshot()
+        assert root["name"] == "root"
+        names = [c["name"] for c in root["children"]]
+        assert names == ["child_a", "child_b"]
+        assert root["children"][0]["children"][0]["name"] == "grandchild"
+
+    def test_wall_time_nonnegative_and_nested_leq_parent(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                sum(range(1000))
+        (outer,) = obs.trace_snapshot()
+        inner = outer["children"][0]
+        assert 0.0 <= inner["wall_time_s"] <= outer["wall_time_s"]
+
+    def test_attributes_at_open_and_via_set(self):
+        obs.enable()
+        with obs.span("stage", blocks=8) as node:
+            node.set(factors=37)
+        (snap,) = obs.trace_snapshot()
+        assert snap["attrs"] == {"blocks": 8, "factors": 37}
+
+    def test_current_span(self):
+        obs.enable()
+        assert obs.current_span() is None
+        with obs.span("outer"):
+            assert obs.current_span().name == "outer"
+            with obs.span("inner"):
+                assert obs.current_span().name == "inner"
+            assert obs.current_span().name == "outer"
+        assert obs.current_span() is None
+
+    def test_exception_safety(self):
+        obs.enable()
+        with pytest.raises(ValueError, match="boom"):
+            with obs.span("root"):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        # Both spans closed, error recorded, stack unwound.
+        (root,) = obs.trace_snapshot()
+        failing = root["children"][0]
+        assert failing["error"] == "ValueError: boom"
+        assert root["error"] == "ValueError: boom"
+        assert obs.current_span() is None
+        # The tree is still usable after the exception.
+        with obs.span("after"):
+            pass
+        assert [n["name"] for n in obs.trace_snapshot()] == ["root", "after"]
+
+    def test_json_round_trip(self):
+        obs.enable()
+        with obs.span("root", design="C4", blocks=12):
+            with obs.span("child"):
+                pass
+        snapshot = obs.trace_snapshot()
+        restored = json.loads(json.dumps(snapshot))
+        assert restored == snapshot
+
+    def test_reset_clears_tree(self):
+        obs.enable()
+        with obs.span("stage"):
+            pass
+        assert obs.trace_snapshot()
+        obs.reset()
+        assert obs.trace_snapshot() == []
+
+    def test_threads_get_independent_roots(self):
+        obs.enable()
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait(timeout=5)
+            with obs.span("worker_root"):
+                pass
+
+        with obs.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            barrier.wait(timeout=5)
+            thread.join(timeout=5)
+        names = {node["name"] for node in obs.trace_snapshot()}
+        # The worker's span is a root of its own, not a child of main_root.
+        assert names == {"main_root", "worker_root"}
+
+    def test_enabled_context_manager(self):
+        with obs.enabled():
+            assert obs.is_enabled()
+            with obs.span("inside"):
+                pass
+            assert obs.trace_snapshot()
+        assert not obs.is_enabled()

@@ -17,7 +17,9 @@ from repro.core.lifetime import ppm_to_reliability
 @st.composite
 def budgets(draw):
     g = draw(st.floats(min_value=0.1, max_value=0.8))
-    s = draw(st.floats(min_value=0.1, max_value=0.9 - g))
+    # 0.9 - g can round to just under 0.1 when g draws its max, which
+    # would give st.floats an empty interval.
+    s = draw(st.floats(min_value=0.1, max_value=max(0.1, 0.9 - g)))
     return VariationBudget(
         nominal_thickness=draw(st.floats(min_value=1.5, max_value=3.0)),
         three_sigma_ratio=draw(st.floats(min_value=0.01, max_value=0.08)),

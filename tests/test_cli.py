@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import json
+import logging
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -147,6 +149,81 @@ class TestReport:
         assert code == 0
         assert "failure budget" in out
         assert "lifetimes:" in out
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def restore_obs_state(self):
+        """CLI runs may configure the repro logger; undo afterwards."""
+        logger = logging.getLogger("repro")
+        saved = (list(logger.handlers), logger.level, logger.propagate)
+        yield
+        logger.handlers[:] = saved[0]
+        logger.setLevel(saved[1])
+        logger.propagate = saved[2]
+        obs.disable()
+        obs.reset()
+
+    def test_trace_file_written(self, capsys, tmp_path, tiny_args):
+        trace = tmp_path / "trace.json"
+        code, out, _err = _run(
+            capsys,
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "st_fast",
+            "--trace",
+            str(trace),
+        )
+        assert code == 0
+        assert "years" in out  # normal output unaffected
+        payload = json.loads(trace.read_text())
+        assert set(payload) == {"trace", "metrics", "stages"}
+        for stage in ("thermal", "pca", "blod", "st_fast"):
+            assert stage in payload["stages"]
+            assert payload["stages"][stage]["wall_time_s"] >= 0.0
+        counters = payload["metrics"]["counters"]
+        assert counters["pca.factors"] > 0
+        assert counters["blod.blocks"] == 8  # C1 has 8 blocks
+        # Tracing is a per-invocation affair: globally off again.
+        assert not obs.is_enabled()
+
+    def test_trace_disabled_by_default(self, capsys, tiny_args):
+        code, _out, _err = _run(capsys, "info", *tiny_args)
+        assert code == 0
+        assert not obs.is_enabled()
+        assert obs.trace_snapshot() == []
+
+    def test_log_json_emits_json_lines(self, capsys, tiny_args):
+        code, out, err = _run(
+            capsys,
+            "info",
+            *tiny_args,
+            "--log-json",
+            "--log-level",
+            "DEBUG",
+        )
+        assert code == 0
+        assert "devices: 50,000" in out  # stdout stays human-facing
+        lines = [ln for ln in err.splitlines() if ln.strip()]
+        assert lines, "expected JSON diagnostics on stderr"
+        for line in lines:
+            record = json.loads(line)
+            assert record["logger"].startswith("repro")
+            assert "ts" in record
+
+    def test_bad_log_level_reports_error(self, capsys, tiny_args):
+        code, _out, err = _run(
+            capsys, "info", *tiny_args, "--log-level", "LOUD"
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_report_includes_timing_summary(self, capsys, tiny_args):
+        code, out, _err = _run(capsys, "report", *tiny_args)
+        assert code == 0
+        assert "timing:" in out
+        assert "analyzer.reliability" in out
 
 
 class TestFileInputs:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError
-from repro.variation.components import VariationBudget
 from repro.variation.quadtree import QuadTreeModel, build_quadtree_model
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError
 from repro.variation.correlation import SpatialCorrelationModel
 from repro.variation.pca import build_canonical_model
