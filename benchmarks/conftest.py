@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro import obs
+from repro.errors import ConfigurationError
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -29,7 +31,9 @@ def bench_scale() -> str:
     """The current benchmark scale ("quick" or "full")."""
     scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
     if scale not in ("quick", "full"):
-        raise ValueError(f"REPRO_BENCH_SCALE must be quick/full, got {scale!r}")
+        raise ConfigurationError(
+            f"REPRO_BENCH_SCALE must be quick/full, got {scale!r}"
+        )
     return scale
 
 
@@ -85,7 +89,7 @@ class ReportWriter:
         else:
             path.write_text(text)
             _WRITTEN.add(self.name)
-        print(f"\n===== {self.name} =====\n{text}")
+        sys.stdout.write(f"\n===== {self.name} =====\n{text}\n")
         return text
 
 

@@ -97,7 +97,7 @@ def test_ext_mission_matches_mixed_stress_mc(report, benchmark):
     )
     blocks_eff = [
         BlockReliability(blod=b.blod, alpha=float(a), b=float(bb))
-        for b, a, bb in zip(analyzer.blocks, alpha_eff, b_eff)
+        for b, a, bb in zip(analyzer.blocks, alpha_eff, b_eff, strict=True)
     ]
     engine = MonteCarloEngine(analyzer.sampler, blocks_eff, chunk_size=100)
 

@@ -56,6 +56,6 @@ def test_fig2_grid_correlation_model(report, benchmark):
     assert eigvals.min() >= -1e-10
     sorted_vals = [values[i] for i in order]
     assert all(
-        a >= b - 1e-12 for a, b in zip(sorted_vals, sorted_vals[1:])
+        a >= b - 1e-12 for a, b in zip(sorted_vals, sorted_vals[1:], strict=False)
     ), "correlation must decay with distance"
     assert n95 < grid.n_cells / 2, "PCA must compress the correlation"

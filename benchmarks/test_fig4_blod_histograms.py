@@ -58,7 +58,7 @@ def test_fig4_blod_gaussian_fit(report, benchmark, n_devices, label):
     report.line(f"R-square    : {fit.r_square:.4f}")
     # ASCII histogram.
     peak = fit.density.max()
-    for center, density in zip(fit.bin_centers[::2], fit.density[::2]):
+    for center, density in zip(fit.bin_centers[::2], fit.density[::2], strict=True):
         bar = "#" * int(40.0 * density / peak)
         report.line(f"  {center:.4f} | {bar}")
 

@@ -35,7 +35,7 @@ def test_fig8_chi2_approximation_cdf(report, benchmark):
     xs = np.quantile(samples, quantiles)
     rows = []
     max_err_chi2 = 0.0
-    for q, x in zip(quantiles, xs):
+    for q, x in zip(quantiles, xs, strict=True):
         chi2_cdf = float(match.cdf(float(x)))
         imhof_cdf = form.imhof_cdf(float(x))
         hbe_cdf = float(form.hbe_match().cdf(float(x))) if form.var() > 0 else chi2_cdf

@@ -68,7 +68,7 @@ def main() -> None:
         f"damage shares on the hottest block "
         f"({floorplan.block_names[hottest]}):"
     )
-    for phase, share in zip(profile.phases, shares[:, hottest]):
+    for phase, share in zip(profile.phases, shares[:, hottest], strict=True):
         print(
             f"  {phase.name:>8}: {share:6.1%} of damage "
             f"for {phase.fraction:5.1%} of time"

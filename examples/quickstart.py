@@ -60,7 +60,7 @@ def main() -> None:
     times = np.logspace(np.log10(lt_fast) - 0.5, np.log10(lt_fast) + 0.5, 7)
     print()
     print("reliability curve (st_fast):")
-    for t, r in zip(times, np.asarray(analyzer.reliability(times))):
+    for t, r in zip(times, np.asarray(analyzer.reliability(times)), strict=True):
         print(f"  t = {hours_to_years(t):7.1f} years   1 - R = {1.0 - r:.3e}")
 
 

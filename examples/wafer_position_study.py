@@ -38,7 +38,7 @@ def main() -> None:
         "corner": (90.0, 90.0),
     }
 
-    print("bowl pattern: +%.3f nm at wafer edge" % pattern.offset_at(150.0, 0.0))
+    print(f"bowl pattern: +{pattern.offset_at(150.0, 0.0):.3f} nm at wafer edge")
     print()
     print(f"{'position':>12} {'mean offset':>12} {'10ppm lifetime':>15}")
 
@@ -54,7 +54,7 @@ def main() -> None:
         blods = characterize_blods(floorplan, analyzer.grid, model)
         blocks = [
             BlockReliability(blod=blod, alpha=b.alpha, b=b.b)
-            for blod, b in zip(blods, analyzer.blocks)
+            for blod, b in zip(blods, analyzer.blocks, strict=True)
         ]
         positioned = StFastAnalyzer(blocks)
         lifetime = solve_lifetime(

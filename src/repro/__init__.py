@@ -69,6 +69,7 @@ from repro.errors import (
     NumericalError,
     ReproError,
     SolverError,
+    UnitError,
 )
 from repro.leakage.degradation import (
     DegradationParams,
@@ -77,9 +78,9 @@ from repro.leakage.degradation import (
 )
 from repro.leakage.population import ChipLeakagePopulation
 from repro.power.activity import ActivityProfile
-from repro.report import design_report, format_table, heat_map
 from repro.power.loop import solve_power_thermal
 from repro.power.model import BlockPowerModel, PowerModelParams
+from repro.report import design_report, format_table, heat_map
 from repro.stats.weibull import AreaScaledWeibull
 from repro.thermal.grid import PackageModel
 from repro.thermal.hotspot import HotSpotLite, ThermalResult
@@ -155,6 +156,7 @@ __all__ = [
     "StMcAnalyzer",
     "TabulatedOBDModel",
     "ThermalResult",
+    "UnitError",
     "VariationBudget",
     "WaferPattern",
     "build_canonical_model",

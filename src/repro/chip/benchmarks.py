@@ -155,7 +155,9 @@ def _apportion(total: int, weights: np.ndarray) -> np.ndarray:
     return counts + 1
 
 
-def make_benchmark(name: str, seed: int | None = None) -> Floorplan:
+def make_benchmark(  # reprolint: disable=RPL001 (None selects the stable per-design seed below, not an unseeded RNG)
+    name: str, seed: int | None = None
+) -> Floorplan:
     """Build one of the paper's benchmark designs C1--C6 by name."""
     key = name.upper()
     if key == "C6":

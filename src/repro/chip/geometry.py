@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import FloorplanError
+from repro.errors import ConfigurationError, FloorplanError
 
 
 @dataclass(frozen=True)
@@ -223,7 +223,7 @@ class GridSpec:
         """Reshape a flat per-cell vector into an ``(ny, nx)`` image."""
         values = np.asarray(values)
         if values.shape != (self.n_cells,):
-            raise ValueError(
+            raise ConfigurationError(
                 f"expected {self.n_cells} cell values, got shape {values.shape}"
             )
         return values.reshape(self.ny, self.nx)

@@ -172,7 +172,7 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     }
     text = "\n".join(
         f"{t:.4e} h   R = {r:.8f}   1-R = {1.0 - r:.3e}"
-        for t, r in zip(times, reliability)
+        for t, r in zip(times, reliability, strict=True)
     )
     _emit(args, payload, text)
     return 0
@@ -184,6 +184,7 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
         zip(
             analyzer.floorplan.block_names,
             (float(t) for t in analyzer.block_temperatures),
+            strict=True,
         )
     )
     payload = {

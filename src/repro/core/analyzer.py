@@ -239,7 +239,7 @@ class ReliabilityAnalyzer:
                 )
                 self.blocks = [
                     BlockReliability(blod=blod, alpha=p.alpha, b=p.b)
-                    for blod, p in zip(self.blods, params)
+                    for blod, p in zip(self.blods, params, strict=True)
                 ]
         logger.debug(
             "prepared analyzer: %d blocks, %d devices, %d PCA factors",
@@ -447,7 +447,9 @@ class ReliabilityAnalyzer:
             "temperatures_c": {
                 name: round(float(t), 2)
                 for name, t in zip(
-                    self.floorplan.block_names, self.block_temperatures
+                    self.floorplan.block_names,
+                    self.block_temperatures,
+                    strict=True,
                 )
             },
             "variation": {

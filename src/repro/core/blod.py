@@ -264,7 +264,7 @@ def _characterize(
 ) -> list[BlodModel]:
     metrics.inc("blod.blocks", floorplan.n_blocks)
     blods: list[BlodModel] = []
-    for block, assignment in zip(floorplan.blocks, assignments):
+    for block, assignment in zip(floorplan.blocks, assignments, strict=True):
         fractions = assignment.fractions
         grid_idx = assignment.grid_indices
         sens = model.sensitivities[grid_idx, :]

@@ -207,7 +207,7 @@ def _draw_factors(
         uniforms = engine.random_base2(m)[:n_samples]
     # Keep strictly inside (0, 1) before the normal inverse CDF.
     uniforms = np.clip(uniforms, 1e-12, 1.0 - 1e-12)
-    return sps.norm.ppf(uniforms)
+    return np.asarray(sps.norm.ppf(uniforms))
 
 
 class StMcAnalyzer(_EnsembleAnalyzerBase):

@@ -10,7 +10,7 @@ interpolated in the same coordinates.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 from scipy import optimize
@@ -49,7 +49,7 @@ def solve_lifetime(
 
     log_lo = log_hi = float(np.log(t_guess))
     value = objective(log_lo)
-    if value == 0.0:
+    if value == 0.0:  # reprolint: disable=RPL005 (exact root hit, no bracketing needed)
         return float(np.exp(log_lo))
     step = np.log(4.0)
     if value > 0.0:

@@ -179,7 +179,7 @@ class MissionAnalyzer:
         )
         self.effective_blocks = [
             BlockReliability(blod=block.blod, alpha=float(a), b=float(b))
-            for block, a, b in zip(blocks, alpha_eff, b_eff)
+            for block, a, b in zip(blocks, alpha_eff, b_eff, strict=True)
         ]
         self._analyzer = StFastAnalyzer(
             self.effective_blocks,
@@ -194,7 +194,7 @@ class MissionAnalyzer:
         """Ensemble chip reliability under the mission profile."""
         return self._analyzer.reliability(times, clip=clip)
 
-    def failure_probability(self, times: np.ndarray | float):
+    def failure_probability(self, times: np.ndarray | float) -> np.ndarray | float:
         """``1 - R(t)`` under the mission profile."""
         return self._analyzer.failure_probability(times)
 

@@ -128,7 +128,7 @@ class MonteCarloEngine:
             raise ConfigurationError(
                 "need one BlockReliability per floorplan block"
             )
-        for block, fp_block in zip(blocks, sampler.floorplan.blocks):
+        for block, fp_block in zip(blocks, sampler.floorplan.blocks, strict=True):
             if block.blod.name != fp_block.name:
                 raise ConfigurationError(
                     f"block order mismatch: {block.blod.name!r} vs "

@@ -1,0 +1,32 @@
+"""repro.devtools — development-time tooling for the repro library.
+
+The flagship tool is :mod:`repro.devtools.lint` ("reprolint"), a
+domain-aware static-analysis pass that machine-checks the silent
+invariants the reliability math depends on: kelvin-vs-celsius unit
+discipline, explicitly-seeded ``np.random.Generator`` threading,
+the :class:`repro.errors.ReproError` hierarchy at the API boundary,
+structured logging instead of bare ``print``, and numerical-safety
+rules for the statistical kernels.
+
+Run it as::
+
+    python -m repro.devtools.lint src/repro
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import LintContext, lint_paths, lint_source
+from repro.devtools.rules import ALL_RULES, Finding, Rule, get_rule, iter_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+]

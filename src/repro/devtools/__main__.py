@@ -1,0 +1,10 @@
+"""``python -m repro.devtools`` — alias for the reprolint CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

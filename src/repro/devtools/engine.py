@@ -1,0 +1,181 @@
+"""reprolint engine: file discovery, suppressions, rule dispatch.
+
+The engine parses each Python file once, builds a :class:`LintContext`,
+runs every selected rule over it, and filters out findings covered by a
+``# reprolint: disable=RPL001[,RPL002]`` comment on the finding's line
+(``disable=ALL`` silences every rule for that line).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.rules import Finding, Rule, get_rule, iter_rules
+from repro.errors import ConfigurationError
+
+__all__ = ["LintContext", "LintFileError", "lint_paths", "lint_source"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class LintFileError(ConfigurationError):
+    """A file could not be read or parsed (reported with exit code 2)."""
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: ``{line: {"RPL001", ...}}``; the sentinel ``"ALL"`` disables all rules.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    @property
+    def is_test(self) -> bool:
+        """Pytest test modules are exempt from discipline rules.
+
+        Only ``test_*.py``/``*_test.py`` count: conftest and fixture
+        helpers feed deterministic tests and stay under the full rules.
+        """
+        name = self.filename
+        return name.startswith("test_") or name.endswith("_test.py")
+
+    @property
+    def in_stats(self) -> bool:
+        """True inside the numerical kernels package ``repro/stats``."""
+        return "stats" in self.path.parts
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        if not rules:
+            return False
+        return "ALL" in rules or finding.rule in rules
+
+
+def _extract_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled by a reprolint comment."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        comments = [
+            (lineno, line)
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip().upper() for part in match.group(1).split(",")}
+        suppressions.setdefault(lineno, set()).update(rules)
+    return suppressions
+
+
+def build_context(path: Path, source: str, display_path: str | None = None) -> LintContext:
+    """Parse ``source`` into a :class:`LintContext` for ``path``."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintFileError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    return LintContext(
+        path=path,
+        display_path=display_path if display_path is not None else str(path),
+        source=source,
+        tree=tree,
+        suppressions=_extract_suppressions(source),
+    )
+
+
+def resolve_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Rule instances for ``select`` ids, or the full registry when None."""
+    if select is None:
+        return list(iter_rules())
+    rules = []
+    for rule_id in select:
+        try:
+            rules.append(get_rule(rule_id.strip().upper()))
+        except KeyError as exc:
+            raise ConfigurationError(str(exc)) from exc
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: Path | str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings, sorted."""
+    ctx = build_context(Path(path), source)
+    active = list(rules) if rules is not None else list(iter_rules())
+    findings = [
+        finding
+        for rule in active
+        for finding in rule.check(ctx)
+        if not ctx.is_suppressed(finding)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.exists():
+            candidates = [path]
+        else:
+            raise LintFileError(f"{path}: no such file or directory")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files and directories.
+
+    Returns ``(findings, n_files_checked)``.  Unreadable or syntactically
+    invalid files raise :class:`LintFileError`.
+    """
+    rules = resolve_rules(select)
+    findings: list[Finding] = []
+    files = list(iter_python_files([Path(p) for p in paths]))
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintFileError(f"{file_path}: cannot read: {exc}") from exc
+        findings.extend(lint_source(source, file_path, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)

@@ -1,0 +1,133 @@
+"""reprolint command line: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes
+----------
+- ``0`` — no findings (or ``--report-only`` was given).
+- ``1`` — at least one finding.
+- ``2`` — usage error, unknown rule, unreadable file, or syntax error.
+
+Output is plain text (one ``path:line:col: RULE message`` per finding)
+or a JSON document (``--format json``) with ``findings``, per-rule
+``counts`` and the number of ``checked_files``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.devtools.engine import lint_paths
+from repro.devtools.rules import Finding, iter_rules
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Domain-aware static analysis for the repro library: RNG "
+            "discipline, unit hygiene, error hierarchy, print discipline "
+            "and numerical safety."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0, even with findings (CI advisory mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_text(findings: Sequence[Finding], n_files: int) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "file" if n_files == 1 else "files"
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(counts.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {n_files} {noun} ({breakdown})"
+        )
+    else:
+        lines.append(f"{n_files} {noun} checked, no findings")
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(findings: Sequence[Finding], n_files: int) -> str:
+    counts = Counter(finding.rule for finding in findings)
+    payload = {
+        "tool": "reprolint",
+        "checked_files": n_files,
+        "counts": dict(sorted(counts.items())),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in iter_rules():
+        lines.append(f"{rule.rule_id}  {rule.name}")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(_render_rule_list())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        sys.stderr.write("reprolint: error: no paths given\n")
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings, n_files = lint_paths(args.paths, select=select)
+    except ReproError as exc:
+        sys.stderr.write(f"reprolint: error: {exc}\n")
+        return 2
+
+    if args.format == "json":
+        sys.stdout.write(_render_json(findings, n_files))
+    else:
+        sys.stdout.write(_render_text(findings, n_files))
+
+    if findings and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 """Exception hierarchy for the repro (oxsure) library.
 
 All library-specific errors derive from :class:`ReproError` so callers can
-catch a single exception type at the API boundary.
+catch a single exception type at the API boundary.  Input-validation and
+numerical errors additionally derive from :class:`ValueError`: the library
+historically raised bare ``ValueError`` from those sites, and the dual
+inheritance keeps ``except ValueError`` callers working while the
+``reprolint`` RPL003 rule forbids new bare raises.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """An input object (budget, floorplan, model) is inconsistent."""
 
 
@@ -19,7 +23,11 @@ class FloorplanError(ConfigurationError):
     """A floorplan violates a geometric constraint (overlap, out of die)."""
 
 
-class NumericalError(ReproError):
+class UnitError(ConfigurationError):
+    """A unit conversion was fed an out-of-domain value (e.g. below 0 K)."""
+
+
+class NumericalError(ReproError, ValueError):
     """A numerical routine failed to converge or produced invalid values."""
 
 

@@ -193,7 +193,7 @@ def apply_ptrace_sample(
         raise ConfigurationError(
             f"sample {sample} out of range for {powers.shape[0]} trace rows"
         )
-    mapping = dict(zip(names, powers[sample].tolist()))
+    mapping = dict(zip(names, powers[sample].tolist(), strict=True))
     unknown = set(mapping) - set(floorplan.block_names)
     if unknown:
         raise ConfigurationError(

@@ -29,7 +29,7 @@ def format_obd_table(model: TabulatedOBDModel) -> str:
     """Render a tabulated OBD model as CSV text."""
     lines = [_OBD_HEADER]
     for temp, log_alpha, b in zip(
-        model.temperatures, model.log_alphas, model.bs
+        model.temperatures, model.log_alphas, model.bs, strict=True
     ):
         lines.append(f"{temp:.6g},{np.exp(log_alpha):.8e},{b:.8g}")
     return "\n".join(lines) + "\n"

@@ -86,7 +86,7 @@ class ChipLeakagePopulation:
         """
         if t < 0.0:
             raise ConfigurationError("time must be non-negative")
-        if t == 0.0:
+        if t <= 0.0:
             return 0.0
         beta = self.sbd_law.beta
         rate_scale = self.total_area / self.sbd_law.alpha**beta

@@ -16,7 +16,9 @@ from __future__ import annotations
 import json
 import logging
 import sys
-from typing import Any, IO
+from typing import IO, Any
+
+from repro.errors import ConfigurationError
 
 __all__ = ["JsonFormatter", "configure_logging", "get_logger"]
 
@@ -91,7 +93,7 @@ def configure_logging(
     if isinstance(level, str):
         resolved = logging.getLevelName(level.upper())
         if not isinstance(resolved, int):
-            raise ValueError(f"unknown log level {level!r}")
+            raise ConfigurationError(f"unknown log level {level!r}")
         level = resolved
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     if json_output:

@@ -14,8 +14,10 @@ Three consumers of span data:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.obs.trace import (
     SpanNode,
     _clear_span_end,
@@ -66,7 +68,9 @@ class SpanBudgets:
     def __init__(self, budgets: dict[str, float]) -> None:
         for name, limit in budgets.items():
             if limit < 0.0:
-                raise ValueError(f"budget for {name!r} must be >= 0, got {limit}")
+                raise ConfigurationError(
+                    f"budget for {name!r} must be >= 0, got {limit}"
+                )
         self.budgets = dict(budgets)
         self.violations: list[tuple[str, float, float]] = []
 

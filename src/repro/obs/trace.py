@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from types import TracebackType
+from typing import Any
 
 __all__ = [
     "SpanNode",
@@ -162,12 +164,17 @@ class _SpanContext:
         self._node = node
         return node
 
-    def __exit__(self, exc_type, exc, _tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        _tb: TracebackType | None,
+    ) -> bool:
         node = self._node
         assert node is not None
         node.end = time.perf_counter()
         if exc is not None:
-            node.error = f"{exc_type.__name__}: {exc}"
+            node.error = f"{type(exc).__name__}: {exc}"
         stack = _stack()
         if stack and stack[-1] is node:
             stack.pop()

@@ -41,7 +41,9 @@ class GaussianFitResult:
     @property
     def fitted_density(self) -> np.ndarray:
         """Fitted Gaussian density evaluated at the bin centres."""
-        return sps.norm.pdf(self.bin_centers, loc=self.mean, scale=self.sigma)
+        return np.asarray(
+            sps.norm.pdf(self.bin_centers, loc=self.mean, scale=self.sigma)
+        )
 
 
 def gaussian_fit_r2(samples: np.ndarray, bins: int = 40) -> GaussianFitResult:

@@ -15,7 +15,8 @@ two higher-order alternatives used as ablation references:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 import numpy as np
 from scipy import integrate
@@ -54,13 +55,13 @@ class NormalDist:
         """Normal density (zero everywhere for the degenerate case)."""
         if self.is_degenerate:
             return np.zeros_like(np.asarray(x, dtype=float))
-        return sps.norm.pdf(x, loc=self.mean, scale=self.sigma)
+        return np.asarray(sps.norm.pdf(x, loc=self.mean, scale=self.sigma))
 
     def ppf(self, q: np.ndarray | float) -> np.ndarray | float:
         """Normal quantile (constant for the degenerate case)."""
         if self.is_degenerate:
             return np.full_like(np.asarray(q, dtype=float), self.mean)
-        return sps.norm.ppf(q, loc=self.mean, scale=self.sigma)
+        return np.asarray(sps.norm.ppf(q, loc=self.mean, scale=self.sigma))
 
 
 @dataclass(frozen=True)

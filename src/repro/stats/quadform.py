@@ -179,7 +179,7 @@ class QuadraticForm:
             return float(np.prod((1.0 + (lam * u) ** 2) ** 0.25))
 
         def integrand(u: float) -> float:
-            if u == 0.0:
+            if u == 0.0:  # reprolint: disable=RPL005 (quad samples the exact endpoint)
                 # limit u->0 of sin(theta)/(u rho) = theta'(0)
                 return 0.5 * float(np.sum(lam)) - 0.5 * shifted
             return np.sin(theta(u)) / (u * rho(u))

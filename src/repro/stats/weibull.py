@@ -17,7 +17,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NumericalError
+
+
+def _validate_not_nan(values: np.ndarray, name: str) -> None:
+    """Finiteness guard for kernel inputs (reprolint RPL005).
+
+    NaN would silently propagate through ``exp``/``log`` into reliability
+    curves; ``+/-inf`` is allowed because the Weibull limits are well
+    defined there (``F(inf) = 1``, ``R(inf) = 0``).
+    """
+    if np.isnan(values).any():
+        raise NumericalError(f"{name} must not contain NaN")
 
 
 @dataclass(frozen=True)
@@ -51,12 +62,14 @@ class AreaScaledWeibull:
     def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
         """Failure probability by time ``t``."""
         t = np.asarray(t, dtype=float)
+        _validate_not_nan(t, "t")
         out = -np.expm1(-self.area * (t / self.alpha) ** self.beta)
         return out if out.ndim else float(out)
 
     def sf(self, t: np.ndarray | float) -> np.ndarray | float:
         """Survivor (reliability) function ``R(t) = 1 - F(t)``."""
         t = np.asarray(t, dtype=float)
+        _validate_not_nan(t, "t")
         out = np.exp(-self.area * (t / self.alpha) ** self.beta)
         return out if out.ndim else float(out)
 
@@ -79,8 +92,9 @@ class AreaScaledWeibull:
     def ppf(self, q: np.ndarray | float) -> np.ndarray | float:
         """Failure-time quantile: smallest ``t`` with ``F(t) >= q``."""
         q = np.asarray(q, dtype=float)
+        _validate_not_nan(q, "q")
         if np.any((q < 0.0) | (q >= 1.0)):
-            raise ValueError("quantile must be in [0, 1)")
+            raise ConfigurationError("quantile must be in [0, 1)")
         out = self.alpha * (-np.log1p(-q) / self.area) ** (1.0 / self.beta)
         return out if out.ndim else float(out)
 
@@ -148,9 +162,13 @@ def weibull_plot_coordinates(
     """
     times = np.sort(np.asarray(times, dtype=float))
     if times.ndim != 1 or len(times) < 2:
-        raise ValueError("need a 1-D sample of at least two failure times")
+        raise ConfigurationError(
+            "need a 1-D sample of at least two failure times"
+        )
+    if not np.all(np.isfinite(times)):
+        raise NumericalError("failure times must be finite")
     if np.any(times <= 0.0):
-        raise ValueError("failure times must be positive")
+        raise ConfigurationError("failure times must be positive")
     n = len(times)
     ranks = (np.arange(1, n + 1) - 0.3) / (n + 0.4)
     return np.log(times), np.log(-np.log1p(-ranks))

@@ -51,7 +51,9 @@ class ThermalResult:
         """Block temperatures keyed by block name."""
         if floorplan.n_blocks != self.block_temperatures.size:
             raise ConfigurationError("floorplan does not match this result")
-        return dict(zip(floorplan.block_names, self.block_temperatures.tolist()))
+        return dict(
+            zip(floorplan.block_names, self.block_temperatures.tolist(), strict=True)
+        )
 
 
 class HotSpotLite:

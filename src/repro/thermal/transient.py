@@ -16,6 +16,7 @@ reach steady state quickly) and to study short thermal transients.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -99,7 +100,7 @@ class TransientSolver:
         )
         self.cell_capacity = heat_capacity * cell_volume
         self.conductance = _build_conductance_matrix(grid, self.package)
-        self._solver_cache: dict[float, object] = {}
+        self._solver_cache: dict[float, Callable[[np.ndarray], np.ndarray]] = {}
 
     @property
     def time_constant(self) -> float:
@@ -122,7 +123,7 @@ class TransientSolver:
         g_v = self.package.vertical_conductance(self.grid)
         return float(self.cell_capacity / g_v)
 
-    def _step_solver(self, dt: float):
+    def _step_solver(self, dt: float) -> Callable[[np.ndarray], np.ndarray]:
         solver = self._solver_cache.get(dt)
         if solver is None:
             n = self.grid.n_cells
@@ -140,7 +141,7 @@ class TransientSolver:
         duration: float,
         dt: float,
         initial: np.ndarray | float | None = None,
-        power_schedule=None,
+        power_schedule: Callable[[float], np.ndarray] | None = None,
     ) -> TransientResult:
         """Integrate the thermal state over ``duration`` seconds.
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import UnitError
+
 #: Boltzmann constant in eV/K (used in Arrhenius-type acceleration models).
 BOLTZMANN_EV = 8.617333262e-5
 
@@ -34,13 +36,14 @@ def celsius_to_kelvin(temp_c: float) -> float:
 
     Raises
     ------
-    ValueError
-        If the temperature is below absolute zero or not finite.
+    UnitError
+        If the temperature is below absolute zero or not finite.  (A
+        :class:`ValueError` subclass, so legacy callers keep working.)
     """
     if not math.isfinite(temp_c):
-        raise ValueError(f"temperature must be finite, got {temp_c!r}")
+        raise UnitError(f"temperature must be finite, got {temp_c!r}")
     if temp_c < ABSOLUTE_ZERO_CELSIUS:
-        raise ValueError(f"temperature {temp_c} degC is below absolute zero")
+        raise UnitError(f"temperature {temp_c} degC is below absolute zero")
     return temp_c + CELSIUS_OFFSET
 
 
@@ -49,13 +52,14 @@ def kelvin_to_celsius(temp_k: float) -> float:
 
     Raises
     ------
-    ValueError
-        If the temperature is negative or not finite.
+    UnitError
+        If the temperature is negative or not finite.  (A
+        :class:`ValueError` subclass, so legacy callers keep working.)
     """
     if not math.isfinite(temp_k):
-        raise ValueError(f"temperature must be finite, got {temp_k!r}")
+        raise UnitError(f"temperature must be finite, got {temp_k!r}")
     if temp_k < 0.0:
-        raise ValueError(f"temperature {temp_k} K is below absolute zero")
+        raise UnitError(f"temperature {temp_k} K is below absolute zero")
     return temp_k - CELSIUS_OFFSET
 
 

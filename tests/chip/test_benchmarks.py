@@ -47,7 +47,7 @@ class TestSyntheticDesigns:
         a = make_synthetic_design("X", 5000, 5, 3.0, seed=9)
         b = make_synthetic_design("X", 5000, 5, 3.0, seed=9)
         assert a.block_names == b.block_names
-        for ba, bb in zip(a.blocks, b.blocks):
+        for ba, bb in zip(a.blocks, b.blocks, strict=True):
             assert ba.rect == bb.rect
             assert ba.n_devices == bb.n_devices
             assert ba.power == bb.power
@@ -56,7 +56,7 @@ class TestSyntheticDesigns:
         a = make_synthetic_design("X", 5000, 5, 3.0, seed=1)
         b = make_synthetic_design("X", 5000, 5, 3.0, seed=2)
         assert any(
-            ba.n_devices != bb.n_devices for ba, bb in zip(a.blocks, b.blocks)
+            ba.n_devices != bb.n_devices for ba, bb in zip(a.blocks, b.blocks, strict=True)
         )
 
     def test_blocks_tile_die(self):

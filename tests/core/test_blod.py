@@ -36,7 +36,7 @@ class TestCharacterizeBlods:
     def test_one_blod_per_block(self, setup):
         floorplan, _grid, _model, _sampler, blods = setup
         assert len(blods) == floorplan.n_blocks
-        for block, blod in zip(floorplan.blocks, blods):
+        for block, blod in zip(floorplan.blocks, blods, strict=True):
             assert blod.name == block.name
             assert blod.area == pytest.approx(block.total_oxide_area)
             assert blod.n_devices == block.n_devices
@@ -216,5 +216,5 @@ class TestWaferPatternBlod:
         blods_tilted = characterize_blods(small_floorplan, grid, tilted)
         assert all(b.v_deterministic == 0.0 for b in blods_flat)
         assert any(b.v_deterministic > 0.0 for b in blods_tilted)
-        for bf, bt in zip(blods_flat, blods_tilted):
+        for bf, bt in zip(blods_flat, blods_tilted, strict=True):
             assert bt.v_offset >= bf.v_offset

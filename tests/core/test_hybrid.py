@@ -70,7 +70,7 @@ class TestHybridProfileReuse:
 
         new_blocks = [
             BlockReliability(blod=b.blod, alpha=a, b=bb)
-            for b, a, bb in zip(blocks, alphas, bs)
+            for b, a, bb in zip(blocks, alphas, bs, strict=True)
         ]
         f_ref = StFastAnalyzer(new_blocks).failure_probability(times)
         mask = f_ref > 1e-12

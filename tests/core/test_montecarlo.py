@@ -144,7 +144,7 @@ class TestNonFiniteRecovery:
             exponents = original(self, times, n_chips, rng)
             if state["first"]:
                 state["first"] = False
-                for row, value in zip(range(exponents.shape[0]), bad_rows):
+                for row, value in zip(range(exponents.shape[0]), bad_rows, strict=False):
                     exponents[row, 0] = value
             return exponents
 

@@ -1,0 +1,16 @@
+"""Fixture: RPL001 violations — global RNG state and unseeded generators."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_bad(n):
+    return np.random.rand(n)
+
+
+def make_rng_bad():
+    return default_rng()
+
+
+def simulate_bad(n, seed=None):
+    return np.random.default_rng(seed).normal(size=n)

@@ -1,0 +1,12 @@
+"""Fixture: RPL001-clean — explicitly seeded Generator API only."""
+
+import numpy as np
+
+
+def draw(n, seed=1234):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def spawn(seed_sequence):
+    return np.random.Generator(np.random.PCG64(seed_sequence))

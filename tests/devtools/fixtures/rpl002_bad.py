@@ -1,0 +1,9 @@
+"""Fixture: RPL002 violations — raw offset arithmetic and mixed suffixes."""
+
+
+def to_kelvin(temp_c):
+    return temp_c + 273.15
+
+
+def delta(temp_c, temp_k):
+    return temp_k - temp_c

@@ -1,0 +1,11 @@
+"""Fixture: RPL002-clean — conversions go through repro.units."""
+
+from repro import units
+
+
+def to_kelvin(temp_c):
+    return units.celsius_to_kelvin(temp_c)
+
+
+def delta(temp_c, temp_k):
+    return temp_k - units.celsius_to_kelvin(temp_c)

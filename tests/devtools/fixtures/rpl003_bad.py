@@ -1,0 +1,9 @@
+"""Fixture: RPL003 violations — bare stdlib exceptions from library code."""
+
+
+def check(x):
+    if x < 0:
+        raise ValueError("negative input")
+    if x > 10:
+        raise RuntimeError("input too large")
+    return x

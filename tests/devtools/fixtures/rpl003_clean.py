@@ -1,0 +1,11 @@
+"""Fixture: RPL003-clean — raises from the ReproError hierarchy."""
+
+from repro.errors import ConfigurationError, NumericalError
+
+
+def check(x):
+    if x < 0:
+        raise ConfigurationError("negative input")
+    if x > 10:
+        raise NumericalError("input too large")
+    return x

@@ -1,0 +1,5 @@
+"""Fixture: RPL004 violation — bare print outside cli.py."""
+
+
+def report(x):
+    print("value:", x)

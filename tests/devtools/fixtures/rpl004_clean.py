@@ -1,0 +1,9 @@
+"""Fixture: RPL004-clean — diagnostics through the structured logger."""
+
+from repro.obs.logging import get_logger
+
+_LOG = get_logger("fixture")
+
+
+def report(x):
+    _LOG.info("value %s", x)

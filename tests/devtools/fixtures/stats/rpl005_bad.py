@@ -1,0 +1,9 @@
+"""Fixture: RPL005 violations — float equality and unguarded np.exp."""
+
+import numpy as np
+
+
+def kernel(x):
+    if x == 1.0:
+        return 0.0
+    return np.exp(x)

@@ -1,0 +1,12 @@
+"""Fixture: RPL005-clean — finiteness guard before the transcendental."""
+
+import numpy as np
+
+from repro.errors import NumericalError
+
+
+def kernel(x):
+    x = np.asarray(x, dtype=float)
+    if not np.all(np.isfinite(x)):
+        raise NumericalError("kernel input must be finite")
+    return np.exp(x)

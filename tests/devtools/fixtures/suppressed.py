@@ -1,0 +1,18 @@
+"""Fixture: every violation below carries an explicit suppression."""
+
+import numpy as np
+
+
+def draw(n):
+    return np.random.rand(n)  # reprolint: disable=RPL001
+
+
+def to_kelvin(temp_c):
+    return temp_c + 273.15  # reprolint: disable=RPL002, RPL005
+
+
+def check(x):
+    if x == 1.0:  # reprolint: disable=ALL
+        raise ValueError("bad")  # reprolint: disable=RPL003
+    print(x)  # reprolint: disable=RPL004
+    return x

@@ -164,7 +164,7 @@ class TestQuadtreeVariant:
         blods = characterize_blods(design, grid, qt_model)
         blocks = [
             BlockReliability(blod=blod, alpha=b.alpha, b=b.b)
-            for blod, b in zip(blods, analyzer.blocks)
+            for blod, b in zip(blods, analyzer.blocks, strict=True)
         ]
         qt_fast = StFastAnalyzer(blocks)
         t = analyzer.lifetime(10)

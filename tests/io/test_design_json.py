@@ -22,7 +22,7 @@ class TestFloorplanRoundTrip:
         rebuilt = floorplan_from_dict(floorplan_to_dict(small_floorplan))
         assert rebuilt.width == small_floorplan.width
         assert rebuilt.block_names == small_floorplan.block_names
-        for a, b in zip(small_floorplan.blocks, rebuilt.blocks):
+        for a, b in zip(small_floorplan.blocks, rebuilt.blocks, strict=True):
             assert a.rect == b.rect
             assert a.n_devices == b.n_devices
             assert a.avg_device_area == b.avg_device_area

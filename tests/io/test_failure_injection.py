@@ -7,6 +7,7 @@ wrong numbers).
 """
 
 import json
+import zipfile
 
 import numpy as np
 import pytest
@@ -86,7 +87,7 @@ class TestStaleLutArchives:
     def test_truncated_archive(self, tmp_path, small_analyzer):
         path = tmp_path / "lut.npz"
         path.write_bytes(b"PK\x03\x04 garbage")
-        with pytest.raises(Exception):
+        with pytest.raises(zipfile.BadZipFile):
             load_hybrid_tables(path, small_analyzer.blocks)
 
     def test_shape_tampered_archive(self, tmp_path, small_analyzer):

@@ -80,7 +80,7 @@ class TestFlpRoundTrip:
         }
         loaded = read_flp(path, device_counts=counts)
         assert loaded.block_names == small_floorplan.block_names
-        for original, roundtrip in zip(small_floorplan.blocks, loaded.blocks):
+        for original, roundtrip in zip(small_floorplan.blocks, loaded.blocks, strict=True):
             assert roundtrip.rect.x == pytest.approx(original.rect.x, abs=1e-6)
             assert roundtrip.rect.area == pytest.approx(
                 original.rect.area, rel=1e-6

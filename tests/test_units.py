@@ -3,8 +3,11 @@
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import units
+from repro.errors import ReproError, UnitError
 
 
 class TestTemperatureConversion:
@@ -29,6 +32,50 @@ class TestTemperatureConversion:
             units.celsius_to_kelvin(math.nan)
         with pytest.raises(ValueError):
             units.kelvin_to_celsius(math.inf)
+
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_non_finite_rejected_both_directions(self, value):
+        with pytest.raises(UnitError):
+            units.celsius_to_kelvin(value)
+        with pytest.raises(UnitError):
+            units.kelvin_to_celsius(value)
+
+    def test_absolute_zero_is_exactly_representable(self):
+        assert units.celsius_to_kelvin(units.ABSOLUTE_ZERO_CELSIUS) == 0.0
+        assert units.kelvin_to_celsius(0.0) == units.ABSOLUTE_ZERO_CELSIUS
+
+    def test_just_below_absolute_zero_rejected(self):
+        below_c = math.nextafter(units.ABSOLUTE_ZERO_CELSIUS, -math.inf)
+        with pytest.raises(UnitError):
+            units.celsius_to_kelvin(below_c)
+        with pytest.raises(UnitError):
+            units.kelvin_to_celsius(-math.nextafter(0.0, 1.0))
+
+    def test_unit_errors_are_library_and_legacy_errors(self):
+        with pytest.raises(ReproError):
+            units.celsius_to_kelvin(-400.0)
+        assert issubclass(UnitError, ValueError)
+        assert issubclass(UnitError, ReproError)
+
+    @given(st.floats(min_value=-273.15, max_value=1000.0))
+    def test_round_trip_from_celsius(self, temp_c):
+        temp_k = units.celsius_to_kelvin(temp_c)
+        assert temp_k >= 0.0
+        # Tiny |temp_c| below ulp(273.15) is absorbed by the offset, so
+        # the round trip is approximate, not exact.
+        assert units.kelvin_to_celsius(temp_k) == pytest.approx(
+            temp_c, rel=1e-15, abs=1e-12
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1500.0))
+    def test_round_trip_from_kelvin(self, temp_k):
+        temp_c = units.kelvin_to_celsius(temp_k)
+        assert temp_c >= units.ABSOLUTE_ZERO_CELSIUS
+        # The k -> c -> k direction genuinely loses the last ulp for
+        # about a fifth of inputs; approximate equality is the contract.
+        assert units.celsius_to_kelvin(temp_c) == pytest.approx(
+            temp_k, rel=1e-15, abs=1e-12
+        )
 
 
 class TestDurationConversion:

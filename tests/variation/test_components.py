@@ -87,7 +87,7 @@ class TestVariationBudget:
 
     def test_frozen(self):
         budget = VariationBudget.table2()
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             budget.nominal_thickness = 3.0  # type: ignore[misc]
 
     def test_sigma_values_are_finite_and_positive(self):

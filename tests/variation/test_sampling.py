@@ -22,7 +22,7 @@ class TestAssignDevicesToGrid:
     def test_counts_sum_to_block_devices(self, setup):
         floorplan, grid, _model, _sampler = setup
         assignments = assign_devices_to_grid(floorplan, grid)
-        for block, assignment in zip(floorplan.blocks, assignments):
+        for block, assignment in zip(floorplan.blocks, assignments, strict=True):
             assert assignment.n_devices == block.n_devices
             assert np.all(assignment.device_counts > 0)
 
@@ -36,7 +36,7 @@ class TestAssignDevicesToGrid:
         floorplan, grid, _model, _sampler = setup
         a = assign_devices_to_grid(floorplan, grid)
         b = assign_devices_to_grid(floorplan, grid)
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             np.testing.assert_array_equal(x.device_counts, y.device_counts)
 
     def test_fractions_sum_to_one(self, setup):
