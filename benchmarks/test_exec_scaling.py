@@ -1,0 +1,111 @@
+"""Execution-backend scaling benchmark.
+
+Runs the same Monte-Carlo reliability-curve workload on the serial and
+process backends, asserts the results are **bit-identical** (the
+deterministic-sharding contract of ``repro.exec``), and records wall
+times plus the parallel speedup in ``results/exec_scaling.json``.
+
+The speedup assertion (process >= 1.5x serial) only fires when
+``REPRO_EXEC_ASSERT_SPEEDUP=1`` *and* the machine has at least two
+cores; timing on a single-core or oversubscribed CI runner is noise,
+but the bit-identity check always runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+from benchmarks.design_cache import prepared_analyzer
+from repro.core.montecarlo import MonteCarloEngine
+from repro.exec import ProcessBackend, SerialBackend
+
+_SEED = 2026
+
+
+def _workload() -> tuple[str, int]:
+    if bench_scale() == "full":
+        return "C2", 4000
+    return "C1", 800
+
+
+def _engine(analyzer, backend) -> MonteCarloEngine:
+    return MonteCarloEngine(
+        analyzer.sampler,
+        analyzer.blocks,
+        device_mode=analyzer.config.mc_device_mode,
+        chunk_size=analyzer.config.mc_chunk_size,
+        backend=backend,
+    )
+
+
+def _timed_curve(engine, times, n_chips):
+    start = time.perf_counter()
+    curve = engine.reliability_curve(times, n_chips, _SEED)
+    return curve, time.perf_counter() - start
+
+
+def test_process_backend_scaling(report):
+    design, n_chips = _workload()
+    analyzer = prepared_analyzer(design)
+    center = analyzer.lifetime(10, method="st_fast")
+    times = np.logspace(
+        np.log10(center) - 0.6, np.log10(center) + 0.8, 8
+    )
+
+    serial_curve, serial_s = _timed_curve(
+        _engine(analyzer, SerialBackend()), times, n_chips
+    )
+    jobs = min(4, os.cpu_count() or 1)
+    process_backend = ProcessBackend(jobs)
+    try:
+        # Warm the pool outside the timed region: worker spawn is a
+        # one-time cost, not part of the steady-state throughput.
+        process_backend.map(int, [0])
+        process_curve, process_s = _timed_curve(
+            _engine(analyzer, process_backend), times, n_chips
+        )
+    finally:
+        process_backend.close()
+
+    np.testing.assert_array_equal(
+        serial_curve.reliability, process_curve.reliability
+    )
+    np.testing.assert_array_equal(
+        serial_curve.std_error, process_curve.std_error
+    )
+
+    speedup = serial_s / process_s if process_s > 0 else float("inf")
+    payload = {
+        "design": design,
+        "n_chips": n_chips,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "process_s": round(process_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "exec_scaling.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report.line(f"exec scaling ({design}, {n_chips} chips, jobs={jobs})")
+    report.table(
+        ["backend", "wall s"],
+        [["serial", f"{serial_s:.3f}"], ["process", f"{process_s:.3f}"]],
+    )
+    report.line(f"speedup: {speedup:.2f}x  (bit-identical: yes)")
+
+    if (
+        os.environ.get("REPRO_EXEC_ASSERT_SPEEDUP") == "1"
+        and (os.cpu_count() or 1) >= 2
+    ):
+        assert speedup >= 1.5, (
+            f"process backend speedup {speedup:.2f}x < 1.5x "
+            f"(serial {serial_s:.3f}s, process {process_s:.3f}s)"
+        )

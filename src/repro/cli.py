@@ -8,11 +8,18 @@ Commands
 ``thermal``     block temperatures from the power model
 ``sensitivity`` lifetime elasticities (tornado)
 ``report``      one-page design report (thermal map, lifetimes, budget)
+``batch``       sweep benchmarks x temperatures x methods into one report
+``cache``       result-cache maintenance (``stats``/``clear``)
 
 Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
 setup file (``--setup``, see :mod:`repro.io.design_json`) or a HotSpot
 floorplan (``--flp``, optionally with ``--ptrace``). Add ``--json`` for
 machine-readable output.
+
+Execution: ``--jobs N`` (or ``REPRO_JOBS``) parallelises the sampled
+engines across N worker processes; ``REPRO_EXEC_BACKEND`` picks
+``serial``/``thread``/``process`` explicitly.  Results are bit-identical
+for every backend and worker count (see ``docs/execution.md``).
 
 Observability (every command): ``--log-level``/``--log-json`` configure the
 structured diagnostic logger (stderr, stdout output stays clean), and
@@ -33,7 +40,55 @@ from repro import __version__, obs
 from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError
+from repro.exec.backends import resolve_backend
 from repro.units import hours_to_years
+
+
+def _positive_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="diagnostic log level (DEBUG/INFO/WARNING/ERROR), on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit diagnostics as line-delimited JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="collect spans/metrics and write them as JSON to FILE",
+    )
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sampled engines "
+        "(default: REPRO_JOBS, else serial; results are identical "
+        "for any worker count)",
+    )
 
 
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
@@ -63,35 +118,21 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vdd", type=float, default=None, help="supply voltage override"
     )
-    parser.add_argument("--json", action="store_true", help="JSON output")
-    parser.add_argument(
-        "--log-level",
-        default=None,
-        metavar="LEVEL",
-        help="diagnostic log level (DEBUG/INFO/WARNING/ERROR), on stderr",
-    )
-    parser.add_argument(
-        "--log-json",
-        action="store_true",
-        help="emit diagnostics as line-delimited JSON",
-    )
-    parser.add_argument(
-        "--trace",
-        metavar="FILE",
-        default=None,
-        help="collect spans/metrics and write them as JSON to FILE",
-    )
+    _add_obs_arguments(parser)
 
 
 def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
+    jobs = getattr(args, "jobs", None)
     if args.setup:
+        import dataclasses
+
         from repro.io.design_json import load_setup
 
         floorplan, budget, obd_model, config = load_setup(args.setup)
         if args.vdd is not None:
-            import dataclasses
-
             config = dataclasses.replace(config, vdd=args.vdd)
+        if jobs is not None:
+            config = dataclasses.replace(config, exec_jobs=jobs)
         return ReliabilityAnalyzer(
             floorplan, budget=budget, obd_model=obd_model, config=config
         )
@@ -104,8 +145,15 @@ def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
             floorplan = apply_ptrace_sample(floorplan, names, powers)
     else:
         floorplan = make_benchmark(args.design)
-    config = AnalysisConfig(grid_size=args.grid, rho_dist=args.rho, vdd=args.vdd)
+    config = AnalysisConfig(
+        grid_size=args.grid, rho_dist=args.rho, vdd=args.vdd, exec_jobs=jobs
+    )
     return ReliabilityAnalyzer(floorplan, config=config)
+
+
+def _execution_info(analyzer: ReliabilityAnalyzer) -> dict[str, Any]:
+    backend = analyzer.exec_backend
+    return {"backend": backend.name, "jobs": backend.jobs}
 
 
 def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
@@ -148,6 +196,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         "ppm": args.ppm,
         "lifetime_hours": results,
         "lifetime_years": {m: hours_to_years(v) for m, v in results.items()},
+        "execution": _execution_info(analyzer),
     }
     text = "\n".join(
         f"{m:>14}: {v:.4e} h = {hours_to_years(v):8.1f} years"
@@ -169,6 +218,7 @@ def _cmd_curve(args: argparse.Namespace) -> int:
         "method": args.method[0],
         "times_hours": times.tolist(),
         "reliability": reliability.tolist(),
+        "execution": _execution_info(analyzer),
     }
     text = "\n".join(
         f"{t:.4e} h   R = {r:.8f}   1-R = {1.0 - r:.3e}"
@@ -211,7 +261,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     try:
         analyzer = _build_analyzer(args)
         text = design_report(analyzer)
-        text = f"{text}\n\n{obs.timing_summary()}"
+        execution = _execution_info(analyzer)
+        text = (
+            f"{text}\n\n{obs.timing_summary()}\n"
+            f"execution backend: {execution['backend']} "
+            f"(jobs={execution['jobs']})"
+        )
     finally:
         if owns_obs:
             obs.disable()
@@ -220,6 +275,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(json.dumps({"report": text}))
     else:
         print(text)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    # Imported here: batch pulls in the full analyzer stack.
+    from repro.exec.batch import SweepSpec, batch_table, run_batch
+    from repro.exec.cache import ResultCache
+
+    spec = SweepSpec(
+        designs=tuple(args.design),
+        methods=tuple(args.method),
+        temperatures_c=tuple(args.temps or ()),
+        ppm=args.ppm,
+        grid_size=args.grid,
+        mc_chips=args.mc_chips,
+        seed=args.seed,
+    )
+    backend = resolve_backend(jobs=args.jobs)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    report = run_batch(
+        spec, backend=backend, cache=cache, use_cache=not args.no_cache
+    )
+    _emit(args, report, batch_table(report))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        payload = stats.as_dict()
+        text = (
+            f"cache root : {payload['root']}\n"
+            f"entries    : {payload['entries']}\n"
+            f"total bytes: {payload['total_bytes']:,}"
+        )
+        _emit(args, payload, text)
+    else:  # clear
+        removed = cache.clear()
+        _emit(
+            args,
+            {"root": str(cache.root), "removed": removed},
+            f"removed {removed} cache entr"
+            f"{'y' if removed == 1 else 'ies'} from {cache.root}",
+        )
     return 0
 
 
@@ -263,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_life.add_argument("--mc-chips", type=int, default=500)
     p_life.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(p_life)
     p_life.set_defaults(func=_cmd_lifetime)
 
     p_curve = sub.add_parser("curve", help="reliability curve over time")
@@ -273,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_curve.add_argument(
         "--method", nargs=1, choices=METHODS, default=["st_fast"]
     )
+    _add_jobs_argument(p_curve)
     p_curve.set_defaults(func=_cmd_curve)
 
     p_thermal = sub.add_parser("thermal", help="block temperatures")
@@ -286,7 +390,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="one-page design report")
     _add_design_arguments(p_report)
+    _add_jobs_argument(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_batch = sub.add_parser(
+        "batch", help="sweep benchmarks x temperatures x methods"
+    )
+    p_batch.add_argument(
+        "--design",
+        nargs="+",
+        choices=sorted(BENCHMARK_DEVICE_COUNTS),
+        required=True,
+        help="benchmark designs to sweep",
+    )
+    p_batch.add_argument(
+        "--method",
+        nargs="+",
+        choices=METHODS,
+        default=["st_fast"],
+        help="evaluation methods per cell",
+    )
+    p_batch.add_argument(
+        "--temps",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="DEGC",
+        help="uniform temperatures to sweep (default: each design's own "
+        "thermal profile)",
+    )
+    p_batch.add_argument("--ppm", type=float, default=10.0)
+    p_batch.add_argument(
+        "--grid", type=int, default=25, help="correlation grid size"
+    )
+    p_batch.add_argument("--mc-chips", type=int, default=500)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell, bypassing the result cache",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    _add_jobs_argument(p_batch)
+    _add_obs_arguments(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count and size of the result cache"),
+        ("clear", "delete every result-cache entry"),
+    ):
+        p_sub = cache_sub.add_parser(name, help=help_text)
+        p_sub.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        _add_obs_arguments(p_sub)
+        p_sub.set_defaults(func=_cmd_cache)
 
     return parser
 

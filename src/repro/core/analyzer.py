@@ -36,6 +36,8 @@ from repro.core.lifetime import ppm_to_reliability, solve_lifetime
 from repro.core.montecarlo import MonteCarloEngine, ReliabilityCurve
 from repro.core.obd_model import OBDModel
 from repro.errors import ConfigurationError
+from repro.exec.backends import ExecBackend, resolve_backend
+from repro.exec.sharding import DEFAULT_SHARD_SIZE
 from repro.obs import metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import span
@@ -93,7 +95,18 @@ class AnalysisConfig:
     mc_device_mode:
         ``"binned"`` or ``"exact"`` device handling for MC references.
     mc_chunk_size:
-        Chips per vectorised MC batch.
+        Chips per submitted MC task (scheduling granularity — never
+        affects results).
+    mc_shard_size:
+        Chips/samples per seed shard for the MC and st_mc engines.  Part
+        of the deterministic stream definition (see
+        :mod:`repro.exec.sharding`).
+    exec_backend:
+        Execution backend name (``serial``/``thread``/``process``);
+        ``None`` defers to ``REPRO_EXEC_BACKEND``/``REPRO_JOBS``.
+    exec_jobs:
+        Worker count for parallel backends; ``None`` defers to
+        ``REPRO_JOBS`` (or the CPU count).
     include_residual_fluctuation:
         Keep the residual sampling fluctuation in the BLOD-variance
         surrogate.
@@ -117,6 +130,9 @@ class AnalysisConfig:
     hybrid_n_b: int = 100
     mc_device_mode: str = "binned"
     mc_chunk_size: int = 100
+    mc_shard_size: int = DEFAULT_SHARD_SIZE
+    exec_backend: str | None = None
+    exec_jobs: int | None = None
     include_residual_fluctuation: bool = True
 
 
@@ -274,6 +290,8 @@ class ReliabilityAnalyzer:
             seed=cfg.seed,
             estimator=cfg.st_mc_estimator,
             bins=cfg.l0,
+            backend=self.exec_backend,
+            shard_size=cfg.mc_shard_size,
         )
 
     @cached_property
@@ -314,6 +332,12 @@ class ReliabilityAnalyzer:
         )
 
     @cached_property
+    def exec_backend(self) -> ExecBackend:
+        """The execution backend shared by the sampled engines."""
+        cfg = self.config
+        return resolve_backend(cfg.exec_backend, cfg.exec_jobs)
+
+    @cached_property
     def mc_engine(self) -> MonteCarloEngine:
         """The Monte-Carlo reference engine."""
         cfg = self.config
@@ -322,6 +346,8 @@ class ReliabilityAnalyzer:
             self.blocks,
             device_mode=cfg.mc_device_mode,
             chunk_size=cfg.mc_chunk_size,
+            shard_size=cfg.mc_shard_size,
+            backend=self.exec_backend,
         )
 
     # ------------------------------------------------------------------
@@ -392,11 +418,19 @@ class ReliabilityAnalyzer:
         times: np.ndarray,
         n_chips: int = 1000,
         seed: int = 0,
+        checkpoint_path: str | None = None,
     ) -> ReliabilityCurve:
-        """Monte-Carlo reference reliability curve."""
-        rng = np.random.default_rng(seed)
+        """Monte-Carlo reference reliability curve.
+
+        The seed roots a deterministic shard plan (stable across
+        backends, worker counts and chunk sizes), so passing a
+        ``checkpoint_path`` lets a killed run resume to the same curve.
+        """
         return self.mc_engine.reliability_curve(
-            np.asarray(times, dtype=float), n_chips, rng
+            np.asarray(times, dtype=float),
+            n_chips,
+            np.random.SeedSequence(seed),
+            checkpoint_path=checkpoint_path,
         )
 
     def mc_lifetime(
@@ -429,8 +463,9 @@ class ReliabilityAnalyzer:
         self, n_chips: int = 10000, seed: int = 0
     ) -> np.ndarray:
         """Failure-time samples for the Fig. 10 style comparison."""
-        rng = np.random.default_rng(seed)
-        return self.mc_engine.failure_times(n_chips, rng)
+        return self.mc_engine.failure_times(
+            n_chips, np.random.SeedSequence(seed)
+        )
 
     # ------------------------------------------------------------------
     # Introspection helpers

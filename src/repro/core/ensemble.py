@@ -21,12 +21,21 @@ per-block expectation differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.core.blod import BlodModel
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN, safe_log_t_ratio
 from repro.errors import ConfigurationError
+from repro.exec.backends import ExecBackend, resolve_backend
+from repro.exec.runner import run_sharded
+from repro.exec.sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    plan_shards,
+    resolve_seed_sequence,
+)
 from repro.obs import metrics
 from repro.obs.trace import span
 from repro.stats.integration import (
@@ -210,6 +219,28 @@ def _draw_factors(
     return np.asarray(sps.norm.ppf(uniforms))
 
 
+def _st_mc_shard_task(
+    blocks: tuple[BlockReliability, ...],
+    include_residual_noise: bool,
+    shard: Shard,
+) -> dict[str, np.ndarray]:
+    """One shard of the st_mc (u, v) sample cloud.
+
+    Module-level and pure so process backends can pickle it; the factor
+    draws and per-block residual noise all come from the shard's private
+    stream.
+    """
+    rng = shard.rng()
+    n_factors = blocks[0].blod.n_factors
+    factors = rng.standard_normal((shard.size, n_factors))
+    payload: dict[str, np.ndarray] = {}
+    noise_rng = rng if include_residual_noise else None
+    for j, block in enumerate(blocks):
+        payload[f"u{j}"] = block.blod.u_samples(factors)
+        payload[f"v{j}"] = block.blod.v_samples(factors, rng=noise_rng)
+    return payload
+
+
 class StMcAnalyzer(_EnsembleAnalyzerBase):
     """Numerical-joint-PDF statistical analyzer (Sec. IV-C, ``st_mc``).
 
@@ -238,6 +269,13 @@ class StMcAnalyzer(_EnsembleAnalyzerBase):
         ``"mc"`` (pseudo-random, the paper's method), ``"lhs"`` (Latin
         hypercube) or ``"sobol"`` (scrambled Sobol) — the QMC options
         reduce the estimator variance at the same sample count.
+    backend:
+        Execution backend for the sharded ``"mc"`` sampling sweep;
+        defaults to the environment selection.  QMC samplers draw one
+        global sequence, so they always run in-process.
+    shard_size:
+        Samples per seed shard for the ``"mc"`` sampler (part of the
+        deterministic stream definition, like the MC engines').
     """
 
     def __init__(
@@ -250,6 +288,8 @@ class StMcAnalyzer(_EnsembleAnalyzerBase):
         bins: int = 10,
         include_residual_noise: bool = True,
         sampler: str = "mc",
+        backend: ExecBackend | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> None:
         if not blocks:
             raise ConfigurationError("need at least one block")
@@ -259,27 +299,81 @@ class StMcAnalyzer(_EnsembleAnalyzerBase):
             raise ConfigurationError(f"unknown sampler {sampler!r}")
         if n_samples < 100:
             raise ConfigurationError(f"n_samples must be >= 100, got {n_samples}")
+        if shard_size < 1:
+            raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
         n_factors = blocks[0].blod.n_factors
         if any(block.blod.n_factors != n_factors for block in blocks):
             raise ConfigurationError("all blocks must share one factor space")
         self.blocks = list(blocks)
         self.estimator = estimator
         self.bins = bins
-        if rng is None:
-            rng = np.random.default_rng(seed)
         with span(
             "st_mc.sample",
             samples=n_samples,
             factors=n_factors,
             sampler=sampler,
         ):
-            factors = _draw_factors(sampler, n_samples, n_factors, rng)
-            self._u_samples = [b.blod.u_samples(factors) for b in self.blocks]
-            noise_rng = rng if include_residual_noise else None
-            self._v_samples = [
-                b.blod.v_samples(factors, rng=noise_rng) for b in self.blocks
-            ]
+            if sampler == "mc":
+                self._sample_sharded(
+                    n_samples, seed, rng, include_residual_noise,
+                    backend, shard_size,
+                )
+            else:
+                if rng is None:
+                    rng = np.random.default_rng(seed)
+                factors = _draw_factors(sampler, n_samples, n_factors, rng)
+                self._u_samples = [
+                    b.blod.u_samples(factors) for b in self.blocks
+                ]
+                noise_rng = rng if include_residual_noise else None
+                self._v_samples = [
+                    b.blod.v_samples(factors, rng=noise_rng)
+                    for b in self.blocks
+                ]
             metrics.inc("st_mc.factor_draws", n_samples)
+
+    def _sample_sharded(
+        self,
+        n_samples: int,
+        seed: int | None,
+        rng: np.random.Generator | None,
+        include_residual_noise: bool,
+        backend: ExecBackend | None,
+        shard_size: int,
+    ) -> None:
+        """Draw the (u, v) sample clouds in deterministic seed shards.
+
+        Shards are submitted to the execution backend and concatenated in
+        shard-index order, so the cloud is bit-identical for any backend
+        and worker count (given the same seed and ``shard_size``).
+        """
+        if rng is not None:
+            root = resolve_seed_sequence(rng)
+        elif seed is None:
+            root = np.random.SeedSequence()
+        else:
+            root = resolve_seed_sequence(seed)
+        shards = plan_shards(n_samples, root, shard_size)
+        exec_backend = backend if backend is not None else resolve_backend()
+        payloads = run_sharded(
+            exec_backend,
+            partial(
+                _st_mc_shard_task, tuple(self.blocks), include_residual_noise
+            ),
+            shards,
+        )
+        self._u_samples = [
+            np.concatenate(
+                [payloads[s.index][f"u{j}"] for s in shards]
+            )
+            for j in range(len(self.blocks))
+        ]
+        self._v_samples = [
+            np.concatenate(
+                [payloads[s.index][f"v{j}"] for s in shards]
+            )
+            for j in range(len(self.blocks))
+        ]
 
     def block_moment_samples(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """The (u, v) sample cloud of one block (diagnostics, Fig. 6/7)."""

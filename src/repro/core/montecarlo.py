@@ -28,22 +28,47 @@ Device modes
     weakest-link property collapses each bin's minimum breakdown time to a
     single Weibull draw with the bin's aggregate area, keeping the
     failure-time engine exact under the same quantisation.
+
+Execution
+---------
+Both engines run through :mod:`repro.exec`: chips are split into
+fixed-size shards, each with its own ``SeedSequence.spawn`` child, and the
+shard tasks are submitted to a serial/thread/process backend.  Per-shard
+partial results are reduced in shard-index order, so for a given seed the
+curves are **bit-identical** across backends, worker counts and
+``chunk_size`` settings (``shard_size``, by contrast, is part of the
+stream definition).  Long runs can pass ``checkpoint_path`` to persist
+per-shard state atomically and resume after a kill to the same curve.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 from scipy import stats as sps
 
 from repro.core.ensemble import BlockReliability
 from repro.errors import ConfigurationError, NumericalError
+from repro.exec.backends import ExecBackend, resolve_backend
+from repro.exec.checkpoint import Checkpoint
+from repro.exec.runner import run_sharded
+from repro.exec.sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    plan_shards,
+    resolve_seed_sequence,
+)
 from repro.obs import metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import span
 from repro.variation.sampling import ChipSampler
+
+if TYPE_CHECKING:
+    SeedLike = int | np.random.SeedSequence | np.random.Generator
 
 logger = get_logger("core.montecarlo")
 
@@ -111,7 +136,16 @@ class MonteCarloEngine:
     binning:
         Residual discretisation for the binned mode.
     chunk_size:
-        Chips processed per vectorised batch.
+        Target chips per submitted task (scheduling granularity only —
+        never affects results).
+    shard_size:
+        Chips per seed shard.  Part of the deterministic stream
+        definition: changing it redraws the sample, while backend, worker
+        count and ``chunk_size`` never do.
+    backend:
+        Execution backend for shard tasks; defaults to the environment
+        selection (``REPRO_EXEC_BACKEND``/``REPRO_JOBS``, serial when
+        unset).
     """
 
     def __init__(
@@ -121,6 +155,8 @@ class MonteCarloEngine:
         device_mode: str = "binned",
         binning: ResidualBinning | None = None,
         chunk_size: int = 100,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        backend: ExecBackend | None = None,
     ) -> None:
         if device_mode not in ("binned", "exact"):
             raise ConfigurationError(f"unknown device mode {device_mode!r}")
@@ -136,11 +172,56 @@ class MonteCarloEngine:
                 )
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if shard_size < 1:
+            raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
         self.sampler = sampler
         self.blocks = list(blocks)
         self.device_mode = device_mode
         self.binning = binning if binning is not None else ResidualBinning()
         self.chunk_size = chunk_size
+        self.shard_size = shard_size
+        self.backend = backend if backend is not None else resolve_backend()
+
+    @property
+    def _shards_per_task(self) -> int:
+        """Consecutive shards bundled into one backend task."""
+        return max(1, self.chunk_size // self.shard_size)
+
+    def _checkpoint(
+        self,
+        checkpoint_path: str | Path | None,
+        kind: str,
+        n_chips: int,
+        root: np.random.SeedSequence,
+        times: np.ndarray | None,
+        save_every: int,
+    ) -> Checkpoint | None:
+        """A checkpoint bound to this exact run, or None when not requested."""
+        if checkpoint_path is None:
+            return None
+        meta: dict[str, Any] = {
+            "kind": kind,
+            "n_chips": n_chips,
+            "shard_size": self.shard_size,
+            "entropy": str(root.entropy),
+            "device_mode": self.device_mode,
+            "binning": {
+                "n_bins": self.binning.n_bins,
+                "z_max": self.binning.z_max,
+            },
+            "blocks": [
+                {
+                    "name": block.name,
+                    "alpha": block.alpha,
+                    "b": block.b,
+                    "area": block.blod.area,
+                }
+                for block in self.blocks
+            ],
+        }
+        if times is not None:
+            meta["times"] = times
+        return Checkpoint(checkpoint_path, meta, save_every=save_every)
 
     # ------------------------------------------------------------------
     # Conditional-reliability MC (Table III reference)
@@ -150,12 +231,25 @@ class MonteCarloEngine:
         self,
         times: np.ndarray,
         n_chips: int,
-        rng: np.random.Generator,
+        rng: SeedLike,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 16,
     ) -> ReliabilityCurve:
         """Ensemble reliability by averaging conditional chip reliability.
 
         ``R_hat(t) = mean_c exp(-sum_j sum_i a_i (t/alpha_j)^(b_j x_i))``
-        over ``n_chips`` sample chips.
+        over ``n_chips`` sample chips.  ``rng`` may be an integer seed, a
+        ``SeedSequence`` or a ``Generator``; the sample is sharded
+        deterministically (see the module docstring), so the curve depends
+        only on the seed, ``n_chips`` and ``shard_size`` — never on the
+        backend, worker count or ``chunk_size``.
+
+        With ``checkpoint_path``, accumulated per-shard state is written
+        atomically every ``checkpoint_every`` shards (plus on abnormal
+        exit); rerunning the same call resumes from the file and produces
+        a curve bit-identical to an uninterrupted run.  Pass an ``int`` or
+        ``SeedSequence`` seed for resumable runs — a ``Generator`` draws
+        fresh entropy per call, which a resume cannot reproduce.
 
         Chips whose exponent sum comes out non-finite (numerical blow-up in
         a pathological sample) are dropped with a warning and counted in
@@ -169,23 +263,39 @@ class MonteCarloEngine:
             raise ConfigurationError("times must be non-negative")
         if n_chips < 2:
             raise ConfigurationError(f"n_chips must be >= 2, got {n_chips}")
+        root = resolve_seed_sequence(rng)
+        shards = plan_shards(n_chips, root, self.shard_size)
+        checkpoint = self._checkpoint(
+            checkpoint_path,
+            "reliability_curve",
+            n_chips,
+            root,
+            times,
+            checkpoint_every,
+        )
         total = np.zeros(times.size)
         total_sq = np.zeros(times.size)
         n_valid = 0
-        done = 0
-        started = time.perf_counter()
         with span(
             "mc.reliability_curve",
             chips=n_chips,
             times=times.size,
             device_mode=self.device_mode,
+            backend=self.backend.name,
         ) as curve_span:
-            while done < n_chips:
-                batch = min(self.chunk_size, n_chips - done)
-                exponents = self._chunk_exponents(times, batch, rng)
-                finite_rows = np.isfinite(exponents).all(axis=1)
-                if not finite_rows.all():
-                    n_bad = batch - int(finite_rows.sum())
+            payloads = run_sharded(
+                self.backend,
+                partial(_curve_shard_task, self, times),
+                shards,
+                shards_per_task=self._shards_per_task,
+                checkpoint=checkpoint,
+            )
+            # Reduce in shard-index order: the floating-point accumulation
+            # order is then fixed for every backend and task grouping.
+            for shard in shards:
+                payload = payloads[shard.index]
+                n_bad = int(payload["n_bad"])
+                if n_bad:
                     metrics.inc("mc.nonfinite_chunks")
                     metrics.inc("mc.nonfinite_chips", n_bad)
                     logger.warning(
@@ -193,26 +303,16 @@ class MonteCarloEngine:
                         "Weibull exponent sums (curve will average the "
                         "remaining valid chips)",
                         n_bad,
-                        batch,
+                        shard.size,
                         extra={"metric": "mc.nonfinite_chunks"},
                     )
-                    exponents = exponents[finite_rows]
-                survival = np.exp(-np.clip(exponents, 0.0, _EXP_CLIP))
-                total += survival.sum(axis=0)
-                total_sq += (survival**2).sum(axis=0)
-                n_valid += exponents.shape[0]
-                done += batch
-                metrics.inc("mc.chips", batch)
-                elapsed = time.perf_counter() - started
-                eta = elapsed / done * (n_chips - done)
-                logger.debug(
-                    "mc progress: %d/%d chips (%.2fs elapsed, ETA %.2fs)",
-                    done,
-                    n_chips,
-                    elapsed,
-                    eta,
-                )
+                total += payload["total"]
+                total_sq += payload["total_sq"]
+                n_valid += int(payload["n_valid"])
+                metrics.inc("mc.chips", shard.size)
             curve_span.set(valid_chips=n_valid)
+        if checkpoint is not None:
+            checkpoint.clear()
         if n_valid == 0:
             raise NumericalError(
                 "every MC chip produced non-finite Weibull exponents; "
@@ -303,39 +403,50 @@ class MonteCarloEngine:
     # ------------------------------------------------------------------
 
     def failure_times(
-        self, n_chips: int, rng: np.random.Generator
+        self,
+        n_chips: int,
+        rng: SeedLike,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 16,
     ) -> np.ndarray:
-        """Weakest-link chip failure times for ``n_chips`` sample chips."""
+        """Weakest-link chip failure times for ``n_chips`` sample chips.
+
+        Sharded like :meth:`reliability_curve`: samples land at fixed
+        positions in the output array, so the result is bit-identical for
+        every backend and ``chunk_size``, and checkpointed runs resume to
+        the same sample.
+        """
         if n_chips < 1:
             raise ConfigurationError(f"n_chips must be >= 1, got {n_chips}")
+        root = resolve_seed_sequence(rng)
+        shards = plan_shards(n_chips, root, self.shard_size)
+        checkpoint = self._checkpoint(
+            checkpoint_path,
+            "failure_times",
+            n_chips,
+            root,
+            None,
+            checkpoint_every,
+        )
         out = np.empty(n_chips)
-        done = 0
-        started = time.perf_counter()
         with span(
-            "mc.failure_times", chips=n_chips, device_mode=self.device_mode
+            "mc.failure_times",
+            chips=n_chips,
+            device_mode=self.device_mode,
+            backend=self.backend.name,
         ):
-            while done < n_chips:
-                batch = min(self.chunk_size, n_chips - done)
-                if self.device_mode == "binned":
-                    out[done : done + batch] = (
-                        self._chunk_failure_times_binned(batch, rng)
-                    )
-                else:
-                    out[done : done + batch] = (
-                        self._chunk_failure_times_exact(batch, rng)
-                    )
-                done += batch
-                metrics.inc("mc.chips", batch)
-                elapsed = time.perf_counter() - started
-                eta = elapsed / done * (n_chips - done)
-                logger.debug(
-                    "mc failure-time progress: %d/%d chips "
-                    "(%.2fs elapsed, ETA %.2fs)",
-                    done,
-                    n_chips,
-                    elapsed,
-                    eta,
-                )
+            payloads = run_sharded(
+                self.backend,
+                partial(_failure_shard_task, self),
+                shards,
+                shards_per_task=self._shards_per_task,
+                checkpoint=checkpoint,
+            )
+            for shard in shards:
+                out[shard.start : shard.stop] = payloads[shard.index]["times"]
+                metrics.inc("mc.chips", shard.size)
+        if checkpoint is not None:
+            checkpoint.clear()
         return out
 
     def _chunk_failure_times_binned(
@@ -384,3 +495,40 @@ class MonteCarloEngine:
                 ) / beta + np.log(block.alpha)
                 chip_min[c] = min(chip_min[c], float(log_t.min()))
         return np.exp(chip_min)
+
+
+# ----------------------------------------------------------------------
+# Shard tasks: module-level (picklable for the process backend) and pure —
+# all metrics/logging happen in the parent during the ordered reduction.
+# ----------------------------------------------------------------------
+
+
+def _curve_shard_task(
+    engine: MonteCarloEngine, times: np.ndarray, shard: Shard
+) -> dict[str, np.ndarray]:
+    """Partial survival sums for one shard of sample chips."""
+    rng = shard.rng()
+    exponents = engine._chunk_exponents(times, shard.size, rng)
+    finite_rows = np.isfinite(exponents).all(axis=1)
+    n_bad = shard.size - int(finite_rows.sum())
+    if n_bad:
+        exponents = exponents[finite_rows]
+    survival = np.exp(-np.clip(exponents, 0.0, _EXP_CLIP))
+    return {
+        "total": survival.sum(axis=0),
+        "total_sq": (survival**2).sum(axis=0),
+        "n_valid": np.asarray(exponents.shape[0]),
+        "n_bad": np.asarray(n_bad),
+    }
+
+
+def _failure_shard_task(
+    engine: MonteCarloEngine, shard: Shard
+) -> dict[str, np.ndarray]:
+    """Weakest-link failure times for one shard of sample chips."""
+    rng = shard.rng()
+    if engine.device_mode == "binned":
+        failure = engine._chunk_failure_times_binned(shard.size, rng)
+    else:
+        failure = engine._chunk_failure_times_exact(shard.size, rng)
+    return {"times": failure}

@@ -547,5 +547,73 @@ class NumericalSafety(Rule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# RPL006 — worker RNG discipline
+# ---------------------------------------------------------------------------
+
+
+@register
+class WorkerRngDiscipline(Rule):
+    """Parallel worker kernels must not build ad-hoc generators.
+
+    The execution subsystem guarantees bit-identical results across
+    backends by deriving every stream from the shard plan
+    (:mod:`repro.exec.sharding`).  A ``default_rng(<constant>)`` inside a
+    chunk/worker/shard function silently gives every shard the *same*
+    stream (correlated samples) or re-keys the run outside the plan.
+    """
+
+    rule_id = "RPL006"
+    name = "worker-rng-discipline"
+    summary = (
+        "no direct np.random.default_rng(...) inside chunk/worker/shard "
+        "functions; derive the stream from the shard (shard.rng()) or a "
+        "seed parameter"
+    )
+
+    _MARKERS = ("chunk", "worker", "shard")
+
+    def _is_default_rng(self, func: ast.AST) -> bool:
+        if _np_random_attr(func) == "default_rng":
+            return True
+        return isinstance(func, ast.Name) and func.id == "default_rng"
+
+    @staticmethod
+    def _references_param(node: ast.Call, params: set[str]) -> bool:
+        loaded = {
+            n.id
+            for arg in (*node.args, *(kw.value for kw in node.keywords))
+            for n in ast.walk(arg)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        return bool(loaded & params)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            lowered = func.name.lower()
+            if not any(marker in lowered for marker in self._MARKERS):
+                continue
+            params = _function_params(func)
+            for node in _walk_excluding_nested(func.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_default_rng(node.func):
+                    continue
+                if self._references_param(node, params):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"default_rng(...) inside worker function {func.name}() "
+                    "does not derive its stream from the shard plan; use "
+                    "shard.rng() (repro.exec.sharding) or thread a seed "
+                    "parameter through so results stay backend-invariant",
+                )
+
+
 #: The full registry, id -> rule class (read-only view for callers).
 ALL_RULES: dict[str, type[Rule]] = _REGISTRY

@@ -1,0 +1,69 @@
+"""repro.exec — parallel execution engine for the analysis pipeline.
+
+The subsystem has four orthogonal parts:
+
+- **Deterministic seed sharding** (:mod:`repro.exec.sharding`): work is
+  split into fixed-size shards, each owning a ``SeedSequence.spawn`` child,
+  so results are bit-identical for any backend, worker count or task
+  grouping.
+- **Backends** (:mod:`repro.exec.backends`): ``serial``/``thread``/
+  ``process`` executors selected by config, ``REPRO_EXEC_BACKEND`` /
+  ``REPRO_JOBS``, or the CLI ``--jobs`` flag.
+- **Content-addressed result cache** (:mod:`repro.exec.cache`): ``.npz``
+  entries under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) keyed by
+  a stable fingerprint of design + configuration + code version, with
+  ``exec.cache.*`` metrics and a ``repro cache`` CLI.
+- **Checkpoint/resume** (:mod:`repro.exec.checkpoint`): periodic atomic
+  snapshots of per-shard state so killed Monte-Carlo runs resume to the
+  same curve.
+
+:mod:`repro.exec.batch` (the ``repro batch`` sweep runner) is deliberately
+*not* re-exported here: it imports :mod:`repro.core`, and the core engines
+import ``repro.exec`` — import it directly where needed.
+
+See ``docs/execution.md`` for the full guarantees and file formats.
+"""
+
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+    resolve_jobs,
+)
+from repro.exec.cache import (
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.exec.checkpoint import Checkpoint
+from repro.exec.runner import run_sharded
+from repro.exec.sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    plan_shards,
+    resolve_seed_sequence,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_SHARD_SIZE",
+    "CacheStats",
+    "Checkpoint",
+    "ExecBackend",
+    "ProcessBackend",
+    "ResultCache",
+    "SerialBackend",
+    "Shard",
+    "ThreadBackend",
+    "default_cache_dir",
+    "fingerprint",
+    "plan_shards",
+    "resolve_backend",
+    "resolve_jobs",
+    "resolve_seed_sequence",
+    "run_sharded",
+]

@@ -1,0 +1,281 @@
+"""Batch sweep runner: benchmarks x temperatures x methods in one shot.
+
+A :class:`SweepSpec` names the paper's benchmark designs, an optional list
+of uniform operating temperatures, and the evaluation methods to compare;
+:func:`run_batch` evaluates every cell of the cross product, serves
+repeated cells from the content-addressed result cache, and emits one
+consolidated report (JSON document + aligned text table).
+
+This module is imported lazily by the CLI so that the rest of
+:mod:`repro.exec` stays importable from :mod:`repro.core` without a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
+from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
+from repro.errors import ConfigurationError
+from repro.exec.backends import ExecBackend
+from repro.exec.cache import ResultCache, fingerprint
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
+from repro.units import hours_to_years
+
+__all__ = ["SweepSpec", "batch_table", "run_batch"]
+
+logger = get_logger("exec.batch")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One batch sweep: designs x temperatures x methods.
+
+    Parameters
+    ----------
+    designs:
+        Benchmark design names (``C1`` ... ``C6``).
+    methods:
+        Evaluation methods from :data:`repro.core.analyzer.METHODS`.
+    temperatures_c:
+        Uniform block temperatures to sweep; empty means "use each
+        design's own thermal profile" (one cell per design x method).
+    ppm:
+        Failure criterion for the lifetime solves.
+    grid_size:
+        Spatial-correlation grid resolution.
+    mc_chips, seed:
+        Monte-Carlo reference sample count and seed (``method="mc"``).
+    """
+
+    designs: tuple[str, ...]
+    methods: tuple[str, ...]
+    temperatures_c: tuple[float, ...] = ()
+    ppm: float = 10.0
+    grid_size: int = 25
+    mc_chips: int = 500
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.designs:
+            raise ConfigurationError("sweep needs at least one design")
+        if not self.methods:
+            raise ConfigurationError("sweep needs at least one method")
+        for design in self.designs:
+            if design not in BENCHMARK_DEVICE_COUNTS:
+                raise ConfigurationError(
+                    f"unknown design {design!r}; expected one of "
+                    f"{', '.join(sorted(BENCHMARK_DEVICE_COUNTS))}"
+                )
+        for method in self.methods:
+            if method not in METHODS:
+                raise ConfigurationError(
+                    f"unknown method {method!r}; expected one of {METHODS}"
+                )
+        if self.ppm <= 0.0:
+            raise ConfigurationError(f"ppm must be positive, got {self.ppm}")
+
+    def cells(self) -> list[dict[str, Any]]:
+        """The sweep's cells in deterministic report order."""
+        temps: tuple[float | None, ...] = self.temperatures_c or (None,)
+        return [
+            {"design": design, "temperature_c": temp, "method": method}
+            for design in self.designs
+            for temp in temps
+            for method in self.methods
+        ]
+
+
+@dataclass
+class _CellResult:
+    design: str
+    temperature_c: float | None
+    method: str
+    lifetime_hours: float
+    cached: bool
+    elapsed_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "design": self.design,
+            "temperature_c": self.temperature_c,
+            "method": self.method,
+            "lifetime_hours": self.lifetime_hours,
+            "lifetime_years": hours_to_years(self.lifetime_hours),
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class _AnalyzerPool:
+    """Build each (design, temperature) analyzer once per sweep."""
+
+    spec: SweepSpec
+    backend: ExecBackend | None
+    _made: dict[tuple[str, float | None], ReliabilityAnalyzer] = field(
+        default_factory=dict
+    )
+
+    def get(
+        self, design: str, temperature_c: float | None
+    ) -> ReliabilityAnalyzer:
+        key = (design, temperature_c)
+        if key not in self._made:
+            floorplan = make_benchmark(design)
+            config = AnalysisConfig(
+                grid_size=self.spec.grid_size,
+                exec_backend=self.backend.name if self.backend else None,
+                exec_jobs=self.backend.jobs if self.backend else None,
+            )
+            block_temperatures = None
+            if temperature_c is not None:
+                block_temperatures = np.full(
+                    floorplan.n_blocks, float(temperature_c)
+                )
+            self._made[key] = ReliabilityAnalyzer(
+                floorplan,
+                config=config,
+                block_temperatures=block_temperatures,
+            )
+        return self._made[key]
+
+
+def _cell_key(spec: SweepSpec, cell: dict[str, Any]) -> str:
+    """Content-address of one cell: spec knobs + cell coordinates."""
+    return fingerprint(
+        {
+            "kind": "batch.lifetime",
+            "cell": cell,
+            "ppm": spec.ppm,
+            "grid_size": spec.grid_size,
+            "mc_chips": spec.mc_chips,
+            "seed": spec.seed,
+        }
+    )
+
+
+def run_batch(
+    spec: SweepSpec,
+    backend: ExecBackend | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+) -> dict[str, Any]:
+    """Evaluate every sweep cell; returns the consolidated report document.
+
+    Cells whose fingerprint is already in the cache are served from it
+    (``exec.cache.hit``); fresh results are stored on the way out.  The MC
+    reference method runs through ``backend`` when one is given.
+    """
+    if use_cache and cache is None:
+        cache = ResultCache()
+    pool = _AnalyzerPool(spec, backend)
+    results: list[_CellResult] = []
+    started = time.perf_counter()
+    with span(
+        "exec.batch",
+        cells=len(spec.cells()),
+        designs=len(spec.designs),
+        methods=len(spec.methods),
+    ):
+        for cell in spec.cells():
+            cell_started = time.perf_counter()
+            key = _cell_key(spec, cell)
+            cached = None
+            if use_cache and cache is not None:
+                cached = cache.get(key)
+            if cached is not None:
+                lifetime = float(cached["lifetime_hours"][()])
+                results.append(
+                    _CellResult(
+                        design=cell["design"],
+                        temperature_c=cell["temperature_c"],
+                        method=cell["method"],
+                        lifetime_hours=lifetime,
+                        cached=True,
+                        elapsed_s=time.perf_counter() - cell_started,
+                    )
+                )
+                continue
+            analyzer = pool.get(cell["design"], cell["temperature_c"])
+            if cell["method"] == "mc":
+                lifetime = analyzer.mc_lifetime(
+                    spec.ppm, n_chips=spec.mc_chips, seed=spec.seed
+                )
+            else:
+                lifetime = analyzer.lifetime(spec.ppm, method=cell["method"])
+            if use_cache and cache is not None:
+                cache.put(
+                    key,
+                    {"lifetime_hours": np.asarray(lifetime)},
+                    meta={"cell": cell, "ppm": spec.ppm},
+                )
+            metrics.inc("exec.batch.cells")
+            results.append(
+                _CellResult(
+                    design=cell["design"],
+                    temperature_c=cell["temperature_c"],
+                    method=cell["method"],
+                    lifetime_hours=lifetime,
+                    cached=False,
+                    elapsed_s=time.perf_counter() - cell_started,
+                )
+            )
+    hits = sum(1 for r in results if r.cached)
+    logger.info(
+        "batch sweep: %d cells, %d from cache, %.2fs",
+        len(results),
+        hits,
+        time.perf_counter() - started,
+    )
+    return {
+        "spec": asdict(spec),
+        "execution": {
+            "backend": backend.name if backend is not None else "serial",
+            "jobs": backend.jobs if backend is not None else 1,
+            "cache": use_cache,
+        },
+        "cells": [r.as_dict() for r in results],
+        "totals": {
+            "cells": len(results),
+            "cache_hits": hits,
+            "elapsed_s": time.perf_counter() - started,
+        },
+    }
+
+
+def batch_table(report: dict[str, Any]) -> str:
+    """Render a :func:`run_batch` report as an aligned text table."""
+    header = ["design", "temp_c", "method", "lifetime_h", "years", "cache"]
+    rows = []
+    for cell in report["cells"]:
+        temp = cell["temperature_c"]
+        rows.append(
+            [
+                cell["design"],
+                "-" if temp is None else f"{temp:.1f}",
+                cell["method"],
+                f"{cell['lifetime_hours']:.4e}",
+                f"{cell['lifetime_years']:.1f}",
+                "hit" if cell["cached"] else "miss",
+            ]
+        )
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [fmt.format(*header), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt.format(*row) for row in rows)
+    totals = report["totals"]
+    lines.append(
+        f"{totals['cells']} cells, {totals['cache_hits']} served from "
+        f"cache, {totals['elapsed_s']:.2f}s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Content-addressed result cache for expensive analyses.
+
+Results are stored as single ``.npz`` entries under a two-level directory
+keyed by a **stable fingerprint** of everything that determines the result:
+the design, the analysis configuration, the request parameters, and the
+library version (:func:`fingerprint` folds the code version and a cache
+schema number in automatically, so upgrading either invalidates every
+stale entry without a migration step).
+
+Layout::
+
+    <root>/<key[:2]>/<key>.npz      # arrays + JSON meta, written atomically
+
+``<root>`` is ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``.
+
+Behavioural contract:
+
+- a **hit** returns arrays bit-identical to what was stored
+  (``exec.cache.hit`` counter);
+- a **miss** returns ``None`` (``exec.cache.miss``);
+- a **corrupted or partial entry** is logged, counted
+  (``exec.cache.corrupt``) and treated as a miss — callers recompute and
+  overwrite; corruption is never allowed to crash an analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "fingerprint",
+]
+
+logger = get_logger("exec.cache")
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_SCHEMA = 1
+
+_META_KEY = "__meta__"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-serialisable canonical form with stable float/array encoding."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr(np.float64(x)) differs from repr(x); normalise first.
+        return repr(float(obj))
+    if isinstance(obj, (np.bool_, np.integer)):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return repr(float(obj))
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes())
+        return {
+            "__ndarray__": digest.hexdigest(),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, dict):
+        return {
+            str(key): _canonical(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    raise ConfigurationError(
+        f"cannot fingerprint value of type {type(obj).__name__}"
+    )
+
+
+def fingerprint(payload: Any) -> str:
+    """A stable sha256 hex key for ``payload``.
+
+    The cache schema number and the library version are folded in, so any
+    code upgrade re-keys (and thereby invalidates) every entry.
+    """
+    # Imported lazily: repro/__init__ -> core -> exec would otherwise cycle.
+    from repro import __version__
+
+    document = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "payload": _canonical(payload),
+    }
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time summary of the cache directory."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form for the ``repro cache stats`` CLI."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class ResultCache:
+    """Content-addressed array store (see the module docstring).
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for a fingerprint key."""
+        if len(key) < 3:
+            raise ConfigurationError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """The stored arrays for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        if not path.exists():
+            metrics.inc("exec.cache.miss")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as handle:
+                arrays = {
+                    name: handle[name]
+                    for name in handle.files
+                    if name != _META_KEY
+                }
+                if _META_KEY not in handle.files:
+                    raise ConfigurationError("cache entry missing metadata")
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            ConfigurationError,
+            zipfile.BadZipFile,
+        ) as exc:
+            metrics.inc("exec.cache.corrupt")
+            metrics.inc("exec.cache.miss")
+            logger.warning(
+                "corrupted cache entry %s (%s); recomputing",
+                path,
+                exc,
+                extra={"metric": "exec.cache.corrupt"},
+            )
+            return None
+        metrics.inc("exec.cache.hit")
+        return arrays
+
+    def get_meta(self, key: str) -> dict[str, Any] | None:
+        """The stored metadata for ``key`` (``None`` on miss/corruption)."""
+        path = self.path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as handle:
+                meta = json.loads(str(handle[_META_KEY][()]))
+                return meta if isinstance(meta, dict) else None
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+
+    def put(
+        self,
+        key: str,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        """Atomically store ``arrays`` (+ JSON ``meta``) under ``key``."""
+        if _META_KEY in arrays:
+            raise ConfigurationError(f"{_META_KEY!r} is a reserved array name")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        payload = {
+            name: np.asarray(value) for name, value in arrays.items()
+        }
+        payload[_META_KEY] = np.array(
+            json.dumps({"key": key, **(meta or {})}, sort_keys=True)
+        )
+        np.savez(buffer, **payload)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        metrics.inc("exec.cache.store")
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.npz"))
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size on disk."""
+        entries = self._entries()
+        total = sum(path.stat().st_size for path in entries)
+        return CacheStats(
+            root=str(self.root), entries=len(entries), total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        entries = self._entries()
+        for path in entries:
+            path.unlink(missing_ok=True)
+            try:
+                path.parent.rmdir()
+            except OSError:
+                pass  # shared prefix directory still holds other entries
+        return len(entries)

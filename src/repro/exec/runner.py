@@ -1,0 +1,96 @@
+"""Sharded run orchestration: backend + shards + optional checkpoint.
+
+:func:`run_sharded` is the one loop every sharded engine shares: skip
+shards already restored from a checkpoint, group the rest into tasks of
+``shards_per_task`` consecutive shards (scheduling granularity only —
+grouping never changes results), execute the groups on a backend, feed
+completed payloads into the checkpoint, and hand the full
+``{shard_index: payload}`` map back for an in-order reduction.
+
+The per-shard ``task`` callable (and its bound arguments) must be
+picklable for :class:`~repro.exec.backends.ProcessBackend` — build it with
+``functools.partial`` over a module-level function.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from functools import partial
+from typing import Any
+
+import numpy as np
+
+from repro.exec.backends import ExecBackend
+from repro.exec.checkpoint import Checkpoint
+from repro.exec.sharding import Shard
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+
+__all__ = ["run_sharded"]
+
+logger = get_logger("exec.runner")
+
+ShardPayload = dict[str, np.ndarray]
+
+
+def _run_group(
+    task: Callable[[Shard], ShardPayload], group: list[Shard]
+) -> list[tuple[int, ShardPayload]]:
+    """Execute one task group; module-level so process backends can pickle."""
+    return [(shard.index, task(shard)) for shard in group]
+
+
+def run_sharded(
+    backend: ExecBackend,
+    task: Callable[[Shard], ShardPayload],
+    shards: list[Shard],
+    shards_per_task: int = 1,
+    checkpoint: Checkpoint | None = None,
+) -> dict[int, ShardPayload]:
+    """Run ``task`` over every shard; returns payloads keyed by shard index.
+
+    With a ``checkpoint``, previously completed shards are restored instead
+    of re-run, newly completed shards are persisted periodically, and the
+    current state is flushed even when a worker raises — so a killed or
+    failed run loses at most ``checkpoint.save_every`` shards of work.
+    """
+    done: dict[int, ShardPayload] = {}
+    if checkpoint is not None:
+        done = checkpoint.load()
+    pending = [shard for shard in shards if shard.index not in done]
+    metrics.inc("exec.shards", len(pending))
+    if not pending:
+        return done
+    width = max(1, shards_per_task)
+    groups = [
+        pending[i : i + width] for i in range(0, len(pending), width)
+    ]
+    started = time.perf_counter()
+    completed = 0
+    try:
+        for _, results in backend.imap_unordered(
+            partial(_run_group, task), groups
+        ):
+            for index, payload in results:
+                done[index] = payload
+                if checkpoint is not None:
+                    checkpoint.add(index, payload)
+            completed += len(results)
+            elapsed = time.perf_counter() - started
+            eta = elapsed / completed * (len(pending) - completed)
+            logger.debug(
+                "sharded run: %d/%d shards (%.2fs elapsed, ETA %.2fs)",
+                completed,
+                len(pending),
+                elapsed,
+                eta,
+            )
+    except BaseException:
+        # Preserve completed work across kills and worker failures.
+        if checkpoint is not None:
+            checkpoint.flush()
+        raise
+    if checkpoint is not None:
+        checkpoint.flush()
+    return done

@@ -11,7 +11,11 @@ default), so instrumented hot loops pay only a module-attribute load.
 Naming convention (see ``docs/observability.md``): dotted
 ``<stage>.<quantity>`` names — e.g. ``pca.factors``, ``blod.blocks``,
 ``mc.chips``, ``hybrid.lut_hits``, ``integration.subdomain_evals``,
-``thermal.solves``.
+``thermal.solves``.  The execution layer (``repro.exec``, see
+``docs/execution.md``) reports ``exec.tasks``, ``exec.shards``, the
+``exec.jobs`` gauge, the result-cache accounting counters
+``exec.cache.{hit,miss,corrupt,store}`` and the resume counters
+``exec.checkpoint.{resumed_shards,stale}``.
 """
 
 from __future__ import annotations

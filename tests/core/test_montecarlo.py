@@ -11,6 +11,7 @@ from repro.core.montecarlo import (
     ResidualBinning,
 )
 from repro.errors import ConfigurationError, NumericalError
+from repro.exec import ProcessBackend, SerialBackend, ThreadBackend
 
 
 @pytest.fixture(scope="module")
@@ -134,6 +135,19 @@ class TestExactVsBinned:
 class TestNonFiniteRecovery:
     """A pathological chunk must be survived, not silently poisoned."""
 
+    @pytest.fixture()
+    def engine(self, request):
+        # Monkeypatched kernels cannot cross a process boundary, so these
+        # tests always run the shard tasks in-process.
+        analyzer = request.getfixturevalue("small_analyzer")
+        return MonteCarloEngine(
+            analyzer.sampler,
+            analyzer.blocks,
+            device_mode=analyzer.config.mc_device_mode,
+            chunk_size=analyzer.config.mc_chunk_size,
+            backend=SerialBackend(),
+        )
+
     @staticmethod
     def _poison_first_chunk(monkeypatch, engine, bad_rows):
         """Make the first chunk's first ``len(bad_rows)`` chips non-finite."""
@@ -225,3 +239,152 @@ class TestFailureTimes:
     def test_rejects_zero_chips(self, engine, rng):
         with pytest.raises(ConfigurationError):
             engine.failure_times(0, rng)
+
+
+def _variant(engine, **overrides):
+    """A sibling engine sharing the model but with scheduling overrides."""
+    kwargs = dict(
+        sampler=engine.sampler,
+        blocks=engine.blocks,
+        device_mode=engine.device_mode,
+        binning=engine.binning,
+        chunk_size=engine.chunk_size,
+        shard_size=engine.shard_size,
+        backend=SerialBackend(),
+    )
+    kwargs.update(overrides)
+    return MonteCarloEngine(**kwargs)
+
+
+class TestDeterminism:
+    """Results are a function of the seed alone, never of scheduling."""
+
+    def test_chunk_size_does_not_change_curve(self, engine, times):
+        curves = [
+            _variant(engine, chunk_size=size).reliability_curve(times, 300, 7)
+            for size in (17, 100, 1000)
+        ]
+        for other in curves[1:]:
+            np.testing.assert_array_equal(
+                curves[0].reliability, other.reliability
+            )
+            np.testing.assert_array_equal(curves[0].std_error, other.std_error)
+
+    def test_chunk_size_does_not_change_failure_times(self, engine):
+        a = _variant(engine, chunk_size=33).failure_times(200, 11)
+        b = _variant(engine, chunk_size=640).failure_times(200, 11)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_backends_bit_identical(self, engine, times, cls):
+        serial = _variant(engine).reliability_curve(times, 200, 3)
+        backend = cls(2)
+        try:
+            parallel = _variant(engine, backend=backend).reliability_curve(
+                times, 200, 3
+            )
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(serial.reliability, parallel.reliability)
+        np.testing.assert_array_equal(serial.std_error, parallel.std_error)
+        np.testing.assert_array_equal(serial.n_chips, parallel.n_chips)
+
+    def test_shard_size_defines_the_stream(self, engine, times):
+        a = _variant(engine, shard_size=32).reliability_curve(times, 200, 5)
+        b = _variant(engine, shard_size=64).reliability_curve(times, 200, 5)
+        assert not np.array_equal(a.reliability, b.reliability)
+
+    def test_seed_sequence_matches_int_seed(self, engine, times):
+        a = _variant(engine).reliability_curve(times, 100, 9)
+        b = _variant(engine).reliability_curve(
+            times, 100, np.random.SeedSequence(9)
+        )
+        np.testing.assert_array_equal(a.reliability, b.reliability)
+
+
+class TestCheckpointResume:
+    """A killed run resumed from its checkpoint matches an unbroken one."""
+
+    def test_killed_curve_resumes_bit_identical(self, engine, times, tmp_path):
+        path = tmp_path / "mc.ckpt.npz"
+        baseline = _variant(engine, chunk_size=16, shard_size=16).reliability_curve(
+            times, 96, 5
+        )
+
+        broken = _variant(engine, chunk_size=16, shard_size=16)
+        real = broken._chunk_exponents
+        calls = {"n": 0}
+
+        def dying(chunk_times, n_chips, rng):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise KeyboardInterrupt
+            return real(chunk_times, n_chips, rng)
+
+        broken._chunk_exponents = dying
+        with pytest.raises(KeyboardInterrupt):
+            broken.reliability_curve(
+                times, 96, 5, checkpoint_path=path, checkpoint_every=1
+            )
+        assert path.exists()
+
+        resumed_engine = _variant(engine, chunk_size=16, shard_size=16)
+        with obs.enabled():
+            resumed = resumed_engine.reliability_curve(
+                times, 96, 5, checkpoint_path=path, checkpoint_every=1
+            )
+            assert obs.get_counter("exec.checkpoint.resumed_shards") >= 1.0
+        np.testing.assert_array_equal(resumed.reliability, baseline.reliability)
+        np.testing.assert_array_equal(resumed.std_error, baseline.std_error)
+        assert not path.exists()  # cleared once the run completes
+
+    def test_killed_failure_times_resume_bit_identical(self, engine, tmp_path):
+        path = tmp_path / "ft.ckpt.npz"
+        baseline = _variant(engine, chunk_size=16, shard_size=16).failure_times(80, 21)
+
+        broken = _variant(engine, chunk_size=16, shard_size=16)
+        real = broken._chunk_failure_times_binned
+        calls = {"n": 0}
+
+        def dying(n_chips, rng):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise KeyboardInterrupt
+            return real(n_chips, rng)
+
+        broken._chunk_failure_times_binned = dying
+        with pytest.raises(KeyboardInterrupt):
+            broken.failure_times(
+                80, 21, checkpoint_path=path, checkpoint_every=1
+            )
+        assert path.exists()
+
+        resumed = _variant(engine, chunk_size=16, shard_size=16).failure_times(
+            80, 21, checkpoint_path=path, checkpoint_every=1
+        )
+        np.testing.assert_array_equal(resumed, baseline)
+
+    def test_stale_checkpoint_rejected_on_seed_change(self, engine, tmp_path):
+        """A checkpoint for one seed must not resurrect into another run."""
+        path = tmp_path / "stale.ckpt.npz"
+        broken = _variant(engine, chunk_size=16, shard_size=16)
+        real = broken._chunk_failure_times_binned
+        calls = {"n": 0}
+
+        def dying(n_chips, rng):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt
+            return real(n_chips, rng)
+
+        broken._chunk_failure_times_binned = dying
+        with pytest.raises(KeyboardInterrupt):
+            broken.failure_times(
+                80, 21, checkpoint_path=path, checkpoint_every=1
+            )
+
+        fresh = _variant(engine, chunk_size=16, shard_size=16).failure_times(
+            80, 22, checkpoint_path=path, checkpoint_every=1
+        )
+        baseline = _variant(engine, chunk_size=16, shard_size=16).failure_times(80, 22)
+        np.testing.assert_array_equal(fresh, baseline)

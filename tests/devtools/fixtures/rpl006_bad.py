@@ -1,0 +1,13 @@
+"""Violating fixture: ad-hoc generators inside worker kernels."""
+
+import numpy as np
+
+
+def _chunk_survival(n_chips):
+    rng = np.random.default_rng(1234)
+    return rng.standard_normal(n_chips)
+
+
+def shard_worker(shard):
+    rng = np.random.default_rng(99)
+    return rng.integers(0, 10, size=shard.size)

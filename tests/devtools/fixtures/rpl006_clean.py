@@ -1,0 +1,17 @@
+"""Clean fixture: workers derive their streams from the shard plan."""
+
+import numpy as np
+
+
+def _chunk_survival(n_chips, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n_chips)
+
+
+def shard_worker(shard):
+    rng = shard.rng()
+    return rng.integers(0, 10, size=shard.size)
+
+
+def plain_helper():
+    return np.random.default_rng(7)

@@ -16,3 +16,8 @@ def check(x):
         raise ValueError("bad")  # reprolint: disable=RPL003
     print(x)  # reprolint: disable=RPL004
     return x
+
+
+def chunk_task(n):
+    rng = np.random.default_rng(7)  # reprolint: disable=RPL006
+    return rng.standard_normal(n)

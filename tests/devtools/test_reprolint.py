@@ -34,6 +34,7 @@ RULE_FIXTURES = {
     "RPL003": ("rpl003_bad.py", "rpl003_clean.py", 2),
     "RPL004": ("rpl004_bad.py", "rpl004_clean.py", 1),
     "RPL005": ("stats/rpl005_bad.py", "stats/rpl005_clean.py", 2),
+    "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 2),
 }
 
 
@@ -126,6 +127,24 @@ class TestRuleEdges:
         findings = lint_source(source, path=Path("stats/kernel.py"))
         assert [f.rule for f in findings] == ["RPL005"]
 
+    def test_rpl006_only_worker_functions(self):
+        source = (
+            "import numpy as np\n"
+            "def helper():\n"
+            "    return np.random.default_rng(3)\n"
+        )
+        assert lint_source(source) == []
+        worker = source.replace("helper", "run_chunk")
+        assert [f.rule for f in lint_source(worker)] == ["RPL006"]
+
+    def test_rpl006_seed_parameter_exempts(self):
+        source = (
+            "import numpy as np\n"
+            "def run_shard(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert lint_source(source) == []
+
     def test_rpl005_guard_satisfies(self):
         source = (
             "import numpy as np\n"
@@ -148,7 +167,14 @@ class TestSuppressions:
             line.split("#")[0].rstrip() for line in source.splitlines()
         )
         rules = {f.rule for f in lint_source(stripped)}
-        assert rules == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
+        assert rules == {
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+        }
 
     def test_suppression_is_line_scoped(self):
         source = (

@@ -1,0 +1,13 @@
+"""Shared fixtures for the execution-subsystem tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Counters are process-global; isolate each test's assertions."""
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,115 @@
+"""Unit tests for the batch sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, SerialBackend
+from repro.exec.batch import SweepSpec, batch_table, run_batch
+
+SPEC = SweepSpec(designs=("C1",), methods=("st_fast", "guard"), grid_size=6)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestSweepSpec:
+    def test_cells_cross_product_order(self):
+        spec = SweepSpec(
+            designs=("C1", "C2"),
+            methods=("st_fast",),
+            temperatures_c=(60.0, 80.0),
+        )
+        cells = spec.cells()
+        assert len(cells) == 4
+        assert cells[0] == {
+            "design": "C1",
+            "temperature_c": 60.0,
+            "method": "st_fast",
+        }
+
+    def test_no_temps_means_own_profile(self):
+        assert SPEC.cells()[0]["temperature_c"] is None
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"designs": (), "methods": ("st_fast",)}, "design"),
+            ({"designs": ("C1",), "methods": ()}, "method"),
+            ({"designs": ("C9",), "methods": ("st_fast",)}, "unknown design"),
+            ({"designs": ("C1",), "methods": ("magic",)}, "unknown method"),
+            (
+                {"designs": ("C1",), "methods": ("st_fast",), "ppm": 0.0},
+                "ppm",
+            ),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            SweepSpec(**kwargs)
+
+
+class TestRunBatch:
+    def test_second_run_served_from_cache(self, cache):
+        first = run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        assert first["totals"]["cache_hits"] == 0
+        with obs.enabled():
+            second = run_batch(SPEC, backend=SerialBackend(), cache=cache)
+            hits = obs.get_counter("exec.cache.hit")
+            misses = obs.get_counter("exec.cache.miss")
+        n_cells = second["totals"]["cells"]
+        assert second["totals"]["cache_hits"] == n_cells
+        # The acceptance bar: >= 90 % of cells come from the cache.
+        assert hits / (hits + misses) >= 0.9
+        for a, b in zip(first["cells"], second["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+            assert b["cached"]
+
+    def test_no_cache_bypasses(self, cache):
+        run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        report = run_batch(
+            SPEC, backend=SerialBackend(), cache=cache, use_cache=False
+        )
+        assert report["totals"]["cache_hits"] == 0
+
+    def test_report_shape(self, cache):
+        report = run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        assert report["spec"]["designs"] == ("C1",)
+        assert report["execution"]["backend"] == "serial"
+        assert report["execution"]["jobs"] == 1
+        for cell in report["cells"]:
+            assert cell["lifetime_hours"] > 0.0
+            assert np.isfinite(cell["lifetime_years"])
+
+    def test_uniform_temperature_changes_lifetime(self, cache):
+        hot = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(100.0,),
+            grid_size=6,
+        )
+        cool = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(40.0,),
+            grid_size=6,
+        )
+        hot_life = run_batch(hot, cache=cache)["cells"][0]["lifetime_hours"]
+        cool_life = run_batch(cool, cache=cache)["cells"][0]["lifetime_hours"]
+        assert cool_life > hot_life
+
+
+class TestBatchTable:
+    def test_renders_rows_and_totals(self, cache):
+        report = run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        text = batch_table(report)
+        assert "st_fast" in text and "guard" in text
+        assert "miss" in text
+        assert "2 cells, 0 served from cache" in text
+        hit_text = batch_table(
+            run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        )
+        assert "hit" in hit_text

@@ -1,0 +1,138 @@
+"""Unit tests for the content-addressed result cache."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, default_cache_dir, fingerprint
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_stable(self):
+        payload = {"a": 1, "b": 2.5, "c": [1, 2], "d": np.arange(4)}
+        assert fingerprint(payload) == fingerprint(payload)
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ({"x": 1}, {"x": 2}),
+            ({"x": 1}, {"y": 1}),
+            ({"x": 1.0}, {"x": 1.0000000001}),
+            ({"x": None}, {"x": 0}),
+            ({"x": [1, 2]}, {"x": [2, 1]}),
+            ({"x": np.arange(3)}, {"x": np.arange(4)}),
+            ({"x": np.arange(3)}, {"x": np.arange(3).astype(float)}),
+            (
+                {"x": np.zeros((2, 3))},
+                {"x": np.zeros((3, 2))},
+            ),
+        ],
+    )
+    def test_any_field_change_changes_key(self, a, b):
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_tuple_and_list_equivalent(self):
+        assert fingerprint((1, 2)) == fingerprint([1, 2])
+
+    def test_numpy_scalars_normalised(self):
+        assert fingerprint({"n": np.int64(3)}) == fingerprint({"n": 3})
+        assert fingerprint({"f": np.float64(2.5)}) == fingerprint({"f": 2.5})
+
+    def test_unfingerprintable_rejected(self):
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            fingerprint({"obj": object()})
+
+
+class TestGetPut:
+    def test_roundtrip_bit_identical(self, cache):
+        arrays = {
+            "curve": np.linspace(0.0, 1.0, 17),
+            "count": np.asarray(42),
+        }
+        key = fingerprint({"kind": "test"})
+        cache.put(key, arrays, meta={"note": "hello"})
+        out = cache.get(key)
+        assert set(out) == {"curve", "count"}
+        np.testing.assert_array_equal(out["curve"], arrays["curve"])
+        assert out["curve"].dtype == arrays["curve"].dtype
+        assert cache.get_meta(key)["note"] == "hello"
+
+    def test_miss_returns_none(self, cache):
+        with obs.enabled():
+            assert cache.get(fingerprint("absent")) is None
+            assert obs.get_counter("exec.cache.miss") == 1.0
+
+    def test_hit_counted(self, cache):
+        key = fingerprint("x")
+        cache.put(key, {"v": np.ones(3)})
+        with obs.enabled():
+            assert cache.get(key) is not None
+            assert obs.get_counter("exec.cache.hit") == 1.0
+
+    def test_corrupted_entry_is_a_miss_with_warning(self, cache, caplog):
+        key = fingerprint("will-corrupt")
+        path = cache.put(key, {"v": np.ones(3)})
+        path.write_bytes(b"not an npz at all")
+        with obs.enabled(), caplog.at_level(
+            logging.WARNING, logger="repro.exec.cache"
+        ):
+            assert cache.get(key) is None
+            assert obs.get_counter("exec.cache.corrupt") == 1.0
+            assert obs.get_counter("exec.cache.miss") == 1.0
+        assert any("corrupted" in r.getMessage() for r in caplog.records)
+        # Recompute-and-overwrite restores the entry.
+        cache.put(key, {"v": np.ones(3)})
+        np.testing.assert_array_equal(cache.get(key)["v"], np.ones(3))
+
+    def test_missing_meta_treated_as_corrupt(self, cache, tmp_path):
+        key = fingerprint("no-meta")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        np.savez(path, v=np.ones(2))  # bypasses put(): no __meta__
+        assert cache.get(key) is None
+
+    def test_reserved_array_name_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            cache.put(fingerprint("k"), {"__meta__": np.ones(1)})
+
+    def test_malformed_key_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            cache.path_for("ab")
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache):
+        for i in range(3):
+            cache.put(fingerprint(i), {"v": np.full(4, i)})
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert stats.as_dict()["entries"] == 3
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+
+    def test_stats_on_absent_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats().entries == 0
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_cache_dir() == tmp_path / "c"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro"

@@ -1,0 +1,114 @@
+"""Unit tests for checkpoint/resume of sharded runs."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exec import Checkpoint, SerialBackend, run_sharded
+from repro.exec.sharding import plan_shards
+
+META = {"kind": "test", "n": 5}
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "run.ckpt.npz"
+
+
+def _payload(i):
+    return {"total": np.full(3, float(i)), "n": np.asarray(i)}
+
+
+class TestRoundTrip:
+    def test_flush_and_load(self, path):
+        ckpt = Checkpoint(path, META, save_every=100)
+        ckpt.add(0, _payload(0))
+        ckpt.add(2, _payload(2))
+        ckpt.flush()
+        restored = Checkpoint(path, META).load()
+        assert set(restored) == {0, 2}
+        np.testing.assert_array_equal(restored[2]["total"], np.full(3, 2.0))
+        assert int(restored[0]["n"]) == 0
+
+    def test_save_every_batches_writes(self, path):
+        ckpt = Checkpoint(path, META, save_every=3)
+        ckpt.add(0, _payload(0))
+        ckpt.add(1, _payload(1))
+        assert not path.exists()
+        ckpt.add(2, _payload(2))
+        assert path.exists()
+
+    def test_empty_flush_writes_nothing(self, path):
+        Checkpoint(path, META).flush()
+        assert not path.exists()
+
+    def test_clear_removes_file(self, path):
+        ckpt = Checkpoint(path, META, save_every=1)
+        ckpt.add(0, _payload(0))
+        ckpt.clear()
+        assert not path.exists()
+        assert ckpt.completed == set()
+
+    def test_load_counts_resumed_shards(self, path):
+        ckpt = Checkpoint(path, META, save_every=1)
+        ckpt.add(0, _payload(0))
+        ckpt.add(1, _payload(1))
+        with obs.enabled():
+            Checkpoint(path, META).load()
+            assert obs.get_counter("exec.checkpoint.resumed_shards") == 2.0
+
+
+class TestStaleness:
+    def test_meta_mismatch_rejected(self, path, caplog):
+        ckpt = Checkpoint(path, META, save_every=1)
+        ckpt.add(0, _payload(0))
+        other = Checkpoint(path, {"kind": "test", "n": 6})
+        with obs.enabled(), caplog.at_level(
+            logging.WARNING, logger="repro.exec.checkpoint"
+        ):
+            assert other.load() == {}
+            assert obs.get_counter("exec.checkpoint.stale") == 1.0
+        assert any("stale" in r.getMessage() for r in caplog.records)
+
+    def test_unreadable_file_rejected(self, path):
+        path.write_bytes(b"garbage")
+        with obs.enabled():
+            assert Checkpoint(path, META).load() == {}
+            assert obs.get_counter("exec.checkpoint.stale") == 1.0
+
+    def test_absent_file_loads_empty(self, path):
+        assert Checkpoint(path, META).load() == {}
+
+
+def _shard_value(shard):
+    return {"v": np.asarray(shard.index * 10)}
+
+
+class TestRunShardedIntegration:
+    def test_completed_shards_skipped_on_resume(self, path):
+        shards = plan_shards(8, 0, shard_size=2)
+        ckpt = Checkpoint(path, META, save_every=1)
+        for shard in shards[:2]:
+            ckpt.add(shard.index, {"v": np.asarray(-1)})
+        resumed = Checkpoint(path, META, save_every=1)
+        done = run_sharded(SerialBackend(), _shard_value, shards, checkpoint=resumed)
+        # Restored shards keep their checkpointed payloads; the rest ran.
+        assert int(done[0]["v"]) == -1
+        assert int(done[1]["v"]) == -1
+        assert int(done[3]["v"]) == 30
+
+    def test_run_flushes_on_worker_failure(self, path):
+        shards = plan_shards(6, 0, shard_size=2)
+
+        def flaky(shard):
+            if shard.index == 2:
+                raise RuntimeError("boom")
+            return _shard_value(shard)
+
+        ckpt = Checkpoint(path, META, save_every=100)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sharded(SerialBackend(), flaky, shards, checkpoint=ckpt)
+        restored = Checkpoint(path, META).load()
+        assert set(restored) == {0, 1}

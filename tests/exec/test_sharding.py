@@ -1,0 +1,92 @@
+"""Unit tests for deterministic seed sharding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import DEFAULT_SHARD_SIZE, plan_shards, resolve_seed_sequence
+
+
+class TestPlanShards:
+    def test_covers_every_item_exactly_once(self):
+        shards = plan_shards(201, 0, shard_size=64)
+        assert [s.size for s in shards] == [64, 64, 64, 9]
+        assert [s.start for s in shards] == [0, 64, 128, 192]
+        assert [s.stop for s in shards] == [64, 128, 192, 201]
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+
+    def test_single_partial_shard(self):
+        (shard,) = plan_shards(10, 0, shard_size=64)
+        assert shard.size == 10
+        assert shard.start == 0
+
+    def test_default_shard_size(self):
+        shards = plan_shards(DEFAULT_SHARD_SIZE * 2, 0)
+        assert len(shards) == 2
+
+    def test_same_root_same_streams(self):
+        a = plan_shards(100, 7, shard_size=32)
+        b = plan_shards(100, 7, shard_size=32)
+        for sa, sb in zip(a, b, strict=True):
+            np.testing.assert_array_equal(
+                sa.rng().standard_normal(8), sb.rng().standard_normal(8)
+            )
+
+    def test_different_roots_differ(self):
+        a = plan_shards(64, 1, shard_size=64)[0]
+        b = plan_shards(64, 2, shard_size=64)[0]
+        assert not np.array_equal(
+            a.rng().standard_normal(8), b.rng().standard_normal(8)
+        )
+
+    def test_shards_mutually_independent(self):
+        a, b = plan_shards(128, 3, shard_size=64)
+        assert not np.array_equal(
+            a.rng().standard_normal(8), b.rng().standard_normal(8)
+        )
+
+    def test_rng_is_fresh_per_call(self):
+        shard = plan_shards(8, 11, shard_size=8)[0]
+        np.testing.assert_array_equal(
+            shard.rng().standard_normal(4), shard.rng().standard_normal(4)
+        )
+
+    def test_repr(self):
+        shard = plan_shards(8, 0, shard_size=8)[0]
+        assert "Shard(index=0" in repr(shard)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_item_count(self, bad):
+        with pytest.raises(ConfigurationError, match="n_items"):
+            plan_shards(bad, 0)
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ConfigurationError, match="shard_size"):
+            plan_shards(10, 0, shard_size=0)
+
+
+class TestResolveSeedSequence:
+    def test_int_is_stable(self):
+        a = resolve_seed_sequence(42)
+        b = resolve_seed_sequence(42)
+        assert a.entropy == b.entropy
+
+    def test_seed_sequence_passthrough(self):
+        root = np.random.SeedSequence(9)
+        assert resolve_seed_sequence(root) is root
+
+    def test_generator_draws_fresh_entropy(self):
+        gen = np.random.default_rng(0)
+        a = resolve_seed_sequence(gen)
+        b = resolve_seed_sequence(gen)
+        assert a.entropy != b.entropy
+
+    def test_generator_reproducible_from_seed(self):
+        a = resolve_seed_sequence(np.random.default_rng(5))
+        b = resolve_seed_sequence(np.random.default_rng(5))
+        assert a.entropy == b.entropy
+
+    @pytest.mark.parametrize("bad", [True, -3, 1.5, "seed", None])
+    def test_rejects_non_seeds(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_seed_sequence(bad)

@@ -1,0 +1,84 @@
+"""Property-based tests: execution scheduling never changes results.
+
+The deterministic-sharding contract (see ``docs/execution.md``) promises
+that Monte-Carlo results are a function of the seed and the shard size
+alone — never of the chunk size, the backend, or the worker count.  These
+tests let hypothesis hunt for scheduling parameters that break that.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.montecarlo import MonteCarloEngine
+from repro.exec import SerialBackend, ThreadBackend
+
+TIMES = np.logspace(5.0, 7.0, 4)
+
+
+def _engine(analyzer, *, chunk_size, backend):
+    return MonteCarloEngine(
+        analyzer.sampler,
+        analyzer.blocks,
+        device_mode=analyzer.config.mc_device_mode,
+        chunk_size=chunk_size,
+        backend=backend,
+    )
+
+
+class TestSchedulingInvariance:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        chunk_a=st.integers(min_value=1, max_value=97),
+        chunk_b=st.integers(min_value=98, max_value=400),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_curve_independent_of_chunk_size(
+        self, small_analyzer, seed, chunk_a, chunk_b
+    ):
+        first = _engine(
+            small_analyzer, chunk_size=chunk_a, backend=SerialBackend()
+        ).reliability_curve(TIMES, 96, seed)
+        second = _engine(
+            small_analyzer, chunk_size=chunk_b, backend=SerialBackend()
+        ).reliability_curve(TIMES, 96, seed)
+        np.testing.assert_array_equal(first.reliability, second.reliability)
+        np.testing.assert_array_equal(first.std_error, second.std_error)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        jobs=st.integers(min_value=2, max_value=4),
+        n_chips=st.integers(min_value=2, max_value=200),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_thread_backend_matches_serial(
+        self, small_analyzer, seed, jobs, n_chips
+    ):
+        serial = _engine(
+            small_analyzer, chunk_size=64, backend=SerialBackend()
+        ).reliability_curve(TIMES, n_chips, seed)
+        threaded_backend = ThreadBackend(jobs)
+        try:
+            threaded = _engine(
+                small_analyzer, chunk_size=64, backend=threaded_backend
+            ).reliability_curve(TIMES, n_chips, seed)
+        finally:
+            threaded_backend.close()
+        np.testing.assert_array_equal(serial.reliability, threaded.reliability)
+        np.testing.assert_array_equal(serial.std_error, threaded.std_error)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        chunk=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_failure_times_independent_of_chunk_size(
+        self, small_analyzer, seed, chunk
+    ):
+        baseline = _engine(
+            small_analyzer, chunk_size=128, backend=SerialBackend()
+        ).failure_times(64, seed)
+        varied = _engine(
+            small_analyzer, chunk_size=chunk, backend=SerialBackend()
+        ).failure_times(64, seed)
+        np.testing.assert_array_equal(baseline, varied)

@@ -226,6 +226,166 @@ class TestObservability:
         assert "analyzer.reliability" in out
 
 
+class TestBatch:
+    def test_sweep_and_cache_hit_on_second_run(self, capsys, tmp_path):
+        argv = [
+            "batch",
+            "--design",
+            "C1",
+            "--method",
+            "st_fast",
+            "guard",
+            "--grid",
+            "6",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+        ]
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        first = json.loads(out)
+        assert first["totals"]["cells"] == 2
+        assert first["totals"]["cache_hits"] == 0
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        second = json.loads(out)
+        assert second["totals"]["cache_hits"] == 2
+        for a, b in zip(first["cells"], second["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+
+    def test_table_output(self, capsys, tmp_path):
+        code, out, _err = _run(
+            capsys,
+            "batch",
+            "--design",
+            "C1",
+            "--grid",
+            "6",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert "st_fast" in out
+        assert "1 cells, 0 served from cache" in out
+
+    def test_no_cache_bypasses(self, capsys, tmp_path):
+        argv = [
+            "batch",
+            "--design",
+            "C1",
+            "--grid",
+            "6",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--no-cache",
+            "--json",
+        ]
+        _run(capsys, *argv)
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        assert json.loads(out)["totals"]["cache_hits"] == 0
+
+    def test_unknown_design_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--design", "Z9"])
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        _run(
+            capsys,
+            "batch",
+            "--design",
+            "C1",
+            "--grid",
+            "6",
+            "--cache-dir",
+            cache_dir,
+        )
+        code, out, _err = _run(
+            capsys, "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        code, out, _err = _run(
+            capsys, "cache", "clear", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["removed"] == 1
+        code, out, _err = _run(
+            capsys, "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert json.loads(out)["entries"] == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestJobs:
+    def test_lifetime_reports_execution_backend(self, capsys, tiny_args):
+        code, out, _err = _run(
+            capsys,
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "st_fast",
+            "--jobs",
+            "2",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["execution"] == {"backend": "process", "jobs": 2}
+
+    def test_default_is_serial(self, capsys, tiny_args, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        code, out, _err = _run(
+            capsys,
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "st_fast",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["execution"]["backend"] == "serial"
+
+    def test_jobs_matches_serial_result(self, capsys, tiny_args):
+        base = [
+            "lifetime",
+            *tiny_args,
+            "--method",
+            "mc",
+            "--mc-chips",
+            "60",
+            "--json",
+        ]
+        _code, serial_out, _err = _run(capsys, *base)
+        _code, jobs_out, _err = _run(capsys, *base, "--jobs", "2")
+        serial = json.loads(serial_out)["lifetime_hours"]["mc"]
+        parallel = json.loads(jobs_out)["lifetime_hours"]["mc"]
+        assert serial == parallel
+
+    def test_report_names_backend(self, capsys, tiny_args, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        code, out, _err = _run(capsys, "report", *tiny_args)
+        assert code == 0
+        assert "execution backend: serial (jobs=1)" in out
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["lifetime", "--design", "C1", "--jobs", "0"]
+            )
+
+
 class TestFileInputs:
     def test_flp_input(self, capsys, tmp_path):
         flp = tmp_path / "chip.flp"
