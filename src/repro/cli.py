@@ -9,6 +9,7 @@ Commands
 ``sensitivity`` lifetime elasticities (tornado)
 ``report``      one-page design report (thermal map, lifetimes, budget)
 ``batch``       sweep benchmarks x temperatures x methods into one report
+``bench``       performance benchmarks (``kernels``: fast paths vs reference)
 ``cache``       result-cache maintenance (``stats``/``clear``)
 
 Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
@@ -41,6 +42,7 @@ from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError
 from repro.exec.backends import resolve_backend
+from repro.kernels.bench import DEFAULT_BENCH_PATH
 from repro.units import hours_to_years
 
 
@@ -325,6 +327,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here: the benchmark harness pulls in the full stack.
+    from repro.kernels.bench import (
+        format_kernel_report,
+        run_kernel_benchmarks,
+        write_bench_json,
+    )
+
+    results = run_kernel_benchmarks(args.scale)
+    text = format_kernel_report(results)
+    if not args.no_save:
+        path = write_bench_json(results, args.output)
+        text += f"\nwrote {path}"
+    _emit(args, results, text)
+    return 0
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.core.sensitivity import lifetime_sensitivities, tornado_text
 
@@ -440,6 +459,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p_batch)
     _add_obs_arguments(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_bench = sub.add_parser("bench", help="performance benchmarks")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_kernels = bench_sub.add_parser(
+        "kernels",
+        help="time the repro.kernels fast paths against the reference "
+        "implementations",
+    )
+    p_kernels.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="workload size (default quick, ~1 min)",
+    )
+    p_kernels.add_argument(
+        "--output",
+        metavar="FILE",
+        default=DEFAULT_BENCH_PATH,
+        help=f"benchmark report destination (default {DEFAULT_BENCH_PATH})",
+    )
+    p_kernels.add_argument(
+        "--no-save",
+        action="store_true",
+        help="print the report without writing the JSON file",
+    )
+    _add_obs_arguments(p_kernels)
+    p_kernels.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

@@ -36,6 +36,12 @@ from repro.exec.sharding import (
     plan_shards,
     resolve_seed_sequence,
 )
+from repro.kernels.config import fast_paths_enabled
+from repro.kernels.survival import (
+    batched_rule_expectations,
+    batched_sample_expectations,
+    pad_rule_tables,
+)
 from repro.obs import metrics
 from repro.obs.trace import span
 from repro.stats.integration import (
@@ -98,9 +104,39 @@ class _EnsembleAnalyzerBase:
         """``E[exp(-A_j g(u_j, v_j))]`` at each time; per-analyzer."""
         raise NotImplementedError
 
+    def _batched_expectations(self, times: np.ndarray) -> np.ndarray | None:
+        """``(n_blocks, n_times)`` fused fast-path expectations, if any.
+
+        Subclasses return ``None`` when no batched kernel applies (then
+        the per-block reference loop below runs instead).
+        """
+        return None
+
+    def _scaled_log_t_ratios(self, times: np.ndarray) -> np.ndarray:
+        """``(n_blocks, n_times)`` matrix of ``b_j * ln(t / alpha_j)``.
+
+        ``t = 0`` maps to ``-inf`` (survival 1 downstream), matching
+        :func:`repro.core.closed_form.safe_log_t_ratio` per block.
+        """
+        if np.any(times < 0.0):
+            raise ConfigurationError("times must be non-negative")
+        alphas = np.array([block.alpha for block in self.blocks])
+        bs = np.array([block.b for block in self.blocks])
+        with np.errstate(divide="ignore"):
+            ratios = np.where(
+                times[None, :] > 0.0,
+                np.log(times[None, :] / alphas[:, None]),
+                -np.inf,
+            )
+        return bs[:, None] * ratios
+
     def block_failure_probabilities(self, times: np.ndarray | float) -> np.ndarray:
         """``(n_blocks, n_times)`` ensemble block failure probabilities."""
         times = np.atleast_1d(np.asarray(times, dtype=float))
+        if fast_paths_enabled():
+            expectations = self._batched_expectations(times)
+            if expectations is not None:
+                return 1.0 - expectations
         out = np.empty((len(self.blocks), times.size))
         for j in range(len(self.blocks)):
             out[j] = 1.0 - self.block_expectation(j, times)
@@ -175,6 +211,33 @@ class StFastAnalyzer(_EnsembleAnalyzerBase):
                     u_rule = gauss_hermite_rule(u_dist, n_points=max(l0, 8))
                     v_rule = quantile_rule(v_dist, n_points=max(l0, 8))
                 self._rules.append((u_rule, v_rule))
+        # Padded (block, node) tables for the fused kernel; zero-weight
+        # padding keeps ragged blocks (point-mass variance) exact.
+        self._u_points, self._u_weights = pad_rule_tables(
+            [u.points for u, _ in self._rules],
+            [u.weights for u, _ in self._rules],
+        )
+        self._v_points, self._v_weights = pad_rule_tables(
+            [v.points for _, v in self._rules],
+            [v.weights for _, v in self._rules],
+        )
+        self._log_areas = np.log([block.blod.area for block in self.blocks])
+        self._rule_nodes = sum(
+            u.points.size * v.points.size for u, v in self._rules
+        )
+
+    def _batched_expectations(self, times: np.ndarray) -> np.ndarray:
+        """All blocks' tensor-rule integrals in one fused evaluation."""
+        log_t_ratios = self._scaled_log_t_ratios(times)
+        metrics.inc("integration.subdomain_evals", times.size * self._rule_nodes)
+        return batched_rule_expectations(
+            log_t_ratios,
+            self._log_areas,
+            self._u_points,
+            self._u_weights,
+            self._v_points,
+            self._v_weights,
+        )
 
     def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
         """Midpoint/Gauss tensor-rule evaluation of the double integral."""
@@ -378,6 +441,29 @@ class StMcAnalyzer(_EnsembleAnalyzerBase):
     def block_moment_samples(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """The (u, v) sample cloud of one block (diagnostics, Fig. 6/7)."""
         return self._u_samples[index], self._v_samples[index]
+
+    def _batched_expectations(self, times: np.ndarray) -> np.ndarray | None:
+        """Fused sample-average estimator over all blocks at once.
+
+        Only the ``"samples"`` estimator batches; the histogram estimator
+        keeps the per-block reference loop (its cost is dominated by the
+        2-D histogram builds, not the survival evaluation).
+        """
+        if self.estimator != "samples":
+            return None
+        if not hasattr(self, "_u_stack"):
+            # Blocks share one factor draw, so the clouds stack rectangular.
+            self._u_stack = np.vstack(self._u_samples)
+            self._v_stack = np.vstack(self._v_samples)
+            self._log_areas = np.log(
+                [block.blod.area for block in self.blocks]
+            )
+        return batched_sample_expectations(
+            self._scaled_log_t_ratios(times),
+            self._log_areas,
+            self._u_stack,
+            self._v_stack,
+        )
 
     def block_expectation(self, index: int, times: np.ndarray) -> np.ndarray:
         """Sample-average or histogram-integrated block expectation."""

@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN
 from repro.core.ensemble import BlockReliability
 from repro.errors import ConfigurationError
+from repro.kernels.config import fast_paths_enabled
+from repro.kernels.survival import batched_rule_expectations, pad_rule_tables
 from repro.obs import metrics
 from repro.obs.trace import is_enabled, span
 from repro.stats.integration import midpoint_rule
@@ -82,10 +84,15 @@ class HybridAnalyzer:
             n_alpha=n_alpha,
             n_b=n_b,
         ):
-            for j, block in enumerate(blocks):
-                self.tables[j] = self._build_block_table(
-                    block, l0, tail, include_residual_fluctuation
+            if fast_paths_enabled():
+                self._build_tables_batched(
+                    l0, tail, include_residual_fluctuation
                 )
+            else:
+                for j, block in enumerate(blocks):
+                    self.tables[j] = self._build_block_table(
+                        block, l0, tail, include_residual_fluctuation
+                    )
             metrics.inc("hybrid.table_entries", len(blocks) * n_alpha * n_b)
 
     def _build_block_table(
@@ -123,6 +130,52 @@ class HybridAnalyzer:
         )
         failure = np.clip(1.0 - expectation, 1e-300, None)
         return np.log(failure)
+
+    def _build_tables_batched(
+        self,
+        l0: int,
+        tail: float,
+        include_residual_fluctuation: bool,
+    ) -> None:
+        """Build every block's table in one fused pass.
+
+        All blocks share the index axes (footnote 5), so the
+        ``ln(t/alpha) * b`` grid is computed once and broadcast across
+        blocks, and the per-block tensor-rule loop collapses into the
+        fused kernel of :func:`repro.kernels.survival
+        .batched_rule_expectations` over the flattened ``(A * B,)`` index
+        grid with padded per-block node tables.
+        """
+        u_rules = []
+        v_rules = []
+        for block in self.blocks:
+            u_rules.append(
+                midpoint_rule(block.blod.u_dist(), n_points=l0, tail=tail)
+            )
+            v_rules.append(
+                midpoint_rule(
+                    block.blod.v_chi2_match(include_residual_fluctuation),
+                    n_points=l0,
+                    tail=tail,
+                )
+            )
+        u_points, u_weights = pad_rule_tables(
+            [r.points for r in u_rules], [r.weights for r in u_rules]
+        )
+        v_points, v_weights = pad_rule_tables(
+            [r.points for r in v_rules], [r.weights for r in v_rules]
+        )
+        log_areas = np.log([block.blod.area for block in self.blocks])
+
+        scaled = self.log_t_axis[:, None] * self.b_axis[None, :]
+        flat = np.broadcast_to(
+            scaled.reshape(1, -1), (len(self.blocks), scaled.size)
+        )
+        expectation = batched_rule_expectations(
+            flat, log_areas, u_points, u_weights, v_points, v_weights
+        )
+        failure = np.clip(1.0 - expectation, 1e-300, None)
+        self.tables[:] = np.log(failure).reshape(self.tables.shape)
 
     def _interpolate(
         self, table: np.ndarray, log_t_ratio: np.ndarray, b: float
@@ -179,6 +232,65 @@ class HybridAnalyzer:
             metrics.inc("hybrid.lut_misses", n_miss)
         return np.where(missed, 0.0, np.exp(log_value))
 
+    def _interpolate_batched(
+        self, log_t_ratios: np.ndarray, bs: np.ndarray
+    ) -> np.ndarray:
+        """All blocks' bilinear look-ups in one pass.
+
+        Same range semantics as :meth:`_interpolate` — ``b`` outside its
+        axis or a finite ``ln(t/alpha)`` beyond the right edge raises,
+        values below the left edge clamp to failure 0 — applied across the
+        whole ``(block, time)`` query matrix at once.
+        """
+        outside = (bs < self.b_axis[0]) | (bs > self.b_axis[-1])
+        if np.any(outside):
+            b = float(bs[int(np.argmax(outside))])
+            raise ConfigurationError(
+                f"b = {b} outside the table range "
+                f"[{self.b_axis[0]:.3f}, {self.b_axis[-1]:.3f}]"
+            )
+        finite = np.isfinite(log_t_ratios)
+        clamped_low = log_t_ratios <= self.log_t_axis[0]
+        if np.any(log_t_ratios[finite] > self.log_t_axis[-1]):
+            raise ConfigurationError(
+                "query time beyond the table's ln(t/alpha) range; rebuild "
+                "the table with a wider log_t_ratio_range"
+            )
+        x = np.clip(log_t_ratios, self.log_t_axis[0], self.log_t_axis[-1])
+        x = np.where(finite, x, self.log_t_axis[0])
+
+        ix = np.clip(
+            np.searchsorted(self.log_t_axis, x) - 1, 0, len(self.log_t_axis) - 2
+        )
+        tx = (x - self.log_t_axis[ix]) / (
+            self.log_t_axis[ix + 1] - self.log_t_axis[ix]
+        )
+        iy = np.clip(
+            np.searchsorted(self.b_axis, bs) - 1, 0, len(self.b_axis) - 2
+        )
+        ty = ((bs - self.b_axis[iy]) / (self.b_axis[iy + 1] - self.b_axis[iy]))[
+            :, None
+        ]
+        rows = np.arange(len(self.blocks))[:, None]
+        iy = iy[:, None]
+
+        f00 = self.tables[rows, ix, iy]
+        f10 = self.tables[rows, ix + 1, iy]
+        f01 = self.tables[rows, ix, iy + 1]
+        f11 = self.tables[rows, ix + 1, iy + 1]
+        log_value = (
+            f00 * (1.0 - tx) * (1.0 - ty)
+            + f10 * tx * (1.0 - ty)
+            + f01 * (1.0 - tx) * ty
+            + f11 * tx * ty
+        )
+        missed = clamped_low | ~finite
+        if is_enabled():
+            n_miss = int(np.count_nonzero(missed))
+            metrics.inc("hybrid.lut_hits", int(np.size(missed)) - n_miss)
+            metrics.inc("hybrid.lut_misses", n_miss)
+        return np.where(missed, 0.0, np.exp(log_value))
+
     def block_failure_probabilities(
         self,
         times: np.ndarray | float,
@@ -203,6 +315,14 @@ class HybridAnalyzer:
             bs = np.asarray(bs, dtype=float)
         if alphas.shape != (len(self.blocks),) or bs.shape != (len(self.blocks),):
             raise ConfigurationError("need one (alpha, b) pair per block")
+        if fast_paths_enabled():
+            with np.errstate(divide="ignore"):
+                log_t_ratios = np.where(
+                    times[None, :] > 0.0,
+                    np.log(times[None, :] / alphas[:, None]),
+                    -np.inf,
+                )
+            return self._interpolate_batched(log_t_ratios, bs)
         out = np.empty((len(self.blocks), times.size))
         with np.errstate(divide="ignore"):
             for j in range(len(self.blocks)):

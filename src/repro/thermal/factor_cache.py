@@ -1,0 +1,101 @@
+"""Per-(grid, package) cache of sparse conductance factorizations.
+
+The conductance matrix of the steady-state thermal system depends only on
+the mesh and the package constants — *not* on the power vector.  Every
+iteration of the power-thermal fixed point, every design in a ``repro
+batch`` sweep over temperatures, and every call in a workload sweep
+re-solves the same SPD system with a new right-hand side, so the LU
+factorization is computed once per ``(GridSpec, PackageModel)`` key and
+only the back-substitution runs per solve (``scipy``'s ``factorized``).
+
+Both key types are frozen dataclasses, making them exact, hashable cache
+keys; a changed mesh or package is a different key, so invalidation is
+structural.  The cache is process-wide, thread-safe and LRU-bounded.
+
+Effectiveness is observable two ways: the module-level
+:func:`factor_cache_stats` counters (always on, used by the kernel
+benchmarks), and the ``thermal.factor_cache.{hit,miss}`` counters in
+:mod:`repro.obs.metrics` (populated while observability is enabled).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.chip.geometry import GridSpec
+from repro.obs import metrics
+from repro.thermal.grid import PackageModel
+
+__all__ = [
+    "cached_factorization",
+    "clear_factor_cache",
+    "factor_cache_stats",
+]
+
+#: Factorizations kept alive; each holds the SuperLU object of one mesh
+#: (a few MB for the default 48x48 mesh), so the bound stays small.
+_MAX_ENTRIES = 8
+
+_Solve = Callable[[np.ndarray], np.ndarray]
+
+_lock = threading.Lock()
+_cache: OrderedDict[tuple[GridSpec, PackageModel], _Solve] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def cached_factorization(
+    grid: GridSpec,
+    package: PackageModel,
+    build_matrix: Callable[[], csr_matrix],
+) -> tuple[_Solve, bool]:
+    """The back-substitution solver for one conductance system.
+
+    Returns ``(solve, hit)`` where ``solve(rhs)`` applies the cached LU
+    factors and ``hit`` tells whether the factorization was reused.
+    ``build_matrix`` is only called on a miss.
+    """
+    global _hits, _misses
+    key = (grid, package)
+    with _lock:
+        solve = _cache.get(key)
+        if solve is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            metrics.inc("thermal.factor_cache.hit")
+            return solve, True
+    # Factor outside the lock: assembly + LU can take milliseconds and
+    # other meshes' lookups should not wait on it.
+    from scipy.sparse.linalg import factorized
+
+    solve = factorized(build_matrix().tocsc())
+    with _lock:
+        _misses += 1
+        metrics.inc("thermal.factor_cache.miss")
+        _cache[key] = solve
+        _cache.move_to_end(key)
+        while len(_cache) > _MAX_ENTRIES:
+            _cache.popitem(last=False)
+    return solve, False
+
+
+def factor_cache_stats() -> dict[str, Any]:
+    """Lifetime hit/miss counts and current entry count."""
+    with _lock:
+        return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+
+
+def clear_factor_cache(reset_stats: bool = True) -> None:
+    """Drop every cached factorization (tests, memory pressure)."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        if reset_stats:
+            _hits = 0
+            _misses = 0

@@ -18,8 +18,10 @@ from scipy.sparse.linalg import spsolve
 
 from repro.chip.geometry import GridSpec
 from repro.errors import SolverError
+from repro.kernels.config import fast_paths_enabled
 from repro.obs import metrics
 from repro.obs.trace import span
+from repro.thermal.factor_cache import cached_factorization
 from repro.thermal.grid import PackageModel
 
 
@@ -75,7 +77,49 @@ class TemperatureField:
 def _build_conductance_matrix(
     grid: GridSpec, package: PackageModel
 ) -> csr_matrix:
-    """Assemble the sparse conductance (stiffness) matrix."""
+    """Assemble the sparse conductance (stiffness) matrix.
+
+    Pure numpy index arithmetic: horizontal/vertical neighbour pairs come
+    from slicing the row-major index grid, off-diagonals are emitted for
+    both coupling directions, and the diagonal accumulates each cell's
+    neighbour count via ``bincount`` — no per-cell Python loop.
+    """
+    g_x, g_y = package.lateral_conductance(grid)
+    g_v = package.vertical_conductance(grid)
+    nx, ny = grid.nx, grid.ny
+    n = grid.n_cells
+
+    index = np.arange(n).reshape(ny, nx)
+    left = index[:, :-1].ravel()  # couples to the right neighbour (+1)
+    below = index[:-1, :].ravel()  # couples to the upper neighbour (+nx)
+
+    rows = np.concatenate([left, left + 1, below, below + nx])
+    cols = np.concatenate([left + 1, left, below + nx, below])
+    vals = np.concatenate(
+        [
+            np.full(2 * left.size, -g_x),
+            np.full(2 * below.size, -g_y),
+        ]
+    )
+
+    x_degree = np.bincount(np.concatenate([left, left + 1]), minlength=n)
+    y_degree = np.bincount(np.concatenate([below, below + nx]), minlength=n)
+    diag = g_v + g_x * x_degree + g_y * y_degree
+
+    rows = np.concatenate([rows, np.arange(n)])
+    cols = np.concatenate([cols, np.arange(n)])
+    vals = np.concatenate([vals, diag])
+    return csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def _build_conductance_matrix_reference(
+    grid: GridSpec, package: PackageModel
+) -> csr_matrix:
+    """Per-cell-loop assembly (pre-fast-path reference implementation).
+
+    Kept for the kernel equivalence tests and benchmarks; the vectorized
+    builder must stay numerically interchangeable with this one.
+    """
     g_x, g_y = package.lateral_conductance(grid)
     g_v = package.vertical_conductance(grid)
     nx, ny = grid.nx, grid.ny
@@ -130,11 +174,22 @@ def solve_steady_state(
         )
     if np.any(cell_power < 0.0):
         raise SolverError("cell powers must be non-negative")
-    with span("thermal.solve", cells=grid.n_cells):
-        matrix = _build_conductance_matrix(grid, package)
+    with span("thermal.solve", cells=grid.n_cells) as solve_span:
         g_v = package.vertical_conductance(grid)
         rhs = cell_power + g_v * package.ambient_temperature
-        temperatures = spsolve(matrix, rhs)
+        if fast_paths_enabled():
+            # Factor the SPD conductance system once per (grid, package)
+            # and reuse the back-substitution: every iteration of the
+            # power-thermal fixed point and every design of a sweep hits
+            # the same key.
+            solve, hit = cached_factorization(
+                grid, package, lambda: _build_conductance_matrix(grid, package)
+            )
+            temperatures = solve(rhs)
+            solve_span.set(factor_cache="hit" if hit else "miss")
+        else:
+            matrix = _build_conductance_matrix_reference(grid, package)
+            temperatures = spsolve(matrix, rhs)
         metrics.inc("thermal.solves")
     if not np.all(np.isfinite(temperatures)):
         raise SolverError("thermal solve produced non-finite temperatures")

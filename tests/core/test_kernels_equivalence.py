@@ -1,0 +1,158 @@
+"""Equivalence regression tests for the ``repro.kernels`` fast paths.
+
+Every fast path must reproduce the reference implementation it replaces:
+the batched ensemble/hybrid kernels to floating-point round-off, the
+vectorized geometry and conductance assembly bit for bit.  Each test
+evaluates the same public API with fast paths forced off (the reference
+per-block/per-cell loops) and on, and compares.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip.geometry import GridSpec, Rect
+from repro.core.ensemble import StFastAnalyzer, StMcAnalyzer
+from repro.core.hybrid import HybridAnalyzer
+from repro.errors import ConfigurationError
+from repro.kernels import pad_rule_tables, use_fast_paths
+from repro.thermal.grid import PackageModel
+from repro.thermal.solver import (
+    _build_conductance_matrix,
+    _build_conductance_matrix_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def blocks(request):
+    analyzer = request.getfixturevalue("small_analyzer")
+    return analyzer.blocks
+
+
+@pytest.fixture(scope="module")
+def times(request):
+    analyzer = request.getfixturevalue("small_analyzer")
+    center = analyzer.lifetime(10, method="guard")
+    times = np.logspace(np.log10(center) - 0.8, np.log10(center) + 1.2, 15)
+    # Include the t = 0 corner the kernels special-case.
+    return np.concatenate([[0.0], times])
+
+
+class TestPadRuleTables:
+    def test_pads_with_zero_weight(self):
+        points, weights = pad_rule_tables(
+            [np.array([1.0, 2.0]), np.array([5.0])],
+            [np.array([0.5, 0.5]), np.array([1.0])],
+        )
+        np.testing.assert_array_equal(points, [[1.0, 2.0], [5.0, 5.0]])
+        np.testing.assert_array_equal(weights, [[0.5, 0.5], [1.0, 0.0]])
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(ConfigurationError):
+            pad_rule_tables([np.array([1.0])], [])
+        with pytest.raises(ConfigurationError):
+            pad_rule_tables([], [])
+
+
+class TestEnsembleEquivalence:
+    def test_st_fast_batched_matches_loop(self, blocks, times):
+        analyzer = StFastAnalyzer(blocks)
+        with use_fast_paths(False):
+            reference = analyzer.block_failure_probabilities(times)
+        with use_fast_paths(True):
+            fast = analyzer.block_failure_probabilities(times)
+        np.testing.assert_allclose(fast, reference, rtol=0.0, atol=1e-13)
+
+    def test_st_mc_samples_batched_matches_loop(self, blocks, times):
+        analyzer = StMcAnalyzer(blocks, n_samples=2000, seed=7)
+        with use_fast_paths(False):
+            reference = analyzer.block_failure_probabilities(times)
+        with use_fast_paths(True):
+            fast = analyzer.block_failure_probabilities(times)
+        np.testing.assert_allclose(fast, reference, rtol=0.0, atol=1e-13)
+
+    def test_st_mc_histogram_has_no_fast_path(self, blocks, times):
+        analyzer = StMcAnalyzer(
+            blocks, n_samples=2000, seed=7, estimator="histogram"
+        )
+        with use_fast_paths(False):
+            reference = analyzer.block_failure_probabilities(times)
+        with use_fast_paths(True):
+            fast = analyzer.block_failure_probabilities(times)
+        np.testing.assert_array_equal(fast, reference)
+
+
+class TestHybridEquivalence:
+    def test_tables_and_queries_match(self, blocks, times):
+        with use_fast_paths(False):
+            reference = HybridAnalyzer(blocks, n_alpha=40, n_b=40)
+        with use_fast_paths(True):
+            fast = HybridAnalyzer(blocks, n_alpha=40, n_b=40)
+        np.testing.assert_allclose(
+            fast.tables, reference.tables, rtol=0.0, atol=1e-12
+        )
+        alpha_min = min(block.alpha for block in blocks)
+        query_times = np.concatenate(
+            [[0.0], np.geomspace(1e-4 * alpha_min, 0.2 * alpha_min, 20)]
+        )
+        with use_fast_paths(False):
+            ref_probs = reference.block_failure_probabilities(query_times)
+        with use_fast_paths(True):
+            fast_probs = reference.block_failure_probabilities(query_times)
+        np.testing.assert_allclose(
+            fast_probs, ref_probs, rtol=0.0, atol=1e-13
+        )
+
+    def test_out_of_range_error_matches(self, blocks):
+        analyzer = HybridAnalyzer(blocks, n_alpha=40, n_b=40)
+        alpha_max = max(block.alpha for block in blocks)
+        bad = np.array([alpha_max * 2.0])
+        with use_fast_paths(False):
+            with pytest.raises(ConfigurationError) as ref_exc:
+                analyzer.block_failure_probabilities(bad)
+        with use_fast_paths(True):
+            with pytest.raises(ConfigurationError) as fast_exc:
+                analyzer.block_failure_probabilities(bad)
+        assert str(fast_exc.value) == str(ref_exc.value)
+
+
+class TestGeometryEquivalence:
+    def test_overlap_fractions_bit_identical(self):
+        grid = GridSpec(nx=13, ny=9, width=2.0, height=1.5)
+        rng = np.random.default_rng(3)
+        rects = [
+            Rect(0.0, 0.0, 2.0, 1.5),  # whole die
+            Rect(0.3, 0.2, 0.05, 0.04),  # interior, sub-cell
+            Rect(-0.4, -0.3, 0.8, 0.6),  # straddles the die corner
+            Rect(5.0, 5.0, 1.0, 1.0),  # fully off-die
+        ] + [
+            Rect(
+                rng.uniform(-0.5, 2.0),
+                rng.uniform(-0.5, 1.5),
+                rng.uniform(0.01, 1.0),
+                rng.uniform(0.01, 0.8),
+            )
+            for _ in range(50)
+        ]
+        for rect in rects:
+            with use_fast_paths(True):
+                fast = grid.overlap_fractions(rect)
+            reference = grid._overlap_fractions_reference(rect)
+            np.testing.assert_array_equal(fast, reference)
+
+    def test_disabled_fast_paths_use_reference(self):
+        grid = GridSpec(nx=4, ny=4, width=1.0, height=1.0)
+        rect = Rect(0.1, 0.1, 0.5, 0.5)
+        with use_fast_paths(False):
+            off = grid.overlap_fractions(rect)
+        np.testing.assert_array_equal(
+            off, grid._overlap_fractions_reference(rect)
+        )
+
+
+class TestConductanceEquivalence:
+    def test_matrix_bit_identical(self):
+        grid = GridSpec(nx=11, ny=7, width=0.016, height=0.012)
+        package = PackageModel()
+        fast = _build_conductance_matrix(grid, package).toarray()
+        reference = _build_conductance_matrix_reference(grid, package).toarray()
+        np.testing.assert_array_equal(fast, reference)

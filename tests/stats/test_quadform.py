@@ -172,6 +172,91 @@ class TestImhof:
             )
 
 
+class TestImhofBatched:
+    """The vectorized ``imhof_sf`` fast path (shared eigendecomposition,
+    one batched oscillatory quadrature) vs the legacy adaptive reference.
+
+    The adaptive integrator itself carries ~1e-5 error on very small
+    spectra, so tolerances compare against its accuracy, not round-off.
+    """
+
+    def test_array_input_matches_per_point_adaptive(self, rng):
+        form = QuadraticForm(offset=0.0, matrix=_random_psd(rng, 8))
+        lam, _scale = form._imhof_spectrum
+        xs = np.linspace(form.mean() * 0.2, form.mean() * 2.5, 12)
+        batched = form.imhof_sf(xs)
+        adaptive = np.array(
+            [
+                form._imhof_sf_adaptive(lam, (x - form.offset) / _scale, 200)
+                for x in xs
+            ]
+        )
+        assert isinstance(batched, np.ndarray)
+        np.testing.assert_allclose(batched, adaptive, atol=1e-6)
+
+    def test_scalar_input_returns_float(self, rng):
+        form = QuadraticForm(offset=0.0, matrix=_random_psd(rng, 5))
+        out = form.imhof_sf(form.mean())
+        assert isinstance(out, float)
+        assert out == pytest.approx(float(form.imhof_sf(np.array([form.mean()]))[0]))
+
+    def test_fast_path_off_matches(self, rng):
+        from repro.kernels import use_fast_paths
+
+        form = QuadraticForm(offset=0.5, matrix=_random_psd(rng, 6))
+        xs = np.linspace(form.mean() * 0.3, form.mean() * 2.0, 6)
+        with use_fast_paths(True):
+            fast = form.imhof_sf(xs)
+        with use_fast_paths(False):
+            reference = form.imhof_sf(xs)
+        np.testing.assert_allclose(fast, reference, atol=5e-5)
+
+    def test_chi2_reference_values(self):
+        dim = 6
+        form = QuadraticForm(offset=0.0, matrix=np.eye(dim))
+        xs = sps.chi2.ppf(np.linspace(0.05, 0.95, 11), dim)
+        np.testing.assert_allclose(
+            form.imhof_sf(xs), sps.chi2.sf(xs, dim), atol=1e-7
+        )
+
+    def test_rank_one_falls_back_to_adaptive(self):
+        # A single eigenvalue decays too slowly for the truncated
+        # oscillatory quadrature; the adaptive fallback still answers
+        # (with the legacy integrator's own ~1e-3 rank-one accuracy).
+        form = QuadraticForm(offset=0.0, matrix=np.diag([1.0, 0.0, 0.0]))
+        xs = np.array([0.5, 1.0, 4.0])
+        np.testing.assert_allclose(
+            form.imhof_sf(xs), sps.chi2.sf(xs, 1), atol=1e-3
+        )
+
+    def test_survival_monotone_and_bounded(self, rng):
+        form = QuadraticForm(offset=1.0, matrix=_random_psd(rng, 7))
+        xs = np.linspace(form.offset, form.mean() * 3.0, 60)
+        sf = form.imhof_sf(xs)
+        assert np.all((sf >= 0.0) & (sf <= 1.0))
+        assert np.all(np.diff(sf) <= 1e-8)
+
+    def test_degenerate_array_step(self):
+        form = QuadraticForm(offset=2.0, matrix=np.zeros((2, 2)))
+        np.testing.assert_array_equal(
+            form.imhof_sf(np.array([1.0, 2.0, 3.0])), [1.0, 0.0, 0.0]
+        )
+
+    def test_rejects_non_finite_x(self, rng):
+        form = QuadraticForm(offset=0.0, matrix=_random_psd(rng, 4))
+        with pytest.raises(ConfigurationError):
+            form.imhof_sf(np.array([1.0, np.nan]))
+        with pytest.raises(ConfigurationError):
+            form.imhof_sf(np.inf)
+
+    def test_cdf_complements_sf(self, rng):
+        form = QuadraticForm(offset=0.0, matrix=_random_psd(rng, 5))
+        xs = np.linspace(form.mean() * 0.5, form.mean() * 1.5, 7)
+        np.testing.assert_allclose(
+            form.imhof_cdf(xs) + form.imhof_sf(xs), 1.0, atol=1e-12
+        )
+
+
 class TestSampling:
     def test_sample_from_factors_matches_definition(self, rng):
         matrix = _random_psd(rng, 4)

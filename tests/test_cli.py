@@ -325,6 +325,80 @@ class TestCacheCommand:
             build_parser().parse_args(["cache"])
 
 
+class TestBenchCommand:
+    @pytest.fixture()
+    def stub_results(self, monkeypatch):
+        # The real harness takes a minute; the command logic is what the
+        # CLI tests cover.
+        results = {
+            "schema": 1,
+            "scale": "quick",
+            "design": "C2",
+            "micro": {
+                "conductance_build": {
+                    "reference_s": 0.02,
+                    "fast_s": 0.001,
+                    "speedup": 20.0,
+                }
+            },
+            "end_to_end": {
+                "reference_s": 1.0,
+                "fast_s": 0.25,
+                "speedup": 4.0,
+                "power_loop_iterations": 12,
+                "cache_hits": 11,
+                "cache_misses": 1,
+            },
+        }
+        import repro.kernels.bench as bench
+
+        monkeypatch.setattr(
+            bench, "run_kernel_benchmarks", lambda scale: {**results, "scale": scale}
+        )
+        return results
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "kernels", "--scale", "huge"])
+
+    def test_no_save_prints_report(self, capsys, stub_results):
+        code, out, _err = _run(capsys, "bench", "kernels", "--no-save")
+        assert code == 0
+        assert "conductance_build" in out
+        assert "end_to_end" in out
+        assert "wrote" not in out
+
+    def test_writes_json_report(self, capsys, stub_results, tmp_path):
+        target = tmp_path / "bench.json"
+        code, out, _err = _run(
+            capsys, "bench", "kernels", "--output", str(target)
+        )
+        assert code == 0
+        assert str(target) in out
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert payload["end_to_end"]["cache_hits"] == 11
+
+    def test_json_output(self, capsys, stub_results, tmp_path):
+        code, out, _err = _run(
+            capsys,
+            "bench",
+            "kernels",
+            "--scale",
+            "full",
+            "--output",
+            str(tmp_path / "b.json"),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["scale"] == "full"
+
+
 class TestJobs:
     def test_lifetime_reports_execution_backend(self, capsys, tiny_args):
         code, out, _err = _run(
