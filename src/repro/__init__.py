@@ -64,10 +64,13 @@ from repro.core.voltage import (
     voltage_headroom,
 )
 from repro.errors import (
+    AdmissionError,
     ConfigurationError,
+    ExecutionInterrupted,
     FloorplanError,
     NumericalError,
     ReproError,
+    ServiceError,
     SolverError,
     UnitError,
 )
@@ -97,11 +100,29 @@ from repro.variation.quadtree import QuadTreeModel, build_quadtree_model
 from repro.variation.sampling import ChipSampler
 from repro.variation.wafer import WaferPattern
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """The installed package version, falling back for source-tree runs.
+
+    Sourced from package metadata so ``pyproject.toml`` stays the single
+    authority; an uninstalled checkout (``PYTHONPATH=src``) has no
+    distribution metadata and uses the pinned fallback.
+    """
+    import importlib.metadata
+
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
+    "AdmissionError",
     "AnalysisConfig",
     "ActivityProfile",
+    "ExecutionInterrupted",
+    "ServiceError",
     "AreaScaledWeibull",
     "BENCHMARK_DEVICE_COUNTS",
     "Block",

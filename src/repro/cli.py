@@ -11,6 +11,7 @@ Commands
 ``batch``       sweep benchmarks x temperatures x methods into one report
 ``bench``       performance benchmarks (``kernels``: fast paths vs reference)
 ``cache``       result-cache maintenance (``stats``/``clear``)
+``serve``       HTTP reliability service (async job queue, see docs/service.md)
 
 Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
 setup file (``--setup``, see :mod:`repro.io.design_json`) or a HotSpot
@@ -35,9 +36,7 @@ import json
 import sys
 from typing import Any
 
-import numpy as np
-
-from repro import __version__, obs
+from repro import __version__, obs, payloads
 from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError
@@ -153,14 +152,11 @@ def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
     return ReliabilityAnalyzer(floorplan, config=config)
 
 
-def _execution_info(analyzer: ReliabilityAnalyzer) -> dict[str, Any]:
-    backend = analyzer.exec_backend
-    return {"backend": backend.name, "jobs": backend.jobs}
-
-
 def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
+    # Every JSON envelope carries version/schema_version provenance; the
+    # shared builders stamp their own payloads, setdefault covers the rest.
     if args.json:
-        print(json.dumps(payload, indent=2))
+        print(payloads.dump_payload(payloads.stamp_envelope(payload)))
     else:
         print(text)
 
@@ -185,24 +181,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
     analyzer = _build_analyzer(args)
-    results = {}
-    for method in args.method:
-        if method == "mc":
-            value = analyzer.mc_lifetime(
-                args.ppm, n_chips=args.mc_chips, seed=args.seed
-            )
-        else:
-            value = analyzer.lifetime(args.ppm, method=method)
-        results[method] = value
-    payload = {
-        "ppm": args.ppm,
-        "lifetime_hours": results,
-        "lifetime_years": {m: hours_to_years(v) for m, v in results.items()},
-        "execution": _execution_info(analyzer),
-    }
+    payload = payloads.lifetime_payload(
+        analyzer,
+        args.ppm,
+        args.method,
+        mc_chips=args.mc_chips,
+        seed=args.seed,
+    )
     text = "\n".join(
         f"{m:>14}: {v:.4e} h = {hours_to_years(v):8.1f} years"
-        for m, v in results.items()
+        for m, v in payload["lifetime_hours"].items()
     )
     _emit(args, payload, text)
     return 0
@@ -210,21 +198,18 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 
 def _cmd_curve(args: argparse.Namespace) -> int:
     analyzer = _build_analyzer(args)
-    times = np.logspace(
-        np.log10(args.t_min), np.log10(args.t_max), args.points
+    payload = payloads.curve_payload(
+        analyzer,
+        args.method[0],
+        t_min=args.t_min,
+        t_max=args.t_max,
+        points=args.points,
     )
-    reliability = np.atleast_1d(
-        analyzer.reliability(times, method=args.method[0])
-    )
-    payload = {
-        "method": args.method[0],
-        "times_hours": times.tolist(),
-        "reliability": reliability.tolist(),
-        "execution": _execution_info(analyzer),
-    }
     text = "\n".join(
         f"{t:.4e} h   R = {r:.8f}   1-R = {1.0 - r:.3e}"
-        for t, r in zip(times, reliability, strict=True)
+        for t, r in zip(
+            payload["times_hours"], payload["reliability"], strict=True
+        )
     )
     _emit(args, payload, text)
     return 0
@@ -252,31 +237,10 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.report import design_report
-
-    # The report always carries a stage-timing appendix, so observability
-    # is switched on for the command's duration unless --trace already did.
-    owns_obs = not obs.is_enabled()
-    if owns_obs:
-        obs.reset()
-        obs.enable()
-    try:
-        analyzer = _build_analyzer(args)
-        text = design_report(analyzer)
-        execution = _execution_info(analyzer)
-        text = (
-            f"{text}\n\n{obs.timing_summary()}\n"
-            f"execution backend: {execution['backend']} "
-            f"(jobs={execution['jobs']})"
-        )
-    finally:
-        if owns_obs:
-            obs.disable()
-            obs.reset()
-    if args.json:
-        print(json.dumps({"report": text}))
-    else:
-        print(text)
+    # The report always carries a stage-timing appendix, so the builder
+    # switches observability on for its duration unless --trace already did.
+    payload = payloads.report_payload(lambda: _build_analyzer(args))
+    _emit(args, payload, payload["report"])
     return 0
 
 
@@ -341,6 +305,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         path = write_bench_json(results, args.output)
         text += f"\nwrote {path}"
     _emit(args, results, text)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the service stack is not needed by any other command.
+    import signal
+    import threading
+
+    from repro.exec.cache import ResultCache
+    from repro.service import (
+        AdmissionController,
+        JobManager,
+        ReliabilityService,
+        make_server,
+    )
+
+    # The service exports live /metrics, so observability is always on
+    # for its lifetime (per-request overhead is negligible next to a solve).
+    obs.enable()
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    manager = JobManager(
+        workers=args.jobs or 2,
+        max_queue=args.max_queue,
+        cache=cache,
+        checkpoint_dir=args.checkpoint_dir,
+        job_timeout_s=args.job_timeout,
+    )
+    admission = (
+        AdmissionController(rate=args.rate, burst=args.burst)
+        if args.rate > 0
+        else None
+    )
+    server = make_server(
+        args.host, args.port, ReliabilityService(manager, admission)
+    )
+    manager.start()
+
+    def _stop(signum: int, frame: Any) -> None:
+        # serve_forever() must be stopped from another thread, and the
+        # handler must not block; drain happens after the loop exits.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    host, port = server.server_address[:2]
+    # Machine-parseable banner: the smoke harness reads the bound port
+    # from this line when --port 0 picked an ephemeral one.
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        drained = manager.shutdown(drain_timeout=args.drain_timeout)
+        server.server_close()
+        print(
+            "shutdown complete"
+            + ("" if drained else " (cancelled unfinished jobs)"),
+            flush=True,
+        )
     return 0
 
 
@@ -486,6 +510,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p_kernels)
     p_kernels.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP reliability service (see docs/service.md)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks an ephemeral port (default 8080)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="jobs allowed to wait before submissions get 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        metavar="R",
+        help="per-client submissions per second; 0 disables rate limiting "
+        "(default 2)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="per-client burst allowance (default 5)",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds to let jobs finish on shutdown before cancelling "
+        "them (default 30)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for Monte-Carlo job checkpoints (enables progress "
+        "reporting and resume across restarts)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (identical submissions recompute)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    _add_jobs_argument(p_serve)
+    p_serve.set_defaults(func=_cmd_serve, json=False)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

@@ -17,6 +17,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -419,18 +420,23 @@ class ReliabilityAnalyzer:
         n_chips: int = 1000,
         seed: int = 0,
         checkpoint_path: str | None = None,
+        cancel_check: Callable[[], bool] | None = None,
     ) -> ReliabilityCurve:
         """Monte-Carlo reference reliability curve.
 
         The seed roots a deterministic shard plan (stable across
         backends, worker counts and chunk sizes), so passing a
         ``checkpoint_path`` lets a killed run resume to the same curve.
+        ``cancel_check`` cooperatively interrupts the run between shard
+        groups (:class:`~repro.errors.ExecutionInterrupted`), flushing
+        the checkpoint first.
         """
         return self.mc_engine.reliability_curve(
             np.asarray(times, dtype=float),
             n_chips,
             np.random.SeedSequence(seed),
             checkpoint_path=checkpoint_path,
+            cancel_check=cancel_check,
         )
 
     def mc_lifetime(
@@ -440,11 +446,17 @@ class ReliabilityAnalyzer:
         seed: int = 0,
         span_decades: float = 1.2,
         n_times: int = 33,
+        checkpoint_path: str | None = None,
+        cancel_check: Callable[[], bool] | None = None,
     ) -> float:
         """Lifetime at a ppm criterion from the Monte-Carlo reference.
 
         Samples the MC curve on a log-time window centred at the st_fast
-        estimate, then solves on the interpolated curve.
+        estimate, then solves on the interpolated curve.  The optional
+        ``checkpoint_path``/``cancel_check`` pair makes long runs
+        resumable and cooperatively interruptible (see
+        :meth:`mc_reliability_curve`) — the hooks the service layer uses
+        for graceful shutdown.
         """
         from repro.core.lifetime import lifetime_from_curve
 
@@ -454,7 +466,13 @@ class ReliabilityAnalyzer:
             np.log10(center) + span_decades / 2.0,
             n_times,
         )
-        curve = self.mc_reliability_curve(times, n_chips=n_chips, seed=seed)
+        curve = self.mc_reliability_curve(
+            times,
+            n_chips=n_chips,
+            seed=seed,
+            checkpoint_path=checkpoint_path,
+            cancel_check=cancel_check,
+        )
         return lifetime_from_curve(
             curve.times, curve.reliability, ppm_to_reliability(ppm)
         )

@@ -43,6 +43,7 @@ per-shard state atomically and resume after a kill to the same curve.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
@@ -234,6 +235,7 @@ class MonteCarloEngine:
         rng: SeedLike,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 16,
+        cancel_check: Callable[[], bool] | None = None,
     ) -> ReliabilityCurve:
         """Ensemble reliability by averaging conditional chip reliability.
 
@@ -250,6 +252,11 @@ class MonteCarloEngine:
         a curve bit-identical to an uninterrupted run.  Pass an ``int`` or
         ``SeedSequence`` seed for resumable runs — a ``Generator`` draws
         fresh entropy per call, which a resume cannot reproduce.
+
+        ``cancel_check`` (polled between task groups) cooperatively stops
+        the run with :class:`~repro.errors.ExecutionInterrupted` after
+        flushing the checkpoint — the hook the service layer uses for job
+        cancellation and graceful shutdown.
 
         Chips whose exponent sum comes out non-finite (numerical blow-up in
         a pathological sample) are dropped with a warning and counted in
@@ -289,6 +296,7 @@ class MonteCarloEngine:
                 shards,
                 shards_per_task=self._shards_per_task,
                 checkpoint=checkpoint,
+                cancel_check=cancel_check,
             )
             # Reduce in shard-index order: the floating-point accumulation
             # order is then fixed for every backend and task grouping.

@@ -60,6 +60,11 @@ class LintContext:
         """True inside the numerical kernels package ``repro/stats``."""
         return "stats" in self.path.parts
 
+    @property
+    def in_service(self) -> bool:
+        """True inside the HTTP service package ``repro/service``."""
+        return "service" in self.path.parts
+
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self.suppressions.get(finding.line)
         if not rules:

@@ -615,5 +615,82 @@ class WorkerRngDiscipline(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# RPL007 — service handler discipline
+# ---------------------------------------------------------------------------
+
+
+@register
+class ServiceBlockingCalls(Rule):
+    """Service request paths must not block the handler thread.
+
+    The HTTP layer promises that request threads only validate, enqueue
+    and read dictionaries — analysis work belongs on the job-manager
+    worker pool.  A ``time.sleep`` or a synchronous ``subprocess`` call in
+    :mod:`repro.service` stalls every client behind it (and under graceful
+    shutdown, stalls the drain).
+    """
+
+    rule_id = "RPL007"
+    name = "service-blocking-calls"
+    summary = (
+        "no time.sleep or blocking subprocess calls inside repro/service; "
+        "long work belongs on the JobManager worker pool"
+    )
+
+    _SUBPROCESS_BLOCKING = frozenset(
+        {"run", "call", "check_call", "check_output", "Popen"}
+    )
+
+    def _blocking_call_name(self, ctx: LintContext, func: ast.AST) -> str | None:
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base == "time" and attr == "sleep":
+                return "time.sleep"
+            if base == "subprocess" and attr in self._SUBPROCESS_BLOCKING:
+                return f"subprocess.{attr}"
+            return None
+        if isinstance(func, ast.Name):
+            origin = self._from_imports(ctx).get(func.id)
+            if origin is not None:
+                return origin
+        return None
+
+    def _from_imports(self, ctx: LintContext) -> dict[str, str]:
+        """Local name -> blocking origin for ``from time import sleep``-style
+        imports (including aliases)."""
+        mapping: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if node.module == "time" and alias.name == "sleep":
+                    mapping[local] = "time.sleep"
+                elif (
+                    node.module == "subprocess"
+                    and alias.name in self._SUBPROCESS_BLOCKING
+                ):
+                    mapping[local] = f"subprocess.{alias.name}"
+        return mapping
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test or not ctx.in_service:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._blocking_call_name(ctx, node.func)
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() blocks a service thread; move the wait onto "
+                    "the JobManager worker pool (or an Event with a "
+                    "timeout) so request handling and shutdown drain stay "
+                    "responsive",
+                )
+
+
 #: The full registry, id -> rule class (read-only view for callers).
 ALL_RULES: dict[str, type[Rule]] = _REGISTRY

@@ -33,3 +33,48 @@ class NumericalError(ReproError, ValueError):
 
 class SolverError(NumericalError):
     """A linear or nonlinear solver failed."""
+
+
+class ExecutionInterrupted(ReproError):
+    """A sharded run was cancelled cooperatively before completing.
+
+    Raised by :func:`repro.exec.runner.run_sharded` when its
+    ``cancel_check`` hook fires; completed shards are flushed to the
+    checkpoint (when one is attached) before the exception propagates, so
+    the interrupted run can later resume bit-identically.
+    """
+
+
+class ServiceError(ReproError):
+    """A request to the :mod:`repro.service` HTTP layer was rejected.
+
+    Carries the HTTP ``status`` and a machine-readable ``code`` that the
+    structured error-response envelope exposes to clients.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        code: str = "invalid_request",
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionError(ServiceError):
+    """The service refused new work (queue depth or rate limit).
+
+    Always maps to HTTP 429 with a ``Retry-After`` hint.
+    """
+
+    def __init__(
+        self, message: str, *, code: str, retry_after_s: float
+    ) -> None:
+        super().__init__(
+            message, status=429, code=code, retry_after_s=retry_after_s
+        )

@@ -26,6 +26,7 @@ from repro.exec.cache import ResultCache, fingerprint
 from repro.obs import metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import span
+from repro.payloads import stamp_envelope
 from repro.units import hours_to_years
 
 __all__ = ["SweepSpec", "batch_table", "run_batch"]
@@ -234,7 +235,7 @@ def run_batch(
         hits,
         time.perf_counter() - started,
     )
-    return {
+    return stamp_envelope({
         "spec": asdict(spec),
         "execution": {
             "backend": backend.name if backend is not None else "serial",
@@ -247,7 +248,7 @@ def run_batch(
             "cache_hits": hits,
             "elapsed_s": time.perf_counter() - started,
         },
-    }
+    })
 
 
 def batch_table(report: dict[str, Any]) -> str:

@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import ExecutionInterrupted
 from repro.exec.backends import ExecBackend
 from repro.exec.checkpoint import Checkpoint
 from repro.exec.sharding import Shard
@@ -47,6 +48,7 @@ def run_sharded(
     shards: list[Shard],
     shards_per_task: int = 1,
     checkpoint: Checkpoint | None = None,
+    cancel_check: Callable[[], bool] | None = None,
 ) -> dict[int, ShardPayload]:
     """Run ``task`` over every shard; returns payloads keyed by shard index.
 
@@ -54,6 +56,14 @@ def run_sharded(
     of re-run, newly completed shards are persisted periodically, and the
     current state is flushed even when a worker raises — so a killed or
     failed run loses at most ``checkpoint.save_every`` shards of work.
+
+    ``cancel_check`` is polled after every completed task group; when it
+    returns True, the run stops consuming results, flushes the checkpoint
+    (when one is attached) and raises
+    :class:`~repro.errors.ExecutionInterrupted`.  Cancellation is
+    cooperative — tasks already submitted to a pool backend run to
+    completion but their results are discarded; resuming from the flushed
+    checkpoint reproduces the uninterrupted result bit-identically.
     """
     done: dict[int, ShardPayload] = {}
     if checkpoint is not None:
@@ -86,6 +96,19 @@ def run_sharded(
                 elapsed,
                 eta,
             )
+            if cancel_check is not None and cancel_check():
+                metrics.inc("exec.cancelled_runs")
+                logger.info(
+                    "sharded run cancelled after %d/%d shards; "
+                    "checkpointed state %s",
+                    completed,
+                    len(pending),
+                    "flushed" if checkpoint is not None else "not requested",
+                )
+                raise ExecutionInterrupted(
+                    f"sharded run cancelled after {completed} of "
+                    f"{len(pending)} pending shards"
+                )
     except BaseException:
         # Preserve completed work across kills and worker failures.
         if checkpoint is not None:

@@ -21,7 +21,12 @@ factorization-cache accounting ``thermal.factor_cache.{hit,miss}`` and
 the fused-evaluation workload counters ``kernels.rule_nodes``,
 ``kernels.sample_evals`` and ``kernels.imhof_nodes`` (survival-integral
 quadrature nodes, Monte-Carlo sample evaluations and Imhof inversion
-nodes processed by the batched kernels).
+nodes processed by the batched kernels).  The HTTP service
+(``repro.service``, see ``docs/service.md``) reports
+``service.requests``, the job-lifecycle counters ``service.jobs.*``, the
+admission counters ``service.admission.{allowed,rejected}`` and the
+``service.jobs.{queued,running}``/``service.accepting`` gauges, all of
+which ``GET /metrics`` renders in Prometheus text format.
 """
 
 from __future__ import annotations

@@ -1,0 +1,160 @@
+"""Canonical JSON payload builders shared by the CLI and the service.
+
+``repro lifetime/curve/report --json`` and the HTTP job API
+(:mod:`repro.service`) must return **byte-identical** documents for the
+same design and parameters, so the payloads are built here, in one place,
+and both front ends serialise them with :func:`dump_payload`.
+
+Every envelope carries two provenance fields:
+
+``version``
+    The library version (:data:`repro.__version__`, sourced from package
+    metadata) that produced the document.
+``schema_version``
+    :data:`PAYLOAD_SCHEMA_VERSION`, bumped on any breaking change to a
+    payload layout, so service clients can detect format drift without
+    parsing version strings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro import obs
+from repro.units import hours_to_years
+
+if TYPE_CHECKING:
+    from repro.core.analyzer import ReliabilityAnalyzer
+
+__all__ = [
+    "PAYLOAD_SCHEMA_VERSION",
+    "curve_payload",
+    "dump_payload",
+    "execution_info",
+    "lifetime_payload",
+    "report_payload",
+    "stamp_envelope",
+]
+
+#: Bump on any breaking change to a payload layout (key renames/removals).
+PAYLOAD_SCHEMA_VERSION = 1
+
+
+def stamp_envelope(payload: dict[str, Any]) -> dict[str, Any]:
+    """Add the ``version``/``schema_version`` provenance fields in place.
+
+    Existing values are preserved, so builders that already stamped a
+    payload pass through unchanged.
+    """
+    from repro import __version__
+
+    payload.setdefault("schema_version", PAYLOAD_SCHEMA_VERSION)
+    payload.setdefault("version", __version__)
+    return payload
+
+
+def dump_payload(payload: dict[str, Any]) -> str:
+    """The one serialisation both the CLI and the service use."""
+    return json.dumps(payload, indent=2)
+
+
+def execution_info(analyzer: ReliabilityAnalyzer) -> dict[str, Any]:
+    """The backend/worker summary embedded in analysis payloads."""
+    backend = analyzer.exec_backend
+    return {"backend": backend.name, "jobs": backend.jobs}
+
+
+def lifetime_payload(
+    analyzer: ReliabilityAnalyzer,
+    ppm: float,
+    methods: tuple[str, ...] | list[str],
+    mc_chips: int = 500,
+    seed: int = 0,
+    checkpoint_path: str | None = None,
+    cancel_check: Callable[[], bool] | None = None,
+) -> dict[str, Any]:
+    """The ``repro lifetime`` document: hours and years per method.
+
+    ``checkpoint_path``/``cancel_check`` apply to the MC reference method
+    only (the closed-form methods finish in milliseconds); they let the
+    service checkpoint long MC jobs and interrupt them cooperatively.
+    """
+    results = {}
+    for method in methods:
+        if method == "mc":
+            value = analyzer.mc_lifetime(
+                ppm,
+                n_chips=mc_chips,
+                seed=seed,
+                checkpoint_path=checkpoint_path,
+                cancel_check=cancel_check,
+            )
+        else:
+            value = analyzer.lifetime(ppm, method=method)
+        results[method] = value
+    return stamp_envelope(
+        {
+            "ppm": ppm,
+            "lifetime_hours": results,
+            "lifetime_years": {
+                m: hours_to_years(v) for m, v in results.items()
+            },
+            "execution": execution_info(analyzer),
+        }
+    )
+
+
+def curve_payload(
+    analyzer: ReliabilityAnalyzer,
+    method: str,
+    t_min: float,
+    t_max: float,
+    points: int = 20,
+) -> dict[str, Any]:
+    """The ``repro curve`` document: reliability over a log-time range."""
+    times = np.logspace(np.log10(t_min), np.log10(t_max), points)
+    reliability = np.atleast_1d(analyzer.reliability(times, method=method))
+    return stamp_envelope(
+        {
+            "method": method,
+            "times_hours": times.tolist(),
+            "reliability": reliability.tolist(),
+            "execution": execution_info(analyzer),
+        }
+    )
+
+
+def report_payload(
+    analyzer_factory: Callable[[], ReliabilityAnalyzer],
+) -> dict[str, Any]:
+    """The ``repro report`` document: the one-page text design report.
+
+    Takes a zero-argument factory rather than a built analyzer: the
+    report carries a stage-timing appendix, so observability must be on
+    *before* the analyzer's thermal/PCA/BLOD setup runs (unless the
+    caller already owns the observability state).
+    """
+    from repro.report import design_report
+
+    owns_obs = not obs.is_enabled()
+    if owns_obs:
+        obs.reset()
+        obs.enable()
+    try:
+        analyzer = analyzer_factory()
+        text = design_report(analyzer)
+        execution = execution_info(analyzer)
+        text = (
+            f"{text}\n\n{obs.timing_summary()}\n"
+            f"execution backend: {execution['backend']} "
+            f"(jobs={execution['jobs']})"
+        )
+    finally:
+        if owns_obs:
+            obs.disable()
+            obs.reset()
+    return stamp_envelope({"report": text, "execution": execution})

@@ -1,0 +1,51 @@
+"""repro.service — the reliability analyzer as a job-oriented HTTP API.
+
+A stdlib-only (``http.server``) service that accepts analysis jobs over
+JSON, runs them on a bounded worker pool backed by the
+:mod:`repro.exec` backends, and returns result payloads **byte-identical**
+to the equivalent ``repro lifetime/curve/report --json`` CLI invocation
+(both sides build documents through :mod:`repro.payloads`).
+
+Layers, transport-independent first:
+
+- :mod:`repro.service.requests` — job schema: validation, content
+  addressing, evaluation
+- :mod:`repro.service.jobs` — async job queue: worker pool, dedup and
+  coalescing, result caching, cancellation, graceful drain
+- :mod:`repro.service.admission` — per-client token-bucket rate limiting
+- :mod:`repro.service.payloads` — status/error envelopes, /metrics text
+- :mod:`repro.service.app` — routing: ``(method, path, body, client)``
+  to :class:`~repro.service.app.ServiceResponse`
+- :mod:`repro.service.http` — the thin ``ThreadingHTTPServer`` adapter
+
+Start one with ``repro serve`` (see ``docs/service.md``), or embed the
+pieces directly::
+
+    manager = JobManager(workers=2, max_queue=16)
+    manager.start()
+    server = make_server("127.0.0.1", 0, ReliabilityService(manager))
+    server.serve_forever()
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.app import ReliabilityService, ServiceResponse
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.jobs import Job, JobManager, JobState
+from repro.service.requests import JOB_KINDS, JobRequest, run_job
+
+__all__ = [
+    "JOB_KINDS",
+    "AdmissionController",
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "JobState",
+    "ReliabilityService",
+    "ServiceHTTPServer",
+    "ServiceResponse",
+    "TokenBucket",
+    "make_server",
+    "run_job",
+]

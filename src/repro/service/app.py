@@ -1,0 +1,238 @@
+"""The service application layer: routing, independent of HTTP transport.
+
+:class:`ReliabilityService` maps ``(method, path, body, client)`` onto a
+:class:`ServiceResponse` — plain data, no sockets — so the whole API
+surface is testable in-process.  The stdlib HTTP adapter in
+:mod:`repro.service.http` is a thin shim over :meth:`handle`.
+
+Routes
+------
+- ``POST /v1/jobs`` — submit a job (``201``; ``200`` when coalesced or
+  served from cache)
+- ``GET /v1/jobs`` — list known jobs
+- ``GET /v1/jobs/{id}`` — job status with checkpoint-derived progress
+- ``GET /v1/jobs/{id}/result`` — the CLI-identical result payload
+  (``409`` until the job is done)
+- ``DELETE /v1/jobs/{id}`` — request cancellation
+- ``GET /healthz`` — liveness (always ``200`` while the process serves)
+- ``GET /readyz`` — readiness (``503`` once shutdown has begun)
+- ``GET /metrics`` — Prometheus text exposition of repro.obs metrics
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
+from repro.payloads import dump_payload
+from repro.service.admission import AdmissionController
+from repro.service.jobs import JobManager, JobState
+from repro.service.payloads import (
+    error_envelope,
+    job_envelope,
+    render_metrics_text,
+)
+from repro.service.requests import JobRequest
+
+__all__ = ["ReliabilityService", "ServiceResponse"]
+
+logger = get_logger("service.app")
+
+_MAX_BODY_BYTES = 1_000_000
+
+
+@dataclass
+class ServiceResponse:
+    """One response: status, body bytes, content type, extra headers."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> ServiceResponse:
+        body = (dump_payload(payload) + "\n").encode("utf-8")
+        return cls(status, body, headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, status: int, text: str) -> ServiceResponse:
+        return cls(
+            status, text.encode("utf-8"), content_type="text/plain; charset=utf-8"
+        )
+
+
+class ReliabilityService:
+    """Routes API calls onto a :class:`JobManager` + admission control."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        self.manager = manager
+        self.admission = admission
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: bytes, client: str
+    ) -> ServiceResponse:
+        """Dispatch one request; never raises (errors become envelopes)."""
+        with span("service.request", method=method, path=path):
+            metrics.inc("service.requests")
+            try:
+                return self._route(method, path, body, client)
+            except ServiceError as exc:
+                return self._error_response(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                logger.error("unhandled error on %s %s", method, path,
+                             exc_info=True)
+                metrics.inc("service.errors.internal")
+                return ServiceResponse.json(
+                    500, error_envelope("internal_error", str(exc))
+                )
+
+    def _error_response(self, exc: ServiceError) -> ServiceResponse:
+        metrics.inc(f"service.errors.{exc.code}")
+        headers = {}
+        if exc.retry_after_s is not None:
+            headers["Retry-After"] = str(max(1, round(exc.retry_after_s)))
+        return ServiceResponse.json(
+            exc.status, error_envelope(exc.code, str(exc)), headers=headers
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes, client: str
+    ) -> ServiceResponse:
+        parts = [p for p in path.split("?", 1)[0].split("/") if p]
+        if parts == ["healthz"] and method == "GET":
+            return self._healthz()
+        if parts == ["readyz"] and method == "GET":
+            return self._readyz()
+        if parts == ["metrics"] and method == "GET":
+            return ServiceResponse.text(
+                200, render_metrics_text(self.manager)
+            )
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                if method == "POST":
+                    return self._submit(body, client)
+                if method == "GET":
+                    return self._list_jobs()
+                raise ServiceError(
+                    f"method {method} not allowed on /v1/jobs",
+                    status=405,
+                    code="method_not_allowed",
+                )
+            if len(parts) == 3:
+                if method == "GET":
+                    return self._job_status(parts[2])
+                if method == "DELETE":
+                    return self._cancel(parts[2])
+                raise ServiceError(
+                    f"method {method} not allowed on /v1/jobs/{{id}}",
+                    status=405,
+                    code="method_not_allowed",
+                )
+            if len(parts) == 4 and parts[3] == "result" and method == "GET":
+                return self._job_result(parts[2])
+        raise ServiceError(
+            f"no route for {method} {path}", status=404, code="not_found"
+        )
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _healthz(self) -> ServiceResponse:
+        return ServiceResponse.json(200, {"status": "ok"})
+
+    def _readyz(self) -> ServiceResponse:
+        if self.manager.accepting:
+            return ServiceResponse.json(
+                200,
+                {
+                    "status": "ready",
+                    "queue_depth": self.manager.queue_depth(),
+                    "running": self.manager.running_count(),
+                },
+            )
+        return ServiceResponse.json(
+            503, error_envelope("shutting_down", "service is draining")
+        )
+
+    def _submit(self, body: bytes, client: str) -> ServiceResponse:
+        if len(body) > _MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body exceeds {_MAX_BODY_BYTES} bytes",
+                status=413,
+                code="payload_too_large",
+            )
+        try:
+            document = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        request = JobRequest.from_dict(document)
+        if self.admission is not None:
+            self.admission.admit(client)
+        job, created = self.manager.submit(request, client)
+        status = 201 if created else 200
+        return ServiceResponse.json(
+            status,
+            job_envelope(job, self.manager.progress(job)),
+            headers={"Location": f"/v1/jobs/{job.id}"},
+        )
+
+    def _list_jobs(self) -> ServiceResponse:
+        from repro.payloads import stamp_envelope
+
+        docs = [job_envelope(job) for job in self.manager.jobs()]
+        return ServiceResponse.json(200, stamp_envelope({"jobs": docs}))
+
+    def _job_status(self, job_id: str) -> ServiceResponse:
+        job = self.manager.get(job_id)
+        return ServiceResponse.json(
+            200, job_envelope(job, self.manager.progress(job))
+        )
+
+    def _job_result(self, job_id: str) -> ServiceResponse:
+        job = self.manager.get(job_id)
+        if job.state == JobState.DONE:
+            assert job.result is not None
+            return ServiceResponse.json(200, job.result)
+        if job.state in JobState.TERMINAL:
+            error = job.error or {
+                "code": job.state,
+                "message": f"job is {job.state}",
+            }
+            return ServiceResponse.json(
+                410, error_envelope(error["code"], error["message"])
+            )
+        raise ServiceError(
+            f"job {job_id} is {job.state}; result not available yet",
+            status=409,
+            code="not_ready",
+        )
+
+    def _cancel(self, job_id: str) -> ServiceResponse:
+        job = self.manager.cancel(job_id)
+        return ServiceResponse.json(
+            202, job_envelope(job, self.manager.progress(job))
+        )

@@ -1,0 +1,487 @@
+"""Async job queue: bounded worker pool, dedup, caching, cancellation.
+
+A :class:`JobManager` owns a FIFO queue of validated
+:class:`~repro.service.requests.JobRequest` jobs and a fixed pool of
+worker threads that evaluate them through :func:`run_job`.  The design
+constraints, in order:
+
+- **bounded work**: at most ``max_queue`` jobs wait; beyond that
+  :meth:`submit` raises :class:`~repro.errors.AdmissionError` (HTTP 429
+  with a Retry-After hint) instead of accepting unbounded memory.
+- **dedup/coalescing**: jobs are content-addressed by request
+  fingerprint; submitting a request identical to a queued or running job
+  returns *that* job, and finished results are served from the
+  execution layer's :class:`~repro.exec.cache.ResultCache` — identical
+  submissions cost one analyzer run, ever.  A corrupted cache entry is
+  counted (``exec.cache.corrupt``), treated as a miss and recomputed.
+- **cancellation**: every job carries a cancel event; queued jobs are
+  dropped before they start, running Monte-Carlo jobs stop cooperatively
+  at the next shard boundary after flushing their checkpoint.
+- **graceful shutdown**: :meth:`shutdown` stops intake, drains queued and
+  running jobs for ``drain_timeout`` seconds, then cancels what is left —
+  long MC runs exit through their checkpoint and can resume on the next
+  submission of the same request.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import uuid
+import zipfile
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    ExecutionInterrupted,
+    ReproError,
+    ServiceError,
+)
+from repro.exec.cache import ResultCache
+from repro.exec.sharding import DEFAULT_SHARD_SIZE
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
+from repro.service.requests import JobRequest, run_job
+
+__all__ = ["Job", "JobManager", "JobState"]
+
+logger = get_logger("service.jobs")
+
+#: JSON document key under which result payloads are cached.
+_PAYLOAD_FIELD = "payload_json"
+
+
+class JobState:
+    """Job lifecycle states (plain strings, stable API)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States in which a job no longer occupies the queue or a worker.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One submitted analysis job and its lifecycle state."""
+
+    id: str
+    request: JobRequest
+    key: str
+    client: str
+    state: str = JobState.QUEUED
+    created_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    result: dict[str, Any] | None = None
+    error: dict[str, str] | None = None
+    cached: bool = False
+    cancel: threading.Event = field(default_factory=threading.Event)
+    checkpoint_path: Path | None = None
+    deadline_s: float | None = None
+
+    def cancel_check(self) -> bool:
+        """The cooperative hook threaded into the sharded engines."""
+        if self.cancel.is_set():
+            return True
+        return self.deadline_s is not None and time.monotonic() > self.deadline_s
+
+
+def _checkpoint_shards_done(path: Path) -> int | None:
+    """Completed shard count recorded in a checkpoint file, else None.
+
+    Reads only the archive's member names (cheap), tolerating any
+    corruption — progress is advisory and must never fail a status call.
+    """
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as handle:
+            shards = {
+                name.partition("__")[0]
+                for name in handle.files
+                if name.startswith("s")
+            }
+            return len(shards)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+
+
+class JobManager:
+    """Bounded async job queue over a thread worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent analysis jobs (each may itself parallelise through
+        ``repro.exec`` backends).
+    max_queue:
+        Waiting jobs accepted before :meth:`submit` raises
+        :class:`~repro.errors.AdmissionError`.
+    cache:
+        Result cache for finished payloads; ``None`` disables caching.
+    checkpoint_dir:
+        Directory for per-job MC checkpoints (enables resume across
+        service restarts); ``None`` disables checkpointing.
+    job_timeout_s:
+        Per-job wall-clock budget; an expired job is interrupted at the
+        next shard boundary and reported as failed (code ``timeout``).
+    compute:
+        The evaluation function — injectable for tests; defaults to
+        :func:`repro.service.requests.run_job`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_queue: int = 16,
+        cache: ResultCache | None = None,
+        checkpoint_dir: str | Path | None = None,
+        job_timeout_s: float | None = None,
+        compute: Callable[..., dict[str, Any]] = run_job,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.cache = cache
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.job_timeout_s = job_timeout_s
+        self._compute = compute
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._active_by_key: dict[str, Job] = {}
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._queued_count = 0
+        self._running_count = 0
+        self._accepting = True
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, drain_timeout: float = 30.0) -> bool:
+        """Stop intake, drain, then cancel stragglers; True on clean drain.
+
+        Queued and running jobs get ``drain_timeout`` seconds to finish;
+        after that every live job's cancel event is set — running MC jobs
+        flush their checkpoint and stop at the next shard boundary.
+        """
+        with self._lock:
+            self._accepting = False
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        drained = True
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                drained = False
+        if not drained:
+            logger.warning(
+                "drain timeout (%.1fs) expired; cancelling live jobs",
+                drain_timeout,
+            )
+            with self._lock:
+                live = list(self._active_by_key.values())
+            for job in live:
+                job.cancel.set()
+            for thread in self._threads:
+                thread.join(5.0)
+                if thread.is_alive():
+                    logger.warning(
+                        "worker %s still running after cancellation",
+                        thread.name,
+                    )
+        self._threads = []
+        logger.info(
+            "job manager shut down (%s)",
+            "clean drain" if drained else "cancelled stragglers",
+        )
+        return drained
+
+    @property
+    def accepting(self) -> bool:
+        """False once shutdown has begun (readiness probes key on this)."""
+        with self._lock:
+            return self._accepting
+
+    def queue_depth(self) -> int:
+        """Jobs waiting for a worker."""
+        with self._lock:
+            return self._queued_count
+
+    def running_count(self) -> int:
+        """Jobs currently executing."""
+        with self._lock:
+            return self._running_count
+
+    # ------------------------------------------------------------------
+    # submission / lookup
+    # ------------------------------------------------------------------
+
+    def submit(self, request: JobRequest, client: str) -> tuple[Job, bool]:
+        """Admit one request; returns ``(job, created)``.
+
+        ``created`` is False when the submission coalesced onto an
+        existing queued/running job or was served from the result cache.
+        """
+        key = request.key
+        with self._lock:
+            if not self._accepting:
+                raise ServiceError(
+                    "service is shutting down",
+                    status=503,
+                    code="shutting_down",
+                )
+            existing = self._active_by_key.get(key)
+            if existing is not None:
+                metrics.inc("service.jobs.coalesced")
+                logger.info(
+                    "job %s coalesced onto %s", key[:12], existing.id
+                )
+                return existing, False
+            cached_payload = self._cache_lookup(request)
+            now = time.time()
+            if cached_payload is not None:
+                job = self._new_job(request, key, client, now)
+                job.state = JobState.DONE
+                job.result = cached_payload
+                job.cached = True
+                job.finished_s = now
+                self._jobs[job.id] = job
+                metrics.inc("service.jobs.cache_hits")
+                return job, False
+            if self._queued_count >= self.max_queue:
+                metrics.inc("service.jobs.rejected_queue_full")
+                raise AdmissionError(
+                    f"queue full ({self.max_queue} jobs waiting)",
+                    code="queue_full",
+                    retry_after_s=self._retry_after_estimate(),
+                )
+            job = self._new_job(request, key, client, now)
+            self._jobs[job.id] = job
+            self._active_by_key[key] = job
+            self._queued_count += 1
+            metrics.inc("service.jobs.submitted")
+            metrics.gauge("service.jobs.queued", self._queued_count)
+        self._queue.put(job.id)
+        return job, True
+
+    def get(self, job_id: str) -> Job:
+        """Look a job up by id (404 when unknown)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(
+                f"no such job {job_id!r}", status=404, code="not_found"
+            )
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; queued jobs die now, running ones soon."""
+        job = self.get(job_id)
+        job.cancel.set()
+        with self._lock:
+            if job.state == JobState.QUEUED:
+                self._finish(job, JobState.CANCELLED, error={
+                    "code": "cancelled",
+                    "message": "cancelled while queued",
+                })
+        metrics.inc("service.jobs.cancel_requests")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, newest first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: j.created_s, reverse=True
+            )
+
+    def progress(self, job: Job) -> dict[str, int] | None:
+        """Shards done/total for a running MC job, from its checkpoint."""
+        if job.checkpoint_path is None or not job.request.uses_mc:
+            return None
+        done = _checkpoint_shards_done(job.checkpoint_path)
+        if done is None:
+            return None
+        total = -(-job.request.mc_chips // DEFAULT_SHARD_SIZE)
+        return {"shards_done": done, "shards_total": total}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _new_job(
+        self, request: JobRequest, key: str, client: str, now: float
+    ) -> Job:
+        job = Job(
+            id=uuid.uuid4().hex[:16],
+            request=request,
+            key=key,
+            client=client,
+            created_s=now,
+        )
+        if self.checkpoint_dir is not None and request.uses_mc:
+            job.checkpoint_path = self.checkpoint_dir / f"{key}.ckpt.npz"
+        return job
+
+    def _retry_after_estimate(self) -> float:
+        """A coarse Retry-After hint: one queue slot's worth of seconds."""
+        return 5.0
+
+    def _cache_lookup(self, request: JobRequest) -> dict[str, Any] | None:
+        if self.cache is None:
+            return None
+        arrays = self.cache.get(request.key)
+        if arrays is None or _PAYLOAD_FIELD not in arrays:
+            return None
+        try:
+            payload = json.loads(str(arrays[_PAYLOAD_FIELD][()]))
+        except ValueError:
+            metrics.inc("exec.cache.corrupt")
+            logger.warning(
+                "cached payload for %s is not valid JSON; recomputing",
+                request.key[:12],
+            )
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _cache_store(self, request: JobRequest, payload: dict[str, Any]) -> None:
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(
+                request.key,
+                {_PAYLOAD_FIELD: np.array(json.dumps(payload))},
+                meta={"kind": request.kind},
+            )
+        except OSError as exc:
+            logger.warning("cannot store result in cache: %s", exc)
+
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        result: dict[str, Any] | None = None,
+        error: dict[str, str] | None = None,
+    ) -> None:
+        """Transition a job to a terminal state (caller holds the lock
+        for queued-state transitions; worker calls re-acquire)."""
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_s = time.time()
+        self._active_by_key.pop(job.key, None)
+        if state == JobState.CANCELLED and job.started_s is None:
+            self._queued_count = max(0, self._queued_count - 1)
+        metrics.gauge("service.jobs.queued", self._queued_count)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != JobState.QUEUED:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started_s = time.time()
+                if self.job_timeout_s is not None:
+                    job.deadline_s = time.monotonic() + self.job_timeout_s
+                self._queued_count -= 1
+                self._running_count += 1
+                metrics.gauge("service.jobs.queued", self._queued_count)
+                metrics.gauge("service.jobs.running", self._running_count)
+            try:
+                self._run_one(job)
+            finally:
+                with self._lock:
+                    self._running_count -= 1
+                    metrics.gauge("service.jobs.running", self._running_count)
+
+    def _run_one(self, job: Job) -> None:
+        checkpoint = job.checkpoint_path
+        if checkpoint is not None:
+            checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        started = time.perf_counter()
+        try:
+            with span("service.job", kind=job.request.kind, job=job.id):
+                payload = self._compute(
+                    job.request,
+                    cancel_check=job.cancel_check,
+                    checkpoint_path=(
+                        str(checkpoint) if checkpoint is not None else None
+                    ),
+                )
+        except ExecutionInterrupted:
+            code, message = "cancelled", "job cancelled"
+            if job.deadline_s is not None and not job.cancel.is_set():
+                code, message = "timeout", (
+                    f"job exceeded its {self.job_timeout_s}s budget"
+                )
+            state = (
+                JobState.CANCELLED if code == "cancelled" else JobState.FAILED
+            )
+            with self._lock:
+                self._finish(job, state, error={"code": code, "message": message})
+            metrics.inc(f"service.jobs.{code}")
+            logger.info("job %s interrupted: %s", job.id, message)
+            return
+        except ReproError as exc:
+            with self._lock:
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    error={"code": "analysis_error", "message": str(exc)},
+                )
+            metrics.inc("service.jobs.failed")
+            logger.warning("job %s failed: %s", job.id, exc)
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            with self._lock:
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    error={"code": "internal_error", "message": str(exc)},
+                )
+            metrics.inc("service.jobs.failed")
+            logger.error("job %s crashed", job.id, exc_info=True)
+            return
+        self._cache_store(job.request, payload)
+        with self._lock:
+            self._finish(job, JobState.DONE, result=payload)
+        metrics.inc("service.jobs.completed")
+        logger.info(
+            "job %s done in %.2fs", job.id, time.perf_counter() - started
+        )

@@ -1,0 +1,81 @@
+"""Service-side JSON envelopes: job status, errors, and /metrics text.
+
+Result payloads themselves come from :mod:`repro.payloads` (shared with
+the CLI so the bytes match); this module renders everything *around*
+them — the job-status document, the structured error envelope every
+non-2xx response carries, and the Prometheus text exposition of the
+:mod:`repro.obs` metric registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro import obs
+from repro.payloads import stamp_envelope
+
+if TYPE_CHECKING:
+    from repro.service.jobs import Job, JobManager
+
+__all__ = ["error_envelope", "job_envelope", "render_metrics_text"]
+
+
+def job_envelope(
+    job: Job, progress: dict[str, int] | None = None
+) -> dict[str, Any]:
+    """The ``GET /v1/jobs/{id}`` document for one job."""
+    doc: dict[str, Any] = {
+        "id": job.id,
+        "state": job.state,
+        "kind": job.request.kind,
+        "key": job.key,
+        "cached": job.cached,
+        "created_s": job.created_s,
+        "started_s": job.started_s,
+        "finished_s": job.finished_s,
+        "links": {
+            "self": f"/v1/jobs/{job.id}",
+            "result": f"/v1/jobs/{job.id}/result",
+        },
+    }
+    if progress is not None:
+        doc["progress"] = progress
+    if job.error is not None:
+        doc["error"] = job.error
+    return stamp_envelope(doc)
+
+
+def error_envelope(code: str, message: str) -> dict[str, Any]:
+    """The structured error document every non-2xx response carries."""
+    return stamp_envelope({"error": {"code": code, "message": message}})
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted obs metric name onto the Prometheus charset."""
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def render_metrics_text(manager: JobManager | None = None) -> str:
+    """The ``GET /metrics`` body: Prometheus text exposition format.
+
+    Every :mod:`repro.obs` counter and gauge is exported with a
+    ``repro_`` prefix and dots mapped to underscores; live queue depth
+    and worker occupancy are sampled from ``manager`` at render time so
+    they are fresh even between job transitions.
+    """
+    snapshot = obs.metrics_snapshot()
+    gauges = dict(snapshot["gauges"])
+    if manager is not None:
+        gauges["service.jobs.queued"] = float(manager.queue_depth())
+        gauges["service.jobs.running"] = float(manager.running_count())
+        gauges["service.accepting"] = 1.0 if manager.accepting else 0.0
+    lines: list[str] = []
+    for name in sorted(snapshot["counters"]):
+        metric = _prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]:g}")
+    for name in sorted(gauges):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]:g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,271 @@
+"""Job request schema: validation, fingerprinting, and evaluation.
+
+A job request is the JSON document ``POST /v1/jobs`` accepts.  It names
+an analysis ``kind`` (``lifetime``/``curve``/``report``), a design — one
+of the paper's benchmarks by name, or an inline setup document in the
+:mod:`repro.io.design_json` format — and the same knobs the CLI exposes,
+so a job's result payload is **byte-identical** to the equivalent
+``repro lifetime/curve/report --json`` invocation (both sides build it
+with :mod:`repro.payloads`).
+
+Requests are content-addressed with the execution layer's
+:func:`repro.exec.cache.fingerprint`, which is what the service's dedup
+(identical submissions coalesce) and result caching key on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from typing import Any
+
+from repro import payloads
+from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
+from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
+from repro.errors import ReproError, ServiceError
+from repro.exec.cache import fingerprint
+
+__all__ = ["JOB_KINDS", "JobRequest", "run_job"]
+
+#: Analysis kinds a job can request, mirroring the CLI commands.
+JOB_KINDS = ("lifetime", "curve", "report")
+
+#: Upper bound on the correlation grid through the service — a 200x200
+#: grid is already a 40k-cell covariance problem; anything larger is a
+#: resource-exhaustion vector, not a realistic request.
+_MAX_GRID = 200
+
+_MAX_MC_CHIPS = 100_000
+_MAX_CURVE_POINTS = 2_000
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(message)
+
+
+def _as_float(data: dict[str, Any], key: str, default: float | None) -> float | None:
+    value = data.get(key, default)
+    if value is None:
+        return None
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"field {key!r} must be a number, got {value!r}",
+    )
+    return float(value)
+
+
+def _as_int(data: dict[str, Any], key: str, default: int) -> int:
+    value = data.get(key, default)
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"field {key!r} must be an integer, got {value!r}",
+    )
+    return int(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRequest:
+    """One validated analysis job (see the module docstring).
+
+    Instances are immutable and JSON-round-trippable (:meth:`as_dict`),
+    and :attr:`key` content-addresses everything that determines the
+    result.
+    """
+
+    kind: str
+    design: str | None = None
+    setup: dict[str, Any] | None = None
+    grid: int = 25
+    rho: float = 0.5
+    vdd: float | None = None
+    ppm: float = 10.0
+    methods: tuple[str, ...] = ("st_fast",)
+    mc_chips: int = 500
+    seed: int = 0
+    t_min: float | None = None
+    t_max: float | None = None
+    points: int = 20
+
+    @classmethod
+    def from_dict(cls, data: Any) -> JobRequest:
+        """Validate a raw JSON document into a request (400 on failure)."""
+        _require(isinstance(data, dict), "job request must be a JSON object")
+        kind = data.get("kind")
+        _require(
+            kind in JOB_KINDS,
+            f"field 'kind' must be one of {', '.join(JOB_KINDS)}, "
+            f"got {kind!r}",
+        )
+        design = data.get("design")
+        setup = data.get("setup")
+        _require(
+            (design is None) != (setup is None),
+            "exactly one of 'design' (benchmark name) or 'setup' "
+            "(inline design_json document) is required",
+        )
+        if design is not None:
+            _require(
+                design in BENCHMARK_DEVICE_COUNTS,
+                f"unknown design {design!r}; expected one of "
+                f"{', '.join(sorted(BENCHMARK_DEVICE_COUNTS))}",
+            )
+        if setup is not None:
+            _require(
+                isinstance(setup, dict),
+                "field 'setup' must be a design_json setup object",
+            )
+            # Validate eagerly so a malformed setup is a 400 at submit
+            # time, not a failed job minutes later.
+            _load_setup(setup)
+        methods_raw = data.get("methods", data.get("method", ["st_fast"]))
+        if isinstance(methods_raw, str):
+            methods_raw = [methods_raw]
+        _require(
+            isinstance(methods_raw, list) and len(methods_raw) > 0,
+            "field 'methods' must be a non-empty list of method names",
+        )
+        for method in methods_raw:
+            _require(
+                method in METHODS,
+                f"unknown method {method!r}; expected one of {METHODS}",
+            )
+        grid = _as_int(data, "grid", 25)
+        _require(2 <= grid <= _MAX_GRID, f"field 'grid' must be in [2, {_MAX_GRID}]")
+        rho = _as_float(data, "rho", 0.5)
+        assert rho is not None
+        _require(rho > 0.0, "field 'rho' must be positive")
+        ppm = _as_float(data, "ppm", 10.0)
+        assert ppm is not None
+        _require(ppm > 0.0, "field 'ppm' must be positive")
+        mc_chips = _as_int(data, "mc_chips", 500)
+        _require(
+            2 <= mc_chips <= _MAX_MC_CHIPS,
+            f"field 'mc_chips' must be in [2, {_MAX_MC_CHIPS}]",
+        )
+        points = _as_int(data, "points", 20)
+        _require(
+            2 <= points <= _MAX_CURVE_POINTS,
+            f"field 'points' must be in [2, {_MAX_CURVE_POINTS}]",
+        )
+        t_min = _as_float(data, "t_min", None)
+        t_max = _as_float(data, "t_max", None)
+        if kind == "curve":
+            _require(
+                t_min is not None and t_max is not None,
+                "curve jobs require 't_min' and 't_max' (hours)",
+            )
+            assert t_min is not None and t_max is not None
+            _require(
+                0.0 < t_min < t_max,
+                "'t_min' must be positive and below 't_max'",
+            )
+            _require(
+                len(methods_raw) == 1,
+                "curve jobs take exactly one method",
+            )
+            _require(
+                methods_raw[0] != "mc",
+                "curve jobs evaluate closed-form methods; use a lifetime "
+                "job for the MC reference",
+            )
+        known = {
+            "kind", "design", "setup", "grid", "rho", "vdd", "ppm",
+            "methods", "method", "mc_chips", "seed", "t_min", "t_max",
+            "points",
+        }
+        unknown = sorted(set(data) - known)
+        _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
+        return cls(
+            kind=kind,
+            design=design,
+            setup=setup,
+            grid=grid,
+            rho=rho,
+            vdd=_as_float(data, "vdd", None),
+            ppm=ppm,
+            methods=tuple(methods_raw),
+            mc_chips=mc_chips,
+            seed=_as_int(data, "seed", 0),
+            t_min=t_min,
+            t_max=t_max,
+            points=points,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form; ``from_dict`` of it round-trips exactly."""
+        doc = dataclasses.asdict(self)
+        doc["methods"] = list(self.methods)
+        return doc
+
+    @property
+    def key(self) -> str:
+        """Content address of the result this request determines."""
+        return fingerprint({"kind": "service.job", "request": self.as_dict()})
+
+    @property
+    def uses_mc(self) -> bool:
+        """True when the job runs the sharded Monte-Carlo reference."""
+        return self.kind == "lifetime" and "mc" in self.methods
+
+    def build_analyzer(self) -> ReliabilityAnalyzer:
+        """The analyzer for this request (mirrors the CLI's semantics)."""
+        if self.setup is not None:
+            floorplan, budget, obd_model, config = _load_setup(self.setup)
+            if self.vdd is not None:
+                config = dataclasses.replace(config, vdd=self.vdd)
+            return ReliabilityAnalyzer(
+                floorplan, budget=budget, obd_model=obd_model, config=config
+            )
+        assert self.design is not None
+        floorplan = make_benchmark(self.design)
+        config = AnalysisConfig(
+            grid_size=self.grid, rho_dist=self.rho, vdd=self.vdd
+        )
+        return ReliabilityAnalyzer(floorplan, config=config)
+
+
+def _load_setup(setup: dict[str, Any]) -> Any:
+    """design_json parse with service-flavoured error reporting."""
+    from repro.io.design_json import setup_from_dict
+
+    try:
+        return setup_from_dict(setup)
+    except ServiceError:
+        raise
+    except ReproError as exc:
+        raise ServiceError(f"invalid 'setup' document: {exc}") from exc
+
+
+def run_job(
+    request: JobRequest,
+    cancel_check: Callable[[], bool] | None = None,
+    checkpoint_path: str | None = None,
+) -> dict[str, Any]:
+    """Evaluate a request into its CLI-identical result payload.
+
+    ``cancel_check``/``checkpoint_path`` flow into the sharded MC engine
+    (the only long-running path): cancellation takes effect at shard
+    boundaries and a flushed checkpoint lets an interrupted job resume.
+    """
+    if request.kind == "report":
+        return payloads.report_payload(request.build_analyzer)
+    analyzer = request.build_analyzer()
+    if request.kind == "curve":
+        assert request.t_min is not None and request.t_max is not None
+        return payloads.curve_payload(
+            analyzer,
+            request.methods[0],
+            t_min=request.t_min,
+            t_max=request.t_max,
+            points=request.points,
+        )
+    return payloads.lifetime_payload(
+        analyzer,
+        request.ppm,
+        request.methods,
+        mc_chips=request.mc_chips,
+        seed=request.seed,
+        checkpoint_path=checkpoint_path,
+        cancel_check=cancel_check,
+    )

@@ -1,0 +1,19 @@
+"""Violating fixture for RPL007: blocking calls on service threads."""
+
+import subprocess
+import time
+from time import sleep as pause
+
+
+def handle_status():
+    time.sleep(0.5)
+    return {"state": "running"}
+
+
+def handle_external():
+    return subprocess.run(["analyzer", "--version"], capture_output=True)
+
+
+def handle_wait():
+    pause(1.0)
+    return {"state": "done"}

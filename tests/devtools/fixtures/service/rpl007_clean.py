@@ -1,0 +1,10 @@
+"""Clean fixture for RPL007: waits go through events with timeouts."""
+
+import threading
+import time
+
+
+def handle_status(done: threading.Event):
+    done.wait(timeout=0.5)
+    stamp = time.monotonic()
+    return {"state": "done" if done.is_set() else "running", "at": stamp}

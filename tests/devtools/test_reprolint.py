@@ -35,6 +35,7 @@ RULE_FIXTURES = {
     "RPL004": ("rpl004_bad.py", "rpl004_clean.py", 1),
     "RPL005": ("stats/rpl005_bad.py", "stats/rpl005_clean.py", 2),
     "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 2),
+    "RPL007": ("service/rpl007_bad.py", "service/rpl007_clean.py", 3),
 }
 
 
@@ -144,6 +145,25 @@ class TestRuleEdges:
             "    return np.random.default_rng(seed)\n"
         )
         assert lint_source(source) == []
+
+    def test_rpl007_only_in_service_package(self):
+        source = "import time\ndef poll():\n    time.sleep(0.1)\n"
+        assert lint_source(source, path=Path("exec/runner.py")) == []
+        findings = lint_source(source, path=Path("service/jobs.py"))
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_rpl007_catches_aliased_from_import(self):
+        source = (
+            "from time import sleep as pause\n"
+            "def poll():\n"
+            "    pause(0.1)\n"
+        )
+        findings = lint_source(source, path=Path("service/app.py"))
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_rpl007_exempts_service_tests(self):
+        source = "import time\ndef wait():\n    time.sleep(0.1)\n"
+        assert lint_source(source, path=Path("service/test_app.py")) == []
 
     def test_rpl005_guard_satisfies(self):
         source = (

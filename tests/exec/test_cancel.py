@@ -1,0 +1,122 @@
+"""Cooperative cancellation of sharded runs: interrupt, flush, resume."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ExecutionInterrupted
+from repro.exec import Checkpoint, SerialBackend, run_sharded
+from repro.exec.sharding import plan_shards
+
+META = {"kind": "cancel-test", "n": 12}
+
+
+def _shard_value(shard):
+    return {"v": np.asarray(shard.index * 10)}
+
+
+def _cancel_after(n):
+    """A cancel_check that flips to True after n polls."""
+    polls = {"count": 0}
+
+    def check():
+        polls["count"] += 1
+        return polls["count"] > n
+
+    return check
+
+
+class TestCancelCheck:
+    def test_cancel_raises_execution_interrupted(self):
+        shards = plan_shards(12, 0, shard_size=2)
+        with pytest.raises(ExecutionInterrupted, match="cancelled after 3"):
+            run_sharded(
+                SerialBackend(), _shard_value, shards, cancel_check=_cancel_after(2)
+            )
+
+    def test_cancel_counts_metric(self):
+        shards = plan_shards(8, 0, shard_size=2)
+        with obs.enabled():
+            with pytest.raises(ExecutionInterrupted):
+                run_sharded(
+                    SerialBackend(),
+                    _shard_value,
+                    shards,
+                    cancel_check=_cancel_after(0),
+                )
+            assert obs.get_counter("exec.cancelled_runs") == 1.0
+
+    def test_never_true_runs_to_completion(self):
+        shards = plan_shards(6, 0, shard_size=2)
+        done = run_sharded(
+            SerialBackend(), _shard_value, shards, cancel_check=lambda: False
+        )
+        assert set(done) == {0, 1, 2}
+
+    def test_cancel_flushes_checkpoint(self, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        shards = plan_shards(12, 0, shard_size=2)
+        ckpt = Checkpoint(path, META, save_every=100)
+        with pytest.raises(ExecutionInterrupted):
+            run_sharded(
+                SerialBackend(),
+                _shard_value,
+                shards,
+                checkpoint=ckpt,
+                cancel_check=_cancel_after(3),
+            )
+        restored = Checkpoint(path, META).load()
+        assert len(restored) == 4
+        for index, payload in restored.items():
+            assert int(payload["v"]) == index * 10
+
+
+class TestResumeAfterCancel:
+    def test_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        shards = plan_shards(12, 7, shard_size=2)
+        reference = run_sharded(SerialBackend(), _shard_value, shards)
+        with pytest.raises(ExecutionInterrupted):
+            run_sharded(
+                SerialBackend(),
+                _shard_value,
+                shards,
+                checkpoint=Checkpoint(path, META, save_every=1),
+                cancel_check=_cancel_after(2),
+            )
+        with obs.enabled():
+            resumed = run_sharded(
+                SerialBackend(),
+                _shard_value,
+                shards,
+                checkpoint=Checkpoint(path, META, save_every=1),
+            )
+            assert obs.get_counter("exec.checkpoint.resumed_shards") > 0
+        assert set(resumed) == set(reference)
+        for index in reference:
+            np.testing.assert_array_equal(resumed[index]["v"], reference[index]["v"])
+
+
+class TestAnalyzerCancellation:
+    def test_mc_lifetime_cancel_and_resume(self, tmp_path):
+        from repro.chip.benchmarks import make_benchmark
+        from repro.core.analyzer import AnalysisConfig, ReliabilityAnalyzer
+
+        path = tmp_path / "mc.ckpt.npz"
+        analyzer = ReliabilityAnalyzer(
+            make_benchmark("C1"), config=AnalysisConfig(grid_size=6)
+        )
+        reference = analyzer.mc_lifetime(10.0, n_chips=200, seed=3)
+        with pytest.raises(ExecutionInterrupted):
+            analyzer.mc_lifetime(
+                10.0,
+                n_chips=200,
+                seed=3,
+                checkpoint_path=str(path),
+                cancel_check=_cancel_after(1),
+            )
+        assert path.exists()
+        resumed = analyzer.mc_lifetime(
+            10.0, n_chips=200, seed=3, checkpoint_path=str(path)
+        )
+        assert resumed == reference

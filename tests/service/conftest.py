@@ -1,0 +1,55 @@
+"""Shared fixtures for the service tests."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ExecutionInterrupted
+from repro.service import JobManager
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Counters are process-global; isolate each test's assertions."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class GatedCompute:
+    """A compute stub that blocks until released (and honours cancel).
+
+    Lets tests hold a worker mid-job deterministically — no sleeps — to
+    exercise coalescing, queue limits, cancellation and shutdown drain.
+    """
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, request, cancel_check=None, checkpoint_path=None):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        while not self.release.is_set():
+            if cancel_check is not None and cancel_check():
+                raise ExecutionInterrupted("cancelled by test")
+            self.release.wait(0.01)
+        return {"kind": request.kind, "seed": request.seed}
+
+
+@pytest.fixture()
+def gated():
+    return GatedCompute()
+
+
+@pytest.fixture()
+def manager(gated):
+    mgr = JobManager(workers=1, max_queue=2, compute=gated)
+    mgr.start()
+    yield mgr
+    gated.release.set()
+    mgr.shutdown(drain_timeout=5.0)

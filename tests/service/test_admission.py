@@ -1,0 +1,79 @@
+"""Token-bucket admission control with a deterministic clock."""
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire()[0] for _ in range(3))
+        ok, retry_after = bucket.try_acquire()
+        assert not ok
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)
+        assert bucket.try_acquire()[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+
+class TestAdmissionController:
+    def test_rejects_beyond_burst_with_retry_hint(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=2, clock=clock)
+        controller.admit("alice")
+        controller.admit("alice")
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit("alice")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "rate_limited"
+        assert excinfo.value.retry_after_s == pytest.approx(1.0)
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1, clock=clock)
+        controller.admit("alice")
+        controller.admit("bob")
+        with pytest.raises(AdmissionError):
+            controller.admit("alice")
+
+    def test_recovers_after_waiting(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=2.0, burst=1, clock=clock)
+        controller.admit("alice")
+        with pytest.raises(AdmissionError):
+            controller.admit("alice")
+        clock.advance(0.5)
+        controller.admit("alice")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(rate=0.0, burst=1)
+        with pytest.raises(ServiceError):
+            AdmissionController(rate=1.0, burst=0)

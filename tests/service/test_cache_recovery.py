@@ -1,0 +1,87 @@
+"""Cache-corruption recovery through the full service path.
+
+A corrupted result-cache entry must be detected (``exec.cache.corrupt``),
+treated as a miss, recomputed, and the job must still finish with a 200
+result — the corruption is an operational event, never a client error.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.exec.cache import ResultCache
+from repro.service import JobManager, ReliabilityService
+
+TINY = {"kind": "lifetime", "design": "C1", "grid": 6}
+
+
+def _json(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+def _submit(service, doc):
+    return service.handle(
+        "POST", "/v1/jobs", json.dumps(doc).encode("utf-8"), "t"
+    )
+
+
+def _wait_done(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        doc = _json(service.handle("GET", f"/v1/jobs/{job_id}", b"", "t"))
+        if doc["state"] in ("done", "failed", "cancelled"):
+            return doc
+        time.sleep(0.02)
+    raise AssertionError("job did not finish")
+
+
+@pytest.fixture()
+def cached_service(tmp_path):
+    manager = JobManager(
+        workers=1, max_queue=4, cache=ResultCache(tmp_path / "cache")
+    )
+    manager.start()
+    yield ReliabilityService(manager), tmp_path / "cache"
+    manager.shutdown(drain_timeout=10.0)
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_entry_recomputes_and_returns_200(self, cached_service):
+        service, cache_root = cached_service
+
+        # First run populates the cache.
+        first = _json(_submit(service, TINY))
+        assert _wait_done(service, first["id"])["state"] == "done"
+        first_body = service.handle(
+            "GET", f"/v1/jobs/{first['id']}/result", b"", "t"
+        ).body
+
+        entries = list(cache_root.rglob("*.npz"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"garbage, not a zip archive")
+
+        with obs.enabled():
+            second = _json(_submit(service, TINY))
+            # The corrupt entry must not short-circuit to a cached job.
+            assert not second["cached"]
+            assert _wait_done(service, second["id"])["state"] == "done"
+            assert obs.get_counter("exec.cache.corrupt") == 1.0
+
+        response = service.handle(
+            "GET", f"/v1/jobs/{second['id']}/result", b"", "t"
+        )
+        assert response.status == 200
+        assert response.body == first_body
+
+    def test_intact_entry_serves_cached_job(self, cached_service):
+        service, _cache_root = cached_service
+        first = _json(_submit(service, TINY))
+        _wait_done(service, first["id"])
+        with obs.enabled():
+            second = _json(_submit(service, TINY))
+            assert second["cached"]
+            assert second["state"] == "done"
+            assert obs.get_counter("exec.cache.hit") == 1.0
+            assert obs.get_counter("exec.cache.corrupt") == 0.0

@@ -37,6 +37,20 @@ class TestParser:
                 ["info", "--design", "C1", "--setup", "x.json"]
             )
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_queue == 16
+        assert args.rate == 2.0
+        assert args.burst == 5
+        assert args.drain_timeout == 30.0
+        assert not args.no_cache
+
+    def test_serve_rejects_bad_queue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--max-queue", "0"])
+
 
 class TestInfo:
     def test_text_output(self, capsys, tiny_args):

@@ -1,0 +1,127 @@
+"""Envelope provenance and payload round-trips (repro.payloads).
+
+Every JSON document the CLI or the service emits carries ``version``
+(library version from package metadata) and ``schema_version``
+(:data:`repro.payloads.PAYLOAD_SCHEMA_VERSION`); the documents round-trip
+through :func:`repro.payloads.dump_payload` without loss.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro import payloads
+from repro.chip.benchmarks import make_benchmark
+from repro.cli import main
+from repro.core.analyzer import AnalysisConfig, ReliabilityAnalyzer
+from repro.payloads import PAYLOAD_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return ReliabilityAnalyzer(
+        make_benchmark("C1"), config=AnalysisConfig(grid_size=6)
+    )
+
+
+class TestVersion:
+    def test_library_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__
+
+    def test_stamp_envelope_adds_provenance(self):
+        payload = payloads.stamp_envelope({"x": 1})
+        assert payload["version"] == repro.__version__
+        assert payload["schema_version"] == PAYLOAD_SCHEMA_VERSION
+
+    def test_stamp_envelope_preserves_existing(self):
+        payload = payloads.stamp_envelope({"schema_version": 99})
+        assert payload["schema_version"] == 99
+
+
+class TestBuilders:
+    def test_lifetime_payload_round_trips(self, analyzer):
+        payload = payloads.lifetime_payload(analyzer, 10.0, ("st_fast", "guard"))
+        restored = json.loads(payloads.dump_payload(payload))
+        assert restored == payload
+        assert set(restored["lifetime_hours"]) == {"st_fast", "guard"}
+        assert restored["schema_version"] == PAYLOAD_SCHEMA_VERSION
+        assert restored["version"] == repro.__version__
+
+    def test_curve_payload_round_trips(self, analyzer):
+        payload = payloads.curve_payload(
+            analyzer, "st_fast", t_min=1e4, t_max=1e6, points=5
+        )
+        restored = json.loads(payloads.dump_payload(payload))
+        assert restored == payload
+        assert len(restored["times_hours"]) == 5
+        assert len(restored["reliability"]) == 5
+
+    def test_report_payload_carries_envelope(self):
+        payload = payloads.report_payload(
+            lambda: ReliabilityAnalyzer(
+                make_benchmark("C1"), config=AnalysisConfig(grid_size=6)
+            )
+        )
+        assert payload["schema_version"] == PAYLOAD_SCHEMA_VERSION
+        assert payload["version"] == repro.__version__
+        assert "timing:" in payload["report"]
+        assert "execution backend:" in payload["report"]
+
+
+class TestCliEnvelopes:
+    """Every ``--json`` command stamps version/schema_version via _emit."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info", "--design", "C1", "--grid", "6", "--json"],
+            ["lifetime", "--design", "C1", "--grid", "6", "--json"],
+            [
+                "curve",
+                "--design",
+                "C1",
+                "--grid",
+                "6",
+                "--t-min",
+                "1e4",
+                "--t-max",
+                "1e6",
+                "--points",
+                "3",
+                "--json",
+            ],
+            ["thermal", "--design", "C1", "--grid", "6", "--json"],
+        ],
+    )
+    def test_json_output_is_stamped(self, capsys, argv):
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == repro.__version__
+        assert payload["schema_version"] == PAYLOAD_SCHEMA_VERSION
+
+    def test_batch_json_round_trips_with_schema_version(self, capsys, tmp_path):
+        argv = [
+            "batch",
+            "--design",
+            "C1",
+            "--grid",
+            "6",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == PAYLOAD_SCHEMA_VERSION
+        assert payload["version"] == repro.__version__
+        # Round-trip: serialise -> parse -> byte-identical serialisation.
+        dumped = payloads.dump_payload(payload)
+        assert payloads.dump_payload(json.loads(dumped)) == dumped
+
+    def test_report_json_is_stamped(self, capsys):
+        assert main(["report", "--design", "C1", "--grid", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == PAYLOAD_SCHEMA_VERSION
+        assert payload["version"] == repro.__version__
