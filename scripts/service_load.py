@@ -1,0 +1,453 @@
+#!/usr/bin/env python
+"""Open-loop load benchmark for ``repro serve``. Stdlib only.
+
+Boots a real ``repro serve`` subprocess (or targets ``--base-url``),
+replays a seeded, deterministic open-loop arrival schedule against it —
+mixed design sizes, a dedup-hit pool versus fresh cache-miss seeds —
+then waits for every accepted job to finish and writes a JSON report
+(``BENCH_service.json``) with per-class latency percentiles, sustained
+throughput, and the shed rate.
+
+*Open loop* means arrivals follow the schedule regardless of how fast the
+server answers — the realistic regime where queueing delay shows up — as
+opposed to closed-loop clients that wait for each response and therefore
+self-throttle precisely when the server struggles.
+
+The CI ``service-load`` job runs ``--quick --check``: quick shrinks the
+schedule, check enforces the latency/shed thresholds at the bottom of
+this file and exits non-zero on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+#: Request templates, mixing design sizes (grid 6 vs 10 is a ~3x node
+#: count difference in the thermal solve).
+TEMPLATES = [
+    {"kind": "lifetime", "design": "C1", "grid": 6, "methods": ["st_fast"]},
+    {"kind": "lifetime", "design": "C2", "grid": 6, "methods": ["st_fast"]},
+    {"kind": "lifetime", "design": "C1", "grid": 10, "methods": ["st_fast"]},
+    {
+        "kind": "curve",
+        "design": "C1",
+        "grid": 6,
+        "points": 4,
+        "t_min": 100.0,
+        "t_max": 50_000.0,
+        "methods": ["st_fast"],
+    },
+]
+
+#: Fraction of submissions drawn from a small seed pool, so they dedup
+#: (coalesce onto a live job or hit the result cache) instead of
+#: computing; the rest carry fresh seeds and must run.
+DUP_FRACTION = 0.3
+DUP_POOL = 4
+
+#: --check thresholds.  Generous enough for a noisy 2-core CI runner;
+#: the point is catching order-of-magnitude regressions (a blocking
+#: handler, a lock held across a solve), not microbenchmarking.
+THRESHOLDS = {
+    "submit_p99_s": 2.5,
+    "status_p99_s": 1.0,
+    "shed_rate_max": 0.5,
+    "min_completed": 1,
+    "max_errors": 0,
+}
+
+
+def _call(
+    method: str, url: str, body: bytes | None = None, client: str = "load"
+) -> tuple[int, bytes, float]:
+    """One HTTP call; returns (status, body, latency_seconds)."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json", "X-Client-Id": client},
+    )
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, response.read(), time.perf_counter() - started
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), time.perf_counter() - started
+
+
+def _start_server(args: list[str]) -> tuple[subprocess.Popen[str], str]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            return process, line.split("serving on ", 1)[1].strip()
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    process.kill()
+    raise SystemExit("server did not print its serving banner")
+
+
+def build_schedule(
+    n_requests: int, rate: float, seed: int
+) -> list[tuple[float, dict, str, str]]:
+    """The deterministic arrival plan: (offset_s, payload, client, mix).
+
+    Poisson arrivals at ``rate`` req/s; ~DUP_FRACTION of payloads reuse a
+    seed from a small pool (dedup-hit mix), the rest get a unique seed
+    (cache-miss mix).  Four synthetic clients spread the admission
+    controller's per-client buckets.
+    """
+    rng = random.Random(seed)
+    schedule = []
+    t = 0.0
+    for i in range(n_requests):
+        t += rng.expovariate(rate)
+        template = dict(rng.choice(TEMPLATES))
+        if rng.random() < DUP_FRACTION:
+            template["seed"] = 1000 + rng.randrange(DUP_POOL)
+            mix = "dup"
+        else:
+            template["seed"] = 50_000 + i
+            mix = "unique"
+        client = f"load-client-{rng.randrange(4)}"
+        schedule.append((t, template, client, mix))
+    return schedule
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending list."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = position - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def summarize(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "p50_s": percentile(ordered, 0.50),
+        "p95_s": percentile(ordered, 0.95),
+        "p99_s": percentile(ordered, 0.99),
+        "max_s": ordered[-1] if ordered else float("nan"),
+        "mean_s": sum(ordered) / len(ordered) if ordered else float("nan"),
+    }
+
+
+class LoadRun:
+    """Shared mutable state for one traffic replay (lock-guarded)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.submit_latencies: list[float] = []
+        self.status_latencies: list[float] = []
+        self.accepted: list[str] = []
+        self.dedup_hits = 0
+        self.shed = 0
+        self.errors = 0
+
+    def record_submit(
+        self, status: int, body: bytes, latency: float
+    ) -> None:
+        with self.lock:
+            self.submit_latencies.append(latency)
+            if status in (429, 503):
+                self.shed += 1
+            elif status == 201:
+                self.accepted.append(json.loads(body)["id"])
+            elif status == 200:
+                # Coalesced onto a live job or answered from cache.
+                self.dedup_hits += 1
+                self.accepted.append(json.loads(body)["id"])
+            else:
+                self.errors += 1
+
+
+def replay(base: str, schedule: list[tuple[float, dict, str, str]]) -> LoadRun:
+    """Fire the schedule open-loop; returns the collected measurements."""
+    run = LoadRun()
+    threads = []
+    started = time.perf_counter()
+
+    def fire(offset: float, payload: dict, client: str) -> None:
+        delay = offset - (time.perf_counter() - started)
+        if delay > 0:
+            time.sleep(delay)
+        status, body, latency = _call(
+            "POST",
+            f"{base}/v1/jobs",
+            json.dumps(payload).encode("utf-8"),
+            client=client,
+        )
+        run.record_submit(status, body, latency)
+
+    for offset, payload, client, _mix in schedule:
+        thread = threading.Thread(
+            target=fire, args=(offset, payload, client), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=120)
+    return run
+
+
+def drain_jobs(base: str, run: LoadRun, timeout: float = 300.0) -> dict:
+    """Poll accepted jobs to a terminal state; returns the tally."""
+    with run.lock:
+        pending = sorted(set(run.accepted))
+    states: dict[str, str] = {}
+    deadline = time.monotonic() + timeout
+    while pending and time.monotonic() < deadline:
+        still = []
+        for job_id in pending:
+            _, body, latency = _call("GET", f"{base}/v1/jobs/{job_id}")
+            with run.lock:
+                run.status_latencies.append(latency)
+            state = json.loads(body)["state"]
+            if state in ("done", "failed", "cancelled"):
+                states[job_id] = state
+            else:
+                still.append(job_id)
+        pending = still
+        if pending:
+            time.sleep(0.2)
+    for job_id in pending:
+        states[job_id] = "unfinished"
+    tally: dict[str, int] = {}
+    for state in states.values():
+        tally[state] = tally.get(state, 0) + 1
+    return tally
+
+
+def scrape_observability(base: str) -> dict:
+    """What the tentpole promises: histogram families + flight records."""
+    _, metrics_body, _ = _call("GET", f"{base}/metrics")
+    text = metrics_body.decode("utf-8")
+    histogram_families = sorted(
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE ") and line.rstrip().endswith("histogram")
+    )
+    _, flight_body, _ = _call("GET", f"{base}/v1/debug/flight")
+    flight = json.loads(flight_body)
+    return {
+        "histogram_families": histogram_families,
+        "latency_histograms": [
+            name
+            for name in histogram_families
+            if name.startswith("repro_service_latency_")
+        ],
+        "flight_records": flight["count"],
+    }
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    n_requests = 40 if args.quick else args.requests
+    schedule = build_schedule(n_requests, args.rate, args.seed)
+    horizon = schedule[-1][0]
+    print(
+        f"load: {n_requests} requests over ~{horizon:.1f}s "
+        f"(rate {args.rate}/s, seed {args.seed})"
+    )
+
+    process = None
+    base = args.base_url
+    if base is None:
+        # Fresh cache dir per run: a warm persistent cache would turn
+        # every repeat invocation into 100% disk hits and measure nothing.
+        cache_dir = tempfile.mkdtemp(prefix="repro-load-cache-")
+        process, base = _start_server(
+            [
+                "--jobs",
+                str(args.workers),
+                "--max-queue",
+                str(args.max_queue),
+                "--rate",
+                "0",  # shed via queue bounds, not per-client buckets
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+    try:
+        wall_start = time.perf_counter()
+        run = replay(base, schedule)
+        tally = drain_jobs(base, run)
+        wall = time.perf_counter() - wall_start
+        observability = scrape_observability(base)
+    finally:
+        if process is not None:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+
+    completed = tally.get("done", 0)
+    shed_rate = run.shed / n_requests if n_requests else 0.0
+    report = {
+        "benchmark": "service_load",
+        "config": {
+            "requests": n_requests,
+            "rate_per_s": args.rate,
+            "seed": args.seed,
+            "quick": args.quick,
+            "workers": args.workers,
+            "max_queue": args.max_queue,
+            "dup_fraction": DUP_FRACTION,
+            "templates": TEMPLATES,
+        },
+        "latency": {
+            "submit": summarize(run.submit_latencies),
+            "status": summarize(run.status_latencies),
+        },
+        "jobs": {
+            "offered": n_requests,
+            "accepted": len(run.accepted),
+            "dedup_hits": run.dedup_hits,
+            "shed": run.shed,
+            "errors": run.errors,
+            "terminal_states": tally,
+        },
+        "shed_rate": shed_rate,
+        "throughput_jobs_per_s": completed / wall if wall > 0 else 0.0,
+        "wall_s": wall,
+        "observability": observability,
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    return report
+
+
+def check_thresholds(report: dict) -> list[str]:
+    failures = []
+    submit = report["latency"]["submit"]
+    status = report["latency"]["status"]
+    if submit["p99_s"] > THRESHOLDS["submit_p99_s"]:
+        failures.append(
+            f"submit p99 {submit['p99_s']:.3f}s > "
+            f"{THRESHOLDS['submit_p99_s']}s"
+        )
+    if status["count"] and status["p99_s"] > THRESHOLDS["status_p99_s"]:
+        failures.append(
+            f"status p99 {status['p99_s']:.3f}s > "
+            f"{THRESHOLDS['status_p99_s']}s"
+        )
+    if report["shed_rate"] > THRESHOLDS["shed_rate_max"]:
+        failures.append(
+            f"shed rate {report['shed_rate']:.2f} > "
+            f"{THRESHOLDS['shed_rate_max']}"
+        )
+    if report["jobs"]["errors"] > THRESHOLDS["max_errors"]:
+        failures.append(
+            f"{report['jobs']['errors']} requests got unexpected statuses"
+        )
+    done = report["jobs"]["terminal_states"].get("done", 0)
+    if done < THRESHOLDS["min_completed"]:
+        failures.append(f"only {done} jobs completed")
+    unfinished = report["jobs"]["terminal_states"].get("unfinished", 0)
+    if unfinished:
+        failures.append(f"{unfinished} accepted jobs never finished")
+    if not report["observability"]["latency_histograms"]:
+        failures.append("/metrics exposes no service latency histograms")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=150, help="offered load (default 150)"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=8.0,
+        help="mean open-loop arrival rate, req/s (default 8)",
+    )
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server worker threads"
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=8, help="server queue bound"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI scale: 40 requests instead of --requests",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the latency/shed thresholds (exit 1 on violation)",
+    )
+    parser.add_argument(
+        "--base-url",
+        default=None,
+        help="target an already-running server instead of booting one",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="report path (default BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    submit = report["latency"]["submit"]
+    print(
+        f"submit latency p50/p95/p99: {submit['p50_s'] * 1e3:.1f} / "
+        f"{submit['p95_s'] * 1e3:.1f} / {submit['p99_s'] * 1e3:.1f} ms"
+    )
+    print(
+        f"jobs: {report['jobs']['accepted']} accepted "
+        f"({report['jobs']['dedup_hits']} dedup hits), "
+        f"{report['jobs']['shed']} shed, "
+        f"states {report['jobs']['terminal_states']}"
+    )
+    print(
+        f"throughput: {report['throughput_jobs_per_s']:.2f} completed "
+        f"jobs/s over {report['wall_s']:.1f}s"
+    )
+    print(f"report written to {out}")
+
+    if args.check:
+        failures = check_thresholds(report)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("service load: all thresholds met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

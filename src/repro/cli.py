@@ -12,6 +12,7 @@ Commands
 ``bench``       performance benchmarks (``kernels``: fast paths vs reference)
 ``cache``       result-cache maintenance (``stats``/``clear``)
 ``serve``       HTTP reliability service (async job queue, see docs/service.md)
+``trace``       trace tooling (``show``: render a trace tree from a file/URL)
 
 Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
 setup file (``--setup``, see :mod:`repro.io.design_json`) or a HotSpot
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any
 
@@ -333,6 +335,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         checkpoint_dir=args.checkpoint_dir,
         job_timeout_s=args.job_timeout,
+        flight_slow_s=(
+            args.flight_slow_threshold
+            if args.flight_slow_threshold > 0
+            else None
+        ),
     )
     admission = (
         AdmissionController(rate=args.rate, burst=args.burst)
@@ -365,6 +372,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             + ("" if drained else " (cancelled unfinished jobs)"),
             flush=True,
         )
+    return 0
+
+
+def _trace_roots(document: Any) -> list[dict[str, Any]]:
+    """Root span dicts from any of the trace document shapes we emit.
+
+    Accepts the CLI ``--trace FILE`` document (``{"trace": [roots...]}``),
+    the ``GET /v1/jobs/{id}/trace`` envelope (``{"trace": {root}}``), a
+    bare root node, or a bare list of roots.
+    """
+    from repro.errors import ConfigurationError
+
+    if isinstance(document, dict):
+        inner = document.get("trace", document)
+        if isinstance(inner, list):
+            return inner
+        if isinstance(inner, dict) and "name" in inner:
+            return [inner]
+    elif isinstance(document, list):
+        return document
+    raise ConfigurationError(
+        "unrecognised trace document; expected the CLI --trace output, "
+        "a /v1/jobs/{id}/trace response, or a span-node JSON object"
+    )
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    source: str = args.source
+    try:
+        if source.startswith(("http://", "https://")):
+            from urllib.request import urlopen
+
+            with urlopen(source, timeout=10.0) as response:
+                document = json.load(response)
+        else:
+            with open(source, encoding="utf-8") as handle:
+                document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {source!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"trace {source!r} is not valid JSON: {exc}"
+        ) from exc
+    roots = _trace_roots(document)
+    rendered = obs.render_trace(
+        roots, max_depth=args.depth, show_attrs=not args.no_attrs
+    )
+    _emit(args, {"trace": roots}, rendered)
     return 0
 
 
@@ -568,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
         "reporting and resume across restarts)",
     )
     p_serve.add_argument(
+        "--flight-slow-threshold",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="dump a job's flight-recorder timeline when it takes longer "
+        "than this (0 disables the slow-job criterion; default 30)",
+    )
+    p_serve.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the result cache (identical submissions recompute)",
@@ -581,6 +646,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve, json=False)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace tooling (render recorded span trees)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_show = trace_sub.add_parser(
+        "show",
+        help="render a trace tree from a --trace file, a saved "
+        "/v1/jobs/{id}/trace response, or a live service URL",
+    )
+    p_trace_show.add_argument(
+        "source",
+        metavar="FILE_OR_URL",
+        help="trace JSON file, or an http(s) URL returning one "
+        "(e.g. http://127.0.0.1:8080/v1/jobs/<id>/trace)",
+    )
+    p_trace_show.add_argument(
+        "--depth",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="prune the rendered tree below N levels (default: unlimited)",
+    )
+    p_trace_show.add_argument(
+        "--no-attrs",
+        action="store_true",
+        help="hide span attributes (show names and wall times only)",
+    )
+    _add_obs_arguments(p_trace_show)
+    p_trace_show.set_defaults(func=_cmd_trace_show)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -635,6 +730,12 @@ def main(argv: list[str] | None = None) -> int:
         obs.get_logger("cli").debug("command failed", exc_info=True)
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (`repro ... | head`); the convention
+        # is a silent exit, not a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         if trace_file:
             snapshot = obs.observability_snapshot()

@@ -13,6 +13,7 @@ comment on that line.
 from __future__ import annotations
 
 import ast
+import re
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -689,6 +690,111 @@ class ServiceBlockingCalls(Rule):
                     "the JobManager worker pool (or an Event with a "
                     "timeout) so request handling and shutdown drain stay "
                     "responsive",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPL008 — metric/span naming discipline
+# ---------------------------------------------------------------------------
+
+
+@register
+class MetricNamingDiscipline(Rule):
+    """Metric and span names form a static, enumerable namespace.
+
+    Dashboards, alerts and the Prometheus rendering all assume the set of
+    metric families is known ahead of time.  A name built at runtime
+    (``f"service.errors.{code}"``) silently creates one family per dynamic
+    value — unbounded registry growth and un-alertable series.  The fix is
+    a literal lookup table keyed by the dynamic part (the table's values
+    stay greppable); names themselves are dotted lowercase.
+    """
+
+    rule_id = "RPL008"
+    name = "metric-naming"
+    summary = (
+        "metric/span names passed to span()/inc()/gauge()/observe() must "
+        "be static dotted-lowercase strings, never f-strings/format/"
+        "concatenation; route dynamic parts through a literal dict"
+    )
+
+    _CALLS = frozenset({"span", "inc", "gauge", "observe"})
+    _BASES = frozenset({"obs", "metrics", "trace"})
+    _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+    def _call_label(self, func: ast.AST) -> str | None:
+        """``'metrics.inc'`` for a metric/span call, else None."""
+        if isinstance(func, ast.Name) and func.id in self._CALLS:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._CALLS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._BASES
+        ):
+            return f"{func.value.id}.{func.attr}"
+        return None
+
+    @staticmethod
+    def _is_stringy(node: ast.AST) -> bool:
+        if isinstance(node, ast.JoinedStr):
+            return True
+        return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+    def _dynamic_kind(self, arg: ast.expr) -> str | None:
+        """How the name is being built at runtime, if it is."""
+        if isinstance(arg, ast.JoinedStr) and any(
+            isinstance(part, ast.FormattedValue) for part in arg.values
+        ):
+            return "an f-string"
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "format"
+            and self._is_stringy(arg.func.value)
+        ):
+            return "str.format()"
+        if isinstance(arg, ast.BinOp):
+            if isinstance(arg.op, ast.Mod) and self._is_stringy(arg.left):
+                return "%-formatting"
+            if isinstance(arg.op, ast.Add) and (
+                self._is_stringy(arg.left) or self._is_stringy(arg.right)
+            ):
+                return "string concatenation"
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            label = self._call_label(node.func)
+            if label is None:
+                continue
+            arg = node.args[0]
+            dynamic = self._dynamic_kind(arg)
+            if dynamic is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric/span name passed to {label}() is built with "
+                    f"{dynamic}; every dynamic value mints a new metric "
+                    "family — map the dynamic part through a literal dict "
+                    "of static names instead",
+                )
+                continue
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and not self._NAME_RE.match(arg.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric/span name {arg.value!r} passed to {label}() is "
+                    "not dotted lowercase (expected e.g. "
+                    "'service.latency.jobs_submit')",
                 )
 
 

@@ -30,6 +30,7 @@ import io
 import json
 import os
 import tempfile
+import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -154,6 +155,16 @@ class ResultCache:
 
     def get(self, key: str) -> dict[str, np.ndarray] | None:
         """The stored arrays for ``key``, or ``None`` on miss/corruption."""
+        lookup_started = time.perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            metrics.observe(
+                "exec.cache.lookup_seconds",
+                time.perf_counter() - lookup_started,
+            )
+
+    def _get(self, key: str) -> dict[str, np.ndarray] | None:
         path = self.path_for(key)
         if not path.exists():
             metrics.inc("exec.cache.miss")

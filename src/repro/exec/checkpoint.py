@@ -31,7 +31,7 @@ from typing import Any
 import numpy as np
 
 from repro.exec.cache import fingerprint
-from repro.obs import metrics
+from repro.obs import flight, metrics
 from repro.obs.logging import get_logger
 
 __all__ = ["CHECKPOINT_VERSION", "Checkpoint"]
@@ -164,6 +164,7 @@ class Checkpoint:
             raise
         self._unsaved = 0
         metrics.inc("exec.checkpoint.saves")
+        flight.emit("checkpoint.flush", shards=len(self._payloads))
 
     def clear(self) -> None:
         """Delete the checkpoint file (after a successful run)."""

@@ -25,8 +25,9 @@ from repro.errors import ExecutionInterrupted
 from repro.exec.backends import ExecBackend
 from repro.exec.checkpoint import Checkpoint
 from repro.exec.sharding import Shard
-from repro.obs import metrics
+from repro.obs import flight, metrics, trace
 from repro.obs.logging import get_logger
+from repro.obs.propagate import TraceContext, current_trace_context, record_subtree
 
 __all__ = ["run_sharded"]
 
@@ -34,12 +35,34 @@ logger = get_logger("exec.runner")
 
 ShardPayload = dict[str, np.ndarray]
 
+GroupResult = tuple[
+    list[tuple[int, ShardPayload]], list[dict[str, Any]] | None
+]
+
 
 def _run_group(
-    task: Callable[[Shard], ShardPayload], group: list[Shard]
-) -> list[tuple[int, ShardPayload]]:
-    """Execute one task group; module-level so process backends can pickle."""
-    return [(shard.index, task(shard)) for shard in group]
+    task: Callable[[Shard], ShardPayload],
+    trace_ctx: TraceContext | None,
+    group: list[Shard],
+) -> GroupResult:
+    """Execute one task group; module-level so process backends can pickle.
+
+    With a ``trace_ctx`` (tracing enabled at the submission site), each
+    shard's work is recorded as a detached span subtree on the worker —
+    thread or separate process alike — and the serialized spans ship back
+    alongside the payloads for the parent to graft into its tree.
+    """
+    if trace_ctx is None:
+        return [(shard.index, task(shard)) for shard in group], None
+    results: list[tuple[int, ShardPayload]] = []
+    span_docs: list[dict[str, Any]] = []
+    for shard in group:
+        with record_subtree(
+            "exec.shard", trace_ctx, shard=shard.index, size=shard.size
+        ) as node:
+            results.append((shard.index, task(shard)))
+        span_docs.append(node.to_dict())
+    return results, span_docs
 
 
 def run_sharded(
@@ -76,17 +99,30 @@ def run_sharded(
     groups = [
         pending[i : i + width] for i in range(0, len(pending), width)
     ]
+    # Built once at the submission site: workers parent their shard spans
+    # onto whatever span is open here (None keeps the disabled path free).
+    trace_ctx = current_trace_context()
     started = time.perf_counter()
     completed = 0
     try:
-        for _, results in backend.imap_unordered(
-            partial(_run_group, task), groups
+        for _, group_result in backend.imap_unordered(
+            partial(_run_group, task, trace_ctx), groups
         ):
+            results, span_docs = group_result
             for index, payload in results:
                 done[index] = payload
                 if checkpoint is not None:
                     checkpoint.add(index, payload)
+            if span_docs:
+                trace.graft(span_docs)
+                for doc in span_docs:
+                    metrics.observe(
+                        "exec.shard.seconds", float(doc["wall_time_s"])
+                    )
             completed += len(results)
+            flight.emit(
+                "shard.progress", done=completed, total=len(pending)
+            )
             elapsed = time.perf_counter() - started
             eta = elapsed / completed * (len(pending) - completed)
             logger.debug(

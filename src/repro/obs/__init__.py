@@ -23,13 +23,18 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.logging import JsonFormatter, configure_logging, get_logger
 from repro.obs.metrics import (
+    Histogram,
     gauge,
     get_counter,
     get_gauge,
+    get_histogram,
     inc,
+    log_buckets,
     metrics_snapshot,
+    observe,
     reset_metrics,
 )
 from repro.obs.profile import (
@@ -37,8 +42,16 @@ from repro.obs.profile import (
     clear_span_end,
     on_span_end,
     remove_span_end,
+    render_trace,
     stage_times,
     timing_summary,
+)
+from repro.obs.propagate import (
+    TraceContext,
+    current_trace_context,
+    current_trace_id,
+    record_subtree,
+    set_trace_id,
 )
 from repro.obs.trace import (
     NOOP_SPAN,
@@ -47,35 +60,52 @@ from repro.obs.trace import (
     disable,
     enable,
     enabled,
+    get_clock,
+    graft,
     is_enabled,
+    set_clock,
     span,
     trace_snapshot,
 )
 from repro.obs.trace import reset as _reset_trace
 
 __all__ = [
+    "FlightRecorder",
+    "Histogram",
     "JsonFormatter",
     "NOOP_SPAN",
     "SpanBudgets",
     "SpanNode",
+    "TraceContext",
     "clear_span_end",
     "configure_logging",
     "current_span",
+    "current_trace_context",
+    "current_trace_id",
     "disable",
     "enable",
     "enabled",
     "gauge",
+    "get_clock",
     "get_counter",
     "get_gauge",
+    "get_histogram",
     "get_logger",
+    "graft",
     "inc",
     "is_enabled",
+    "log_buckets",
     "metrics_snapshot",
     "observability_snapshot",
+    "observe",
     "on_span_end",
+    "record_subtree",
     "remove_span_end",
+    "render_trace",
     "reset",
     "reset_metrics",
+    "set_clock",
+    "set_trace_id",
     "span",
     "stage_times",
     "timing_summary",

@@ -1,0 +1,187 @@
+"""Flight recorder: bounded in-memory timelines of recent job activity.
+
+Production debugging of an async job service needs the *sequence* of
+events around a failure — when the job was submitted, how long it
+queued, which shard it was on when it died — not just terminal counters.
+The :class:`FlightRecorder` keeps a small per-job event timeline while a
+job is live and, when the job ends badly (failed, cancelled) or slowly
+(wall time above ``slow_s``), freezes the timeline into a fixed-capacity
+ring of dumps together with a metric snapshot and the job's trace tree.
+Healthy fast jobs leave no residue, so the recorder's memory is bounded
+by ``capacity`` dumps of at most ``max_events`` events each regardless of
+uptime.
+
+Deep layers (``repro.exec.runner``, ``repro.exec.checkpoint``) report
+progress without any API threading: the job worker *binds* the recorder
+and job id to its thread (:func:`bind`), and :func:`emit` becomes a
+cheap append — or a no-op on unbound threads, which is every thread
+outside a service job worker (including process-pool workers, whose
+events are summarised by the parent's shard-progress emits instead).
+
+Unlike spans and counters the recorder is not gated on the global
+observability switch: it is always on, always bounded, and queryable at
+``GET /v1/debug/flight``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics
+
+__all__ = ["FlightRecorder", "bind", "emit"]
+
+#: Terminal states that always trigger a dump.
+_DUMP_STATES = frozenset({"failed", "cancelled"})
+
+_tls = threading.local()
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent job event timelines.
+
+    Parameters
+    ----------
+    capacity:
+        Finalized dumps retained (oldest evicted first).
+    max_events:
+        Events kept per job timeline (oldest evicted first).
+    slow_s:
+        Wall-time threshold above which even a successful job is dumped;
+        ``None`` disables the slow-job criterion.
+    clock:
+        Wall-clock source for event timestamps (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_events: int = 128,
+        slow_s: float | None = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if max_events < 1:
+            raise ConfigurationError(f"max_events must be >= 1, got {max_events}")
+        self.capacity = capacity
+        self.max_events = max_events
+        self.slow_s = slow_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._active: dict[str, dict[str, Any]] = {}
+        self._dumps: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    # timeline lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self, job_id: str, **detail: Any) -> None:
+        """Start a timeline for ``job_id`` with an initial ``submit`` event."""
+        with self._lock:
+            self._active[job_id] = {
+                "job_id": job_id,
+                "opened_at": self._clock(),
+                "events": deque(maxlen=self.max_events),
+            }
+        self.event(job_id, "submit", **detail)
+
+    def event(self, job_id: str, name: str, **detail: Any) -> None:
+        """Append one event to a live timeline (no-op for unknown jobs)."""
+        with self._lock:
+            record = self._active.get(job_id)
+            if record is None:
+                return
+            entry: dict[str, Any] = {"t": self._clock(), "event": name}
+            if detail:
+                entry.update(detail)
+            record["events"].append(entry)
+
+    def close(
+        self,
+        job_id: str,
+        state: str,
+        duration_s: float | None = None,
+        trace: dict[str, Any] | None = None,
+    ) -> bool:
+        """Finalize a timeline; returns True when it was dumped.
+
+        Failed/cancelled jobs and jobs slower than ``slow_s`` freeze their
+        timeline (plus a metric snapshot and the merged trace tree, when
+        one was captured) into the ring; everything else is dropped.
+        """
+        self.event(job_id, "finish", state=state, duration_s=duration_s)
+        with self._lock:
+            record = self._active.pop(job_id, None)
+            if record is None:
+                return False
+            slow = (
+                self.slow_s is not None
+                and duration_s is not None
+                and duration_s > self.slow_s
+            )
+            if state not in _DUMP_STATES and not slow:
+                return False
+            dump = {
+                "job_id": job_id,
+                "state": state,
+                "duration_s": duration_s,
+                "reason": state if state in _DUMP_STATES else "slow",
+                "opened_at": record["opened_at"],
+                "events": list(record["events"]),
+                "metrics": metrics.metrics_snapshot(),
+            }
+            if trace is not None:
+                dump["trace"] = trace
+            self._dumps.append(dump)
+            return True
+
+    def discard(self, job_id: str) -> None:
+        """Drop a live timeline without dumping (e.g. coalesced away)."""
+        with self._lock:
+            self._active.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def records(self) -> list[dict[str, Any]]:
+        """Finalized dumps, newest first (JSON-ready)."""
+        with self._lock:
+            return list(reversed(self._dumps))
+
+    def active_count(self) -> int:
+        """Live (not yet finalized) timelines."""
+        with self._lock:
+            return len(self._active)
+
+
+# ---------------------------------------------------------------------------
+# thread-local binding, so deep layers can emit without API threading
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def bind(recorder: FlightRecorder, job_id: str) -> Iterator[None]:
+    """Route :func:`emit` calls on this thread to ``(recorder, job_id)``."""
+    previous = getattr(_tls, "target", None)
+    _tls.target = (recorder, job_id)
+    try:
+        yield
+    finally:
+        _tls.target = previous
+
+
+def emit(name: str, **detail: Any) -> None:
+    """Append an event to the thread's bound timeline (no-op unbound)."""
+    target = getattr(_tls, "target", None)
+    if target is None:
+        return
+    recorder, job_id = target
+    recorder.event(job_id, name, **detail)

@@ -31,6 +31,7 @@ __all__ = [
     "clear_span_end",
     "on_span_end",
     "remove_span_end",
+    "render_trace",
     "stage_times",
     "timing_summary",
 ]
@@ -166,4 +167,58 @@ def timing_summary(
             render(node["children"], depth + 1)
 
     render(snapshot, 0)
+    return "\n".join(lines)
+
+
+def render_trace(
+    nodes: list[dict[str, Any]],
+    max_depth: int | None = None,
+    show_attrs: bool = True,
+) -> str:
+    """ASCII tree rendering of serialized span nodes (``repro trace show``).
+
+    Unlike :func:`timing_summary` this renders every node individually —
+    no sibling merging — because per-span identity is the point when
+    inspecting a merged cross-process job trace.  Each line carries the
+    wall time, an error marker and (optionally) a compact attribute list.
+    """
+    if not nodes:
+        return "(no spans recorded)"
+    lines: list[str] = []
+
+    def describe(node: dict[str, Any]) -> str:
+        wall_ms = float(node.get("wall_time_s", 0.0)) * 1e3
+        text = f"{node.get('name', '?')}  {wall_ms:.2f} ms"
+        if node.get("error"):
+            text += f"  !! {node['error']}"
+        attrs = node.get("attrs") or {}
+        if show_attrs and attrs:
+            rendered = ", ".join(
+                f"{key}={attrs[key]}" for key in sorted(attrs)
+            )
+            text += f"  [{rendered}]"
+        return text
+
+    def walk(siblings: list[dict[str, Any]], prefix: str, depth: int) -> None:
+        pruned = max_depth is not None and depth >= max_depth
+        for i, node in enumerate(siblings):
+            last = i == len(siblings) - 1
+            connector = "`-- " if last else "|-- "
+            if depth == 0:
+                lines.append(describe(node))
+                child_prefix = ""
+            else:
+                lines.append(f"{prefix}{connector}{describe(node)}")
+                child_prefix = prefix + ("    " if last else "|   ")
+            children = node.get("children") or []
+            if children:
+                if pruned:
+                    lines.append(
+                        f"{child_prefix}`-- ... {len(children)} child "
+                        "span(s) pruned"
+                    )
+                else:
+                    walk(children, child_prefix, depth + 1)
+
+    walk(nodes, "", 0)
     return "\n".join(lines)

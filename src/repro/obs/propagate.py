@@ -1,0 +1,127 @@
+"""Cross-process trace propagation.
+
+Spans live in per-thread stacks (:mod:`repro.obs.trace`), so a subtree
+recorded on a pool worker — a thread *or* a separate process — is invisible
+to the caller's tree.  This module carries just enough context across that
+boundary to stitch the pieces back together:
+
+- :class:`TraceContext` — an immutable, picklable ``(trace_id,
+  parent_span_id)`` pair built at the submission site from the caller's
+  open span.
+- :func:`record_subtree` — a context manager the worker wraps its work in;
+  it records a detached span subtree (never touching the shared root
+  registry, and force-enabling tracing inside a process worker where the
+  global switch is off) that serialises via ``SpanNode.to_dict``.
+- a thread-local *trace id* (:func:`set_trace_id` / :func:`current_trace_id`)
+  the service binds per job, so every span and shard recorded on behalf of
+  a request carries the request's id.
+
+The flow for one service job on the process backend::
+
+    HTTP X-Trace-Id ──> JobManager (set_trace_id, record_subtree)
+        ──> run_sharded builds TraceContext(current span)
+            ──> pickled to workers with each shard group
+                ──> worker record_subtree("exec.shard_group", ctx)
+            <── span dicts ship back with shard results
+        <── trace.graft() re-attaches them under the submitting span
+    GET /v1/jobs/{id}/trace serves the merged tree
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs import trace
+
+__all__ = [
+    "TraceContext",
+    "current_trace_context",
+    "current_trace_id",
+    "record_subtree",
+    "set_trace_id",
+]
+
+_tls = threading.local()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to parent its spans into the caller's tree.
+
+    Plain strings only, so the context pickles cheaply alongside shard
+    arguments for the process backend.
+    """
+
+    trace_id: str = ""
+    parent_span_id: str = ""
+
+
+def set_trace_id(trace_id: str | None) -> None:
+    """Bind a trace id to the calling thread (``None`` clears it)."""
+    _tls.trace_id = trace_id
+
+
+def current_trace_id() -> str | None:
+    """The calling thread's bound trace id, if any."""
+    return getattr(_tls, "trace_id", None)
+
+
+def current_trace_context() -> TraceContext | None:
+    """A :class:`TraceContext` for the caller's open span.
+
+    ``None`` while tracing is disabled — callers skip worker-side capture
+    entirely in that case, keeping the disabled path free.
+    """
+    if not trace.is_enabled():
+        return None
+    parent = trace.current_span()
+    return TraceContext(
+        trace_id=current_trace_id() or "",
+        parent_span_id=parent.span_id if parent is not None else "",
+    )
+
+
+@contextmanager
+def record_subtree(
+    name: str,
+    context: TraceContext | None = None,
+    **attrs: Any,
+) -> Iterator[trace.SpanNode]:
+    """Record a detached span subtree on the calling thread.
+
+    The subtree root goes onto the thread's active-span stack — so spans
+    opened inside nest under it — but never into the shared root registry,
+    and tracing is force-enabled for the duration when the process-global
+    switch is off (the situation inside a process-pool worker).  The
+    yielded root carries ``trace_id``/``parent_span_id`` attributes from
+    ``context`` and is ready to serialise with ``to_dict()`` once the
+    block exits, even when the body raised (the error is recorded first).
+    """
+    was_enabled = trace._enabled
+    if not was_enabled:
+        trace.enable()
+    node = trace.SpanNode(name, attrs)
+    if context is not None:
+        if context.trace_id:
+            node.attrs["trace_id"] = context.trace_id
+        if context.parent_span_id:
+            node.attrs["parent_span_id"] = context.parent_span_id
+    stack = trace._stack()
+    stack.append(node)
+    try:
+        yield node
+    except BaseException as exc:
+        node.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        node.end = trace._clock()
+        if stack and stack[-1] is node:
+            stack.pop()
+        elif node in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(node)
+        if not was_enabled:
+            trace.disable()

@@ -26,12 +26,28 @@ Each thread keeps its own active-span stack, so a worker thread started
 inside a span opens its own root rather than racing the parent's child
 list.  The shared root list and finish-callback registry are guarded by a
 lock.
+
+Clock injection
+---------------
+All span timing goes through a module-level monotonic clock
+(:func:`set_clock` / :func:`get_clock`).  The default is
+``time.perf_counter``; tests substitute a fake to make timing assertions
+deterministic instead of sleep-based.
+
+Cross-process merging
+---------------------
+Every recorded span carries a short ``span_id``.  A subtree recorded in a
+worker process serialises via :meth:`SpanNode.to_dict`, travels back with
+the shard results, and re-attaches into the parent's live tree through
+:func:`graft` (see :mod:`repro.obs.propagate`), so one job yields one
+coherent trace tree regardless of the execution backend.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections.abc import Callable
 from types import TracebackType
 from typing import Any
@@ -42,8 +58,11 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "get_clock",
+    "graft",
     "is_enabled",
     "reset",
+    "set_clock",
     "span",
     "trace_snapshot",
 ]
@@ -54,6 +73,29 @@ _enabled: bool = False
 _lock = threading.RLock()
 _roots: list[SpanNode] = []
 _tls = threading.local()
+
+#: The monotonic clock every span start/end stamp goes through.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def set_clock(clock: Callable[[], float] | None = None) -> None:
+    """Replace the span clock (``None`` restores ``time.perf_counter``).
+
+    The clock must be monotonic and return seconds; tests inject a fake to
+    make wall-time assertions deterministic.
+    """
+    global _clock
+    _clock = clock if clock is not None else time.perf_counter
+
+
+def get_clock() -> Callable[[], float]:
+    """The currently installed span clock."""
+    return _clock
+
+
+def _new_span_id() -> str:
+    """A short process-unique span id (cheap, collision-safe enough)."""
+    return uuid.uuid4().hex[:16]
 
 #: Callbacks fired when a span finishes (see :mod:`repro.obs.profile`).
 _span_end_callbacks: list[Callable[["SpanNode"], None]] = []
@@ -74,22 +116,26 @@ class SpanNode:
         Nested spans, in start order.
     error:
         Exception repr when the span body raised, else ``None``.
+    span_id:
+        Short unique id; lets subtrees recorded in other processes claim
+        this span as their parent (see :mod:`repro.obs.propagate`).
     """
 
-    __slots__ = ("name", "attrs", "start", "end", "children", "error")
+    __slots__ = ("name", "attrs", "start", "end", "children", "error", "span_id")
 
     def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
         self.name = name
         self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
-        self.start = time.perf_counter()
+        self.start = _clock()
         self.end: float | None = None
         self.children: list[SpanNode] = []
         self.error: str | None = None
+        self.span_id = _new_span_id()
 
     @property
     def wall_time(self) -> float:
         """Elapsed seconds (to now for a still-open span)."""
-        end = self.end if self.end is not None else time.perf_counter()
+        end = self.end if self.end is not None else _clock()
         return max(end - self.start, 0.0)
 
     def set(self, **attrs: Any) -> "SpanNode":
@@ -101,6 +147,7 @@ class SpanNode:
         """Plain-dict (JSON-ready) form of this node and its subtree."""
         out: dict[str, Any] = {
             "name": self.name,
+            "span_id": self.span_id,
             "wall_time_s": self.wall_time,
         }
         if self.attrs:
@@ -110,6 +157,24 @@ class SpanNode:
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
         return out
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SpanNode":
+        """Rebuild a node (and subtree) from its :meth:`to_dict` form.
+
+        Rehydrated nodes keep their recorded ``wall_time_s`` (start is
+        pinned to 0 — perf-counter stamps are not comparable across
+        processes) and their original ``span_id``.
+        """
+        node = cls.__new__(cls)
+        node.name = str(doc["name"])
+        node.attrs = dict(doc.get("attrs") or {})
+        node.start = 0.0
+        node.end = float(doc.get("wall_time_s", 0.0))
+        node.error = doc.get("error")
+        node.span_id = str(doc.get("span_id") or _new_span_id())
+        node.children = [cls.from_dict(c) for c in doc.get("children", ())]
+        return node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SpanNode({self.name!r}, {self.wall_time:.6f}s)"
@@ -172,7 +237,7 @@ class _SpanContext:
     ) -> bool:
         node = self._node
         assert node is not None
-        node.end = time.perf_counter()
+        node.end = _clock()
         if exc is not None:
             node.error = f"{type(exc).__name__}: {exc}"
         stack = _stack()
@@ -254,6 +319,27 @@ def trace_snapshot() -> list[dict[str, Any]]:
     with _lock:
         roots = list(_roots)
     return [node.to_dict() for node in roots]
+
+
+def graft(docs: list[dict[str, Any]]) -> list[SpanNode]:
+    """Attach serialized foreign subtrees under the calling thread's span.
+
+    ``docs`` are :meth:`SpanNode.to_dict` documents shipped back from a
+    worker process/thread.  They are rehydrated and appended as children
+    of the current open span (or as new roots when none is open), merging
+    worker-side spans into the caller's live trace tree.  No-op while
+    tracing is disabled; returns the grafted nodes.
+    """
+    if not _enabled or not docs:
+        return []
+    nodes = [SpanNode.from_dict(doc) for doc in docs]
+    parent = current_span()
+    if parent is not None:
+        parent.children.extend(nodes)
+    else:
+        with _lock:
+            _roots.extend(nodes)
+    return nodes
 
 
 def _register_span_end(callback: Callable[[SpanNode], None]) -> None:

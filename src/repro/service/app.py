@@ -14,21 +14,28 @@ Routes
 - ``GET /v1/jobs/{id}/result`` — the CLI-identical result payload
   (``409`` until the job is done)
 - ``DELETE /v1/jobs/{id}`` — request cancellation
+- ``GET /v1/jobs/{id}/trace`` — the job's merged trace tree (``409``
+  while it is still queued/running)
 - ``GET /healthz`` — liveness (always ``200`` while the process serves)
 - ``GET /readyz`` — readiness (``503`` once shutdown has begun)
 - ``GET /metrics`` — Prometheus text exposition of repro.obs metrics
+- ``GET /v1/debug/flight`` — flight-recorder dumps of recent bad jobs
+
+Every request is timed into a per-endpoint latency histogram
+(``service.latency.<endpoint>``), keyed by route shape rather than raw
+path so job ids never explode the metric namespace.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ServiceError
 from repro.obs import metrics
 from repro.obs.logging import get_logger
-from repro.obs.trace import span
 from repro.payloads import dump_payload
 from repro.service.admission import AdmissionController
 from repro.service.jobs import JobManager, JobState
@@ -72,6 +79,36 @@ class ServiceResponse:
         )
 
 
+#: Route shape -> latency histogram name.  Static literal names (RPL008):
+#: the route *shape* is the label, never the raw path, so job ids cannot
+#: explode the metric namespace.
+_ROUTE_LATENCY = {
+    "jobs_submit": "service.latency.jobs_submit",
+    "jobs_list": "service.latency.jobs_list",
+    "jobs_status": "service.latency.jobs_status",
+    "jobs_result": "service.latency.jobs_result",
+    "jobs_trace": "service.latency.jobs_trace",
+    "jobs_cancel": "service.latency.jobs_cancel",
+    "healthz": "service.latency.healthz",
+    "readyz": "service.latency.readyz",
+    "metrics": "service.latency.metrics",
+    "debug_flight": "service.latency.debug_flight",
+    "other": "service.latency.other",
+}
+
+#: ServiceError code -> error counter.  Static literal names (RPL008).
+_ERROR_COUNTERS = {
+    "invalid_request": "service.errors.invalid_request",
+    "payload_too_large": "service.errors.payload_too_large",
+    "method_not_allowed": "service.errors.method_not_allowed",
+    "not_found": "service.errors.not_found",
+    "not_ready": "service.errors.not_ready",
+    "queue_full": "service.errors.queue_full",
+    "rate_limited": "service.errors.rate_limited",
+    "shutting_down": "service.errors.shutting_down",
+}
+
+
 class ReliabilityService:
     """Routes API calls onto a :class:`JobManager` + admission control."""
 
@@ -88,25 +125,40 @@ class ReliabilityService:
     # ------------------------------------------------------------------
 
     def handle(
-        self, method: str, path: str, body: bytes, client: str
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        client: str,
+        trace_id: str | None = None,
     ) -> ServiceResponse:
-        """Dispatch one request; never raises (errors become envelopes)."""
-        with span("service.request", method=method, path=path):
-            metrics.inc("service.requests")
-            try:
-                return self._route(method, path, body, client)
-            except ServiceError as exc:
-                return self._error_response(exc)
-            except Exception as exc:  # pragma: no cover - defensive
-                logger.error("unhandled error on %s %s", method, path,
-                             exc_info=True)
-                metrics.inc("service.errors.internal")
-                return ServiceResponse.json(
-                    500, error_envelope("internal_error", str(exc))
-                )
+        """Dispatch one request; never raises (errors become envelopes).
+
+        ``trace_id`` is the caller-supplied ``X-Trace-Id`` header value
+        (propagated into the submitted job's trace tree), or ``None``.
+        """
+        metrics.inc("service.requests")
+        started = time.perf_counter()
+        route_key = "other"
+        try:
+            route_key, handler = self._route(method, path, body, client, trace_id)
+            return handler()
+        except ServiceError as exc:
+            return self._error_response(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.error("unhandled error on %s %s", method, path,
+                         exc_info=True)
+            metrics.inc("service.errors.internal")
+            return ServiceResponse.json(
+                500, error_envelope("internal_error", str(exc))
+            )
+        finally:
+            metrics.observe(
+                _ROUTE_LATENCY[route_key], time.perf_counter() - started
+            )
 
     def _error_response(self, exc: ServiceError) -> ServiceResponse:
-        metrics.inc(f"service.errors.{exc.code}")
+        metrics.inc(_ERROR_COUNTERS.get(exc.code, "service.errors.other"))
         headers = {}
         if exc.retry_after_s is not None:
             headers["Retry-After"] = str(max(1, round(exc.retry_after_s)))
@@ -119,40 +171,57 @@ class ReliabilityService:
     # ------------------------------------------------------------------
 
     def _route(
-        self, method: str, path: str, body: bytes, client: str
-    ) -> ServiceResponse:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        client: str,
+        trace_id: str | None,
+    ) -> tuple[str, Any]:
+        """Resolve one request to ``(route_key, thunk)``.
+
+        The route key names the endpoint *shape* for the latency
+        histograms; the thunk executes the handler when called.
+        """
         parts = [p for p in path.split("?", 1)[0].split("/") if p]
         if parts == ["healthz"] and method == "GET":
-            return self._healthz()
+            return "healthz", self._healthz
         if parts == ["readyz"] and method == "GET":
-            return self._readyz()
+            return "readyz", self._readyz
         if parts == ["metrics"] and method == "GET":
-            return ServiceResponse.text(
+            return "metrics", lambda: ServiceResponse.text(
                 200, render_metrics_text(self.manager)
             )
+        if parts == ["v1", "debug", "flight"] and method == "GET":
+            return "debug_flight", self._debug_flight
         if parts[:2] == ["v1", "jobs"]:
             if len(parts) == 2:
                 if method == "POST":
-                    return self._submit(body, client)
+                    return "jobs_submit", lambda: self._submit(
+                        body, client, trace_id
+                    )
                 if method == "GET":
-                    return self._list_jobs()
+                    return "jobs_list", self._list_jobs
                 raise ServiceError(
                     f"method {method} not allowed on /v1/jobs",
                     status=405,
                     code="method_not_allowed",
                 )
             if len(parts) == 3:
+                job_id = parts[2]
                 if method == "GET":
-                    return self._job_status(parts[2])
+                    return "jobs_status", lambda: self._job_status(job_id)
                 if method == "DELETE":
-                    return self._cancel(parts[2])
+                    return "jobs_cancel", lambda: self._cancel(job_id)
                 raise ServiceError(
                     f"method {method} not allowed on /v1/jobs/{{id}}",
                     status=405,
                     code="method_not_allowed",
                 )
             if len(parts) == 4 and parts[3] == "result" and method == "GET":
-                return self._job_result(parts[2])
+                return "jobs_result", lambda: self._job_result(parts[2])
+            if len(parts) == 4 and parts[3] == "trace" and method == "GET":
+                return "jobs_trace", lambda: self._job_trace(parts[2])
         raise ServiceError(
             f"no route for {method} {path}", status=404, code="not_found"
         )
@@ -178,7 +247,9 @@ class ReliabilityService:
             503, error_envelope("shutting_down", "service is draining")
         )
 
-    def _submit(self, body: bytes, client: str) -> ServiceResponse:
+    def _submit(
+        self, body: bytes, client: str, trace_id: str | None = None
+    ) -> ServiceResponse:
         if len(body) > _MAX_BODY_BYTES:
             raise ServiceError(
                 f"request body exceeds {_MAX_BODY_BYTES} bytes",
@@ -192,7 +263,7 @@ class ReliabilityService:
         request = JobRequest.from_dict(document)
         if self.admission is not None:
             self.admission.admit(client)
-        job, created = self.manager.submit(request, client)
+        job, created = self.manager.submit(request, client, trace_id=trace_id)
         status = 201 if created else 200
         return ServiceResponse.json(
             status,
@@ -229,6 +300,50 @@ class ReliabilityService:
             f"job {job_id} is {job.state}; result not available yet",
             status=409,
             code="not_ready",
+        )
+
+    def _job_trace(self, job_id: str) -> ServiceResponse:
+        from repro.payloads import stamp_envelope
+
+        job = self.manager.get(job_id)
+        if job.trace is None:
+            if job.state not in JobState.TERMINAL:
+                raise ServiceError(
+                    f"job {job_id} is {job.state}; trace not available yet",
+                    status=409,
+                    code="not_ready",
+                )
+            raise ServiceError(
+                f"no trace recorded for job {job_id} (served from cache, "
+                "or tracing was disabled while it ran)",
+                status=404,
+                code="not_found",
+            )
+        return ServiceResponse.json(
+            200,
+            stamp_envelope(
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "trace_id": job.trace_id,
+                    "trace": job.trace,
+                }
+            ),
+        )
+
+    def _debug_flight(self) -> ServiceResponse:
+        from repro.payloads import stamp_envelope
+
+        records = self.manager.flight.records()
+        return ServiceResponse.json(
+            200,
+            stamp_envelope(
+                {
+                    "records": records,
+                    "count": len(records),
+                    "active": self.manager.flight.active_count(),
+                }
+            ),
         )
 
     def _cancel(self, job_id: str) -> ServiceResponse:

@@ -31,13 +31,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _client_id(self) -> str:
         return self.headers.get("X-Client-Id") or self.client_address[0]
 
+    def _trace_id(self) -> str | None:
+        """The caller's ``X-Trace-Id``, sanitised (short token or nothing)."""
+        raw = (self.headers.get("X-Trace-Id") or "").strip()
+        if raw and len(raw) <= 128 and raw.isprintable():
+            return raw
+        return None
+
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length > 0 else b""
 
     def _dispatch(self, method: str) -> None:
         response = self.server.app.handle(
-            method, self.path, self._read_body(), self._client_id()
+            method,
+            self.path,
+            self._read_body(),
+            self._client_id(),
+            trace_id=self._trace_id(),
         )
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)

@@ -46,9 +46,11 @@ from repro.errors import (
 )
 from repro.exec.cache import ResultCache
 from repro.exec.sharding import DEFAULT_SHARD_SIZE
-from repro.obs import metrics
+from repro.obs import flight, metrics
+from repro.obs.flight import FlightRecorder
 from repro.obs.logging import get_logger
-from repro.obs.trace import span
+from repro.obs.propagate import record_subtree, set_trace_id
+from repro.obs.trace import is_enabled as trace_is_enabled
 from repro.service.requests import JobRequest, run_job
 
 __all__ = ["Job", "JobManager", "JobState"]
@@ -90,6 +92,11 @@ class Job:
     cancel: threading.Event = field(default_factory=threading.Event)
     checkpoint_path: Path | None = None
     deadline_s: float | None = None
+    #: Request-scoped trace id (from X-Trace-Id or generated at submit).
+    trace_id: str = ""
+    #: Merged trace tree captured while the job ran (None when tracing was
+    #: off or the job was served from cache).
+    trace: dict[str, Any] | None = None
 
     def cancel_check(self) -> bool:
         """The cooperative hook threaded into the sharded engines."""
@@ -140,6 +147,12 @@ class JobManager:
     compute:
         The evaluation function — injectable for tests; defaults to
         :func:`repro.service.requests.run_job`.
+    flight_recorder:
+        Event-timeline recorder for ``/v1/debug/flight``; a default one
+        is created with ``flight_slow_s`` as the slow-job dump threshold.
+    flight_slow_s:
+        Wall-clock threshold (submit to finish) above which even a
+        successful job's timeline is dumped; ``None`` disables it.
     """
 
     def __init__(
@@ -150,6 +163,8 @@ class JobManager:
         checkpoint_dir: str | Path | None = None,
         job_timeout_s: float | None = None,
         compute: Callable[..., dict[str, Any]] = run_job,
+        flight_recorder: FlightRecorder | None = None,
+        flight_slow_s: float | None = 30.0,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -162,6 +177,11 @@ class JobManager:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.job_timeout_s = job_timeout_s
+        self.flight = (
+            flight_recorder
+            if flight_recorder is not None
+            else FlightRecorder(slow_s=flight_slow_s)
+        )
         self._compute = compute
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
@@ -249,11 +269,18 @@ class JobManager:
     # submission / lookup
     # ------------------------------------------------------------------
 
-    def submit(self, request: JobRequest, client: str) -> tuple[Job, bool]:
+    def submit(
+        self,
+        request: JobRequest,
+        client: str,
+        trace_id: str | None = None,
+    ) -> tuple[Job, bool]:
         """Admit one request; returns ``(job, created)``.
 
         ``created`` is False when the submission coalesced onto an
         existing queued/running job or was served from the result cache.
+        ``trace_id`` (the ``X-Trace-Id`` request header, when the client
+        sent one) labels the job's trace tree; one is generated otherwise.
         """
         key = request.key
         with self._lock:
@@ -266,6 +293,7 @@ class JobManager:
             existing = self._active_by_key.get(key)
             if existing is not None:
                 metrics.inc("service.jobs.coalesced")
+                self.flight.event(existing.id, "coalesced", client=client)
                 logger.info(
                     "job %s coalesced onto %s", key[:12], existing.id
                 )
@@ -273,7 +301,7 @@ class JobManager:
             cached_payload = self._cache_lookup(request)
             now = time.time()
             if cached_payload is not None:
-                job = self._new_job(request, key, client, now)
+                job = self._new_job(request, key, client, now, trace_id)
                 job.state = JobState.DONE
                 job.result = cached_payload
                 job.cached = True
@@ -288,12 +316,20 @@ class JobManager:
                     code="queue_full",
                     retry_after_s=self._retry_after_estimate(),
                 )
-            job = self._new_job(request, key, client, now)
+            job = self._new_job(request, key, client, now, trace_id)
             self._jobs[job.id] = job
             self._active_by_key[key] = job
             self._queued_count += 1
             metrics.inc("service.jobs.submitted")
             metrics.gauge("service.jobs.queued", self._queued_count)
+            self.flight.open(
+                job.id,
+                kind=request.kind,
+                client=client,
+                key=key[:12],
+                trace_id=job.trace_id,
+            )
+            self.flight.event(job.id, "queued", depth=self._queued_count)
         self._queue.put(job.id)
         return job, True
 
@@ -310,6 +346,7 @@ class JobManager:
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; queued jobs die now, running ones soon."""
         job = self.get(job_id)
+        self.flight.event(job.id, "cancel.requested", state=job.state)
         job.cancel.set()
         with self._lock:
             if job.state == JobState.QUEUED:
@@ -342,7 +379,12 @@ class JobManager:
     # ------------------------------------------------------------------
 
     def _new_job(
-        self, request: JobRequest, key: str, client: str, now: float
+        self,
+        request: JobRequest,
+        key: str,
+        client: str,
+        now: float,
+        trace_id: str | None = None,
     ) -> Job:
         job = Job(
             id=uuid.uuid4().hex[:16],
@@ -350,6 +392,7 @@ class JobManager:
             key=key,
             client=client,
             created_s=now,
+            trace_id=trace_id or uuid.uuid4().hex,
         )
         if self.checkpoint_dir is not None and request.uses_mc:
             job.checkpoint_path = self.checkpoint_dir / f"{key}.ckpt.npz"
@@ -405,6 +448,12 @@ class JobManager:
         if state == JobState.CANCELLED and job.started_s is None:
             self._queued_count = max(0, self._queued_count - 1)
         metrics.gauge("service.jobs.queued", self._queued_count)
+        self.flight.close(
+            job.id,
+            state,
+            duration_s=job.finished_s - job.created_s,
+            trace=job.trace,
+        )
 
     def _worker_loop(self) -> None:
         while True:
@@ -423,6 +472,11 @@ class JobManager:
                 self._running_count += 1
                 metrics.gauge("service.jobs.queued", self._queued_count)
                 metrics.gauge("service.jobs.running", self._running_count)
+                queue_wait = job.started_s - job.created_s
+                metrics.observe("service.job.queue_wait_seconds", queue_wait)
+                self.flight.event(
+                    job.id, "start", queue_wait_s=round(queue_wait, 6)
+                )
             try:
                 self._run_one(job)
             finally:
@@ -430,32 +484,64 @@ class JobManager:
                     self._running_count -= 1
                     metrics.gauge("service.jobs.running", self._running_count)
 
+    def _execute(self, job: Job) -> dict[str, Any]:
+        """Run the compute function, capturing the job's trace tree.
+
+        While observability is on, the whole evaluation runs inside a
+        *detached* ``service.job`` span subtree (never the shared root
+        registry, which would grow without bound in a long-lived server);
+        worker-side shard spans grafted by ``repro.exec.runner`` land
+        inside it, and the merged tree is stored on ``job.trace`` even
+        when the compute raised.
+        """
+        checkpoint = job.checkpoint_path
+        kwargs: dict[str, Any] = {
+            "cancel_check": job.cancel_check,
+            "checkpoint_path": (
+                str(checkpoint) if checkpoint is not None else None
+            ),
+        }
+        if not trace_is_enabled():
+            return self._compute(job.request, **kwargs)
+        set_trace_id(job.trace_id)
+        root = None
+        try:
+            with record_subtree(
+                "service.job",
+                kind=job.request.kind,
+                job=job.id,
+                trace_id=job.trace_id,
+            ) as root:
+                return self._compute(job.request, **kwargs)
+        finally:
+            # Runs after record_subtree closed the span, so the serialized
+            # tree has its final wall time and any error recorded.
+            if root is not None:
+                job.trace = root.to_dict()
+            set_trace_id(None)
+
     def _run_one(self, job: Job) -> None:
         checkpoint = job.checkpoint_path
         if checkpoint is not None:
             checkpoint.parent.mkdir(parents=True, exist_ok=True)
         started = time.perf_counter()
         try:
-            with span("service.job", kind=job.request.kind, job=job.id):
-                payload = self._compute(
-                    job.request,
-                    cancel_check=job.cancel_check,
-                    checkpoint_path=(
-                        str(checkpoint) if checkpoint is not None else None
-                    ),
-                )
+            with flight.bind(self.flight, job.id):
+                payload = self._execute(job)
         except ExecutionInterrupted:
             code, message = "cancelled", "job cancelled"
             if job.deadline_s is not None and not job.cancel.is_set():
                 code, message = "timeout", (
                     f"job exceeded its {self.job_timeout_s}s budget"
                 )
-            state = (
-                JobState.CANCELLED if code == "cancelled" else JobState.FAILED
-            )
+            if code == "cancelled":
+                state = JobState.CANCELLED
+                metrics.inc("service.jobs.cancelled")
+            else:
+                state = JobState.FAILED
+                metrics.inc("service.jobs.timeout")
             with self._lock:
                 self._finish(job, state, error={"code": code, "message": message})
-            metrics.inc(f"service.jobs.{code}")
             logger.info("job %s interrupted: %s", job.id, message)
             return
         except ReproError as exc:
@@ -478,6 +564,10 @@ class JobManager:
             metrics.inc("service.jobs.failed")
             logger.error("job %s crashed", job.id, exc_info=True)
             return
+        finally:
+            metrics.observe(
+                "service.job.run_seconds", time.perf_counter() - started
+            )
         self._cache_store(job.request, payload)
         with self._lock:
             self._finish(job, JobState.DONE, result=payload)

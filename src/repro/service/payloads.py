@@ -9,10 +9,12 @@ non-2xx response carries, and the Prometheus text exposition of the
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any
 
 from repro import obs
 from repro.payloads import stamp_envelope
+from repro.thermal.factor_cache import factor_cache_stats
 
 if TYPE_CHECKING:
     from repro.service.jobs import Job, JobManager
@@ -33,9 +35,11 @@ def job_envelope(
         "created_s": job.created_s,
         "started_s": job.started_s,
         "finished_s": job.finished_s,
+        "trace_id": job.trace_id,
         "links": {
             "self": f"/v1/jobs/{job.id}",
             "result": f"/v1/jobs/{job.id}/result",
+            "trace": f"/v1/jobs/{job.id}/trace",
         },
     }
     if progress is not None:
@@ -55,13 +59,72 @@ def _prometheus_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
+def _format_value(value: float) -> str:
+    """A sample value per the exposition format (incl. non-finite forms)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _family_header(metric: str, kind: str, source: str) -> list[str]:
+    return [
+        f"# HELP {metric} repro.obs {kind} {_escape_help(source)}",
+        f"# TYPE {metric} {kind}",
+    ]
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _cache_health_gauges(manager: JobManager | None) -> dict[str, float]:
+    """Hot-path cache health, derived at render time.
+
+    Hit ratios come from the always-current obs counters; the on-disk
+    entry count is sampled from the manager's :class:`ResultCache` (a
+    cheap directory walk).
+    """
+    gauges: dict[str, float] = {}
+    hits = obs.get_counter("exec.cache.hit")
+    misses = obs.get_counter("exec.cache.miss")
+    if hits + misses > 0:
+        gauges["exec.cache.hit_ratio"] = hits / (hits + misses)
+    stats = factor_cache_stats()
+    gauges["thermal.factor_cache.entries"] = float(stats["entries"])
+    lookups = stats["hits"] + stats["misses"]
+    if lookups > 0:
+        gauges["thermal.factor_cache.hit_ratio"] = stats["hits"] / lookups
+    if manager is not None and manager.cache is not None:
+        try:
+            gauges["exec.cache.disk_entries"] = float(
+                manager.cache.stats().entries
+            )
+        except OSError:  # pragma: no cover - racing cache eviction
+            pass
+    return gauges
+
+
 def render_metrics_text(manager: JobManager | None = None) -> str:
     """The ``GET /metrics`` body: Prometheus text exposition format.
 
-    Every :mod:`repro.obs` counter and gauge is exported with a
-    ``repro_`` prefix and dots mapped to underscores; live queue depth
-    and worker occupancy are sampled from ``manager`` at render time so
-    they are fresh even between job transitions.
+    Every :mod:`repro.obs` counter, gauge and histogram is exported with
+    a ``repro_`` prefix and dots mapped to underscores, each family
+    preceded by its ``HELP``/``TYPE`` lines.  Histograms render the full
+    cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+    Live queue depth, worker occupancy and cache health are sampled from
+    ``manager`` at render time so they are fresh even between job
+    transitions; non-finite values render as ``+Inf``/``-Inf``/``NaN``
+    per the exposition format.
     """
     snapshot = obs.metrics_snapshot()
     gauges = dict(snapshot["gauges"])
@@ -69,13 +132,28 @@ def render_metrics_text(manager: JobManager | None = None) -> str:
         gauges["service.jobs.queued"] = float(manager.queue_depth())
         gauges["service.jobs.running"] = float(manager.running_count())
         gauges["service.accepting"] = 1.0 if manager.accepting else 0.0
+    gauges.update(_cache_health_gauges(manager))
     lines: list[str] = []
     for name in sorted(snapshot["counters"]):
         metric = _prometheus_name(name) + "_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {snapshot['counters'][name]:g}")
+        lines.extend(_family_header(metric, "counter", name))
+        lines.append(f"{metric} {_format_value(snapshot['counters'][name])}")
     for name in sorted(gauges):
         metric = _prometheus_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {gauges[name]:g}")
+        lines.extend(_family_header(metric, "gauge", name))
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    for name in sorted(snapshot["histograms"]):
+        hist = snapshot["histograms"][name]
+        metric = _prometheus_name(name)
+        lines.extend(_family_header(metric, "histogram", name))
+        cumulative = 0
+        for bound, bucket in zip(
+            hist["buckets"], hist["counts"], strict=False
+        ):
+            cumulative += bucket
+            label = _escape_label_value(_format_value(bound))
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,13 @@
+"""RPL008 violations: dynamic or malformed metric/span names."""
+
+from repro import obs
+from repro.obs import metrics
+
+
+def record(route, job_id, value):
+    metrics.inc(f"service.errors.{route}")
+    metrics.observe("service.latency." + route, value)
+    metrics.gauge("service.queue.%s" % route, value)
+    obs.inc("service.jobs.{}".format(job_id))
+    with obs.span("Service.Job"):
+        pass

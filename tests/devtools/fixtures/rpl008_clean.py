@@ -1,0 +1,17 @@
+"""RPL008-clean: literal names, or indirection through a literal table."""
+
+from repro import obs
+from repro.obs import metrics
+
+_ROUTE_LATENCY = {
+    "jobs_submit": "service.latency.jobs_submit",
+    "other": "service.latency.other",
+}
+
+
+def record(route, value):
+    metrics.inc("service.requests")
+    metrics.observe(_ROUTE_LATENCY.get(route, "service.latency.other"), value)
+    metrics.gauge("service.jobs.queued", 3)
+    with obs.span("service.job", kind="mc"):
+        obs.observe("exec.shard.seconds", value)

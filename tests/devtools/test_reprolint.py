@@ -36,6 +36,7 @@ RULE_FIXTURES = {
     "RPL005": ("stats/rpl005_bad.py", "stats/rpl005_clean.py", 2),
     "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 2),
     "RPL007": ("service/rpl007_bad.py", "service/rpl007_clean.py", 3),
+    "RPL008": ("rpl008_bad.py", "rpl008_clean.py", 5),
 }
 
 
@@ -164,6 +165,40 @@ class TestRuleEdges:
     def test_rpl007_exempts_service_tests(self):
         source = "import time\ndef wait():\n    time.sleep(0.1)\n"
         assert lint_source(source, path=Path("service/test_app.py")) == []
+
+    def test_rpl008_bare_span_call_flagged(self):
+        source = (
+            "from repro.obs.trace import span\n"
+            "def f(stage):\n"
+            "    with span(f'stage.{stage}'):\n"
+            "        pass\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RPL008"]
+
+    def test_rpl008_literal_dict_lookup_allowed(self):
+        source = (
+            "from repro.obs import metrics\n"
+            "TABLE = {'a': 'service.errors.a'}\n"
+            "def f(code):\n"
+            "    metrics.inc(TABLE.get(code, 'service.errors.other'))\n"
+        )
+        assert lint_source(source) == []
+
+    def test_rpl008_exempts_tests(self):
+        source = (
+            "from repro.obs import metrics\n"
+            "def f(name):\n"
+            "    metrics.inc(f'dyn.{name}')\n"
+        )
+        assert lint_source(source, path="test_metrics.py") == []
+        assert len(lint_source(source, path="metrics_use.py")) == 1
+
+    def test_rpl008_uppercase_literal_flagged(self):
+        source = (
+            "from repro.obs import metrics\n"
+            "metrics.gauge('Queue.Depth', 1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RPL008"]
 
     def test_rpl005_guard_satisfies(self):
         source = (

@@ -13,7 +13,9 @@ def clean_obs():
     obs.disable()
     obs.reset()
     obs.clear_span_end()
+    obs.set_clock(None)
     yield
     obs.disable()
     obs.reset()
     obs.clear_span_end()
+    obs.set_clock(None)

@@ -1,0 +1,188 @@
+"""Tests for the flight recorder ring buffer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import flight
+from repro.obs.flight import FlightRecorder
+
+
+class SteppingClock:
+    """Deterministic wall clock: advances by ``step`` per read."""
+
+    def __init__(self, start: float = 1000.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_recorder(**kwargs) -> FlightRecorder:
+    kwargs.setdefault("clock", SteppingClock())
+    return FlightRecorder(**kwargs)
+
+
+class TestLifecycle:
+    def test_healthy_fast_job_leaves_no_residue(self):
+        rec = make_recorder(slow_s=30.0)
+        rec.open("j1", kind="mc")
+        rec.event("j1", "start", queue_wait_s=0.0)
+        assert rec.active_count() == 1
+        dumped = rec.close("j1", "done", duration_s=0.5)
+        assert not dumped
+        assert rec.records() == []
+        assert rec.active_count() == 0
+
+    @pytest.mark.parametrize("state", ["failed", "cancelled"])
+    def test_bad_terminal_states_dump(self, state):
+        rec = make_recorder()
+        rec.open("j1", kind="mc")
+        assert rec.close("j1", state, duration_s=0.1)
+        (dump,) = rec.records()
+        assert dump["state"] == state
+        assert dump["reason"] == state
+        events = [e["event"] for e in dump["events"]]
+        assert events == ["submit", "finish"]
+        assert dump["events"][-1]["state"] == state
+
+    def test_slow_job_dumps_with_slow_reason(self):
+        rec = make_recorder(slow_s=2.0)
+        rec.open("j1")
+        assert rec.close("j1", "done", duration_s=5.0)
+        (dump,) = rec.records()
+        assert dump["reason"] == "slow"
+        assert dump["state"] == "done"
+
+    def test_slow_criterion_disabled_with_none(self):
+        rec = make_recorder(slow_s=None)
+        rec.open("j1")
+        assert not rec.close("j1", "done", duration_s=1e9)
+
+    def test_trace_attached_to_dump(self):
+        rec = make_recorder()
+        rec.open("j1")
+        tree = {"name": "service.job", "wall_time_s": 0.2}
+        rec.close("j1", "failed", duration_s=0.2, trace=tree)
+        (dump,) = rec.records()
+        assert dump["trace"] == tree
+
+    def test_event_timestamps_use_injected_clock(self):
+        clock = SteppingClock(start=50.0, step=1.0)
+        rec = FlightRecorder(clock=clock)
+        rec.open("j1")
+        rec.event("j1", "queued", depth=2)
+        rec.close("j1", "failed", duration_s=0.0)
+        (dump,) = rec.records()
+        assert dump["opened_at"] == 50.0
+        stamps = [e["t"] for e in dump["events"]]
+        assert stamps == sorted(stamps)
+        assert dump["events"][1] == {"t": 52.0, "event": "queued", "depth": 2}
+
+    def test_unknown_job_event_and_close_are_noops(self):
+        rec = make_recorder()
+        rec.event("ghost", "start")
+        assert not rec.close("ghost", "failed")
+        assert rec.records() == []
+
+    def test_discard_drops_without_dump(self):
+        rec = make_recorder()
+        rec.open("j1")
+        rec.discard("j1")
+        assert rec.active_count() == 0
+        assert not rec.close("j1", "failed")
+
+
+class TestBounds:
+    def test_dump_ring_evicts_oldest(self):
+        rec = make_recorder(capacity=2)
+        for i in range(4):
+            rec.open(f"j{i}")
+            rec.close(f"j{i}", "failed")
+        records = rec.records()
+        assert [r["job_id"] for r in records] == ["j3", "j2"]
+
+    def test_per_job_event_cap(self):
+        rec = make_recorder(max_events=4)
+        rec.open("j1")
+        for i in range(20):
+            rec.event("j1", "shard.progress", done=i)
+        rec.close("j1", "failed")
+        (dump,) = rec.records()
+        assert len(dump["events"]) == 4
+        # Oldest events evicted; the final finish event is retained.
+        assert dump["events"][-1]["event"] == "finish"
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_events=0)
+
+    def test_records_are_json_ready(self):
+        rec = make_recorder()
+        rec.open("j1", kind="mc", client="c1")
+        rec.close("j1", "failed", duration_s=0.25)
+        assert json.loads(json.dumps(rec.records())) == rec.records()
+
+
+class TestThreadLocalBinding:
+    def test_emit_unbound_is_noop(self):
+        flight.emit("shard.progress", done=1)  # must not raise
+
+    def test_bind_routes_emit(self):
+        rec = make_recorder()
+        rec.open("j1")
+        with flight.bind(rec, "j1"):
+            flight.emit("checkpoint.flush", shards=3)
+        flight.emit("after.unbind")  # no longer routed
+        rec.close("j1", "failed")
+        (dump,) = rec.records()
+        events = [e["event"] for e in dump["events"]]
+        assert "checkpoint.flush" in events
+        assert "after.unbind" not in events
+
+    def test_bind_nesting_restores_previous_target(self):
+        rec = make_recorder()
+        rec.open("outer")
+        rec.open("inner")
+        with flight.bind(rec, "outer"):
+            with flight.bind(rec, "inner"):
+                flight.emit("inner.event")
+            flight.emit("outer.event")
+        rec.close("outer", "failed")
+        rec.close("inner", "failed")
+        by_id = {d["job_id"]: d for d in rec.records()}
+        assert any(
+            e["event"] == "inner.event" for e in by_id["inner"]["events"]
+        )
+        assert any(
+            e["event"] == "outer.event" for e in by_id["outer"]["events"]
+        )
+        assert all(
+            e["event"] != "outer.event" for e in by_id["inner"]["events"]
+        )
+
+    def test_bound_emits_are_thread_local(self):
+        rec = make_recorder()
+        rec.open("j1")
+        seen = []
+
+        def other_thread():
+            flight.emit("from.other")  # unbound on this thread
+            seen.append(True)
+
+        with flight.bind(rec, "j1"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join(timeout=5)
+        rec.close("j1", "failed")
+        (dump,) = rec.records()
+        assert seen == [True]
+        assert all(e["event"] != "from.other" for e in dump["events"])

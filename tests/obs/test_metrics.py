@@ -1,19 +1,24 @@
-"""Tests for the counter/gauge registry."""
+"""Tests for the counter/gauge/histogram registry."""
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 
+import pytest
+
 from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, log_buckets
 
 
 class TestCounters:
     def test_disabled_is_noop(self):
         obs.inc("mc.chips", 100)
         obs.gauge("pca.factors", 37)
+        obs.observe("mc.shard_seconds", 0.5)
         snap = obs.metrics_snapshot()
-        assert snap == {"counters": {}, "gauges": {}}
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
 
     def test_counter_aggregation(self):
         obs.enable()
@@ -42,8 +47,13 @@ class TestCounters:
         obs.enable()
         obs.inc("a", 1)
         obs.gauge("b", 2)
+        obs.observe("c", 3.0)
         obs.reset()
-        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {}}
+        assert obs.metrics_snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
 
     def test_thread_safe_aggregation(self):
         obs.enable()
@@ -59,3 +69,104 @@ class TestCounters:
         for t in threads:
             t.join(timeout=10)
         assert obs.get_counter("contended") == float(n_threads * n_incs)
+
+
+class TestLogBuckets:
+    def test_spacing_and_endpoints(self):
+        bounds = log_buckets(1e-3, 1.0, per_decade=1)
+        assert bounds == (1e-3, 1e-2, 1e-1, 1.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 0.5)
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+        assert DEFAULT_BUCKETS[0] == 1e-4
+        assert DEFAULT_BUCKETS[-1] == 1e3
+
+
+class TestHistograms:
+    def test_observe_counts_and_sum(self):
+        obs.enable()
+        for value in (0.5, 1.5, 1.5, 80.0):
+            obs.observe("lat", value, buckets=(1.0, 10.0))
+        hist = obs.get_histogram("lat")
+        assert hist is not None
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(83.5)
+        # buckets: <=1.0, <=10.0, +Inf overflow
+        assert hist.counts == [1, 2, 1]
+        assert hist.cumulative() == [(1.0, 1), (10.0, 3), (math.inf, 4)]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        obs.enable()
+        obs.observe("edge", 1.0, buckets=(1.0, 10.0))
+        hist = obs.get_histogram("edge")
+        assert hist is not None
+        assert hist.counts == [1, 0, 0]  # le="1.0" is inclusive
+
+    def test_quantile_interpolates(self):
+        hist = Histogram("q", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist._observe(value)
+        # p50 target = 2 samples -> falls at the top of the (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(1.5, abs=0.51)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        assert hist.quantile(0.0) == pytest.approx(0.0, abs=1.0)
+
+    def test_quantile_clamps_to_last_bound(self):
+        hist = Histogram("over", bounds=(1.0,))
+        hist._observe(100.0)
+        assert hist.quantile(0.99) == 1.0
+
+    def test_quantile_empty_is_nan(self):
+        hist = Histogram("empty")
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("bad").quantile(1.5)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, math.inf))
+
+    def test_snapshot_shape_and_json(self):
+        obs.enable()
+        obs.observe("snap", 0.02)
+        snap = obs.metrics_snapshot()["histograms"]["snap"]
+        assert snap["count"] == 1
+        assert snap["sum"] == pytest.approx(0.02)
+        assert len(snap["counts"]) == len(snap["buckets"]) + 1
+        assert sum(snap["counts"]) == 1
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_custom_buckets_apply_on_first_observe_only(self):
+        obs.enable()
+        obs.observe("first", 5.0, buckets=(1.0, 10.0))
+        obs.observe("first", 5.0, buckets=(2.0, 20.0))  # ignored
+        hist = obs.get_histogram("first")
+        assert hist is not None
+        assert hist.bounds == (1.0, 10.0)
+        assert hist.count == 2
+
+    def test_thread_safe_observation(self):
+        obs.enable()
+        n_threads, n_obs = 8, 300
+
+        def worker():
+            for i in range(n_obs):
+                obs.observe("contended.hist", float(i % 7))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        hist = obs.get_histogram("contended.hist")
+        assert hist is not None
+        assert hist.count == n_threads * n_obs
+        assert sum(hist.counts) == n_threads * n_obs

@@ -74,4 +74,4 @@ class TestDisabledModeIsTransparent:
         analyzer = ReliabilityAnalyzer(small_floorplan, config=fast_config)
         analyzer.reliability(1e5, method="st_fast")
         assert obs.trace_snapshot() == []
-        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {}}
+        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -101,3 +101,55 @@ class TestSummaries:
         assert set(snap) == {"trace", "metrics", "stages"}
         assert snap["metrics"]["counters"]["stage.counter"] == 2.0
         assert snap["stages"]["stage"]["count"] == 1
+
+class TestRenderTrace:
+    def _tree(self):
+        return [
+            {
+                "name": "service.job",
+                "wall_time_s": 0.012,
+                "attrs": {"kind": "mc", "trace_id": "t1"},
+                "children": [
+                    {
+                        "name": "exec.shard",
+                        "wall_time_s": 0.004,
+                        "attrs": {"shard": 0},
+                    },
+                    {
+                        "name": "exec.shard",
+                        "wall_time_s": 0.005,
+                        "attrs": {"shard": 1},
+                        "error": "ValueError: boom",
+                        "children": [
+                            {"name": "mc.chunk", "wall_time_s": 0.001}
+                        ],
+                    },
+                ],
+            }
+        ]
+
+    def test_empty(self):
+        assert obs.render_trace([]) == "(no spans recorded)"
+
+    def test_renders_every_node_with_timing(self):
+        text = obs.render_trace(self._tree())
+        lines = text.splitlines()
+        assert lines[0] == "service.job  12.00 ms  [kind=mc, trace_id=t1]"
+        assert "|-- exec.shard  4.00 ms  [shard=0]" in text
+        assert "mc.chunk  1.00 ms" in text
+        # Siblings are NOT merged: both shard spans appear.
+        assert text.count("exec.shard") == 2
+
+    def test_error_marker(self):
+        text = obs.render_trace(self._tree())
+        assert "!! ValueError: boom" in text
+
+    def test_no_attrs_flag(self):
+        text = obs.render_trace(self._tree(), show_attrs=False)
+        assert "[shard=0]" not in text
+        assert "kind=mc" not in text
+
+    def test_max_depth_prunes(self):
+        text = obs.render_trace(self._tree(), max_depth=1)
+        assert "mc.chunk" not in text
+        assert "1 child span(s) pruned" in text

@@ -1,0 +1,109 @@
+"""Tests for cross-process trace propagation primitives."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.propagate import (
+    TraceContext,
+    current_trace_context,
+    current_trace_id,
+    record_subtree,
+    set_trace_id,
+)
+
+
+class TestTraceContext:
+    def test_frozen_and_picklable(self):
+        ctx = TraceContext(trace_id="abc", parent_span_id="def")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"  # type: ignore[misc]
+
+    def test_context_none_while_disabled(self):
+        assert current_trace_context() is None
+
+    def test_context_captures_open_span(self):
+        obs.enable()
+        set_trace_id("job-42")
+        try:
+            with obs.span("service.job") as node:
+                ctx = current_trace_context()
+            assert ctx == TraceContext(
+                trace_id="job-42", parent_span_id=node.span_id
+            )
+        finally:
+            set_trace_id(None)
+
+    def test_context_without_open_span_has_empty_parent(self):
+        obs.enable()
+        ctx = current_trace_context()
+        assert ctx == TraceContext(trace_id="", parent_span_id="")
+
+
+class TestTraceIdBinding:
+    def test_bind_and_clear(self):
+        assert current_trace_id() is None
+        set_trace_id("t1")
+        assert current_trace_id() == "t1"
+        set_trace_id(None)
+        assert current_trace_id() is None
+
+
+class TestRecordSubtree:
+    def test_detached_from_root_registry(self):
+        obs.enable()
+        with record_subtree("exec.shard", shard=3) as node:
+            with obs.span("inner"):
+                pass
+        # Inner spans nested under the subtree, not the shared registry.
+        assert obs.trace_snapshot() == []
+        assert [c.name for c in node.children] == ["inner"]
+        assert node.attrs["shard"] == 3
+        assert node.end is not None
+
+    def test_context_attrs_stamped_on_root(self):
+        obs.enable()
+        ctx = TraceContext(trace_id="tid", parent_span_id="pid")
+        with record_subtree("exec.shard", ctx) as node:
+            pass
+        assert node.attrs["trace_id"] == "tid"
+        assert node.attrs["parent_span_id"] == "pid"
+
+    def test_force_enables_and_restores_disabled_state(self):
+        # The situation inside a process-pool worker: the global switch
+        # is off, but the worker must still capture its subtree.
+        assert not trace.is_enabled()
+        with record_subtree("exec.shard") as node:
+            assert trace.is_enabled()
+            with obs.span("inner"):
+                pass
+        assert not trace.is_enabled()
+        assert [c.name for c in node.children] == ["inner"]
+
+    def test_error_recorded_before_reraise(self):
+        obs.enable()
+        with pytest.raises(ValueError, match="boom"):
+            with record_subtree("exec.shard") as node:
+                raise ValueError("boom")
+        assert node.error == "ValueError: boom"
+        assert node.end is not None
+        doc = node.to_dict()
+        assert doc["error"] == "ValueError: boom"
+
+    def test_serialised_subtree_grafts_into_live_tree(self):
+        # The full round trip run_sharded performs: worker-side capture,
+        # to_dict over the process boundary, graft on the submitting side.
+        with record_subtree("exec.shard", shard=0) as worker_node:
+            pass
+        doc = pickle.loads(pickle.dumps(worker_node.to_dict()))
+        obs.enable()
+        with obs.span("service.job"):
+            obs.graft([doc])
+        (snap,) = obs.trace_snapshot()
+        assert snap["children"][0]["name"] == "exec.shard"
+        assert snap["children"][0]["span_id"] == worker_node.span_id

@@ -8,7 +8,7 @@ import threading
 import pytest
 
 from repro import obs
-from repro.obs.trace import NOOP_SPAN
+from repro.obs.trace import NOOP_SPAN, SpanNode
 
 
 class TestDisabledMode:
@@ -132,3 +132,106 @@ class TestSpanTree:
                 pass
             assert obs.trace_snapshot()
         assert not obs.is_enabled()
+
+
+class FakeClock:
+    """A deterministic monotonic clock advancing by ``step`` per read."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.25) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestClockInjection:
+    def test_default_clock_is_perf_counter(self):
+        import time
+
+        assert obs.get_clock() is time.perf_counter
+
+    def test_injected_clock_makes_timing_deterministic(self):
+        obs.enable()
+        obs.set_clock(FakeClock(start=10.0, step=0.5))
+        with obs.span("timed"):
+            pass
+        (snap,) = obs.trace_snapshot()
+        # One read at open (10.0), one at close (10.5).
+        assert snap["wall_time_s"] == pytest.approx(0.5)
+
+    def test_set_clock_none_restores_default(self):
+        import time
+
+        obs.set_clock(FakeClock())
+        obs.set_clock(None)
+        assert obs.get_clock() is time.perf_counter
+
+
+class TestSpanIdentityAndSerialization:
+    def test_span_ids_are_unique_short_tokens(self):
+        obs.enable()
+        with obs.span("a") as node_a:
+            with obs.span("b") as node_b:
+                pass
+        assert node_a.span_id != node_b.span_id
+        assert len(node_a.span_id) == 16
+        assert node_a.to_dict()["span_id"] == node_a.span_id
+
+    def test_from_dict_round_trip(self):
+        obs.enable()
+        with obs.span("root", design="C2") as root:
+            with obs.span("child"):
+                pass
+        doc = root.to_dict()
+        restored = SpanNode.from_dict(doc)
+        assert restored.name == "root"
+        assert restored.span_id == root.span_id
+        assert restored.attrs == {"design": "C2"}
+        assert restored.wall_time == pytest.approx(doc["wall_time_s"])
+        assert [c.name for c in restored.children] == ["child"]
+        # Round-tripping the rehydrated node reproduces the document.
+        assert restored.to_dict() == doc
+
+    def test_from_dict_records_error(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("boom") as node:
+                raise RuntimeError("nope")
+        restored = SpanNode.from_dict(node.to_dict())
+        assert restored.error == "RuntimeError: nope"
+
+
+class TestGraft:
+    def _foreign_doc(self, name="exec.shard", **attrs):
+        return {
+            "name": name,
+            "span_id": "feedfacecafebeef",
+            "wall_time_s": 0.125,
+            "attrs": attrs or {"shard": 0},
+        }
+
+    def test_graft_under_open_span(self):
+        obs.enable()
+        with obs.span("service.job") as parent:
+            grafted = obs.graft([self._foreign_doc()])
+        assert len(grafted) == 1
+        (snap,) = obs.trace_snapshot()
+        child = snap["children"][0]
+        assert child["name"] == "exec.shard"
+        assert child["span_id"] == "feedfacecafebeef"
+        assert child["wall_time_s"] == pytest.approx(0.125)
+
+    def test_graft_without_open_span_becomes_root(self):
+        obs.enable()
+        obs.graft([self._foreign_doc()])
+        names = [node["name"] for node in obs.trace_snapshot()]
+        assert names == ["exec.shard"]
+
+    def test_graft_noop_when_disabled_or_empty(self):
+        assert obs.graft([self._foreign_doc()]) == []
+        obs.enable()
+        assert obs.graft([]) == []
+        assert obs.trace_snapshot() == []

@@ -240,6 +240,77 @@ class TestObservability:
         assert "analyzer.reliability" in out
 
 
+class TestTraceShow:
+    def _tree(self):
+        return {
+            "name": "service.job",
+            "span_id": "a" * 16,
+            "wall_time_s": 0.02,
+            "attrs": {"kind": "mc", "trace_id": "t1"},
+            "children": [
+                {
+                    "name": "exec.shard",
+                    "wall_time_s": 0.01,
+                    "attrs": {"shard": 0},
+                    "children": [
+                        {"name": "mc.chunk", "wall_time_s": 0.005}
+                    ],
+                }
+            ],
+        }
+
+    def test_renders_service_trace_envelope(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"id": "j1", "trace": self._tree()}))
+        code, out, _err = _run(capsys, "trace", "show", str(path))
+        assert code == 0
+        assert "service.job  20.00 ms" in out
+        assert "exec.shard  10.00 ms" in out
+        assert "[shard=0]" in out
+
+    def test_renders_cli_trace_document(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(
+            json.dumps({"trace": [self._tree()], "metrics": {}, "stages": {}})
+        )
+        code, out, _err = _run(capsys, "trace", "show", str(path))
+        assert code == 0
+        assert "mc.chunk" in out
+
+    def test_depth_and_no_attrs(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self._tree()))
+        code, out, _err = _run(
+            capsys, "trace", "show", str(path), "--depth", "1", "--no-attrs"
+        )
+        assert code == 0
+        assert "mc.chunk" not in out
+        assert "pruned" in out
+        assert "[shard=0]" not in out
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self._tree()))
+        code, out, _err = _run(capsys, "trace", "show", str(path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["trace"][0]["name"] == "service.job"
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        code, _out, err = _run(
+            capsys, "trace", "show", str(tmp_path / "nope.json")
+        )
+        assert code == 2
+        assert "cannot read trace" in err
+
+    def test_unrecognised_document_errors(self, capsys, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"spans": 3}))
+        code, _out, err = _run(capsys, "trace", "show", str(path))
+        assert code == 2
+        assert "unrecognised trace document" in err
+
+
 class TestBatch:
     def test_sweep_and_cache_hit_on_second_run(self, capsys, tmp_path):
         argv = [
