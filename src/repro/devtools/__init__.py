@@ -8,25 +8,58 @@ the :class:`repro.errors.ReproError` hierarchy at the API boundary,
 structured logging instead of bare ``print``, and numerical-safety
 rules for the statistical kernels.
 
+Beyond the per-file rules, ``--project`` mode indexes a whole package
+(:mod:`repro.devtools.graph`), builds an approximate call graph, and runs
+the concurrency/determinism analyses in
+:mod:`repro.devtools.concurrency`: unguarded shared-state writes
+(RPL009), transitively blocking HTTP handlers (RPL010) and shard-task
+RNG escapes (RPL011).
+
 Run it as::
 
-    python -m repro.devtools.lint src/repro
+    python -m repro.devtools.lint src/repro              # per-file rules
+    python -m repro.devtools.lint --project src/repro    # + call-graph rules
 
-See ``docs/static-analysis.md`` for the rule catalogue.
+See ``docs/static-analysis.md`` for the rule catalogue, the findings
+baseline and the SARIF/caching options.
 """
 
 from __future__ import annotations
 
-from repro.devtools.engine import LintContext, lint_paths, lint_source
-from repro.devtools.rules import ALL_RULES, Finding, Rule, get_rule, iter_rules
+from repro.devtools.engine import (
+    LintContext,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
+from repro.devtools.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    Finding,
+    ProjectRule,
+    Rule,
+    get_project_rule,
+    get_rule,
+    iter_project_rules,
+    iter_rules,
+)
+
+# Importing the analyzer registers the project rules (RPL009+), so
+# ALL_PROJECT_RULES is populated for anyone importing the package.
+import repro.devtools.concurrency  # noqa: E402,F401
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "Finding",
     "LintContext",
+    "ProjectRule",
     "Rule",
+    "get_project_rule",
     "get_rule",
+    "iter_project_rules",
     "iter_rules",
     "lint_paths",
+    "lint_project",
     "lint_source",
 ]

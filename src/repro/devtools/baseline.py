@@ -1,0 +1,113 @@
+"""Findings baseline: freeze pre-existing debt, fail on new violations.
+
+Rolling out a new whole-project rule against a living codebase surfaces
+findings that are real but not worth blocking every PR on.  The baseline
+records those: a finding whose fingerprint appears in the committed
+``.reprolint-baseline.json`` is filtered out (up to the recorded count),
+anything new fails the build.
+
+Fingerprints are ``sha256(rule :: path :: message)`` truncated to 16 hex
+chars — deliberately **line-number independent**, so unrelated edits that
+shift a baselined finding up or down the file do not resurrect it.  Two
+identical findings in one file share a fingerprint; the ``count`` field
+allows that many before the overflow is reported as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools.engine import LintFileError
+from repro.devtools.rules import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Default baseline location, relative to the invocation directory.
+DEFAULT_BASELINE = Path(".reprolint-baseline.json")
+
+_FORMAT = "reprolint-baseline"
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-number-independent id for one finding."""
+    key = f"{finding.rule}::{finding.path}::{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """``fingerprint -> allowed count`` from a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintFileError(f"{path}: cannot read baseline: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintFileError(f"{path}: invalid baseline JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("tool") != _FORMAT
+        or not isinstance(payload.get("entries"), dict)
+    ):
+        raise LintFileError(f"{path}: not a reprolint baseline file")
+    out: dict[str, int] = {}
+    for fp, entry in payload["entries"].items():
+        count = entry.get("count", 1) if isinstance(entry, dict) else 1
+        out[str(fp)] = max(1, int(count))
+    return out
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write (or rewrite) the baseline to cover exactly ``findings``."""
+    entries: dict[str, dict[str, object]] = {}
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    ):
+        fp = fingerprint(finding)
+        entry = entries.get(fp)
+        if entry is None:
+            entries[fp] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "count": 1,
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1  # type: ignore[call-overload]
+    payload = {
+        "tool": _FORMAT,
+        "version": _VERSION,
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], int]:
+    """Split findings into ``(new, n_baselined)``.
+
+    The first ``count`` occurrences of each baselined fingerprint (in
+    source order) are suppressed; any overflow is reported as new.
+    """
+    remaining = dict(baseline)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    ):
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -1,0 +1,88 @@
+"""Incremental lint cache keyed on file content.
+
+Per-file rules are pure functions of one file's bytes, so their findings
+can be cached by content hash: CI and local re-runs skip every file that
+has not changed.  The key covers the file's sha256, its display path
+(finding paths embed it) and the active rule set, plus a format version
+bumped whenever finding output changes shape.
+
+Project-wide analyses (``--project`` graph rules) are *never* cached —
+their results depend on every file in the package.
+
+Entries are tiny JSON documents under ``.cache/reprolint/<k[:2]>/<k>.json``.
+Corrupt or unreadable entries are treated as misses; write failures are
+swallowed (a cache must never break the lint run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.devtools.rules import Finding, Rule
+
+__all__ = ["CACHE_VERSION", "DEFAULT_CACHE_DIR", "LintCache"]
+
+#: Bump when the Finding schema or rule semantics change incompatibly.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_DIR = Path(".cache/reprolint")
+
+
+def _rules_token(rules: list[Rule]) -> str:
+    return ",".join(sorted(rule.rule_id for rule in rules))
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results."""
+
+    def __init__(self, root: Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, source: str, display_path: str, rules: list[Rule]) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"v{CACHE_VERSION}\x00".encode())
+        digest.update(f"{display_path}\x00".encode())
+        digest.update(f"{_rules_token(rules)}\x00".encode())
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> list[Finding] | None:
+        """Cached findings for ``key``, or None on miss/corruption."""
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            findings = [
+                Finding(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    message=str(item["message"]),
+                )
+                for item in payload["findings"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: list[Finding]) -> None:
+        """Store findings under ``key`` (best-effort)."""
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {"findings": [f.as_dict() for f in findings]}
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            pass

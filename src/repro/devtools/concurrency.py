@@ -1,0 +1,717 @@
+"""Thread-safety and determinism analyses over the project call graph.
+
+The service stack runs the same code from several kinds of thread at
+once: ``ThreadingHTTPServer`` handler threads, the ``JobManager`` worker
+pool, callables submitted to exec backends, and signal handlers.  A
+per-file linter cannot tell that a handler reaches, three frames deep, a
+function that mutates a module-level registry without a lock.  The three
+rules here can, because they run over the
+:class:`~repro.devtools.graph.ProjectIndex`:
+
+- **RPL009 unguarded-shared-state** — a write to shared mutable state
+  (a module global, or an attribute of an object type that multiple
+  threads hold) that is reachable from two or more distinct *thread
+  roots* and is neither lexically inside a ``with <lock>:`` block nor in
+  a function whose every caller holds a lock.
+- **RPL010 transitively-blocking-handler** — an HTTP handler method that
+  reaches, through any call chain, a blocking primitive
+  (``time.sleep``, synchronous ``subprocess``, ``os.system``).  This is
+  RPL007 made transitive.
+- **RPL011 shard-determinism** — a shard task handed to
+  ``run_sharded`` whose reachable closure touches ``np.random`` global
+  state or a module-level ``Generator`` singleton, breaking the
+  bit-identical-reduction invariant (shard streams must derive from the
+  shard plan).
+
+All three are *approximate*: an unresolvable call produces no edge, so
+they under-report rather than over-report.  Findings they do produce are
+suppressible like any other (line-scoped ``# reprolint: disable=`` or a
+file-level ``disable-file=``) and can be frozen with the findings
+baseline (``.reprolint-baseline.json``; see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.devtools.graph import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectIndex,
+    _is_lock_expr,
+)
+from repro.devtools.rules import (
+    Finding,
+    ProjectRule,
+    register_project,
+)
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "ThreadRoot",
+    "infer_thread_roots",
+    "lock_context_functions",
+]
+
+#: External callables that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+    }
+)
+
+#: ``np.random`` Generator-API constructors that do not touch global state
+#: (mirrors RPL001's allow-list).
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Methods where any write is construction, not shared mutation.
+_CONSTRUCTOR_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: The shared identity of every function nothing in-graph calls: they all
+#: run on whichever thread drives the program's entry point.
+MAIN_ROOT = "main"
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    """One inferred concurrent entry point into the code base."""
+
+    qualname: str
+    kind: str
+    reason: str
+
+    @property
+    def identity(self) -> str:
+        """The label used when counting *distinct* roots."""
+        return MAIN_ROOT if self.kind == "main" else self.qualname
+
+
+def _first_call_arg(call: ast.Call, keyword: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def infer_thread_roots(index: ProjectIndex) -> list[ThreadRoot]:
+    """Every inferred thread root, deterministically ordered.
+
+    Kinds:
+
+    - ``http-handler`` — ``do_*`` methods on (transitive) subclasses of
+      ``BaseHTTPRequestHandler``; each request runs one on its own thread.
+    - ``thread-target`` — resolvable ``threading.Thread(target=...)``
+      arguments.
+    - ``pool-worker`` — resolvable first arguments of ``.submit(...)`` /
+      ``.imap_unordered(...)`` calls that do *not* resolve to an ordinary
+      in-project method of the receiver (``functools.partial`` unwrapped).
+    - ``signal-handler`` — resolvable ``signal.signal(sig, handler)``
+      handlers; they interrupt the main thread at arbitrary points.
+    - ``main`` — every function with no in-graph caller.  These share a
+      single root *identity*: they all run on the entry-point thread.
+    """
+    roots: dict[tuple[str, str], ThreadRoot] = {}
+
+    def add(qualname: str | None, kind: str, reason: str) -> None:
+        if qualname is None or qualname not in index.functions:
+            return
+        roots.setdefault((qualname, kind), ThreadRoot(qualname, kind, reason))
+
+    for cls in index.classes.values():
+        if not index.class_has_base(cls.qualname, "BaseHTTPRequestHandler"):
+            continue
+        for method, fn_qual in sorted(cls.methods.items()):
+            if method.startswith("do_"):
+                add(
+                    fn_qual,
+                    "http-handler",
+                    f"HTTP method handler on {cls.qualname}",
+                )
+
+    for fn in index.functions.values():
+        types = index.local_types(fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            terminal = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if terminal == "Thread":
+                target = _first_call_arg(node, "target")
+                add(
+                    index.resolve_callable_ref(fn, target, types)
+                    if target is not None
+                    else None,
+                    "thread-target",
+                    f"threading.Thread target in {fn.qualname}",
+                )
+            elif terminal == "signal" and (
+                index.resolve_external(fn.module, func) == "signal.signal"
+            ):
+                if len(node.args) >= 2:
+                    add(
+                        index.resolve_callable_ref(fn, node.args[1], types),
+                        "signal-handler",
+                        f"signal handler registered in {fn.qualname}",
+                    )
+            elif terminal in ("submit", "imap_unordered") and isinstance(
+                func, ast.Attribute
+            ):
+                # Skip calls that resolve to an ordinary in-project method
+                # of the receiver (e.g. ``JobManager.submit`` takes a
+                # request object, not a callable).
+                receiver_cls = index.expr_class(fn, func.value, types)
+                if (
+                    receiver_cls is not None
+                    and index.class_method(receiver_cls, terminal) is not None
+                    and terminal == "submit"
+                ):
+                    continue
+                if node.args:
+                    add(
+                        index.resolve_callable_ref(fn, node.args[0], types),
+                        "pool-worker",
+                        f"submitted to an executor in {fn.qualname}",
+                    )
+
+    explicit = {qualname for (qualname, _kind) in roots}
+    for fn in index.functions.values():
+        if fn.qualname in explicit:
+            continue
+        if not index.callers.get(fn.qualname):
+            add(fn.qualname, "main", "no in-graph caller (entry point)")
+    return sorted(roots.values(), key=lambda r: (r.kind, r.qualname))
+
+
+def lock_context_functions(index: ProjectIndex) -> set[str]:
+    """Functions provably only ever entered with a lock already held.
+
+    Greatest fixpoint of: *f* is lock-context iff *f* has at least one
+    in-graph caller and **every** incoming edge is either lexically
+    inside a ``with <lock>:`` block or comes from a lock-context caller.
+    Thread roots can never be lock-context (their caller is the runtime).
+    """
+    candidates = {
+        qualname
+        for qualname in index.functions
+        if index.callers.get(qualname)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in list(candidates):
+            for edge in index.callers.get(qualname, ()):
+                if not edge.locked and edge.caller not in candidates:
+                    candidates.discard(qualname)
+                    changed = True
+                    break
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# shared-state access model
+# ---------------------------------------------------------------------------
+
+#: A shared-state key: ``("global", module, name)`` or
+#: ``("attr", class_qualname, attr)``.
+StateKey = tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class _Access:
+    key: StateKey
+    fn: str
+    node: ast.AST
+    is_write: bool
+    locked: bool
+
+
+def _function_global_decls(fn: FunctionInfo) -> set[str]:
+    return {
+        name
+        for node in ast.walk(fn.node)
+        for name in (node.names if isinstance(node, ast.Global) else ())
+    }
+
+
+def _function_local_names(fn: FunctionInfo) -> set[str]:
+    """Names bound locally (params, assignments, loops, withs, comps)."""
+    args = fn.node.args
+    names = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn.node:
+                names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+    return names - _function_global_decls(fn)
+
+
+def _shared_param_types(
+    index: ProjectIndex, fn: FunctionInfo
+) -> dict[str, str]:
+    """Locals that hold objects *shared* with other threads.
+
+    Parameter annotations and resolvable call results (``queue.get() ->
+    Job``) qualify; a constructor call inside the function creates a
+    fresh object, which only this function owns, so it does not.
+    """
+    types: dict[str, str] = {}
+    if fn.cls is not None:
+        types["self"] = fn.cls
+    args = fn.node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        cls = index.annotation_class(fn.module, arg.annotation)
+        if cls is not None:
+            types[arg.arg] = cls.qualname
+    all_types = index.local_types(fn)
+    for stmt in ast.walk(fn.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target, value = stmt.targets[0], stmt.value
+        if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)):
+            continue
+        callees = index.resolve_call_target(fn, value, all_types)
+        if not callees:
+            continue
+        # Constructor call -> fresh object -> not shared.
+        if any(
+            c in index.classes or c.rpartition(".")[2] == "__init__"
+            for c in callees
+        ):
+            continue
+        inferred = all_types.get(target.id)
+        if inferred is not None:
+            types[target.id] = inferred
+    return types
+
+
+def _iter_nodes_with_lock_state(
+    fn: FunctionInfo,
+) -> Iterator[tuple[ast.AST, bool]]:
+    """Every node under ``fn`` with its lexical lock containment."""
+    pending: list[tuple[ast.AST, bool]] = [
+        (stmt, False) for stmt in fn.node.body
+    ]
+    while pending:
+        node, locked = pending.pop()
+        yield node, locked
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(
+                _is_lock_expr(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                pending.append((item.context_expr, locked))
+                if item.optional_vars is not None:
+                    pending.append((item.optional_vars, locked))
+            pending.extend((stmt, inner) for stmt in node.body)
+            continue
+        pending.extend((child, locked) for child in ast.iter_child_nodes(node))
+
+
+def _collect_accesses(index: ProjectIndex) -> list[_Access]:
+    """Every shared-state read and write site in the project."""
+    accesses: list[_Access] = []
+    for fn in index.functions.values():
+        if fn.name in _CONSTRUCTOR_METHODS:
+            continue
+        module = index.modules[fn.module]
+        global_decls = _function_global_decls(fn)
+        local_names = _function_local_names(fn)
+        shared_types = _shared_param_types(index, fn)
+        cls: ClassInfo | None = (
+            index.classes.get(fn.cls) if fn.cls is not None else None
+        )
+
+        def global_key(name: str) -> StateKey | None:
+            if name in local_names and name not in global_decls:
+                return None
+            if name not in module.global_names:
+                return None
+            if name in module.thread_safe_globals:
+                return None
+            return ("global", fn.module, name)
+
+        def attr_key(expr: ast.Attribute) -> StateKey | None:
+            base = expr.value
+            if not isinstance(base, ast.Name):
+                return None
+            base_cls_name = shared_types.get(base.id)
+            if base_cls_name is None:
+                return None
+            base_cls = index.classes.get(base_cls_name)
+            if base_cls is None:
+                return None
+            if expr.attr in base_cls.thread_safe_attrs:
+                return None
+            if cls is not None and base.id == "self":
+                if expr.attr in cls.thread_safe_attrs:
+                    return None
+            return ("attr", base_cls_name, expr.attr)
+
+        def classify_receiver(expr: ast.expr) -> StateKey | None:
+            """Key for a *read* receiver being mutated in place
+            (``X.clear()``, ``X[k] = v`` through ``X``)."""
+            if isinstance(expr, ast.Name):
+                return global_key(expr.id)
+            if isinstance(expr, ast.Attribute):
+                return attr_key(expr)
+            if isinstance(expr, ast.Subscript):
+                return classify_receiver(expr.value)
+            return None
+
+        def classify_target(expr: ast.expr) -> StateKey | None:
+            """The shared-state key a *store* target writes, if any."""
+            if isinstance(expr, ast.Name):
+                # Rebinding a bare name is only a global write under a
+                # ``global`` declaration; otherwise it creates a local.
+                if expr.id in global_decls:
+                    return global_key(expr.id)
+                return None
+            if isinstance(expr, ast.Attribute):
+                return attr_key(expr)
+            if isinstance(expr, ast.Subscript):
+                return classify_receiver(expr.value)
+            return None
+
+        for node, locked in _iter_nodes_with_lock_state(fn):
+            keys_written: list[tuple[StateKey, ast.AST]] = []
+            keys_read: list[StateKey] = []
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    key = classify_target(target)
+                    if key is not None:
+                        keys_written.append((key, target))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                ):
+                    key = classify_receiver(func.value)
+                    if key is not None:
+                        keys_written.append((key, node))
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                key = global_key(node.id)
+                if key is not None:
+                    keys_read.append(key)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                key = attr_key(node)
+                if key is not None:
+                    keys_read.append(key)
+            for key, anchor in keys_written:
+                accesses.append(_Access(key, fn.qualname, anchor, True, locked))
+            for key in keys_read:
+                accesses.append(_Access(key, fn.qualname, node, False, locked))
+    return accesses
+
+
+def _roots_reaching(
+    index: ProjectIndex, roots: list[ThreadRoot]
+) -> dict[str, set[str]]:
+    """``function qualname -> set of root identities that reach it``."""
+    reached: dict[str, set[str]] = {}
+    by_identity: dict[str, set[str]] = {}
+    for root in roots:
+        by_identity.setdefault(root.identity, set()).add(root.qualname)
+    for identity, starts in by_identity.items():
+        for qualname in index.reachable(starts):
+            reached.setdefault(qualname, set()).add(identity)
+    return reached
+
+
+# ---------------------------------------------------------------------------
+# RPL009 — unguarded shared state
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class UnguardedSharedState(ProjectRule):
+    """Writes to multi-threaded state must hold a lock.
+
+    A write site is *guarded* when it is lexically inside a ``with
+    <lock>:`` block, or when its enclosing function is only ever entered
+    with a lock held (every in-graph call edge is locked — the
+    ``_finish``-style "caller holds the lock" contract).
+    """
+
+    rule_id = "RPL009"
+    name = "unguarded-shared-state"
+    summary = (
+        "no lock-free writes to module globals or shared object "
+        "attributes reachable from two or more thread roots"
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        roots = infer_thread_roots(index)
+        reached = _roots_reaching(index, roots)
+        lock_context = lock_context_functions(index)
+        accesses = _collect_accesses(index)
+
+        touching: dict[StateKey, set[str]] = {}
+        for access in accesses:
+            touching.setdefault(access.key, set()).update(
+                reached.get(access.fn, set())
+            )
+
+        for access in accesses:
+            if not access.is_write or access.locked:
+                continue
+            if access.fn in lock_context:
+                continue
+            identities = sorted(touching.get(access.key, set()))
+            if len(identities) < 2:
+                continue
+            kind, owner, name = access.key
+            what = (
+                f"module global {owner}.{name}"
+                if kind == "global"
+                else f"attribute {owner}.{name}"
+            )
+            fn = index.functions[access.fn]
+            shown = ", ".join(identities[:3])
+            yield self.finding(
+                str(fn.path),
+                access.node,
+                f"unguarded write to {what} in {access.fn}; the state is "
+                f"reachable from {len(identities)} thread roots "
+                f"({shown}) — hold the guarding lock or make every call "
+                "path lock-held",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPL010 — transitively blocking handler
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class TransitivelyBlockingHandler(ProjectRule):
+    """HTTP handler threads must never reach a blocking primitive.
+
+    RPL007 catches ``time.sleep``/``subprocess`` written directly inside
+    ``repro/service``; this rule follows the call graph, so a handler
+    calling a helper in another package that blocks is caught too.
+    """
+
+    rule_id = "RPL010"
+    name = "transitively-blocking-handler"
+    summary = (
+        "no call chain from an HTTP handler method to time.sleep, "
+        "synchronous subprocess calls, or os.system"
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        handler_roots = [
+            root
+            for root in infer_thread_roots(index)
+            if root.kind == "http-handler"
+        ]
+        if not handler_roots:
+            return
+
+        blocking_sites: dict[str, list[tuple[ast.Call, str]]] = {}
+        for fn in index.functions.values():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                origin = index.resolve_external(fn.module, node.func)
+                if origin in BLOCKING_CALLS:
+                    blocking_sites.setdefault(fn.qualname, []).append(
+                        (node, origin)
+                    )
+        if not blocking_sites:
+            return
+
+        emitted: set[tuple[str, int, int, str]] = set()
+        for root in sorted(handler_roots, key=lambda r: r.qualname):
+            reachable = index.reachable([root.qualname])
+            for qualname in sorted(reachable & blocking_sites.keys()):
+                chain = index.call_path(root.qualname, qualname)
+                if chain is None:
+                    continue
+                fn = index.functions[qualname]
+                for node, origin in blocking_sites[qualname]:
+                    dedup = (qualname, node.lineno, node.col_offset, origin)
+                    if dedup in emitted:
+                        continue
+                    emitted.add(dedup)
+                    yield self.finding(
+                        str(fn.path),
+                        node,
+                        f"handler {root.qualname} reaches blocking call "
+                        f"{origin}() via {' -> '.join(chain)}; move the "
+                        "blocking work onto the JobManager worker pool",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RPL011 — shard determinism
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class ShardDeterminism(ProjectRule):
+    """Shard tasks must draw randomness only from the shard plan.
+
+    The execution layer guarantees bit-identical reductions across
+    serial/thread/process backends by deriving every stream from the
+    shard plan (``shard.rng()``).  A shard task (any callable handed to
+    ``run_sharded``) whose closure touches ``np.random`` global state or
+    a module-level ``Generator`` singleton silently breaks that.
+    """
+
+    rule_id = "RPL011"
+    name = "shard-determinism"
+    summary = (
+        "no np.random global state or module-level Generator singletons "
+        "reachable from a run_sharded task"
+    )
+
+    def _shard_tasks(self, index: ProjectIndex) -> dict[str, str]:
+        """``task qualname -> submitting function`` for run_sharded sites."""
+        tasks: dict[str, str] = {}
+        for fn in index.functions.values():
+            types = index.local_types(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                terminal = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id
+                    if isinstance(func, ast.Name)
+                    else None
+                )
+                if terminal != "run_sharded":
+                    continue
+                task_expr = _first_call_arg(node, "task")
+                if task_expr is None and len(node.args) >= 2:
+                    task_expr = node.args[1]
+                if task_expr is None:
+                    continue
+                task = index.resolve_callable_ref(fn, task_expr, types)
+                if task is not None:
+                    tasks.setdefault(task, fn.qualname)
+        return tasks
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        tasks = self._shard_tasks(index)
+        if not tasks:
+            return
+        emitted: set[tuple[str, int, int]] = set()
+        for task in sorted(tasks):
+            for qualname in sorted(index.reachable([task])):
+                fn = index.functions.get(qualname)
+                if fn is None:
+                    continue
+                module = index.modules[fn.module]
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    message = self._classify(index, module.name, node)
+                    if message is None:
+                        continue
+                    dedup = (qualname, node.lineno, node.col_offset)
+                    if dedup in emitted:
+                        continue
+                    emitted.add(dedup)
+                    yield self.finding(
+                        str(fn.path),
+                        node,
+                        f"{message} in {qualname}, reachable from shard "
+                        f"task {task}; derive the stream from the shard "
+                        "plan (shard.rng()) instead",
+                    )
+
+    def _classify(
+        self, index: ProjectIndex, module: str, node: ast.Call
+    ) -> str | None:
+        origin = index.resolve_external(module, node.func)
+        if origin is not None and origin.startswith("numpy.random."):
+            attr = origin.rpartition(".")[2]
+            if attr not in _RNG_CONSTRUCTORS:
+                return f"np.random global-state call np.random.{attr}()"
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            info = index.modules.get(module)
+            if info is not None:
+                value = info.global_values.get(func.value.id)
+                if isinstance(value, ast.Call):
+                    ctor = value.func
+                    ctor_name = (
+                        ctor.attr
+                        if isinstance(ctor, ast.Attribute)
+                        else ctor.id
+                        if isinstance(ctor, ast.Name)
+                        else None
+                    )
+                    if ctor_name in ("default_rng", "Generator"):
+                        return (
+                            "draw from module-level RNG singleton "
+                            f"{module}.{func.value.id}"
+                        )
+        return None

@@ -1,0 +1,919 @@
+"""Whole-project symbol index and approximate call graph.
+
+Per-file AST rules cannot see that an HTTP handler calls, three frames
+deep, a function that mutates shared state — that requires a *project*
+view.  This module builds one:
+
+- :class:`ProjectIndex` — every module under a package root, parsed once,
+  with module-level functions, classes (including their attribute types)
+  and resolved imports (relative imports, ``__init__`` re-exports and
+  ``import numpy as np``-style aliases all resolve).
+- an approximate **call graph**: for every function/method, the resolvable
+  call edges out of it, each annotated with whether the call site sits
+  inside a ``with <lock>:`` block.
+
+Resolution is deliberately best-effort and *unsound in the safe
+direction* for the analyses built on it (``repro.devtools.concurrency``):
+an unresolvable call simply produces no edge.  The resolvers understand
+the idioms this codebase actually uses — ``self.method()``, imported
+module aliases, constructor calls, ``self.attr.method()`` chains typed by
+``__init__``-parameter annotations, callables stored on ``self`` in
+``__init__`` (``self._compute = compute`` with a resolvable default), and
+``functools.partial(fn, ...)`` wrappers.
+
+Nested functions and lambdas are attributed to their enclosing
+module-level function or method: their call sites and state accesses
+count as the parent's.  That matches how the concurrency analyses use the
+graph (a closure runs on whatever thread invokes its parent's result).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.engine import LintFileError
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ImportTarget",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_index",
+]
+
+#: Terminal identifiers treated as lock objects when they guard a ``with``.
+_LOCK_TOKENS = ("lock", "mutex")
+
+#: Constructors whose instances are inherently thread-safe — attribute
+#: writes *through* such an object are not shared-state hazards.
+_THREAD_SAFE_CTORS = frozenset(
+    {
+        "local",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ImportTarget:
+    """Where one imported name points.
+
+    ``kind`` is ``"module"`` (an in-project module), ``"symbol"`` (a name
+    inside an in-project module) or ``"external"`` (anything outside the
+    package; ``module`` then holds the full dotted origin, e.g.
+    ``"numpy"`` for ``import numpy as np``).
+    """
+
+    kind: str
+    module: str
+    symbol: str | None = None
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method in the project."""
+
+    qualname: str
+    name: str
+    module: str
+    path: Path
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class: bases, methods, and known attribute types."""
+
+    qualname: str
+    name: str
+    module: str
+    path: Path
+    node: ast.ClassDef
+    #: Raw dotted base expressions as written (``"BaseHTTPRequestHandler"``,
+    #: ``"http.server.BaseHTTPRequestHandler"``).
+    bases: list[str] = field(default_factory=list)
+    #: method name -> function qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> class qualname (from annotations and ``__init__``).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> function qualname for callables stored on self.
+    attr_callables: dict[str, str] = field(default_factory=dict)
+    #: attributes initialised from a thread-safe constructor (locks,
+    #: queues, events, thread-locals) — exempt from shared-state checks.
+    thread_safe_attrs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level namespace."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    #: local binding -> import target.
+    imports: dict[str, ImportTarget] = field(default_factory=dict)
+    #: module-level def name -> function qualname.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: module-level class name -> class qualname.
+    classes: dict[str, str] = field(default_factory=dict)
+    #: every name bound by module-level statements (the module's globals).
+    global_names: set[str] = field(default_factory=set)
+    #: module-level name -> the value expression it was last assigned.
+    global_values: dict[str, ast.expr] = field(default_factory=dict)
+    #: globals initialised from thread-safe constructors (see above).
+    thread_safe_globals: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee``."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    #: True when the call site is lexically inside a ``with <lock>:``.
+    locked: bool
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    """True for ``_lock`` / ``self._lock`` / ``registry.mutex``-style names."""
+    terminal: str | None = None
+    if isinstance(expr, ast.Name):
+        terminal = expr.id
+    elif isinstance(expr, ast.Attribute):
+        terminal = expr.attr
+    elif isinstance(expr, ast.Call):
+        # ``with lock_for(key):`` — a call returning a lock.
+        return _is_lock_expr(expr.func)
+    if terminal is None:
+        return False
+    lowered = terminal.lower()
+    return any(token in lowered for token in _LOCK_TOKENS)
+
+
+def _is_thread_safe_ctor(expr: ast.expr) -> bool:
+    """True when ``expr`` constructs an inherently thread-safe object."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name: str | None = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name in _THREAD_SAFE_CTORS
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``"a.b.c"`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _annotation_name(annotation: ast.expr | None) -> str | None:
+    """The dotted name of a plain annotation (unwraps ``Optional[X]``-ish)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: take the first dotted token.
+        text = annotation.value.strip()
+        head = text.split("[", 1)[0].split("|", 1)[0].strip()
+        return head or None
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return _dotted(annotation)
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_name(annotation.value)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        # ``X | None`` — resolve through the non-None side.
+        left = _annotation_name(annotation.left)
+        if left is not None and left != "None":
+            return left
+        return _annotation_name(annotation.right)
+    return None
+
+
+def iter_calls_with_lock_state(
+    body: Iterable[ast.stmt],
+) -> Iterator[tuple[ast.Call, bool]]:
+    """Every call in ``body`` (descending into nested defs) with lock state.
+
+    The second element is True when the call site sits lexically inside a
+    ``with`` statement over a lock-named object.
+    """
+    pending: list[tuple[ast.AST, bool]] = [(stmt, False) for stmt in body]
+    while pending:
+        node, locked = pending.pop()
+        if isinstance(node, ast.Call):
+            yield node, locked
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(
+                _is_lock_expr(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                pending.append((item.context_expr, locked))
+                if item.optional_vars is not None:
+                    pending.append((item.optional_vars, locked))
+            pending.extend((stmt, inner) for stmt in node.body)
+            continue
+        pending.extend(
+            (child, locked) for child in ast.iter_child_nodes(node)
+        )
+
+
+class ProjectIndex:
+    """The project-wide symbol table and call graph (see module docstring)."""
+
+    def __init__(self, package: str, root: Path) -> None:
+        self.package = package
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qualname -> outgoing edges, built by :meth:`build_calls`.
+        self.calls: dict[str, list[CallEdge]] = {}
+        #: callee qualname -> incoming edges.
+        self.callers: dict[str, list[CallEdge]] = {}
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+
+    def is_internal(self, dotted: str) -> bool:
+        """True when a dotted module path belongs to this package."""
+        return dotted == self.package or dotted.startswith(self.package + ".")
+
+    def resolve_symbol(
+        self, module: str, name: str, _seen: frozenset[tuple[str, str]] = frozenset()
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve ``name`` in ``module``'s top-level namespace.
+
+        Follows import chains (so an ``__init__`` re-export resolves to
+        the defining module) with a cycle guard; returns None for
+        external or unresolvable names.
+        """
+        if (module, name) in _seen:
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return self.functions[info.functions[name]]
+        if name in info.classes:
+            return self.classes[info.classes[name]]
+        target = info.imports.get(name)
+        if target is None:
+            return None
+        seen = _seen | {(module, name)}
+        if target.kind == "symbol":
+            assert target.symbol is not None
+            return self.resolve_symbol(target.module, target.symbol, seen)
+        return None
+
+    def resolve_import_module(self, module: str, alias: str) -> str | None:
+        """The in-project module an alias is bound to, if any."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        target = info.imports.get(alias)
+        if target is not None and target.kind == "module":
+            return target.module
+        return None
+
+    def resolve_external(self, module: str, expr: ast.expr) -> str | None:
+        """The full external dotted origin of a call target, if external.
+
+        ``time.sleep`` with ``import time`` resolves to ``"time.sleep"``;
+        ``pause`` with ``from time import sleep as pause`` resolves the
+        same way; ``np.random.rand`` resolves to ``"numpy.random.rand"``.
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None or target.kind != "external":
+            return None
+        origin = target.module
+        if target.symbol is not None:
+            origin = f"{origin}.{target.symbol}"
+        return f"{origin}.{rest}" if rest else origin
+
+    def class_method(self, cls: str, name: str) -> str | None:
+        """Method qualname on ``cls`` or its in-project base classes."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            for base in info.bases:
+                resolved = self._resolve_class_ref(info.module, base)
+                if resolved is not None:
+                    stack.append(resolved.qualname)
+        return None
+
+    def _resolve_class_ref(self, module: str, dotted: str) -> ClassInfo | None:
+        """Resolve a dotted class reference written inside ``module``."""
+        head, _, rest = dotted.partition(".")
+        if not rest:
+            resolved = self.resolve_symbol(module, head)
+            return resolved if isinstance(resolved, ClassInfo) else None
+        target_module = self.resolve_import_module(module, head)
+        if target_module is None:
+            # ``repro.thermal.grid.PackageModel`` written out in full.
+            maybe_module, _, symbol = dotted.rpartition(".")
+            if self.is_internal(maybe_module):
+                resolved = self.resolve_symbol(maybe_module, symbol)
+                return resolved if isinstance(resolved, ClassInfo) else None
+            return None
+        resolved = self.resolve_symbol(target_module, rest)
+        return resolved if isinstance(resolved, ClassInfo) else None
+
+    def class_has_base(self, cls: str, base_terminal: str) -> bool:
+        """True when ``cls`` (transitively) lists a base whose terminal
+        identifier equals ``base_terminal`` (external bases included)."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base.rpartition(".")[2] == base_terminal:
+                    return True
+                resolved = self._resolve_class_ref(info.module, base)
+                if resolved is not None:
+                    stack.append(resolved.qualname)
+        return False
+
+    # ------------------------------------------------------------------
+    # local type inference
+    # ------------------------------------------------------------------
+
+    def annotation_class(
+        self, module: str, annotation: ast.expr | None
+    ) -> ClassInfo | None:
+        """The in-project class an annotation names, if any."""
+        name = _annotation_name(annotation)
+        if name is None:
+            return None
+        return self._resolve_class_ref(module, name)
+
+    def local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Best-effort ``local name -> class qualname`` for one function.
+
+        Covers parameter annotations, ``x = ClassName(...)`` constructor
+        assignments, and ``x = call()`` where the callee's return
+        annotation resolves to an in-project class.  ``self`` maps to the
+        enclosing class.
+        """
+        types: dict[str, str] = {}
+        if fn.cls is not None:
+            types["self"] = fn.cls
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            cls = self.annotation_class(fn.module, arg.annotation)
+            if cls is not None:
+                types[arg.arg] = cls.qualname
+        for stmt in ast.walk(fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                if value is None:
+                    cls = self.annotation_class(fn.module, stmt.annotation)
+                    if cls is not None and isinstance(target, ast.Name):
+                        types[target.id] = cls.qualname
+                    continue
+            if (
+                target is None
+                or value is None
+                or not isinstance(target, ast.Name)
+                or not isinstance(value, ast.Call)
+            ):
+                continue
+            inferred = self._call_result_class(fn, value, types)
+            if inferred is not None:
+                types[target.id] = inferred
+        return types
+
+    def _call_result_class(
+        self, fn: FunctionInfo, call: ast.Call, types: dict[str, str]
+    ) -> str | None:
+        """The class a call expression evaluates to, when resolvable."""
+        for callee in self.resolve_call_target(fn, call, types):
+            if callee in self.classes:
+                return callee
+            info = self.functions.get(callee)
+            if info is not None:
+                cls = self.annotation_class(info.module, info.node.returns)
+                if cls is not None:
+                    return cls.qualname
+        return None
+
+    def expr_class(
+        self, fn: FunctionInfo, expr: ast.expr, types: dict[str, str]
+    ) -> str | None:
+        """The in-project class an expression is an instance of, if known."""
+        if isinstance(expr, ast.Name):
+            if expr.id in types:
+                return types[expr.id]
+            module = self.modules[fn.module]
+            value = module.global_values.get(expr.id)
+            if value is not None and isinstance(value, ast.Call):
+                resolved = self._module_level_ctor_class(fn.module, value)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.expr_class(fn, expr.value, types)
+            if base is None:
+                return None
+            cls = self.classes.get(base)
+            if cls is None:
+                return None
+            attr_type = cls.attr_types.get(expr.attr)
+            if attr_type is not None:
+                return attr_type
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_result_class(fn, expr, types)
+        return None
+
+    def _module_level_ctor_class(self, module: str, call: ast.Call) -> str | None:
+        """Class of a module-level ``x = SomeClass(...)`` singleton."""
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        resolved = self._resolve_class_ref(module, dotted)
+        return resolved.qualname if resolved is not None else None
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+
+    def resolve_callable_ref(
+        self, fn: FunctionInfo, expr: ast.expr, types: dict[str, str]
+    ) -> str | None:
+        """Resolve a *reference* to a callable (a thread target, a task
+        argument) to a function qualname.  Unwraps ``partial(f, ...)``."""
+        if isinstance(expr, ast.Call):
+            func_name = _dotted(expr.func)
+            if func_name is not None and func_name.rpartition(".")[2] == "partial":
+                if expr.args:
+                    return self.resolve_callable_ref(fn, expr.args[0], types)
+            return None
+        if isinstance(expr, ast.Name):
+            resolved = self.resolve_symbol(fn.module, expr.id)
+            if isinstance(resolved, FunctionInfo):
+                return resolved.qualname
+            if isinstance(resolved, ClassInfo):
+                return self.class_method(resolved.qualname, "__init__")
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_cls = self.expr_class(fn, expr.value, types)
+            if base_cls is not None:
+                method = self.class_method(base_cls, expr.attr)
+                if method is not None:
+                    return method
+                cls = self.classes.get(base_cls)
+                if cls is not None and expr.attr in cls.attr_callables:
+                    return cls.attr_callables[expr.attr]
+                return None
+            base = expr.value
+            if isinstance(base, ast.Name):
+                target_module = self.resolve_import_module(fn.module, base.id)
+                if target_module is not None:
+                    resolved = self.resolve_symbol(target_module, expr.attr)
+                    if isinstance(resolved, FunctionInfo):
+                        return resolved.qualname
+                    if isinstance(resolved, ClassInfo):
+                        return self.class_method(resolved.qualname, "__init__")
+            return None
+        return None
+
+    def resolve_call_target(
+        self, fn: FunctionInfo, call: ast.Call, types: dict[str, str]
+    ) -> list[str]:
+        """Candidate callee qualnames (and/or class qualnames) of a call.
+
+        A constructor call resolves to the class's ``__init__`` when it
+        has one, else to the class qualname itself (so reachability still
+        flows through dataclasses without an explicit ``__init__``).
+        """
+        func = call.func
+        out: list[str] = []
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_symbol(fn.module, func.id)
+            if isinstance(resolved, FunctionInfo):
+                out.append(resolved.qualname)
+            elif isinstance(resolved, ClassInfo):
+                init = self.class_method(resolved.qualname, "__init__")
+                out.append(init if init is not None else resolved.qualname)
+        elif isinstance(func, ast.Attribute):
+            base_cls = self.expr_class(fn, func.value, types)
+            if base_cls is not None:
+                method = self.class_method(base_cls, func.attr)
+                if method is not None:
+                    out.append(method)
+                else:
+                    cls = self.classes.get(base_cls)
+                    if cls is not None and func.attr in cls.attr_callables:
+                        out.append(cls.attr_callables[func.attr])
+            elif isinstance(func.value, ast.Name):
+                target_module = self.resolve_import_module(
+                    fn.module, func.value.id
+                )
+                if target_module is not None:
+                    resolved = self.resolve_symbol(target_module, func.attr)
+                    if isinstance(resolved, FunctionInfo):
+                        out.append(resolved.qualname)
+                    elif isinstance(resolved, ClassInfo):
+                        init = self.class_method(resolved.qualname, "__init__")
+                        out.append(
+                            init if init is not None else resolved.qualname
+                        )
+        return out
+
+    # ------------------------------------------------------------------
+    # graph construction / traversal
+    # ------------------------------------------------------------------
+
+    def build_calls(self) -> None:
+        """Populate :attr:`calls` / :attr:`callers` for every function."""
+        self.calls = {}
+        self.callers = {}
+        for fn in self.functions.values():
+            types = self.local_types(fn)
+            edges: list[CallEdge] = []
+            for call, locked in iter_calls_with_lock_state(fn.node.body):
+                for callee in self.resolve_call_target(fn, call, types):
+                    edges.append(
+                        CallEdge(
+                            caller=fn.qualname,
+                            callee=callee,
+                            node=call,
+                            locked=locked,
+                        )
+                    )
+            self.calls[fn.qualname] = edges
+            for edge in edges:
+                self.callers.setdefault(edge.callee, []).append(edge)
+
+    def reachable(self, starts: Iterable[str]) -> set[str]:
+        """Every function qualname reachable from ``starts`` (inclusive)."""
+        seen: set[str] = set()
+        stack = [s for s in starts if s in self.functions or s in self.classes]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self.calls.get(current, ()):
+                if edge.callee not in seen:
+                    stack.append(edge.callee)
+        return seen
+
+    def call_path(self, start: str, goal: str) -> list[str] | None:
+        """A shortest call chain ``start -> ... -> goal`` (BFS), or None."""
+        if start == goal:
+            return [start]
+        prev: dict[str, str] = {}
+        queue = [start]
+        seen = {start}
+        while queue:
+            current = queue.pop(0)
+            for edge in self.calls.get(current, ()):
+                if edge.callee in seen:
+                    continue
+                prev[edge.callee] = current
+                if edge.callee == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(prev[path[-1]])
+                    return list(reversed(path))
+                seen.add(edge.callee)
+                queue.append(edge.callee)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# index construction
+# ---------------------------------------------------------------------------
+
+
+def _module_name(package: str, root: Path, path: Path) -> str:
+    relative = path.relative_to(root)
+    parts = [package, *relative.parts[:-1]]
+    stem = relative.parts[-1][: -len(".py")]
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts)
+
+
+def _record_imports(
+    info: ModuleInfo, package: str, is_package_init: bool
+) -> None:
+    """Fill ``info.imports`` from the module's import statements."""
+
+    def classify(dotted: str, symbol: str | None = None) -> ImportTarget:
+        if dotted == package or dotted.startswith(package + "."):
+            if symbol is None:
+                return ImportTarget("module", dotted)
+            return ImportTarget("symbol", dotted, symbol)
+        return ImportTarget("external", dotted, symbol)
+
+    module_pkg = info.name if is_package_init else info.name.rpartition(".")[0]
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                # ``import repro.exec.cache`` binds ``repro``; with an
+                # asname it binds the full dotted module.
+                dotted = alias.name if alias.asname else alias.name.partition(".")[0]
+                info.imports[local] = classify(dotted)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                base_parts = module_pkg.split(".") if module_pkg else []
+                drop = node.level - 1
+                if drop > len(base_parts):
+                    continue
+                base = base_parts[: len(base_parts) - drop]
+                origin = ".".join(
+                    [*base, *(node.module.split(".") if node.module else [])]
+                )
+            else:
+                origin = node.module or ""
+            if not origin:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                # ``from repro.service import jobs`` may bind a module.
+                submodule = f"{origin}.{alias.name}"
+                if origin == package or origin.startswith(package + "."):
+                    info.imports[local] = ImportTarget(
+                        "symbol", origin, alias.name
+                    )
+                    # Patched to a module target later when it names one.
+                    info.imports[local + "\x00candidate"] = ImportTarget(
+                        "module", submodule
+                    )
+                else:
+                    info.imports[local] = classify(origin, alias.name)
+
+
+def _finalize_submodule_imports(index: ProjectIndex) -> None:
+    """Turn ``from pkg import mod`` symbol targets into module targets."""
+    for info in index.modules.values():
+        for local in list(info.imports):
+            if local.endswith("\x00candidate"):
+                candidate = info.imports.pop(local)
+                real = local[: -len("\x00candidate")]
+                target = info.imports.get(real)
+                if (
+                    candidate.module in index.modules
+                    and target is not None
+                    and target.kind == "symbol"
+                    and index.resolve_symbol(
+                        target.module, target.symbol or ""
+                    )
+                    is None
+                ):
+                    info.imports[real] = candidate
+
+
+def _record_module_globals(info: ModuleInfo) -> None:
+    for stmt in info.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        for target in targets:
+            names = [
+                n.id
+                for n in ast.walk(target)
+                if isinstance(n, ast.Name)
+                and isinstance(n.ctx, (ast.Store, ast.Del))
+            ]
+            for name in names:
+                info.global_names.add(name)
+                if value is not None:
+                    info.global_values[name] = value
+                    if _is_thread_safe_ctor(value):
+                        info.thread_safe_globals.add(name)
+
+
+def _record_class(
+    index: ProjectIndex, info: ModuleInfo, node: ast.ClassDef
+) -> None:
+    qualname = f"{info.name}.{node.name}"
+    cls = ClassInfo(
+        qualname=qualname,
+        name=node.name,
+        module=info.name,
+        path=info.path,
+        node=node,
+        bases=[d for d in (_dotted(b) for b in node.bases) if d is not None],
+    )
+    index.classes[qualname] = cls
+    info.classes[node.name] = qualname
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_qual = f"{qualname}.{stmt.name}"
+            index.functions[fn_qual] = FunctionInfo(
+                qualname=fn_qual,
+                name=stmt.name,
+                module=info.name,
+                path=info.path,
+                node=stmt,
+                cls=qualname,
+            )
+            cls.methods[stmt.name] = fn_qual
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            # Class-level annotation: dataclass field or declared attr.
+            name = _annotation_name(stmt.annotation)
+            if name is not None:
+                cls.attr_types[stmt.target.id] = name  # resolved later
+            if stmt.value is not None and _is_thread_safe_ctor(stmt.value):
+                cls.thread_safe_attrs.add(stmt.target.id)
+            if (
+                name is not None
+                and name.rpartition(".")[2] in _THREAD_SAFE_CTORS
+            ):
+                cls.thread_safe_attrs.add(stmt.target.id)
+
+
+def _resolve_class_attr_types(index: ProjectIndex) -> None:
+    """Second pass: resolve attr types and ``__init__`` assignments."""
+    for cls in index.classes.values():
+        # Resolve class-level annotations recorded as raw dotted names.
+        for attr, raw in list(cls.attr_types.items()):
+            resolved = index._resolve_class_ref(cls.module, raw)
+            if resolved is not None:
+                cls.attr_types[attr] = resolved.qualname
+            else:
+                del cls.attr_types[attr]
+        init_qual = cls.methods.get("__init__")
+        if init_qual is None:
+            continue
+        init = index.functions[init_qual]
+        args = init.node.args
+        param_ann: dict[str, str] = {}
+        param_default_fn: dict[str, str] = {}
+        positional = [*args.posonlyargs, *args.args]
+        defaults: dict[str, ast.expr] = {}
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults) :], args.defaults
+        ):
+            defaults[arg.arg] = default
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None:
+                defaults[arg.arg] = kw_default
+        for arg in (*positional, *args.kwonlyargs):
+            resolved_cls = index.annotation_class(cls.module, arg.annotation)
+            if resolved_cls is not None:
+                param_ann[arg.arg] = resolved_cls.qualname
+            default = defaults.get(arg.arg)
+            if isinstance(default, ast.Name):
+                symbol = index.resolve_symbol(cls.module, default.id)
+                if isinstance(symbol, FunctionInfo):
+                    param_default_fn[arg.arg] = symbol.qualname
+
+        def value_class(value: ast.expr) -> str | None:
+            if isinstance(value, ast.IfExp):
+                return value_class(value.body) or value_class(value.orelse)
+            if isinstance(value, ast.Name):
+                return param_ann.get(value.id)
+            if isinstance(value, ast.Call):
+                return index._module_level_ctor_class(cls.module, value)
+            return None
+
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if _is_thread_safe_ctor(stmt.value):
+                cls.thread_safe_attrs.add(attr)
+                continue
+            resolved_type = value_class(stmt.value)
+            if resolved_type is not None:
+                cls.attr_types.setdefault(attr, resolved_type)
+            if isinstance(stmt.value, ast.Name):
+                fn_qual = param_default_fn.get(stmt.value.id)
+                if fn_qual is not None:
+                    cls.attr_callables.setdefault(attr, fn_qual)
+                else:
+                    symbol = index.resolve_symbol(cls.module, stmt.value.id)
+                    if isinstance(symbol, FunctionInfo):
+                        cls.attr_callables.setdefault(attr, symbol.qualname)
+
+
+def build_index(root: Path | str, package: str | None = None) -> ProjectIndex:
+    """Index every module under ``root`` (a package directory).
+
+    ``package`` defaults to the directory name (``src/repro`` indexes the
+    ``repro`` package).  Unreadable or syntactically invalid files raise
+    :class:`~repro.devtools.engine.LintFileError`.
+    """
+    root_path = Path(root)
+    if not root_path.is_dir():
+        raise LintFileError(f"{root_path}: not a directory (project root)")
+    pkg = package if package is not None else root_path.name
+    index = ProjectIndex(pkg, root_path)
+    for path in sorted(root_path.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintFileError(f"{path}: cannot read: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintFileError(
+                f"{path}: syntax error: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        name = _module_name(pkg, root_path, path)
+        info = ModuleInfo(name=name, path=path, source=source, tree=tree)
+        index.modules[name] = info
+        _record_imports(info, pkg, is_package_init=path.name == "__init__.py")
+        _record_module_globals(info)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{name}.{stmt.name}"
+                index.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    name=stmt.name,
+                    module=name,
+                    path=path,
+                    node=stmt,
+                )
+                info.functions[stmt.name] = qualname
+            elif isinstance(stmt, ast.ClassDef):
+                _record_class(index, info, stmt)
+    _finalize_submodule_imports(index)
+    _resolve_class_attr_types(index)
+    index.build_calls()
+    return index

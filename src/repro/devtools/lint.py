@@ -6,9 +6,23 @@ Exit codes
 - ``1`` — at least one finding.
 - ``2`` — usage error, unknown rule, unreadable file, or syntax error.
 
-Output is plain text (one ``path:line:col: RULE message`` per finding)
-or a JSON document (``--format json``) with ``findings``, per-rule
-``counts`` and the number of ``checked_files``.
+Modes
+-----
+Default mode runs the per-file rules over files/directories.
+``--project`` treats each path as a *package root* (e.g. ``src/repro``),
+indexes it, and additionally runs the whole-project call-graph rules
+(RPL009 unguarded-shared-state, RPL010 transitively-blocking-handler,
+RPL011 shard-determinism).
+
+Output is plain text (one ``path:line:col: RULE message`` per finding),
+a JSON document (``--format json``), or SARIF 2.1.0 (``--format sarif``)
+for GitHub code-scanning upload.
+
+A committed findings baseline (``.reprolint-baseline.json``) freezes
+pre-existing debt: baselined findings are filtered from the output and
+the exit code; ``--update-baseline`` rewrites the file to cover exactly
+the current findings.  Per-file results are cached by content hash under
+``.cache/reprolint`` (``--no-cache`` disables, ``--cache-dir`` moves it).
 """
 
 from __future__ import annotations
@@ -18,9 +32,17 @@ import json
 import sys
 from collections import Counter
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.devtools.engine import lint_paths
-from repro.devtools.rules import Finding, iter_rules
+from repro.devtools.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.devtools.engine import lint_paths, lint_project
+from repro.devtools.rules import Finding, iter_project_rules, iter_rules
 from repro.errors import ReproError
 
 __all__ = ["main"]
@@ -31,18 +53,27 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "Domain-aware static analysis for the repro library: RNG "
-            "discipline, unit hygiene, error hierarchy, print discipline "
-            "and numerical safety."
+            "discipline, unit hygiene, error hierarchy, print discipline, "
+            "numerical safety and (in --project mode) call-graph "
+            "thread-safety and shard-determinism checks."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (e.g. src/repro)",
+        help="files or directories to lint (package roots with --project)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-project mode: index each path as a package, run the "
+            "per-file rules plus the call-graph rules (RPL009+)"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -62,30 +93,72 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "findings baseline to filter against (default: "
+            f"{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to cover exactly the current findings "
+            "and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"per-file result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache",
+    )
     return parser
 
 
-def _render_text(findings: Sequence[Finding], n_files: int) -> str:
+def _render_text(
+    findings: Sequence[Finding], n_files: int, n_baselined: int
+) -> str:
     lines = [finding.render() for finding in findings]
     noun = "file" if n_files == 1 else "files"
+    suffix = f" ({n_baselined} baselined)" if n_baselined else ""
     if findings:
         counts = Counter(finding.rule for finding in findings)
         breakdown = ", ".join(
             f"{rule}: {count}" for rule, count in sorted(counts.items())
         )
         lines.append(
-            f"{len(findings)} finding(s) in {n_files} {noun} ({breakdown})"
+            f"{len(findings)} finding(s) in {n_files} {noun} "
+            f"({breakdown}){suffix}"
         )
     else:
-        lines.append(f"{n_files} {noun} checked, no findings")
+        lines.append(f"{n_files} {noun} checked, no findings{suffix}")
     return "\n".join(lines) + "\n"
 
 
-def _render_json(findings: Sequence[Finding], n_files: int) -> str:
+def _render_json(
+    findings: Sequence[Finding], n_files: int, n_baselined: int
+) -> str:
     counts = Counter(finding.rule for finding in findings)
     payload = {
         "tool": "reprolint",
         "checked_files": n_files,
+        "baselined": n_baselined,
         "counts": dict(sorted(counts.items())),
         "findings": [finding.as_dict() for finding in findings],
     }
@@ -93,10 +166,18 @@ def _render_json(findings: Sequence[Finding], n_files: int) -> str:
 
 
 def _render_rule_list() -> str:
+    # Importing the analyzer registers the project rules.
+    import repro.devtools.concurrency  # noqa: F401
+
     lines = []
     for rule in iter_rules():
         lines.append(f"{rule.rule_id}  {rule.name}")
         lines.append(f"    {rule.summary}")
+    for project_rule in iter_project_rules():
+        lines.append(
+            f"{project_rule.rule_id}  {project_rule.name}  [--project]"
+        )
+        lines.append(f"    {project_rule.summary}")
     return "\n".join(lines) + "\n"
 
 
@@ -113,16 +194,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     select = args.select.split(",") if args.select else None
+    cache = None if args.no_cache else LintCache(args.cache_dir)
     try:
-        findings, n_files = lint_paths(args.paths, select=select)
+        if args.project:
+            findings, n_files = lint_project(
+                args.paths, select=select, cache=cache
+            )
+        else:
+            findings, n_files = lint_paths(
+                args.paths, select=select, cache=cache
+            )
     except ReproError as exc:
         sys.stderr.write(f"reprolint: error: {exc}\n")
         return 2
 
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None else DEFAULT_BASELINE
+        write_baseline(target, findings)
+        sys.stdout.write(
+            f"reprolint: baseline {target} updated "
+            f"({len(findings)} finding(s))\n"
+        )
+        return 0
+
+    n_baselined = 0
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ReproError as exc:
+            sys.stderr.write(f"reprolint: error: {exc}\n")
+            return 2
+        findings, n_baselined = apply_baseline(findings, baseline)
+
     if args.format == "json":
-        sys.stdout.write(_render_json(findings, n_files))
+        sys.stdout.write(_render_json(findings, n_files, n_baselined))
+    elif args.format == "sarif":
+        from repro.devtools.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(findings))
     else:
-        sys.stdout.write(_render_text(findings, n_files))
+        sys.stdout.write(_render_text(findings, n_files, n_baselined))
 
     if findings and not args.report_only:
         return 1

@@ -22,8 +22,21 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:
     from repro.devtools.engine import LintContext
+    from repro.devtools.graph import ProjectIndex
 
-__all__ = ["ALL_RULES", "Finding", "Rule", "get_rule", "iter_rules", "register"]
+__all__ = [
+    "ALL_PROJECT_RULES",
+    "ALL_RULES",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "get_project_rule",
+    "get_rule",
+    "iter_project_rules",
+    "iter_rules",
+    "register",
+    "register_project",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +115,66 @@ def get_rule(rule_id: str) -> Rule:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+class ProjectRule:
+    """Base class for whole-project rules (``--project`` mode).
+
+    Unlike :class:`Rule`, a project rule sees the complete
+    :class:`~repro.devtools.graph.ProjectIndex` — symbol table, class
+    model and call graph — instead of one file's AST.  Subclasses set
+    :attr:`rule_id`/:attr:`name`/:attr:`summary` and implement
+    :meth:`check`, yielding :class:`Finding`\\ s whose ``path`` is the
+    module path as indexed (line-scoped and file-level suppression
+    comments still apply).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in ``path``."""
+        return Finding(
+            rule=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_PROJECT_REGISTRY: dict[str, type[ProjectRule]] = {}
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the project registry."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"project rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _PROJECT_REGISTRY or cls.rule_id in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {cls.rule_id}")
+    _PROJECT_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def iter_project_rules() -> Iterator[ProjectRule]:
+    """Instances of every registered project rule, in id order."""
+    for rule_id in sorted(_PROJECT_REGISTRY):
+        yield _PROJECT_REGISTRY[rule_id]()
+
+
+def get_project_rule(rule_id: str) -> ProjectRule:
+    """Instantiate one registered project rule by id."""
+    try:
+        return _PROJECT_REGISTRY[rule_id]()
+    except KeyError:
+        known = ", ".join(sorted(_PROJECT_REGISTRY))
+        raise KeyError(
+            f"unknown project rule {rule_id!r} (known: {known})"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -800,3 +873,6 @@ class MetricNamingDiscipline(Rule):
 
 #: The full registry, id -> rule class (read-only view for callers).
 ALL_RULES: dict[str, type[Rule]] = _REGISTRY
+
+#: The project-rule registry (populated by ``repro.devtools.concurrency``).
+ALL_PROJECT_RULES: dict[str, type[ProjectRule]] = _PROJECT_REGISTRY

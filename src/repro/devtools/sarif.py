@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 rendering for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the document annotates findings inline on
+pull requests.  The renderer emits one run with the ``reprolint`` driver,
+a ``rules`` array restricted to the rule ids actually referenced by the
+results (keeps golden files stable as the catalogue grows), and one
+``result`` per finding with a physical location.
+
+Only the small subset of SARIF that code scanning consumes is emitted;
+the document validates against the 2.1.0 schema.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from repro.devtools.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    Finding,
+    ProjectRule,
+    Rule,
+)
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalogue() -> dict[str, Rule | ProjectRule]:
+    catalogue: dict[str, Rule | ProjectRule] = {
+        rule_id: cls() for rule_id, cls in ALL_RULES.items()
+    }
+    catalogue.update(
+        {rule_id: cls() for rule_id, cls in ALL_PROJECT_RULES.items()}
+    )
+    return catalogue
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as a SARIF 2.1.0 JSON document (trailing newline)."""
+    catalogue = _rule_catalogue()
+    used_ids = sorted({finding.rule for finding in findings})
+    rules: list[dict[str, Any]] = []
+    rule_index: dict[str, int] = {}
+    for rule_id in used_ids:
+        rule_index[rule_id] = len(rules)
+        rule = catalogue.get(rule_id)
+        descriptor: dict[str, Any] = {"id": rule_id}
+        if rule is not None:
+            descriptor["name"] = rule.name
+            descriptor["shortDescription"] = {"text": rule.summary}
+        rules.append(descriptor)
+
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

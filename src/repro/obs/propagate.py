@@ -101,9 +101,7 @@ def record_subtree(
     ``context`` and is ready to serialise with ``to_dict()`` once the
     block exits, even when the body raised (the error is recorded first).
     """
-    was_enabled = trace._enabled
-    if not was_enabled:
-        trace.enable()
+    trace._acquire_force()
     node = trace.SpanNode(name, attrs)
     if context is not None:
         if context.trace_id:
@@ -123,5 +121,4 @@ def record_subtree(
             stack.pop()
         elif node in stack:  # pragma: no cover - unbalanced exit guard
             stack.remove(node)
-        if not was_enabled:
-            trace.disable()
+        trace._release_force()

@@ -68,9 +68,17 @@ __all__ = [
 ]
 
 #: Master switch — module attribute so the disabled check is one load.
+#: Derived state: ``_base_enabled or _force_count > 0``, maintained under
+#: ``_lock`` by :func:`enable`/:func:`disable`/the force-scope helpers.
 _enabled: bool = False
 
 _lock = threading.RLock()
+
+#: What the user asked for via :func:`enable`/:func:`disable`.
+_base_enabled: bool = False
+#: Open force-enable scopes (worker-side subtree capture while the
+#: process-global switch is off; see ``repro.obs.propagate``).
+_force_count: int = 0
 _roots: list[SpanNode] = []
 _tls = threading.local()
 
@@ -85,7 +93,8 @@ def set_clock(clock: Callable[[], float] | None = None) -> None:
     make wall-time assertions deterministic.
     """
     global _clock
-    _clock = clock if clock is not None else time.perf_counter
+    with _lock:
+        _clock = clock if clock is not None else time.perf_counter
 
 
 def get_clock() -> Callable[[], float]:
@@ -273,14 +282,44 @@ def current_span() -> SpanNode | None:
 
 def enable() -> None:
     """Turn tracing (and metric collection) on."""
-    global _enabled
-    _enabled = True
+    global _enabled, _base_enabled
+    with _lock:
+        _base_enabled = True
+        _enabled = True
 
 
 def disable() -> None:
-    """Turn tracing off; already-recorded spans are kept until :func:`reset`."""
-    global _enabled
-    _enabled = False
+    """Turn tracing off; already-recorded spans are kept until :func:`reset`.
+
+    Tracing stays on while any force-enable scope (a worker capturing a
+    detached subtree) is still open; it drops the moment the last scope
+    releases.
+    """
+    global _enabled, _base_enabled
+    with _lock:
+        _base_enabled = False
+        _enabled = _force_count > 0
+
+
+def _acquire_force() -> None:
+    """Force tracing on for one scope, refcounted.
+
+    Concurrent workers each hold their own reference, so one finishing
+    early can no longer switch tracing off underneath another that is
+    still recording (the race the old save-and-restore pattern had).
+    """
+    global _enabled, _force_count
+    with _lock:
+        _force_count += 1
+        _enabled = True
+
+
+def _release_force() -> None:
+    """Release one force-enable scope taken by :func:`_acquire_force`."""
+    global _enabled, _force_count
+    with _lock:
+        _force_count = max(0, _force_count - 1)
+        _enabled = _base_enabled or _force_count > 0
 
 
 def is_enabled() -> bool:

@@ -197,17 +197,21 @@ class JobManager:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the worker pool (idempotent)."""
-        if self._threads:
-            return
-        for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-service-worker-{index}",
-                daemon=True,
-            )
+        """Spawn the worker pool (idempotent, safe to race)."""
+        with self._lock:
+            if self._threads:
+                return
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            self._threads = threads
+        for thread in threads:
             thread.start()
-            self._threads.append(thread)
 
     def shutdown(self, drain_timeout: float = 30.0) -> bool:
         """Stop intake, drain, then cancel stragglers; True on clean drain.
@@ -218,11 +222,12 @@ class JobManager:
         """
         with self._lock:
             self._accepting = False
-        for _ in self._threads:
+            threads = list(self._threads)
+        for _ in threads:
             self._queue.put(None)
         deadline = time.monotonic() + max(0.0, drain_timeout)
         drained = True
-        for thread in self._threads:
+        for thread in threads:
             thread.join(max(0.0, deadline - time.monotonic()))
             if thread.is_alive():
                 drained = False
@@ -235,14 +240,15 @@ class JobManager:
                 live = list(self._active_by_key.values())
             for job in live:
                 job.cancel.set()
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(5.0)
                 if thread.is_alive():
                     logger.warning(
                         "worker %s still running after cancellation",
                         thread.name,
                     )
-        self._threads = []
+        with self._lock:
+            self._threads = []
         logger.info(
             "job manager shut down (%s)",
             "clean drain" if drained else "cancelled stragglers",
@@ -515,9 +521,11 @@ class JobManager:
                 return self._compute(job.request, **kwargs)
         finally:
             # Runs after record_subtree closed the span, so the serialized
-            # tree has its final wall time and any error recorded.
+            # tree has its final wall time and any error recorded.  Handler
+            # threads read job.trace concurrently via the trace endpoint.
             if root is not None:
-                job.trace = root.to_dict()
+                with self._lock:
+                    job.trace = root.to_dict()
             set_trace_id(None)
 
     def _run_one(self, job: Job) -> None:

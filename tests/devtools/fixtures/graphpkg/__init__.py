@@ -1,0 +1,8 @@
+"""Fixture package exercising the project indexer.
+
+Re-exports ``helper`` so resolution through ``__init__`` is covered.
+"""
+
+from graphpkg.util import helper
+
+__all__ = ["helper"]

@@ -1,0 +1,33 @@
+"""Relative imports, attribute-type chains and locked call sites."""
+
+import threading
+
+from ..util import helper as h
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items: dict = {}
+
+    def add(self, key: str) -> None:
+        self.items[key] = h()
+
+    def locked_add(self, key: str) -> None:
+        with self._lock:
+            self.add(key)
+
+
+class Engine:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    def run(self) -> None:
+        self.store.add("x")
+
+    def make_store(self) -> Store:
+        return Store()
+
+    def indirect(self) -> None:
+        fresh = self.make_store()
+        fresh.add("y")

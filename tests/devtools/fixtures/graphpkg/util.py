@@ -1,0 +1,11 @@
+"""Leaf helpers: aliased numpy import and a plain function."""
+
+import numpy as np
+
+
+def helper() -> float:
+    return 1.0
+
+
+def noisy() -> float:
+    return float(np.random.rand())

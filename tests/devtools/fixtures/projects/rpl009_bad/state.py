@@ -1,0 +1,21 @@
+"""Bad: module registry written from two thread roots without the lock."""
+
+import threading
+from http.server import BaseHTTPRequestHandler
+
+_lock = threading.Lock()
+_REGISTRY: dict = {}
+
+
+class Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:
+        _REGISTRY["last"] = "get"
+
+
+def worker() -> None:
+    _REGISTRY.clear()
+
+
+def serve() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()

@@ -1,0 +1,23 @@
+"""Clean: every registry write holds the module lock."""
+
+import threading
+from http.server import BaseHTTPRequestHandler
+
+_lock = threading.Lock()
+_REGISTRY: dict = {}
+
+
+class Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:
+        with _lock:
+            _REGISTRY["last"] = "get"
+
+
+def worker() -> None:
+    with _lock:
+        _REGISTRY.clear()
+
+
+def serve() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()

@@ -1,0 +1,17 @@
+"""Bad: a handler reaches time.sleep through two helper frames."""
+
+import time
+from http.server import BaseHTTPRequestHandler
+
+
+def wait_for_slot() -> None:
+    time.sleep(0.1)
+
+
+def enqueue() -> None:
+    wait_for_slot()
+
+
+class Handler(BaseHTTPRequestHandler):
+    def do_POST(self) -> None:
+        enqueue()

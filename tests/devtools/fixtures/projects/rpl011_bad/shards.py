@@ -1,0 +1,22 @@
+"""Bad: the shard task draws from np.random and a module singleton."""
+
+import numpy as np
+
+_RNG = np.random.default_rng(1234)
+
+
+def run_sharded(backend, task, shards):
+    return [task(shard) for shard in shards]
+
+
+def noisy_helper() -> float:
+    return float(np.random.rand())
+
+
+def mc_shard_task(shard) -> float:
+    sample = float(_RNG.normal())
+    return sample + noisy_helper()
+
+
+def run_all(backend, shards):
+    return run_sharded(backend, mc_shard_task, shards)

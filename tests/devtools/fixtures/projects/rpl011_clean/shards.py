@@ -1,0 +1,23 @@
+"""Clean: every stream derives from the shard plan."""
+
+import numpy as np
+
+_SEED_OFFSET = 17
+
+
+def run_sharded(backend, task, shards):
+    return [task(shard) for shard in shards]
+
+
+def mc_shard_task(shard) -> float:
+    rng = shard.rng()
+    return float(rng.normal())
+
+
+def seeded_helper(seed: int) -> float:
+    rng = np.random.default_rng(seed + _SEED_OFFSET)
+    return float(rng.normal())
+
+
+def run_all(backend, shards):
+    return run_sharded(backend, mc_shard_task, shards)

@@ -1,0 +1,187 @@
+"""Tests for the call-graph concurrency rules (RPL009/RPL010/RPL011).
+
+Each project rule runs against a seeded *bad* package (must fire with the
+expected count) and a *clean* sibling (must stay silent), mirroring the
+per-file fixture convention in ``test_reprolint.py``.  Root inference and
+lock-context propagation get direct unit coverage.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.concurrency import (
+    infer_thread_roots,
+    lock_context_functions,
+)
+from repro.devtools.engine import lint_project
+from repro.devtools.graph import build_index
+from repro.devtools.rules import ALL_PROJECT_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PROJECTS = FIXTURES / "projects"
+
+#: rule id -> (bad package, clean package, expected finding count).
+PROJECT_RULE_FIXTURES = {
+    "RPL009": ("rpl009_bad", "rpl009_clean", 2),
+    "RPL010": ("rpl010_bad", "rpl010_clean", 1),
+    "RPL011": ("rpl011_bad", "rpl011_clean", 2),
+}
+
+
+class TestProjectRegistry:
+    def test_catalogue_matches_fixtures(self):
+        assert set(ALL_PROJECT_RULES) == set(PROJECT_RULE_FIXTURES)
+
+    def test_ids_do_not_collide_with_file_rules(self):
+        from repro.devtools.rules import ALL_RULES
+
+        assert not set(ALL_PROJECT_RULES) & set(ALL_RULES)
+
+
+class TestProjectRuleFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(PROJECT_RULE_FIXTURES))
+    def test_bad_fixture_fires(self, rule_id):
+        bad, _clean, expected = PROJECT_RULE_FIXTURES[rule_id]
+        findings, n_files = lint_project([PROJECTS / bad], select=[rule_id])
+        assert n_files >= 2
+        assert [f.rule for f in findings] == [rule_id] * expected
+
+    @pytest.mark.parametrize("rule_id", sorted(PROJECT_RULE_FIXTURES))
+    def test_clean_fixture_silent(self, rule_id):
+        _bad, clean, _expected = PROJECT_RULE_FIXTURES[rule_id]
+        findings, _ = lint_project([PROJECTS / clean], select=[rule_id])
+        assert findings == []
+
+
+class TestThreadRoots:
+    def test_rpl009_fixture_roots(self):
+        index = build_index(PROJECTS / "rpl009_bad")
+        by_kind = {}
+        for root in infer_thread_roots(index):
+            by_kind.setdefault(root.kind, set()).add(root.qualname)
+        assert "rpl009_bad.state.Handler.do_GET" in by_kind["http-handler"]
+        assert "rpl009_bad.state.worker" in by_kind["thread-target"]
+        # serve() has no in-graph caller: it belongs to the main root.
+        assert "rpl009_bad.state.serve" in by_kind["main"]
+
+    def test_main_roots_share_one_identity(self):
+        index = build_index(PROJECTS / "rpl009_bad")
+        identities = {
+            root.identity
+            for root in infer_thread_roots(index)
+            if root.kind == "main"
+        }
+        assert identities == {"main"}
+
+    def test_pool_worker_root_via_partial(self, tmp_path):
+        pkg = tmp_path / "poolpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "run.py").write_text(
+            "from functools import partial\n"
+            "def work(chunk, extra):\n"
+            "    return chunk\n"
+            "def launch(pool, chunks):\n"
+            "    return pool.imap_unordered(partial(work, extra=1), chunks)\n"
+        )
+        index = build_index(pkg)
+        kinds = {
+            root.qualname: root.kind for root in infer_thread_roots(index)
+        }
+        assert kinds["poolpkg.run.work"] == "pool-worker"
+
+
+class TestLockContext:
+    def test_all_locked_callers_propagate(self, tmp_path):
+        pkg = tmp_path / "lockpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "m.py").write_text(
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_state = {}\n"
+            "def _mutate():\n"
+            "    _state['k'] = 1\n"
+            "def outer_a():\n"
+            "    with _lock:\n"
+            "        _mutate()\n"
+            "def outer_b():\n"
+            "    with _lock:\n"
+            "        _mutate()\n"
+        )
+        index = build_index(pkg)
+        assert "lockpkg.m._mutate" in lock_context_functions(index)
+
+    def test_one_unlocked_caller_breaks_context(self, tmp_path):
+        pkg = tmp_path / "lockpkg2"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "m.py").write_text(
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def _mutate():\n"
+            "    pass\n"
+            "def outer_a():\n"
+            "    with _lock:\n"
+            "        _mutate()\n"
+            "def outer_b():\n"
+            "    _mutate()\n"
+        )
+        index = build_index(pkg)
+        assert "lockpkg2.m._mutate" not in lock_context_functions(index)
+
+
+class TestFindingQuality:
+    def test_rpl010_message_names_the_chain(self):
+        findings, _ = lint_project(
+            [PROJECTS / "rpl010_bad"], select=["RPL010"]
+        )
+        (finding,) = findings
+        assert "do_POST" in finding.message
+        assert "enqueue -> rpl010_bad.svc.wait_for_slot" in finding.message
+        assert "time.sleep" in finding.message
+
+    def test_rpl009_message_names_roots(self):
+        findings, _ = lint_project(
+            [PROJECTS / "rpl009_bad"], select=["RPL009"]
+        )
+        assert findings
+        for finding in findings:
+            assert "thread roots" in finding.message
+
+    def test_rpl011_message_names_task(self):
+        findings, _ = lint_project(
+            [PROJECTS / "rpl011_bad"], select=["RPL011"]
+        )
+        assert findings
+        for finding in findings:
+            assert "mc_shard_task" in finding.message
+
+
+class TestProjectSuppressions:
+    def _copy_fixture(self, tmp_path, name):
+        target = tmp_path / name
+        shutil.copytree(PROJECTS / name, target)
+        return target
+
+    def test_line_suppression_applies(self, tmp_path):
+        pkg = self._copy_fixture(tmp_path, "rpl009_bad")
+        state = pkg / "state.py"
+        source = state.read_text().replace(
+            '_REGISTRY["last"] = "get"',
+            '_REGISTRY["last"] = "get"  # reprolint: disable=RPL009',
+        )
+        state.write_text(source)
+        findings, _ = lint_project([pkg], select=["RPL009"])
+        assert len(findings) == 1  # only the worker write remains
+
+    def test_disable_file_silences_whole_module(self, tmp_path):
+        pkg = self._copy_fixture(tmp_path, "rpl009_bad")
+        state = pkg / "state.py"
+        state.write_text(
+            "# reprolint: disable-file=RPL009\n" + state.read_text()
+        )
+        findings, _ = lint_project([pkg], select=["RPL009"])
+        assert findings == []

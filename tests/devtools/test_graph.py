@@ -1,0 +1,202 @@
+"""Tests for the project indexer and call graph (repro.devtools.graph).
+
+Resolution corner cases run against the committed ``graphpkg`` fixture
+package: ``__init__`` re-exports, relative imports with aliases, aliased
+external imports (``import numpy as np``), attribute-type chains and
+locked call sites.  Soundness here means: every edge the index claims
+must correspond to a real call in the fixture.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import LintFileError
+from repro.devtools.graph import (
+    ClassInfo,
+    FunctionInfo,
+    build_index,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GRAPHPKG = FIXTURES / "graphpkg"
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index(GRAPHPKG)
+
+
+class TestIndexing:
+    def test_all_modules_indexed(self, index):
+        assert set(index.modules) == {
+            "graphpkg",
+            "graphpkg.util",
+            "graphpkg.core",
+            "graphpkg.core.engine",
+        }
+
+    def test_functions_and_classes_recorded(self, index):
+        assert "graphpkg.util.helper" in index.functions
+        assert "graphpkg.core.engine.Store" in index.classes
+        store = index.classes["graphpkg.core.engine.Store"]
+        assert set(store.methods) == {"__init__", "add", "locked_add"}
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(LintFileError, match="not a directory"):
+            build_index(tmp_path / "nope")
+
+    def test_syntax_error_raises(self, tmp_path):
+        pkg = tmp_path / "brokenpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "bad.py").write_text("def f(:\n")
+        with pytest.raises(LintFileError, match="syntax error"):
+            build_index(pkg)
+
+
+class TestImportResolution:
+    def test_init_reexport_resolves_to_definition(self, index):
+        resolved = index.resolve_symbol("graphpkg", "helper")
+        assert isinstance(resolved, FunctionInfo)
+        assert resolved.qualname == "graphpkg.util.helper"
+
+    def test_relative_import_alias(self, index):
+        # ``from ..util import helper as h`` inside core/engine.py.
+        resolved = index.resolve_symbol("graphpkg.core.engine", "h")
+        assert isinstance(resolved, FunctionInfo)
+        assert resolved.qualname == "graphpkg.util.helper"
+
+    def test_aliased_external_import(self, index):
+        fn = index.functions["graphpkg.util.noisy"]
+        calls = [
+            node
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "rand"
+        ]
+        assert len(calls) == 1
+        assert (
+            index.resolve_external(fn.module, calls[0].func)
+            == "numpy.random.rand"
+        )
+
+    def test_internal_symbol_is_not_external(self, index):
+        fn = index.functions["graphpkg.core.engine.Store.add"]
+        call = next(
+            node
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+        )
+        assert index.resolve_external(fn.module, call.func) is None
+
+
+class TestCallGraph:
+    def edges(self, index, qualname):
+        return {edge.callee for edge in index.calls[qualname]}
+
+    def test_aliased_relative_call_edge(self, index):
+        assert "graphpkg.util.helper" in self.edges(
+            index, "graphpkg.core.engine.Store.add"
+        )
+
+    def test_self_method_edge(self, index):
+        assert "graphpkg.core.engine.Store.add" in self.edges(
+            index, "graphpkg.core.engine.Store.locked_add"
+        )
+
+    def test_attr_type_chain_edge(self, index):
+        # Engine.run -> self.store.add, typed by the __init__ annotation.
+        assert "graphpkg.core.engine.Store.add" in self.edges(
+            index, "graphpkg.core.engine.Engine.run"
+        )
+
+    def test_return_annotation_local_edge(self, index):
+        # fresh = self.make_store(); fresh.add(...) resolves via the
+        # callee's ``-> Store`` return annotation.
+        assert "graphpkg.core.engine.Store.add" in self.edges(
+            index, "graphpkg.core.engine.Engine.indirect"
+        )
+
+    def test_locked_edges_annotated(self, index):
+        locked = {
+            edge.callee: edge.locked
+            for edge in index.calls["graphpkg.core.engine.Store.locked_add"]
+        }
+        assert locked["graphpkg.core.engine.Store.add"] is True
+        unlocked = {
+            edge.callee: edge.locked
+            for edge in index.calls["graphpkg.core.engine.Engine.run"]
+        }
+        assert unlocked["graphpkg.core.engine.Store.add"] is False
+
+    def test_soundness_every_edge_is_anchored_at_a_real_call(self, index):
+        # Every edge must point at an actual Call node in the caller's
+        # body, and every callee must exist in the index.
+        for qualname, edges in index.calls.items():
+            fn = index.functions[qualname]
+            call_nodes = {
+                id(node)
+                for node in ast.walk(fn.node)
+                if isinstance(node, ast.Call)
+            }
+            for edge in edges:
+                assert id(edge.node) in call_nodes, (
+                    f"{qualname} -> {edge.callee} not anchored in the body"
+                )
+                assert (
+                    edge.callee in index.functions
+                    or edge.callee in index.classes
+                )
+
+    def test_reachability(self, index):
+        reached = index.reachable(["graphpkg.core.engine.Engine.run"])
+        assert "graphpkg.core.engine.Store.add" in reached
+        assert "graphpkg.util.helper" in reached
+        assert "graphpkg.util.noisy" not in reached
+
+    def test_call_path(self, index):
+        path = index.call_path(
+            "graphpkg.core.engine.Engine.run", "graphpkg.util.helper"
+        )
+        assert path == [
+            "graphpkg.core.engine.Engine.run",
+            "graphpkg.core.engine.Store.add",
+            "graphpkg.util.helper",
+        ]
+        assert (
+            index.call_path("graphpkg.util.helper", "graphpkg.util.noisy")
+            is None
+        )
+
+
+class TestClassModel:
+    def test_attr_types_from_init_annotation(self, index):
+        engine = index.classes["graphpkg.core.engine.Engine"]
+        assert engine.attr_types["store"] == "graphpkg.core.engine.Store"
+
+    def test_thread_safe_attr_exempted(self, index):
+        store = index.classes["graphpkg.core.engine.Store"]
+        assert "_lock" in store.thread_safe_attrs
+
+    def test_base_resolution(self, tmp_path):
+        pkg = tmp_path / "basepkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("class Base:\n    def hook(self):\n        pass\n")
+        (pkg / "b.py").write_text(
+            "from basepkg.a import Base\n"
+            "class Child(Base):\n    pass\n"
+        )
+        index = build_index(pkg)
+        assert (
+            index.class_method("basepkg.b.Child", "hook") == "basepkg.a.Base.hook"
+        )
+        assert index.class_has_base("basepkg.b.Child", "Base")
+
+    def test_classinfo_types(self, index):
+        assert isinstance(
+            index.classes["graphpkg.core.engine.Store"], ClassInfo
+        )

@@ -244,6 +244,77 @@ class TestSuppressions:
         source = "import numpy as np\nx = np.random.rand(2)  # reprolint: disable=RPL004\n"
         assert len(lint_source(source)) == 1
 
+    def test_multi_rule_list_suppresses_each_listed_rule(self):
+        source = (
+            "import numpy as np\n"
+            "def f(t):\n"
+            "    return np.random.rand() + t + 273.15"
+            "  # reprolint: disable=RPL001,RPL002\n"
+        )
+        assert lint_source(source) == []
+
+    def test_multi_rule_list_tolerates_spaces(self):
+        source = (
+            "import numpy as np\n"
+            "def f(t):\n"
+            "    return np.random.rand() + t + 273.15"
+            "  # reprolint: disable=RPL001 , RPL002\n"
+        )
+        assert lint_source(source) == []
+
+    def test_multi_rule_list_leaves_unlisted_rules(self):
+        source = (
+            "import numpy as np\n"
+            "def f(t):\n"
+            "    return np.random.rand() + t + 273.15"
+            "  # reprolint: disable=RPL001,RPL004\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RPL002"]
+
+    def test_disable_file_silences_listed_rule_everywhere(self):
+        source = (
+            "# reprolint: disable-file=RPL001\n"
+            "import numpy as np\n"
+            "a = np.random.rand(2)\n"
+            "b = np.random.rand(2)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_file_position_does_not_matter(self):
+        source = (
+            "import numpy as np\n"
+            "a = np.random.rand(2)\n"
+            "# reprolint: disable-file=RPL001\n"
+            "b = np.random.rand(2)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_file_multi_rule_list(self):
+        source = (
+            "# reprolint: disable-file=RPL001, RPL002\n"
+            "import numpy as np\n"
+            "def f(t):\n"
+            "    return np.random.rand() + t + 273.15\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_file_only_silences_listed_rules(self):
+        source = (
+            "# reprolint: disable-file=RPL004\n"
+            "import numpy as np\n"
+            "a = np.random.rand(2)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RPL001"]
+
+    def test_disable_file_all_sentinel(self):
+        source = (
+            "# reprolint: disable-file=ALL\n"
+            "import numpy as np\n"
+            "a = np.random.rand(2)\n"
+            "print(a)\n"
+        )
+        assert lint_source(source) == []
+
 
 class TestCli:
     def test_findings_exit_one(self, capsys):
@@ -320,3 +391,19 @@ class TestSelfLint:
         findings, n_files = lint_paths([SRC_REPRO])
         assert n_files > 50
         assert findings == []
+
+    def test_src_repro_project_mode_clean_against_baseline(self, monkeypatch):
+        # The CI gate: whole-project analysis (per-file + call-graph
+        # rules) must be clean modulo the committed findings baseline.
+        # Run from the repo root so finding paths match the baseline keys.
+        from repro.devtools import lint_project
+        from repro.devtools.baseline import apply_baseline, load_baseline
+
+        repo_root = SRC_REPRO.parents[1]
+        monkeypatch.chdir(repo_root)
+        findings, n_files = lint_project([Path("src/repro")])
+        assert n_files > 50
+        baseline_path = repo_root / ".reprolint-baseline.json"
+        assert baseline_path.exists(), "commit .reprolint-baseline.json"
+        fresh, _ = apply_baseline(findings, load_baseline(baseline_path))
+        assert fresh == []

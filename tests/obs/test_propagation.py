@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pickle
+import threading
 
 import pytest
 
@@ -94,6 +95,46 @@ class TestRecordSubtree:
         assert node.end is not None
         doc = node.to_dict()
         assert doc["error"] == "ValueError: boom"
+
+    def test_finishing_scope_keeps_concurrent_recorder_enabled(self):
+        # Regression: force-enable is refcounted.  The old save-and-restore
+        # pattern let the first scope to *exit* switch tracing off globally,
+        # silently dropping inner spans of any scope still recording.
+        b_entered = threading.Event()
+        a_entered = threading.Event()
+        b_exited = threading.Event()
+        results: dict[str, list[str]] = {}
+
+        def scope_b():
+            with record_subtree("exec.shard.b"):
+                b_entered.set()
+                assert a_entered.wait(5.0)
+            b_exited.set()
+
+        def scope_a():
+            assert b_entered.wait(5.0)
+            with record_subtree("exec.shard.a") as node:
+                a_entered.set()
+                assert b_exited.wait(5.0)
+                with obs.span("a.inner"):
+                    pass
+            results["children"] = [c.name for c in node.children]
+
+        threads = [
+            threading.Thread(target=target) for target in (scope_a, scope_b)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert results["children"] == ["a.inner"]
+        assert not trace.is_enabled()
+
+    def test_scope_exit_preserves_user_enabled_state(self):
+        obs.enable()
+        with record_subtree("exec.shard"):
+            pass
+        assert trace.is_enabled()
 
     def test_serialised_subtree_grafts_into_live_tree(self):
         # The full round trip run_sharded performs: worker-side capture,

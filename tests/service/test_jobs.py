@@ -1,6 +1,7 @@
 """JobManager: queueing, coalescing, cancellation, drain, caching."""
 
 import json
+import threading
 import time
 
 import numpy as np
@@ -97,6 +98,45 @@ class TestCancellation:
             assert job.error["code"] == "timeout"
         finally:
             gated.release.set()
+            manager.shutdown(drain_timeout=5.0)
+
+
+class TestLifecycleRaces:
+    def test_concurrent_start_spawns_exactly_one_pool(self, gated):
+        # Regression: start() used to check self._threads outside the
+        # lock, so two racing callers could each spawn a full worker pool.
+        manager = JobManager(workers=2, max_queue=4, compute=gated)
+        callers = 8
+        barrier = threading.Barrier(callers)
+
+        def racing_start():
+            barrier.wait(5.0)
+            manager.start()
+
+        threads = [
+            threading.Thread(target=racing_start) for _ in range(callers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        try:
+            assert len(manager._threads) == manager.workers
+            assert all(worker.is_alive() for worker in manager._threads)
+        finally:
+            gated.release.set()
+            assert manager.shutdown(drain_timeout=5.0)
+
+    def test_start_after_shutdown_spawns_fresh_pool(self, gated):
+        manager = JobManager(workers=1, max_queue=2, compute=gated)
+        manager.start()
+        gated.release.set()
+        assert manager.shutdown(drain_timeout=5.0)
+        assert manager._threads == []
+        manager.start()
+        try:
+            assert len(manager._threads) == 1
+        finally:
             manager.shutdown(drain_timeout=5.0)
 
 
