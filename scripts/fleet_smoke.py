@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Smoke test for ``repro fleet``: two workers, one killed mid-run.
+
+The CI ``fleet-smoke`` job runs this against real subprocesses:
+
+1. boot two ``repro serve --port 0`` workers on ephemeral ports, each
+   with a private ``REPRO_CACHE_DIR``;
+2. check ``repro fleet status`` reports both ready;
+3. start a ``repro fleet run`` Monte-Carlo sweep, SIGKILL one worker as
+   soon as it has completed a shard group, and assert the merged JSON
+   payload is byte-identical to the serial ``repro lifetime --json``
+   output while the stats file records exactly one lost worker;
+4. rerun the same sweep and assert it is served almost entirely from
+   the coordinator's shared cache (>= 90% group hits);
+5. SIGTERM the survivor and expect a clean exit.
+
+Exit code 0 means every step passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+DESIGN_ARGS = [
+    "--design",
+    "C1",
+    "--grid",
+    "6",
+    "--method",
+    "mc",
+    "--mc-chips",
+    "12000",
+    "--seed",
+    "0",
+]
+GROUP_SIZE = "4"
+
+_COMPLETED = re.compile(
+    r"^repro_service_jobs_completed_total (\d+)", re.MULTILINE
+)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def _start_worker(cache_dir: str) -> tuple[subprocess.Popen[str], str]:
+    env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            return process, line.split("serving on ", 1)[1].strip()
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    process.kill()
+    raise SystemExit("worker did not print its serving banner")
+
+
+def _completed_jobs(base: str) -> int:
+    try:
+        with urllib.request.urlopen(f"{base}/metrics", timeout=5) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError):
+        return 0
+    match = _COMPLETED.search(text)
+    return int(match.group(1)) if match else 0
+
+
+def _fleet_run(
+    workers: list[str], shared_dir: str, stats_path: str
+) -> subprocess.Popen[bytes]:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet",
+            "run",
+            *DESIGN_ARGS,
+            "--group-size",
+            GROUP_SIZE,
+            "--workers",
+            *workers,
+            "--shared-cache-dir",
+            shared_dir,
+            "--stats-file",
+            stats_path,
+            "--json",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def main() -> int:
+    tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-")
+    root = pathlib.Path(tmp.name)
+    worker_a, base_a = _start_worker(str(root / "cache-a"))
+    worker_b, base_b = _start_worker(str(root / "cache-b"))
+    workers = [base_a, base_b]
+    shared_dir = str(root / "shared")
+    try:
+        status = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "fleet",
+                "status",
+                "--workers",
+                *workers,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        _check(status.returncode == 0, "fleet status reports both ready")
+
+        serial = subprocess.run(
+            [sys.executable, "-m", "repro", "lifetime", *DESIGN_ARGS, "--json"],
+            capture_output=True,
+            check=True,
+        )
+
+        # Chaos run: SIGKILL worker B once it has finished a shard group,
+        # guaranteeing the coordinator must reassign B's remaining work.
+        stats_path = root / "stats-chaos.json"
+        fleet = _fleet_run(workers, shared_dir, str(stats_path))
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if _completed_jobs(base_b) >= 1:
+                break
+            if fleet.poll() is not None:
+                raise SystemExit("fleet run finished before the chaos kill")
+            time.sleep(0.1)
+        else:
+            raise SystemExit("worker B never completed a shard group")
+        worker_b.send_signal(signal.SIGKILL)
+        worker_b.wait(timeout=30)
+        print("ok: SIGKILLed worker B mid-run")
+
+        stdout, _ = fleet.communicate(timeout=300)
+        _check(fleet.returncode == 0, "fleet run survives the dead worker")
+        _check(
+            stdout == serial.stdout,
+            "fleet payload is byte-identical to the serial CLI",
+        )
+        stats = json.loads(stats_path.read_text())
+        _check(stats["workers_lost"] == 1, "stats record one lost worker")
+        _check(
+            stats["groups_completed"] == stats["groups"],
+            "every shard group completed despite the kill",
+        )
+
+        # Rerun: the shared cache must answer nearly every group.
+        stats_path = root / "stats-rerun.json"
+        rerun = _fleet_run(workers, shared_dir, str(stats_path))
+        stdout, _ = rerun.communicate(timeout=300)
+        _check(rerun.returncode == 0, "rerun succeeds on the survivor")
+        _check(stdout == serial.stdout, "rerun payload is byte-identical too")
+        stats = json.loads(stats_path.read_text())
+        hit_ratio = stats["shared_cache_hits"] / stats["groups"]
+        _check(
+            hit_ratio >= 0.9,
+            f"rerun served from shared cache ({hit_ratio:.0%} group hits)",
+        )
+    finally:
+        for process in (worker_a, worker_b):
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+    _check(worker_a.wait(timeout=60) == 0, "surviving worker exits cleanly")
+    tmp.cleanup()
+    print("fleet smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Open-loop load benchmark for ``repro serve``. Stdlib only.
+"""Open-loop load benchmark for ``repro serve``.
 
 Boots a real ``repro serve`` subprocess (or targets ``--base-url``),
 replays a seeded, deterministic open-loop arrival schedule against it —
@@ -31,8 +31,8 @@ import sys
 import tempfile
 import threading
 import time
-import urllib.error
-import urllib.request
+
+from repro.fleet.client import HttpClient
 
 #: Request templates, mixing design sizes (grid 6 vs 10 is a ~3x node
 #: count difference in the thermal solve).
@@ -69,22 +69,24 @@ THRESHOLDS = {
 }
 
 
+#: The shared fleet HTTP client, with status retries OFF: a shed 429/503
+#: is a *measurement* here (the shed-rate threshold), not a transient to
+#: paper over with backoff.
+_CLIENT = HttpClient(timeout_s=60.0, retry_statuses=())
+
+
 def _call(
     method: str, url: str, body: bytes | None = None, client: str = "load"
 ) -> tuple[int, bytes, float]:
     """One HTTP call; returns (status, body, latency_seconds)."""
-    request = urllib.request.Request(
+    started = time.perf_counter()
+    response = _CLIENT.request(
+        method,
         url,
-        data=body,
-        method=method,
+        body=body,
         headers={"Content-Type": "application/json", "X-Client-Id": client},
     )
-    started = time.perf_counter()
-    try:
-        with urllib.request.urlopen(request, timeout=60) as response:
-            return response.status, response.read(), time.perf_counter() - started
-    except urllib.error.HTTPError as exc:
-        return exc.code, exc.read(), time.perf_counter() - started
+    return response.status, response.body, time.perf_counter() - started
 
 
 def _start_server(args: list[str]) -> tuple[subprocess.Popen[str], str]:

@@ -12,6 +12,8 @@ Commands
 ``bench``       performance benchmarks (``kernels``: fast paths vs reference)
 ``cache``       result-cache maintenance (``stats``/``clear``)
 ``serve``       HTTP reliability service (async job queue, see docs/service.md)
+``fleet``       distributed runs over ``serve`` workers (``run``/``status``,
+                see docs/fleet.md)
 ``trace``       trace tooling (``show``: render a trace tree from a file/URL)
 
 Designs come from ``--design C1..C6`` (the paper's benchmarks), a JSON
@@ -274,14 +276,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "stats":
-        stats = cache.stats()
-        payload = stats.as_dict()
-        text = (
-            f"cache root : {payload['root']}\n"
-            f"entries    : {payload['entries']}\n"
-            f"total bytes: {payload['total_bytes']:,}"
-        )
-        _emit(args, payload, text)
+        # Top-level keys stay the local tier's (backwards compatible);
+        # the per-tier breakdown rides along under "tiers".
+        shared = ResultCache(tier="shared")
+        payload = cache.stats().as_dict()
+        payload["tiers"] = {
+            "local": dict(payload),
+            "shared": shared.stats().as_dict(),
+        }
+        lines = []
+        for tier_stats in payload["tiers"].values():
+            lines += [
+                f"[{tier_stats['tier']}] root : {tier_stats['root']}",
+                f"  entries    : {tier_stats['entries']}",
+                f"  total bytes: {tier_stats['total_bytes']:,}",
+                f"  hit ratio  : {tier_stats['hit_ratio']:.3f} "
+                f"({tier_stats['hits']} hits / {tier_stats['misses']} "
+                "misses this process)",
+            ]
+        _emit(args, payload, "\n".join(lines))
     else:  # clear
         removed = cache.clear()
         _emit(
@@ -372,6 +385,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             + ("" if drained else " (cancelled unfinished jobs)"),
             flush=True,
         )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # Imported here: the fleet stack is not needed by any other command.
+    from repro.exec.cache import ResultCache
+    from repro.fleet import FleetCoordinator
+    from repro.service.requests import JobRequest
+
+    shared_cache: Any
+    if getattr(args, "no_cache", False):
+        shared_cache = False
+    elif getattr(args, "shared_cache_dir", None):
+        shared_cache = ResultCache(args.shared_cache_dir, tier="shared")
+    else:
+        shared_cache = None
+    coordinator = FleetCoordinator(
+        args.workers,
+        group_size=getattr(args, "group_size", 4),
+        shared_cache=shared_cache,
+        checkpoint_path=getattr(args, "checkpoint", None),
+    )
+    if args.fleet_command == "status":
+        report = coordinator.status()
+        lines = []
+        for worker in report:
+            if worker["ready"]:
+                info = worker["info"]
+                lines.append(
+                    f"ready {worker['url']} "
+                    f"(queue={info.get('queue_depth')}, "
+                    f"running={info.get('running')})"
+                )
+            else:
+                lines.append(f"down  {worker['url']}")
+        _emit(args, {"workers": report}, "\n".join(lines))
+        return 0 if all(worker["ready"] for worker in report) else 1
+
+    setup = None
+    if args.setup:
+        with open(args.setup, encoding="utf-8") as handle:
+            setup = json.load(handle)
+    document = {
+        "kind": "lifetime",
+        "design": args.design,
+        "setup": setup,
+        "grid": args.grid,
+        "rho": args.rho,
+        "vdd": args.vdd,
+        "ppm": args.ppm,
+        "methods": args.method,
+        "mc_chips": args.mc_chips,
+        "seed": args.seed,
+    }
+    request = JobRequest.from_dict(
+        {key: value for key, value in document.items() if value is not None}
+    )
+    payload = coordinator.run(request)
+    stats = coordinator.last_run_stats
+    if args.stats_file:
+        with open(args.stats_file, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+    if stats:
+        # Stderr, so --json stdout stays byte-identical to the serial CLI.
+        print(
+            f"fleet: {stats['shards']} shards in {stats['groups']} groups "
+            f"across {stats['workers']} worker(s); "
+            f"{stats['shared_cache_hits']} group(s) from shared cache, "
+            f"{stats['groups_reassigned']} reassigned, "
+            f"{stats['workers_lost']} worker(s) lost, "
+            f"{stats['wall_s']:.2f}s wall",
+            file=sys.stderr,
+        )
+    text = "\n".join(
+        f"{m:>14}: {v:.4e} h = {hours_to_years(v):8.1f} years"
+        for m, v in payload["lifetime_hours"].items()
+    )
+    _emit(args, payload, text)
     return 0
 
 
@@ -646,6 +737,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve, json=False)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="distributed coordinator over repro serve workers",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fleet_run = fleet_sub.add_parser(
+        "run",
+        help="run a lifetime analysis across the fleet "
+        "(byte-identical to the serial CLI)",
+    )
+    fleet_source = p_fleet_run.add_mutually_exclusive_group(required=True)
+    fleet_source.add_argument(
+        "--design",
+        choices=sorted(BENCHMARK_DEVICE_COUNTS),
+        help="one of the paper's benchmark designs",
+    )
+    fleet_source.add_argument(
+        "--setup", metavar="FILE", help="JSON analysis setup file"
+    )
+    p_fleet_run.add_argument("--grid", type=int, default=25)
+    p_fleet_run.add_argument("--rho", type=float, default=0.5)
+    p_fleet_run.add_argument("--vdd", type=float, default=None)
+    p_fleet_run.add_argument("--ppm", type=float, default=10.0)
+    p_fleet_run.add_argument(
+        "--method", nargs="+", choices=METHODS, default=["mc"]
+    )
+    p_fleet_run.add_argument("--mc-chips", type=int, default=500)
+    p_fleet_run.add_argument("--seed", type=int, default=0)
+    p_fleet_run.add_argument(
+        "--workers",
+        nargs="+",
+        required=True,
+        metavar="URL",
+        help="worker base URLs (http://host:port of repro serve processes)",
+    )
+    p_fleet_run.add_argument(
+        "--group-size",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="shard indices per dispatched worker job (default 4)",
+    )
+    p_fleet_run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="accumulate finished shards here for crash resume",
+    )
+    p_fleet_run.add_argument(
+        "--shared-cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared result-cache tier location (default: "
+        "REPRO_SHARED_CACHE_DIR, else <local cache>/shared)",
+    )
+    p_fleet_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the shared result-cache tier entirely",
+    )
+    p_fleet_run.add_argument(
+        "--stats-file",
+        metavar="FILE",
+        default=None,
+        help="write dispatch statistics (reassignments, cache hits, "
+        "wall time) as JSON",
+    )
+    _add_obs_arguments(p_fleet_run)
+    p_fleet_run.set_defaults(func=_cmd_fleet)
+
+    p_fleet_status = fleet_sub.add_parser(
+        "status", help="probe each worker's /readyz"
+    )
+    p_fleet_status.add_argument(
+        "--workers", nargs="+", required=True, metavar="URL"
+    )
+    _add_obs_arguments(p_fleet_status)
+    p_fleet_status.set_defaults(func=_cmd_fleet)
 
     p_trace = sub.add_parser(
         "trace", help="trace tooling (render recorded span trees)"

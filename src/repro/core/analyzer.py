@@ -439,6 +439,52 @@ class ReliabilityAnalyzer:
             cancel_check=cancel_check,
         )
 
+    def mc_time_grid(
+        self,
+        ppm: float,
+        span_decades: float = 1.2,
+        n_times: int = 33,
+    ) -> np.ndarray:
+        """The log-time grid :meth:`mc_lifetime` samples the MC curve on.
+
+        Centred at the (closed-form, millisecond) st_fast lifetime
+        estimate.  Exposed separately so a fleet coordinator can compute
+        the grid locally and ship the explicit times to workers — JSON
+        round-trips float64 exactly, so the remote curve lands on
+        bit-identical abscissae.
+        """
+        center = self.lifetime(ppm, method="st_fast")
+        return np.logspace(
+            np.log10(center) - span_decades / 2.0,
+            np.log10(center) + span_decades / 2.0,
+            n_times,
+        )
+
+    def mc_shard_payloads(
+        self,
+        times: np.ndarray,
+        n_chips: int = 1000,
+        seed: int = 0,
+        shard_indices: list[int] | tuple[int, ...] | None = None,
+        checkpoint_path: str | None = None,
+        cancel_check: Callable[[], bool] | None = None,
+    ) -> dict[int, dict[str, np.ndarray]]:
+        """Partial MC sums for a subset of the deterministic shard plan.
+
+        The worker-side primitive of :mod:`repro.fleet`: evaluates only
+        ``shard_indices`` out of the plan for ``(seed, n_chips)``, using
+        the exact per-shard streams a serial run would (see
+        :meth:`MonteCarloEngine.shard_payloads`).
+        """
+        return self.mc_engine.shard_payloads(
+            np.asarray(times, dtype=float),
+            n_chips,
+            np.random.SeedSequence(seed),
+            shard_indices=shard_indices,
+            checkpoint_path=checkpoint_path,
+            cancel_check=cancel_check,
+        )
+
     def mc_lifetime(
         self,
         ppm: float,
@@ -460,11 +506,8 @@ class ReliabilityAnalyzer:
         """
         from repro.core.lifetime import lifetime_from_curve
 
-        center = self.lifetime(ppm, method="st_fast")
-        times = np.logspace(
-            np.log10(center) - span_decades / 2.0,
-            np.log10(center) + span_decades / 2.0,
-            n_times,
+        times = self.mc_time_grid(
+            ppm, span_decades=span_decades, n_times=n_times
         )
         curve = self.mc_reliability_curve(
             times,

@@ -266,12 +266,66 @@ class MonteCarloEngine:
         invalid does the method raise.
         """
         times = np.atleast_1d(np.asarray(times, dtype=float))
+        with span(
+            "mc.reliability_curve",
+            chips=n_chips,
+            times=times.size,
+            device_mode=self.device_mode,
+            backend=self.backend.name,
+        ) as curve_span:
+            payloads = self.shard_payloads(
+                times,
+                n_chips,
+                rng,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                cancel_check=cancel_check,
+            )
+            curve = reduce_curve_payloads(times, payloads)
+            curve_span.set(valid_chips=curve.n_chips)
+        return curve
+
+    def shard_payloads(
+        self,
+        times: np.ndarray,
+        n_chips: int,
+        rng: SeedLike,
+        shard_indices: list[int] | tuple[int, ...] | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 16,
+        cancel_check: Callable[[], bool] | None = None,
+    ) -> dict[int, dict[str, np.ndarray]]:
+        """Per-shard partial survival sums for (a subset of) the plan.
+
+        The deterministic shard plan for ``(rng, n_chips, shard_size)`` is
+        laid out in full, then only ``shard_indices`` (default: every
+        shard) are evaluated — so a fleet worker handed an index subset
+        draws exactly the streams a serial run would, and the merged
+        payloads reduce to the identical curve via
+        :func:`reduce_curve_payloads`.  Checkpoint entries are keyed by
+        shard index, so partial checkpoints from *different* subsets of
+        the same plan merge losslessly.  On success the checkpoint file is
+        removed.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
         if np.any(times < 0.0):
             raise ConfigurationError("times must be non-negative")
         if n_chips < 2:
             raise ConfigurationError(f"n_chips must be >= 2, got {n_chips}")
         root = resolve_seed_sequence(rng)
         shards = plan_shards(n_chips, root, self.shard_size)
+        if shard_indices is not None:
+            wanted = sorted({int(index) for index in shard_indices})
+            out_of_range = [
+                index for index in wanted if not 0 <= index < len(shards)
+            ]
+            if out_of_range:
+                raise ConfigurationError(
+                    f"shard indices {out_of_range} outside the plan "
+                    f"(0..{len(shards) - 1} for {n_chips} chips of "
+                    f"shard_size {self.shard_size})"
+                )
+            shards = [shards[index] for index in wanted]
         checkpoint = self._checkpoint(
             checkpoint_path,
             "reliability_curve",
@@ -280,58 +334,19 @@ class MonteCarloEngine:
             times,
             checkpoint_every,
         )
-        total = np.zeros(times.size)
-        total_sq = np.zeros(times.size)
-        n_valid = 0
-        with span(
-            "mc.reliability_curve",
-            chips=n_chips,
-            times=times.size,
-            device_mode=self.device_mode,
-            backend=self.backend.name,
-        ) as curve_span:
-            payloads = run_sharded(
-                self.backend,
-                partial(_curve_shard_task, self, times),
-                shards,
-                shards_per_task=self._shards_per_task,
-                checkpoint=checkpoint,
-                cancel_check=cancel_check,
-            )
-            # Reduce in shard-index order: the floating-point accumulation
-            # order is then fixed for every backend and task grouping.
-            for shard in shards:
-                payload = payloads[shard.index]
-                n_bad = int(payload["n_bad"])
-                if n_bad:
-                    metrics.inc("mc.nonfinite_chunks")
-                    metrics.inc("mc.nonfinite_chips", n_bad)
-                    logger.warning(
-                        "dropping %d of %d chips in MC chunk: non-finite "
-                        "Weibull exponent sums (curve will average the "
-                        "remaining valid chips)",
-                        n_bad,
-                        shard.size,
-                        extra={"metric": "mc.nonfinite_chunks"},
-                    )
-                total += payload["total"]
-                total_sq += payload["total_sq"]
-                n_valid += int(payload["n_valid"])
-                metrics.inc("mc.chips", shard.size)
-            curve_span.set(valid_chips=n_valid)
+        payloads = run_sharded(
+            self.backend,
+            partial(_curve_shard_task, self, times),
+            shards,
+            shards_per_task=self._shards_per_task,
+            checkpoint=checkpoint,
+            cancel_check=cancel_check,
+        )
         if checkpoint is not None:
             checkpoint.clear()
-        if n_valid == 0:
-            raise NumericalError(
-                "every MC chip produced non-finite Weibull exponents; "
-                "check the variation budget and Weibull parameters"
-            )
-        mean = total / n_valid
-        variance = np.clip(total_sq / n_valid - mean**2, 0.0, None)
-        std_error = np.sqrt(variance / n_valid)
-        return ReliabilityCurve(
-            times=times, reliability=mean, std_error=std_error, n_chips=n_valid
-        )
+        # A checkpoint may have restored indices beyond the requested
+        # subset; hand back exactly what was asked for.
+        return {shard.index: payloads[shard.index] for shard in shards}
 
     def _chunk_exponents(
         self, times: np.ndarray, n_chips: int, rng: np.random.Generator
@@ -503,6 +518,70 @@ class MonteCarloEngine:
                 ) / beta + np.log(block.alpha)
                 chip_min[c] = min(chip_min[c], float(log_t.min()))
         return np.exp(chip_min)
+
+
+# ----------------------------------------------------------------------
+# Ordered reduction — shared by the in-process engine and repro.fleet
+# ----------------------------------------------------------------------
+
+
+def reduce_curve_payloads(
+    times: np.ndarray,
+    payloads: dict[int, dict[str, Any]],
+    expected_shards: int | None = None,
+) -> ReliabilityCurve:
+    """Merge per-shard partial sums into the final reliability curve.
+
+    Accumulates in ascending shard-index order, fixing the floating-point
+    summation order — and therefore the curve, bit for bit — regardless of
+    which backend, machine or worker produced each payload.  This is the
+    single reduction used by :meth:`MonteCarloEngine.reliability_curve`
+    and by the fleet coordinator merging remote shard-group results;
+    payload values may be numpy arrays or plain lists (JSON round-trips
+    float64 exactly).
+
+    ``expected_shards`` (when given) guards against a truncated merge: a
+    missing shard raises instead of silently averaging fewer chips.
+    """
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    if expected_shards is not None and len(payloads) != expected_shards:
+        raise NumericalError(
+            f"shard-payload merge is incomplete: got {len(payloads)} of "
+            f"{expected_shards} shards"
+        )
+    total = np.zeros(times.size)
+    total_sq = np.zeros(times.size)
+    n_valid = 0
+    for index in sorted(payloads):
+        payload = payloads[index]
+        n_bad = int(np.asarray(payload["n_bad"]))
+        shard_valid = int(np.asarray(payload["n_valid"]))
+        if n_bad:
+            metrics.inc("mc.nonfinite_chunks")
+            metrics.inc("mc.nonfinite_chips", n_bad)
+            logger.warning(
+                "dropping %d of %d chips in MC chunk: non-finite "
+                "Weibull exponent sums (curve will average the "
+                "remaining valid chips)",
+                n_bad,
+                shard_valid + n_bad,
+                extra={"metric": "mc.nonfinite_chunks"},
+            )
+        total += np.asarray(payload["total"], dtype=float)
+        total_sq += np.asarray(payload["total_sq"], dtype=float)
+        n_valid += shard_valid
+        metrics.inc("mc.chips", shard_valid + n_bad)
+    if n_valid == 0:
+        raise NumericalError(
+            "every MC chip produced non-finite Weibull exponents; "
+            "check the variation budget and Weibull parameters"
+        )
+    mean = total / n_valid
+    variance = np.clip(total_sq / n_valid - mean**2, 0.0, None)
+    std_error = np.sqrt(variance / n_valid)
+    return ReliabilityCurve(
+        times=times, reliability=mean, std_error=std_error, n_chips=n_valid
+    )
 
 
 # ----------------------------------------------------------------------

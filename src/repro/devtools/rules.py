@@ -871,6 +871,97 @@ class MetricNamingDiscipline(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# RPL012 — network calls need explicit timeouts
+# ---------------------------------------------------------------------------
+
+
+@register
+class NetworkTimeoutDiscipline(Rule):
+    """Every stdlib network call must carry an explicit timeout.
+
+    ``urllib.request.urlopen``, ``socket.create_connection`` and the
+    ``http.client`` connection classes all default to *blocking forever*.
+    In a distributed fleet, one hung worker then wedges the caller — a
+    coordinator dispatcher thread, a service drain, a CLI.  The shared
+    :class:`repro.fleet.client.HttpClient` passes its per-request timeout
+    everywhere; direct call sites must do the same with an explicit
+    ``timeout=`` (or the positional equivalent).
+    """
+
+    rule_id = "RPL012"
+    name = "network-timeout-discipline"
+    summary = (
+        "stdlib network calls (urllib.request.urlopen, "
+        "socket.create_connection, http.client connections) must pass an "
+        "explicit timeout"
+    )
+
+    #: Canonical dotted origin -> minimum positional-argument count that
+    #: already covers the timeout parameter.
+    _TIMEOUT_POSITION = {
+        "urllib.request.urlopen": 3,
+        "socket.create_connection": 2,
+        "http.client.HTTPConnection": 3,
+        "http.client.HTTPSConnection": 3,
+    }
+
+    def _from_imports(self, ctx: LintContext) -> dict[str, str]:
+        """Local name -> canonical origin, alias-aware.
+
+        Covers ``from urllib.request import urlopen [as x]`` and module
+        aliases like ``import urllib.request as req``.
+        """
+        mapping: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                for alias in node.names:
+                    origin = f"{node.module}.{alias.name}"
+                    if origin in self._TIMEOUT_POSITION:
+                        mapping[alias.asname or alias.name] = origin
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        mapping[alias.asname] = alias.name
+        return mapping
+
+    def _call_origin(self, ctx: LintContext, func: ast.AST) -> str | None:
+        """The canonical dotted origin of a call target, or ``None``."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            mapping = self._from_imports(ctx)
+            parts.append(mapping.get(node.id, node.id))
+            dotted = ".".join(reversed(parts))
+            if dotted in self._TIMEOUT_POSITION:
+                return dotted
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = self._call_origin(ctx, node.func)
+            if origin is None:
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            if len(node.args) >= self._TIMEOUT_POSITION[origin]:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{origin}() without an explicit timeout blocks forever on "
+                "a hung peer; pass timeout= (the fleet HttpClient does "
+                "this for you)",
+            )
+
+
 #: The full registry, id -> rule class (read-only view for callers).
 ALL_RULES: dict[str, type[Rule]] = _REGISTRY
 

@@ -78,3 +78,27 @@ class AdmissionError(ServiceError):
         super().__init__(
             message, status=429, code=code, retry_after_s=retry_after_s
         )
+
+
+class FleetError(ReproError):
+    """A distributed fleet run could not complete.
+
+    Raised by :mod:`repro.fleet` when coordination itself fails — for
+    example when every worker has died with shard groups still pending.
+    Individual worker failures are *not* errors: the coordinator reassigns
+    their work and only raises once no survivor remains.
+    """
+
+
+class WorkerUnavailable(FleetError):
+    """A fleet worker could not be reached after exhausting retries.
+
+    Carries the worker base ``url`` and the number of ``attempts`` the
+    HTTP client made (including backoff retries), so the coordinator can
+    log the loss precisely before reassigning the worker's shard groups.
+    """
+
+    def __init__(self, message: str, *, url: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.url = url
+        self.attempts = attempts

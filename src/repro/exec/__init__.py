@@ -37,6 +37,7 @@ from repro.exec.cache import (
     CacheStats,
     ResultCache,
     default_cache_dir,
+    default_shared_cache_dir,
     fingerprint,
 )
 from repro.exec.checkpoint import Checkpoint
@@ -60,6 +61,7 @@ __all__ = [
     "Shard",
     "ThreadBackend",
     "default_cache_dir",
+    "default_shared_cache_dir",
     "fingerprint",
     "plan_shards",
     "resolve_backend",

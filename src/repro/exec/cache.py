@@ -21,6 +21,18 @@ Behavioural contract:
 - a **corrupted or partial entry** is logged, counted
   (``exec.cache.corrupt``) and treated as a miss — callers recompute and
   overwrite; corruption is never allowed to crash an analysis.
+
+Tiers
+-----
+A cache instance belongs to one of two **tiers** — ``"local"`` (the
+default: one machine's private store) or ``"shared"`` (the
+coordinator-merged store a :mod:`repro.fleet` run deduplicates shard
+work through).  The tier labels the per-instance counters
+(``exec.cache.local.hit`` / ``exec.cache.shared.hit`` and friends, a
+static two-entry namespace) on top of the legacy untiered family, so
+``repro cache stats`` and ``/metrics`` can report hit ratios per tier.
+The shared tier's default root is ``$REPRO_SHARED_CACHE_DIR`` when set,
+else ``<local root>/shared``.
 """
 
 from __future__ import annotations
@@ -44,10 +56,14 @@ from repro.obs.logging import get_logger
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CACHE_TIERS",
     "CacheStats",
     "ResultCache",
     "default_cache_dir",
+    "default_shared_cache_dir",
     "fingerprint",
+    "get_json_payload",
+    "put_json_payload",
 ]
 
 logger = get_logger("exec.cache")
@@ -55,7 +71,31 @@ logger = get_logger("exec.cache")
 #: Bump to invalidate every existing cache entry on a format change.
 CACHE_SCHEMA = 1
 
+#: The cache tiers a :class:`ResultCache` instance can belong to.
+CACHE_TIERS = ("local", "shared")
+
+#: Static per-tier metric families (RPL008: dynamic parts route through a
+#: literal dict, so the metric namespace stays enumerable).
+_TIER_COUNTERS = {
+    "local": {
+        "hit": "exec.cache.local.hit",
+        "miss": "exec.cache.local.miss",
+        "corrupt": "exec.cache.local.corrupt",
+        "store": "exec.cache.local.store",
+    },
+    "shared": {
+        "hit": "exec.cache.shared.hit",
+        "miss": "exec.cache.shared.miss",
+        "corrupt": "exec.cache.shared.corrupt",
+        "store": "exec.cache.shared.store",
+    },
+}
+
 _META_KEY = "__meta__"
+
+#: JSON document key under which whole-payload entries are cached (the
+#: service's finished job results and the fleet's shard-group results).
+_PAYLOAD_FIELD = "payload_json"
 
 
 def default_cache_dir() -> Path:
@@ -64,6 +104,19 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro"
+
+
+def default_shared_cache_dir() -> Path:
+    """``$REPRO_SHARED_CACHE_DIR`` when set, else ``<local root>/shared``.
+
+    Nested under the local root by default so a single ``rm -rf`` clears
+    both tiers, while the two-level ``??/`` entry layout keeps the tiers'
+    entry lists disjoint.
+    """
+    env = os.environ.get("REPRO_SHARED_CACHE_DIR", "").strip()
+    if env:
+        return Path(env).expanduser()
+    return default_cache_dir() / "shared"
 
 
 def _canonical(obj: Any) -> Any:
@@ -116,18 +169,39 @@ def fingerprint(payload: Any) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A point-in-time summary of the cache directory."""
+    """A point-in-time summary of one cache tier's directory.
+
+    ``hits``/``misses`` are the process-lifetime counters of the tier's
+    metric family (not persisted on disk), so the reported hit ratio
+    describes the current process — exactly what the fleet's ≥90%%
+    shared-hit acceptance gate measures.
+    """
 
     root: str
     entries: int
     total_bytes: int
+    tier: str = "local"
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Process-lifetime hit fraction (0.0 when the tier is untouched)."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready form for the ``repro cache stats`` CLI."""
         return {
             "root": self.root,
+            "tier": self.tier,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
         }
 
 
@@ -137,11 +211,29 @@ class ResultCache:
     Parameters
     ----------
     root:
-        Cache directory; defaults to :func:`default_cache_dir`.
+        Cache directory; defaults to :func:`default_cache_dir` for the
+        local tier and :func:`default_shared_cache_dir` for the shared
+        tier.
+    tier:
+        ``"local"`` (default) or ``"shared"`` — labels this instance's
+        metric counters and stats; never changes entry semantics.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+    def __init__(
+        self, root: str | Path | None = None, tier: str = "local"
+    ) -> None:
+        if tier not in _TIER_COUNTERS:
+            raise ConfigurationError(
+                f"unknown cache tier {tier!r}; expected one of {CACHE_TIERS}"
+            )
+        if root is not None:
+            self.root = Path(root)
+        elif tier == "shared":
+            self.root = default_shared_cache_dir()
+        else:
+            self.root = default_cache_dir()
+        self.tier = tier
+        self._counters = _TIER_COUNTERS[tier]
 
     def path_for(self, key: str) -> Path:
         """Entry path for a fingerprint key."""
@@ -168,6 +260,7 @@ class ResultCache:
         path = self.path_for(key)
         if not path.exists():
             metrics.inc("exec.cache.miss")
+            metrics.inc(self._counters["miss"])
             return None
         try:
             with np.load(path, allow_pickle=False) as handle:
@@ -187,6 +280,8 @@ class ResultCache:
         ) as exc:
             metrics.inc("exec.cache.corrupt")
             metrics.inc("exec.cache.miss")
+            metrics.inc(self._counters["corrupt"])
+            metrics.inc(self._counters["miss"])
             logger.warning(
                 "corrupted cache entry %s (%s); recomputing",
                 path,
@@ -195,6 +290,7 @@ class ResultCache:
             )
             return None
         metrics.inc("exec.cache.hit")
+        metrics.inc(self._counters["hit"])
         return arrays
 
     def get_meta(self, key: str) -> dict[str, Any] | None:
@@ -240,6 +336,7 @@ class ResultCache:
                 pass
             raise
         metrics.inc("exec.cache.store")
+        metrics.inc(self._counters["store"])
         return path
 
     # ------------------------------------------------------------------
@@ -252,11 +349,16 @@ class ResultCache:
         return sorted(self.root.glob("??/*.npz"))
 
     def stats(self) -> CacheStats:
-        """Entry count and total size on disk."""
+        """Entry count, total size on disk, and this process's hit ratio."""
         entries = self._entries()
         total = sum(path.stat().st_size for path in entries)
         return CacheStats(
-            root=str(self.root), entries=len(entries), total_bytes=total
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=total,
+            tier=self.tier,
+            hits=int(metrics.get_counter(self._counters["hit"])),
+            misses=int(metrics.get_counter(self._counters["miss"])),
         )
 
     def clear(self) -> int:
@@ -269,3 +371,52 @@ class ResultCache:
             except OSError:
                 pass  # shared prefix directory still holds other entries
         return len(entries)
+
+
+# ----------------------------------------------------------------------
+# Whole-payload (JSON document) entries
+# ----------------------------------------------------------------------
+#
+# The service's job results and the fleet's shard-group results are JSON
+# documents, not array bundles; both store them as a single 0-d string
+# array under one reserved field so the two layers share entry format,
+# corruption handling and metrics.
+
+
+def get_json_payload(
+    cache: ResultCache | None, key: str
+) -> dict[str, Any] | None:
+    """A cached JSON payload for ``key``, or ``None`` on miss/corruption."""
+    if cache is None:
+        return None
+    arrays = cache.get(key)
+    if arrays is None or _PAYLOAD_FIELD not in arrays:
+        return None
+    try:
+        payload = json.loads(str(arrays[_PAYLOAD_FIELD][()]))
+    except ValueError:
+        metrics.inc("exec.cache.corrupt")
+        logger.warning(
+            "cached payload for %s is not valid JSON; recomputing", key[:12]
+        )
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def put_json_payload(
+    cache: ResultCache | None,
+    key: str,
+    payload: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Store a JSON payload under ``key`` (I/O errors logged, not raised)."""
+    if cache is None:
+        return
+    try:
+        cache.put(
+            key,
+            {_PAYLOAD_FIELD: np.array(json.dumps(payload))},
+            meta=meta,
+        )
+    except OSError as exc:
+        logger.warning("cannot store result in cache: %s", exc)

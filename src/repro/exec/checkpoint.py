@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import zipfile
 from pathlib import Path
 from typing import Any
@@ -72,11 +73,15 @@ class Checkpoint:
         self.save_every = max(1, int(save_every))
         self._payloads: dict[int, dict[str, np.ndarray]] = {}
         self._unsaved = 0
+        # Reentrant: fleet dispatcher threads add() concurrently, and
+        # add() flushes inline once save_every is reached.
+        self._lock = threading.RLock()
 
     @property
     def completed(self) -> set[int]:
         """Indices of shards already accounted for."""
-        return set(self._payloads)
+        with self._lock:
+            return set(self._payloads)
 
     # ------------------------------------------------------------------
     # persistence
@@ -88,6 +93,10 @@ class Checkpoint:
         Corrupted files and meta-fingerprint mismatches are logged, counted
         (``exec.checkpoint.stale``) and treated as "no checkpoint".
         """
+        with self._lock:
+            return self._load_locked()
+
+    def _load_locked(self) -> dict[int, dict[str, np.ndarray]]:
         self._payloads = {}
         self._unsaved = 0
         if not self.path.exists():
@@ -132,42 +141,45 @@ class Checkpoint:
 
     def add(self, index: int, payload: dict[str, np.ndarray]) -> None:
         """Record one completed shard, flushing every ``save_every``."""
-        self._payloads[index] = payload
-        self._unsaved += 1
-        if self._unsaved >= self.save_every:
-            self.flush()
+        with self._lock:
+            self._payloads[index] = payload
+            self._unsaved += 1
+            if self._unsaved >= self.save_every:
+                self.flush()
 
     def flush(self) -> None:
         """Atomically write the current state to :attr:`path`."""
-        if not self._payloads:
-            return
-        header = json.dumps(
-            {"version": CHECKPOINT_VERSION, "meta": self.meta_fingerprint}
-        )
-        arrays: dict[str, np.ndarray] = {_HEADER_KEY: np.array(header)}
-        for index, payload in self._payloads.items():
-            for field, value in payload.items():
-                arrays[f"s{index}__{field}"] = np.asarray(value)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=".ckpt-", suffix=".npz"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(tmp_name, self.path)
-        except BaseException:
+        with self._lock:
+            if not self._payloads:
+                return
+            header = json.dumps(
+                {"version": CHECKPOINT_VERSION, "meta": self.meta_fingerprint}
+            )
+            arrays: dict[str, np.ndarray] = {_HEADER_KEY: np.array(header)}
+            for index, payload in self._payloads.items():
+                for field, value in payload.items():
+                    arrays[f"s{index}__{field}"] = np.asarray(value)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.path.parent, prefix=".ckpt-", suffix=".npz"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self._unsaved = 0
-        metrics.inc("exec.checkpoint.saves")
-        flight.emit("checkpoint.flush", shards=len(self._payloads))
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **arrays)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self._unsaved = 0
+            metrics.inc("exec.checkpoint.saves")
+            flight.emit("checkpoint.flush", shards=len(self._payloads))
 
     def clear(self) -> None:
         """Delete the checkpoint file (after a successful run)."""
-        self.path.unlink(missing_ok=True)
-        self._payloads = {}
-        self._unsaved = 0
+        with self._lock:
+            self.path.unlink(missing_ok=True)
+            self._payloads = {}
+            self._unsaved = 0

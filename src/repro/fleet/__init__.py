@@ -1,0 +1,31 @@
+"""Distributed fleet execution: a coordinator over ``repro serve`` workers.
+
+The fleet layer fans the deterministic Monte-Carlo shard plan out to a
+set of :mod:`repro.service` workers over the HTTP job API, collects the
+per-shard partial sums and reduces them in shard order, so the merged
+result is **bit-identical** to a serial in-process run (see
+``docs/fleet.md``).
+
+- :mod:`repro.fleet.client` — shared stdlib HTTP client: per-request
+  timeouts, jittered exponential backoff, ``Retry-After`` honouring.
+- :mod:`repro.fleet.transport` — one shard-group round trip: submit an
+  ``mc_shards`` job, poll it, fetch the result.
+- :mod:`repro.fleet.coordinator` — dispatch, health checks, failover and
+  the order-preserving reduction.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.client import BackoffPolicy, HttpClient, HttpResponse
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.transport import FakeTransport, HttpTransport, WorkerTransport
+
+__all__ = [
+    "BackoffPolicy",
+    "FakeTransport",
+    "FleetCoordinator",
+    "HttpClient",
+    "HttpResponse",
+    "HttpTransport",
+    "WorkerTransport",
+]

@@ -1,0 +1,213 @@
+"""Shared stdlib HTTP client for talking to ``repro serve`` workers.
+
+Every request carries an explicit per-request timeout, retryable
+failures back off exponentially with jitter, and a server-supplied
+``Retry-After`` header (the service sends one on 429/503 shed responses)
+overrides the computed delay.  The clock and randomness are injectable
+so the backoff schedule is unit-testable without sleeping.
+
+Used by the fleet coordinator/transport and by ``scripts/service_load.py``
+(which disables status retries so shed responses stay visible to the
+load measurement).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import WorkerUnavailable
+from repro.obs import metrics
+from repro.obs.logging import get_logger
+
+__all__ = ["BackoffPolicy", "HttpClient", "HttpResponse"]
+
+logger = get_logger("fleet.client")
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One HTTP exchange: status, raw body, response headers."""
+
+    status: int
+    body: bytes
+    headers: dict[str, str]
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises ``ValueError`` when it isn't)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def retry_after_s(self) -> float | None:
+        """The ``Retry-After`` delay in seconds, when present and valid."""
+        raw = self.headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value >= 0.0 else None
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential backoff: ``base * factor**attempt``, capped.
+
+    A server-supplied ``Retry-After`` overrides the computed delay (it
+    knows its own queue), clamped to ``retry_after_cap_s`` so a
+    misbehaving header cannot stall the caller for minutes.
+    """
+
+    retries: int = 4
+    base_s: float = 0.25
+    factor: float = 2.0
+    max_s: float = 8.0
+    jitter: float = 0.25
+    retry_after_cap_s: float = 30.0
+
+    def delay_s(
+        self,
+        attempt: int,
+        rng: random.Random,
+        retry_after_s: float | None = None,
+    ) -> float:
+        """The delay before retry number ``attempt`` (0-based)."""
+        if retry_after_s is not None:
+            return min(retry_after_s, self.retry_after_cap_s)
+        delay = min(self.base_s * self.factor**attempt, self.max_s)
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+class HttpClient:
+    """stdlib HTTP with timeouts, backoff and ``Retry-After`` honouring.
+
+    Connection-level failures (refused, reset, DNS, timeout) are retried
+    per ``policy`` and raise :class:`WorkerUnavailable` once exhausted.
+    Responses whose status is in ``retry_statuses`` are retried the same
+    way but the *last response is returned* when retries run out — the
+    caller decides whether a still-shedding worker is fatal.  Pass
+    ``retry_statuses=()`` to surface every status immediately (the load
+    generator does, so shed responses stay measurable).
+
+    ``sleep`` and ``rng`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        timeout_s: float = 30.0,
+        policy: BackoffPolicy | None = None,
+        retry_statuses: tuple[int, ...] = (429, 503),
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.policy = policy or BackoffPolicy()
+        self.retry_statuses = retry_statuses
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+
+    # ------------------------------------------------------------------
+    # request machinery
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """One logical request, retried per the backoff policy."""
+        attempts = self.policy.retries + 1
+        last_error: Exception | None = None
+        response: HttpResponse | None = None
+        for attempt in range(attempts):
+            started = time.perf_counter()
+            try:
+                response = self._send(method, url, body, headers)
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                TimeoutError,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                last_error = exc
+                response = None
+            finally:
+                metrics.observe(
+                    "fleet.client.request_seconds",
+                    time.perf_counter() - started,
+                )
+            if response is not None and response.status not in self.retry_statuses:
+                return response
+            if attempt + 1 >= attempts:
+                break
+            retry_after = response.retry_after_s if response is not None else None
+            delay = self.policy.delay_s(attempt, self._rng, retry_after)
+            metrics.inc("fleet.client.retries")
+            logger.debug(
+                "retrying %s %s in %.2fs (attempt %d/%d): %s",
+                method,
+                url,
+                delay,
+                attempt + 1,
+                attempts,
+                last_error if response is None else f"HTTP {response.status}",
+            )
+            self._sleep(delay)
+        if response is not None:
+            return response
+        raise WorkerUnavailable(
+            f"{method} {url} failed after {attempts} attempt(s): {last_error}",
+            url=url,
+            attempts=attempts,
+        )
+
+    def _send(
+        self,
+        method: str,
+        url: str,
+        body: bytes | None,
+        headers: dict[str, str] | None,
+    ) -> HttpResponse:
+        """One wire-level exchange; an HTTP error status is a response."""
+        request = urllib.request.Request(
+            url, data=body, method=method, headers=dict(headers or {})
+        )
+        if body is not None and "Content-Type" not in (headers or {}):
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as raw:
+                return HttpResponse(
+                    status=raw.status,
+                    body=raw.read(),
+                    headers={k.lower(): v for k, v in raw.headers.items()},
+                )
+        except urllib.error.HTTPError as exc:
+            # A non-2xx status is still a response, not a transport fault.
+            with exc:
+                return HttpResponse(
+                    status=exc.code,
+                    body=exc.read(),
+                    headers={k.lower(): v for k, v in exc.headers.items()},
+                )
+
+    # ------------------------------------------------------------------
+    # JSON conveniences
+    # ------------------------------------------------------------------
+
+    def get_json(self, url: str) -> HttpResponse:
+        return self.request("GET", url)
+
+    def post_json(self, url: str, document: dict[str, Any]) -> HttpResponse:
+        body = json.dumps(document).encode("utf-8")
+        return self.request("POST", url, body=body)

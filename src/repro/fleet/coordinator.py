@@ -1,0 +1,427 @@
+"""The fleet coordinator: fan shard groups out, merge bit-identically.
+
+The coordinator owns the deterministic plan: it computes the MC time
+grid locally, slices the shard index space into groups, and dispatches
+each group as an ``mc_shards`` job to whichever worker is free.  Workers
+return per-shard partial sums; the coordinator merges them with the
+*same* :func:`repro.core.montecarlo.reduce_curve_payloads` a serial run
+uses, in shard order, so the final payload is byte-identical to
+``repro lifetime --json`` no matter how many workers ran or died.
+
+Fault tolerance: a worker that becomes unreachable mid-group has its
+group requeued for the survivors; finished shards land in an exec-layer
+checkpoint so even a coordinator crash resumes without recomputation.
+Results are also stored per group in the *shared* result-cache tier, so
+a rerun of the same sweep is served from cache instead of the fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.montecarlo import reduce_curve_payloads
+from repro.errors import FleetError, WorkerUnavailable
+from repro.exec.cache import ResultCache, get_json_payload, put_json_payload
+from repro.exec.checkpoint import Checkpoint
+from repro.fleet.transport import HttpTransport, WorkerTransport
+from repro.obs import metrics, trace
+from repro.obs.logging import get_logger
+from repro.service.requests import JobRequest, run_job
+
+__all__ = ["FleetCoordinator"]
+
+logger = get_logger("fleet.coordinator")
+
+#: Shard indices dispatched per worker job.  Small enough to rebalance
+#: around a lost worker, large enough that HTTP overhead stays noise.
+DEFAULT_GROUP_SIZE = 4
+
+
+@dataclass
+class _RunState:
+    """Mutable coordination state shared by the dispatcher threads."""
+
+    pending: deque[list[int]]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    done: threading.Event = field(default_factory=threading.Event)
+    merged: dict[int, dict[str, Any]] = field(default_factory=dict)
+    trace_docs: list[dict[str, Any]] = field(default_factory=list)
+    alive: set[str] = field(default_factory=set)
+    in_flight: int = 0
+    completed_groups: int = 0
+    reassigned_groups: int = 0
+    workers_lost: int = 0
+    failure: FleetError | None = None
+
+
+class FleetCoordinator:
+    """Drives one analysis across a set of ``repro serve`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker base URLs (``http://host:port``).
+    transport:
+        How shard groups reach workers; defaults to the real HTTP
+        transport.  Tests inject :class:`~repro.fleet.transport.FakeTransport`.
+    group_size:
+        Shard indices per dispatched job.
+    shared_cache:
+        The coordinator-merged cache tier.  Defaults to a
+        :class:`ResultCache` in the shared tier directory; pass ``False``
+        to disable caching.
+    checkpoint_path:
+        Where finished shards accumulate for crash resume.
+    heartbeat_every_s:
+        A dispatcher re-probes its worker's ``/readyz`` when this much
+        time passed since the last successful exchange.
+    """
+
+    def __init__(
+        self,
+        workers: list[str],
+        transport: WorkerTransport | None = None,
+        group_size: int = DEFAULT_GROUP_SIZE,
+        shared_cache: ResultCache | bool | None = None,
+        checkpoint_path: str | None = None,
+        heartbeat_every_s: float = 5.0,
+    ) -> None:
+        if not workers:
+            raise FleetError("a fleet needs at least one worker URL")
+        if group_size < 1:
+            raise FleetError(f"group_size must be >= 1, got {group_size}")
+        self.workers = [url.rstrip("/") for url in workers]
+        self.transport = transport or HttpTransport()
+        self.group_size = group_size
+        if shared_cache is False:
+            self.shared_cache: ResultCache | None = None
+        elif shared_cache in (None, True):
+            self.shared_cache = ResultCache(tier="shared")
+        else:
+            assert isinstance(shared_cache, ResultCache)
+            self.shared_cache = shared_cache
+        self.checkpoint_path = checkpoint_path
+        self.heartbeat_every_s = heartbeat_every_s
+        self.last_run_stats: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def status(self) -> list[dict[str, Any]]:
+        """One ``/readyz`` probe per worker: ``{url, ready, info}``."""
+        report = []
+        for url in self.workers:
+            info = self.transport.ready(url)
+            report.append({"url": url, "ready": info is not None, "info": info})
+        return report
+
+    def run(self, request: JobRequest) -> dict[str, Any]:
+        """Evaluate ``request`` across the fleet.
+
+        Only the sharded MC reference is distributed; requests without
+        an ``mc`` method have nothing to fan out and run locally.  The
+        returned payload is byte-identical to the serial equivalent.
+        """
+        if not (request.kind == "lifetime" and "mc" in request.methods):
+            logger.info(
+                "request kind=%s methods=%s has no MC shards to "
+                "distribute; running locally",
+                request.kind,
+                ",".join(request.methods),
+            )
+            return run_job(request)
+        started = time.perf_counter()
+        with trace.span(
+            "fleet.run", workers=len(self.workers), mc_chips=request.mc_chips
+        ) as run_span:
+            payload = self._run_distributed(request, started)
+            run_span.set(
+                groups_reassigned=self.last_run_stats["groups_reassigned"],
+                workers_lost=self.last_run_stats["workers_lost"],
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # the distributed MC path
+    # ------------------------------------------------------------------
+
+    def _run_distributed(
+        self, request: JobRequest, started: float
+    ) -> dict[str, Any]:
+        from repro.core.lifetime import lifetime_from_curve, ppm_to_reliability
+        from repro.payloads import lifetime_payload
+
+        analyzer = request.build_analyzer()
+        times = analyzer.mc_time_grid(request.ppm)
+        shard_size = analyzer.mc_engine.shard_size
+        n_shards = -(-request.mc_chips // shard_size)
+        checkpoint = self._checkpoint(request, times)
+        state = _RunState(pending=deque())
+        state.alive = set(self.workers)
+        # Dispatcher threads do not exist yet, but planning mutates the
+        # same state they will share, so it runs under the state lock.
+        with state.lock:
+            if checkpoint is not None:
+                for index, payload in checkpoint.load().items():
+                    if 0 <= index < n_shards:
+                        state.merged[index] = payload
+            cache_hits = self._plan_groups(request, times, n_shards, state)
+        if state.pending:
+            self._dispatch(request, times, state, checkpoint)
+        if state.failure is not None:
+            if checkpoint is not None:
+                checkpoint.flush()
+            raise state.failure
+        metrics.gauge("fleet.workers.alive", float(len(state.alive)))
+        curve = reduce_curve_payloads(
+            times, state.merged, expected_shards=n_shards
+        )
+        mc_hours = lifetime_from_curve(
+            curve.times, curve.reliability, ppm_to_reliability(request.ppm)
+        )
+        # Graft worker trace subtrees from the coordinating thread, so
+        # they land under the open ``fleet.run`` span (graft is
+        # thread-local).
+        if state.trace_docs:
+            trace.graft(state.trace_docs)
+        payload = lifetime_payload(
+            analyzer,
+            request.ppm,
+            request.methods,
+            mc_chips=request.mc_chips,
+            seed=request.seed,
+            mc_lifetime_fn=lambda: mc_hours,
+        )
+        if checkpoint is not None:
+            checkpoint.clear()
+        self.last_run_stats = {
+            "workers": len(self.workers),
+            "workers_lost": state.workers_lost,
+            "groups": -(-n_shards // self.group_size),
+            "groups_completed": state.completed_groups,
+            "groups_reassigned": state.reassigned_groups,
+            "shared_cache_hits": cache_hits,
+            "shards": n_shards,
+            "wall_s": time.perf_counter() - started,
+        }
+        return payload
+
+    def _checkpoint(
+        self, request: JobRequest, times: np.ndarray
+    ) -> Checkpoint | None:
+        if self.checkpoint_path is None:
+            return None
+        return Checkpoint(
+            self.checkpoint_path,
+            meta={
+                "kind": "fleet.mc_lifetime",
+                "request": request.as_dict(),
+                "times": times.tolist(),
+            },
+        )
+
+    def _plan_groups(
+        self,
+        request: JobRequest,
+        times: np.ndarray,
+        n_shards: int,
+        state: _RunState,
+    ) -> int:
+        """Queue shard groups still to compute; merge cached/resumed ones.
+
+        Returns the number of groups served from the shared cache tier.
+        """
+        cache_hits = 0
+        for start in range(0, n_shards, self.group_size):
+            indices = [
+                i
+                for i in range(start, min(start + self.group_size, n_shards))
+                if i not in state.merged
+            ]
+            if not indices:
+                continue
+            doc = self._group_doc(request, times, indices)
+            cached = get_json_payload(
+                self.shared_cache, JobRequest.from_dict(doc).key
+            )
+            if cached is not None:
+                self._merge_payload(state, indices, cached)
+                cache_hits += 1
+                metrics.inc("fleet.groups.cache_hits")
+                continue
+            state.pending.append(indices)
+        return cache_hits
+
+    def _group_doc(
+        self, request: JobRequest, times: np.ndarray, indices: list[int]
+    ) -> dict[str, Any]:
+        """The ``mc_shards`` job document for one shard group.
+
+        Deliberately excludes ``methods`` (and carries the explicit
+        ``times`` instead of ``ppm``): the partial sums depend on
+        neither, so requests differing only in their method list share
+        cache entries and coalesce on the workers.
+        """
+        doc: dict[str, Any] = {
+            "kind": "mc_shards",
+            "design": request.design,
+            "setup": request.setup,
+            "grid": request.grid,
+            "rho": request.rho,
+            "vdd": request.vdd,
+            "mc_chips": request.mc_chips,
+            "seed": request.seed,
+            "shards": list(indices),
+            "times": [float(t) for t in times],
+        }
+        return {key: value for key, value in doc.items() if value is not None}
+
+    def _merge_payload(
+        self,
+        state: _RunState,
+        indices: list[int],
+        payload: dict[str, Any],
+    ) -> None:
+        """Fold one worker/cache payload's shards into the merged map."""
+        shards = payload.get("shards")
+        if not isinstance(shards, dict):
+            raise FleetError("worker payload has no 'shards' map")
+        missing = [i for i in indices if str(i) not in shards]
+        if missing:
+            raise FleetError(
+                f"worker payload is missing shard(s) {missing}"
+            )
+        for index in indices:
+            state.merged[index] = shards[str(index)]
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        request: JobRequest,
+        times: np.ndarray,
+        state: _RunState,
+        checkpoint: Checkpoint | None,
+    ) -> None:
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(url, request, times, state, checkpoint),
+                name=f"fleet-{url}",
+                daemon=True,
+            )
+            for url in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        state.done.wait()
+        for thread in threads:
+            thread.join()
+
+    def _worker_loop(
+        self,
+        url: str,
+        request: JobRequest,
+        times: np.ndarray,
+        state: _RunState,
+        checkpoint: Checkpoint | None,
+    ) -> None:
+        last_ok = time.monotonic()
+        while not state.done.is_set():
+            with state.lock:
+                if state.failure is not None:
+                    state.done.set()
+                    return
+                if state.pending:
+                    indices = state.pending.popleft()
+                    state.in_flight += 1
+                else:
+                    if state.in_flight == 0:
+                        state.done.set()
+                    return
+            if time.monotonic() - last_ok > self.heartbeat_every_s:
+                if self.transport.ready(url) is None:
+                    self._lose_worker(url, state, indices)
+                    return
+                last_ok = time.monotonic()
+            doc = self._group_doc(request, times, indices)
+            group_started = time.perf_counter()
+            try:
+                payload, trace_docs = self.transport.run_shard_group(url, doc)
+            except WorkerUnavailable as exc:
+                logger.warning("worker %s lost: %s", url, exc)
+                self._lose_worker(url, state, indices)
+                return
+            except FleetError as exc:
+                with state.lock:
+                    state.failure = exc
+                    state.in_flight -= 1
+                    state.done.set()
+                return
+            metrics.inc("fleet.groups.dispatched")
+            metrics.observe(
+                "fleet.group.seconds", time.perf_counter() - group_started
+            )
+            last_ok = time.monotonic()
+            self._store_shared(doc, payload)
+            with state.lock:
+                try:
+                    self._merge_payload(state, indices, payload)
+                except FleetError as exc:
+                    state.failure = exc
+                    state.in_flight -= 1
+                    state.done.set()
+                    return
+                if checkpoint is not None:
+                    for index in indices:
+                        checkpoint.add(
+                            index,
+                            {
+                                key: np.asarray(value)
+                                for key, value in state.merged[index].items()
+                            },
+                        )
+                state.trace_docs.extend(trace_docs)
+                state.in_flight -= 1
+                state.completed_groups += 1
+                metrics.inc("fleet.groups.completed")
+
+    def _lose_worker(
+        self, url: str, state: _RunState, indices: list[int]
+    ) -> None:
+        """Requeue the lost worker's group; fail when no one is left."""
+        metrics.inc("fleet.workers.lost")
+        metrics.inc("fleet.groups.reassigned")
+        with state.lock:
+            state.alive.discard(url)
+            state.pending.appendleft(indices)
+            state.in_flight -= 1
+            state.workers_lost += 1
+            state.reassigned_groups += 1
+            if not state.alive:
+                state.failure = FleetError(
+                    "all fleet workers are unreachable; "
+                    f"{len(state.pending)} shard group(s) unfinished"
+                )
+                state.done.set()
+
+    def _store_shared(
+        self, doc: dict[str, Any], payload: dict[str, Any]
+    ) -> None:
+        if self.shared_cache is None:
+            return
+        put_json_payload(
+            self.shared_cache,
+            JobRequest.from_dict(doc).key,
+            payload,
+            meta={"kind": "fleet.mc_shards"},
+        )

@@ -1,0 +1,215 @@
+"""One shard-group round trip against a worker's job API.
+
+:class:`HttpTransport` is the real thing: submit an ``mc_shards`` job to
+a ``repro serve`` worker, poll it to completion, fetch the result (and
+its trace when tracing is on).  :class:`FakeTransport` runs the same job
+in-process with injectable failures, which is what the determinism
+property tests and the coordinator unit tests drive.
+
+Error contract (the coordinator's failover hinges on it):
+
+- :class:`repro.errors.WorkerUnavailable` — the *worker* failed
+  (unreachable, timed out, kept shedding).  The shard group is intact
+  and gets reassigned to a survivor.
+- :class:`repro.errors.FleetError` — the *job* failed deterministically
+  (the worker reported ``failed``/``cancelled``).  Retrying elsewhere
+  would fail the same way, so the run aborts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import FleetError, WorkerUnavailable
+from repro.fleet.client import BackoffPolicy, HttpClient
+from repro.obs import trace
+from repro.obs.logging import get_logger
+
+__all__ = ["FakeTransport", "HttpTransport", "WorkerTransport"]
+
+logger = get_logger("fleet.transport")
+
+#: Job states the service reports as terminal.
+_TERMINAL_OK = "done"
+_TERMINAL_BAD = ("failed", "cancelled", "interrupted")
+
+
+class WorkerTransport:
+    """How the coordinator talks to one worker (swappable in tests)."""
+
+    def ready(self, base_url: str) -> dict[str, Any] | None:
+        """The worker's ``/readyz`` document, or ``None`` when not ready."""
+        raise NotImplementedError
+
+    def run_shard_group(
+        self, base_url: str, request_doc: dict[str, Any]
+    ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """Run one ``mc_shards`` job; returns ``(payload, trace_docs)``."""
+        raise NotImplementedError
+
+
+class HttpTransport(WorkerTransport):
+    """The real transport: the worker's HTTP job API, polled to done."""
+
+    def __init__(
+        self,
+        client: HttpClient | None = None,
+        poll_interval_s: float = 0.1,
+        job_timeout_s: float = 600.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.client = client or HttpClient()
+        #: Health probes fail fast — a dead worker should be noticed in
+        #: seconds, not after the full request backoff schedule.
+        self.probe_client = HttpClient(
+            timeout_s=5.0, policy=BackoffPolicy(retries=1, base_s=0.1, max_s=0.5)
+        )
+        self.poll_interval_s = poll_interval_s
+        self.job_timeout_s = job_timeout_s
+        self._sleep = sleep
+
+    def ready(self, base_url: str) -> dict[str, Any] | None:
+        try:
+            response = self.probe_client.get_json(f"{base_url}/readyz")
+        except WorkerUnavailable:
+            return None
+        if response.status != 200:
+            return None
+        try:
+            doc = response.json()
+        except ValueError:
+            return None
+        return doc if doc.get("status") == "ready" else None
+
+    def run_shard_group(
+        self, base_url: str, request_doc: dict[str, Any]
+    ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        job = self._submit(base_url, request_doc)
+        job = self._poll(base_url, job)
+        payload = self._fetch_result(base_url, job)
+        return payload, self._fetch_trace(base_url, job)
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+
+    def _submit(self, base_url: str, request_doc: dict[str, Any]) -> dict[str, Any]:
+        response = self.client.post_json(f"{base_url}/v1/jobs", request_doc)
+        if response.status in (429, 503):
+            raise WorkerUnavailable(
+                f"worker {base_url} kept shedding (HTTP {response.status})",
+                url=base_url,
+            )
+        if response.status not in (200, 201):
+            raise FleetError(
+                f"worker {base_url} rejected the shard-group job "
+                f"(HTTP {response.status}): {response.body[:200]!r}"
+            )
+        return response.json()
+
+    def _poll(self, base_url: str, job: dict[str, Any]) -> dict[str, Any]:
+        job_id = job["id"]
+        deadline = time.monotonic() + self.job_timeout_s
+        while True:
+            state = job.get("state")
+            if state == _TERMINAL_OK:
+                return job
+            if state in _TERMINAL_BAD:
+                error = job.get("error") or {}
+                raise FleetError(
+                    f"shard-group job {job_id} on {base_url} is {state}: "
+                    f"{error.get('message', 'no detail')}"
+                )
+            if time.monotonic() >= deadline:
+                raise WorkerUnavailable(
+                    f"worker {base_url} did not finish job {job_id} within "
+                    f"{self.job_timeout_s:.0f}s",
+                    url=base_url,
+                )
+            self._sleep(self.poll_interval_s)
+            response = self.client.request("GET", f"{base_url}/v1/jobs/{job_id}")
+            if response.status != 200:
+                raise WorkerUnavailable(
+                    f"worker {base_url} lost job {job_id} "
+                    f"(HTTP {response.status})",
+                    url=base_url,
+                )
+            job = response.json()
+
+    def _fetch_result(
+        self, base_url: str, job: dict[str, Any]
+    ) -> dict[str, Any]:
+        url = f"{base_url}/v1/jobs/{job['id']}/result"
+        response = self.client.request("GET", url)
+        if response.status != 200:
+            raise WorkerUnavailable(
+                f"worker {base_url} could not serve the result of job "
+                f"{job['id']} (HTTP {response.status})",
+                url=base_url,
+            )
+        return response.json()
+
+    def _fetch_trace(
+        self, base_url: str, job: dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """The job's trace subtree, when tracing is on (best effort)."""
+        if not trace.is_enabled():
+            return []
+        try:
+            response = self.client.request(
+                "GET", f"{base_url}/v1/jobs/{job['id']}/trace"
+            )
+        except WorkerUnavailable:
+            return []
+        if response.status != 200:
+            return []
+        try:
+            doc = response.json()
+        except ValueError:
+            return []
+        subtree = doc.get("trace")
+        return [subtree] if isinstance(subtree, dict) else []
+
+
+class FakeTransport(WorkerTransport):
+    """In-process transport with scripted failures, for tests.
+
+    Runs :func:`repro.service.requests.run_job` directly (so results are
+    exactly what a real worker would return) and raises
+    :class:`WorkerUnavailable` per ``kill_schedule`` — a mapping of
+    worker base URL to the number of shard-group calls it completes
+    before "dying".  A dead worker stays dead: later calls fail
+    immediately, like a SIGKILLed process.
+    """
+
+    def __init__(self, kill_schedule: dict[str, int] | None = None) -> None:
+        self.kill_schedule = dict(kill_schedule or {})
+        self.calls: dict[str, int] = {}
+        self.dead: set[str] = set()
+
+    def ready(self, base_url: str) -> dict[str, Any] | None:
+        if base_url in self.dead:
+            return None
+        return {"status": "ready", "queue_depth": 0, "running": 0}
+
+    def run_shard_group(
+        self, base_url: str, request_doc: dict[str, Any]
+    ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        from repro.service.requests import JobRequest, run_job
+
+        if base_url in self.dead:
+            raise WorkerUnavailable(
+                f"worker {base_url} is dead", url=base_url
+            )
+        done = self.calls.get(base_url, 0)
+        budget = self.kill_schedule.get(base_url)
+        if budget is not None and done >= budget:
+            self.dead.add(base_url)
+            raise WorkerUnavailable(
+                f"worker {base_url} died mid-run", url=base_url
+            )
+        self.calls[base_url] = done + 1
+        request = JobRequest.from_dict(request_doc)
+        return run_job(request), []

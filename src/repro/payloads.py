@@ -36,6 +36,7 @@ __all__ = [
     "dump_payload",
     "execution_info",
     "lifetime_payload",
+    "mc_shards_payload",
     "report_payload",
     "stamp_envelope",
 ]
@@ -76,23 +77,33 @@ def lifetime_payload(
     seed: int = 0,
     checkpoint_path: str | None = None,
     cancel_check: Callable[[], bool] | None = None,
+    mc_lifetime_fn: Callable[[], float] | None = None,
 ) -> dict[str, Any]:
     """The ``repro lifetime`` document: hours and years per method.
 
     ``checkpoint_path``/``cancel_check`` apply to the MC reference method
     only (the closed-form methods finish in milliseconds); they let the
     service checkpoint long MC jobs and interrupt them cooperatively.
+
+    ``mc_lifetime_fn`` substitutes the MC evaluation itself — the fleet
+    coordinator passes a closure that reduces remotely-computed shard
+    payloads.  Because the substituted value is bit-identical to the
+    in-process one, the resulting document is byte-identical too; every
+    other field is still built here, in the one shared place.
     """
     results = {}
     for method in methods:
         if method == "mc":
-            value = analyzer.mc_lifetime(
-                ppm,
-                n_chips=mc_chips,
-                seed=seed,
-                checkpoint_path=checkpoint_path,
-                cancel_check=cancel_check,
-            )
+            if mc_lifetime_fn is not None:
+                value = mc_lifetime_fn()
+            else:
+                value = analyzer.mc_lifetime(
+                    ppm,
+                    n_chips=mc_chips,
+                    seed=seed,
+                    checkpoint_path=checkpoint_path,
+                    cancel_check=cancel_check,
+                )
         else:
             value = analyzer.lifetime(ppm, method=method)
         results[method] = value
@@ -102,6 +113,52 @@ def lifetime_payload(
             "lifetime_hours": results,
             "lifetime_years": {
                 m: hours_to_years(v) for m, v in results.items()
+            },
+            "execution": execution_info(analyzer),
+        }
+    )
+
+
+def mc_shards_payload(
+    analyzer: ReliabilityAnalyzer,
+    times: list[float] | np.ndarray,
+    shards: tuple[int, ...] | list[int],
+    mc_chips: int = 500,
+    seed: int = 0,
+    checkpoint_path: str | None = None,
+    cancel_check: Callable[[], bool] | None = None,
+) -> dict[str, Any]:
+    """The worker-side ``mc_shards`` job document for :mod:`repro.fleet`.
+
+    Evaluates only the listed shard indices out of the deterministic plan
+    for ``(seed, mc_chips)`` and ships the per-shard partial sums as JSON
+    lists — Python's float serialisation round-trips float64 exactly, so
+    the coordinator's merged reduction stays bit-identical to a serial
+    run.
+    """
+    times_arr = np.asarray(times, dtype=float)
+    payload_map = analyzer.mc_shard_payloads(
+        times_arr,
+        n_chips=mc_chips,
+        seed=seed,
+        shard_indices=list(shards),
+        checkpoint_path=checkpoint_path,
+        cancel_check=cancel_check,
+    )
+    return stamp_envelope(
+        {
+            "n_chips": mc_chips,
+            "seed": seed,
+            "shard_size": analyzer.mc_engine.shard_size,
+            "times_hours": times_arr.tolist(),
+            "shards": {
+                str(index): {
+                    "total": np.asarray(payload["total"]).tolist(),
+                    "total_sq": np.asarray(payload["total_sq"]).tolist(),
+                    "n_valid": int(np.asarray(payload["n_valid"])),
+                    "n_bad": int(np.asarray(payload["n_bad"])),
+                }
+                for index, payload in sorted(payload_map.items())
             },
             "execution": execution_info(analyzer),
         }

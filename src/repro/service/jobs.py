@@ -25,7 +25,6 @@ constraints, in order:
 
 from __future__ import annotations
 
-import json
 import queue
 import threading
 import time
@@ -44,7 +43,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
-from repro.exec.cache import ResultCache
+from repro.exec.cache import ResultCache, get_json_payload, put_json_payload
 from repro.exec.sharding import DEFAULT_SHARD_SIZE
 from repro.obs import flight, metrics
 from repro.obs.flight import FlightRecorder
@@ -56,9 +55,6 @@ from repro.service.requests import JobRequest, run_job
 __all__ = ["Job", "JobManager", "JobState"]
 
 logger = get_logger("service.jobs")
-
-#: JSON document key under which result payloads are cached.
-_PAYLOAD_FIELD = "payload_json"
 
 
 class JobState:
@@ -377,7 +373,10 @@ class JobManager:
         done = _checkpoint_shards_done(job.checkpoint_path)
         if done is None:
             return None
-        total = -(-job.request.mc_chips // DEFAULT_SHARD_SIZE)
+        if job.request.shards is not None:
+            total = len(job.request.shards)
+        else:
+            total = -(-job.request.mc_chips // DEFAULT_SHARD_SIZE)
         return {"shards_done": done, "shards_total": total}
 
     # ------------------------------------------------------------------
@@ -409,33 +408,12 @@ class JobManager:
         return 5.0
 
     def _cache_lookup(self, request: JobRequest) -> dict[str, Any] | None:
-        if self.cache is None:
-            return None
-        arrays = self.cache.get(request.key)
-        if arrays is None or _PAYLOAD_FIELD not in arrays:
-            return None
-        try:
-            payload = json.loads(str(arrays[_PAYLOAD_FIELD][()]))
-        except ValueError:
-            metrics.inc("exec.cache.corrupt")
-            logger.warning(
-                "cached payload for %s is not valid JSON; recomputing",
-                request.key[:12],
-            )
-            return None
-        return payload if isinstance(payload, dict) else None
+        return get_json_payload(self.cache, request.key)
 
     def _cache_store(self, request: JobRequest, payload: dict[str, Any]) -> None:
-        if self.cache is None:
-            return
-        try:
-            self.cache.put(
-                request.key,
-                {_PAYLOAD_FIELD: np.array(json.dumps(payload))},
-                meta={"kind": request.kind},
-            )
-        except OSError as exc:
-            logger.warning("cannot store result in cache: %s", exc)
+        put_json_payload(
+            self.cache, request.key, payload, meta={"kind": request.kind}
+        )
 
     def _finish(
         self,

@@ -21,6 +21,25 @@ if TYPE_CHECKING:
 
 __all__ = ["error_envelope", "job_envelope", "render_metrics_text"]
 
+#: Per-tier cache hit-ratio gauges derived from the tier counter families
+#: (static names; the dynamic part routes through this literal dict).
+_TIER_HIT_RATIO_GAUGES = {
+    "exec.cache.local.hit_ratio": {
+        "hit": "exec.cache.local.hit",
+        "miss": "exec.cache.local.miss",
+    },
+    "exec.cache.shared.hit_ratio": {
+        "hit": "exec.cache.shared.hit",
+        "miss": "exec.cache.shared.miss",
+    },
+}
+
+#: Per-tier on-disk entry-count gauges, keyed by the cache's tier label.
+_TIER_ENTRY_GAUGES = {
+    "local": "exec.cache.local.disk_entries",
+    "shared": "exec.cache.shared.disk_entries",
+}
+
 
 def job_envelope(
     job: Job, progress: dict[str, int] | None = None
@@ -99,6 +118,11 @@ def _cache_health_gauges(manager: JobManager | None) -> dict[str, float]:
     misses = obs.get_counter("exec.cache.miss")
     if hits + misses > 0:
         gauges["exec.cache.hit_ratio"] = hits / (hits + misses)
+    for tier_gauge, counters in _TIER_HIT_RATIO_GAUGES.items():
+        tier_hits = obs.get_counter(counters["hit"])
+        tier_misses = obs.get_counter(counters["miss"])
+        if tier_hits + tier_misses > 0:
+            gauges[tier_gauge] = tier_hits / (tier_hits + tier_misses)
     stats = factor_cache_stats()
     gauges["thermal.factor_cache.entries"] = float(stats["entries"])
     lookups = stats["hits"] + stats["misses"]
@@ -106,11 +130,14 @@ def _cache_health_gauges(manager: JobManager | None) -> dict[str, float]:
         gauges["thermal.factor_cache.hit_ratio"] = stats["hits"] / lookups
     if manager is not None and manager.cache is not None:
         try:
-            gauges["exec.cache.disk_entries"] = float(
-                manager.cache.stats().entries
-            )
+            entries = float(manager.cache.stats().entries)
         except OSError:  # pragma: no cover - racing cache eviction
             pass
+        else:
+            gauges["exec.cache.disk_entries"] = entries
+            tier_gauge = _TIER_ENTRY_GAUGES.get(manager.cache.tier)
+            if tier_gauge is not None:
+                gauges[tier_gauge] = entries
     return gauges
 
 

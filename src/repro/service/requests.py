@@ -16,6 +16,7 @@ Requests are content-addressed with the execution layer's
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections.abc import Callable
 from typing import Any
 
@@ -27,8 +28,11 @@ from repro.exec.cache import fingerprint
 
 __all__ = ["JOB_KINDS", "JobRequest", "run_job"]
 
-#: Analysis kinds a job can request, mirroring the CLI commands.
-JOB_KINDS = ("lifetime", "curve", "report")
+#: Analysis kinds a job can request.  The first three mirror the CLI
+#: commands; ``mc_shards`` is the fleet worker primitive — evaluate an
+#: explicit subset of the deterministic MC shard plan on an explicit time
+#: grid and return the per-shard partial sums.
+JOB_KINDS = ("lifetime", "curve", "report", "mc_shards")
 
 #: Upper bound on the correlation grid through the service — a 200x200
 #: grid is already a 40k-cell covariance problem; anything larger is a
@@ -37,6 +41,12 @@ _MAX_GRID = 200
 
 _MAX_MC_CHIPS = 100_000
 _MAX_CURVE_POINTS = 2_000
+
+#: Bounds for the fleet's ``mc_shards`` jobs: a shard group is a handful
+#: of indices and the MC time grid is a few dozen points — anything far
+#: beyond is a malformed coordinator, not a real request.
+_MAX_JOB_SHARDS = 4_096
+_MAX_SHARD_TIMES = 512
 
 
 def _require(condition: bool, message: str) -> None:
@@ -86,6 +96,10 @@ class JobRequest:
     t_min: float | None = None
     t_max: float | None = None
     points: int = 20
+    #: ``mc_shards`` only: shard indices to evaluate out of the plan for
+    #: ``(seed, mc_chips)``, and the explicit evaluation time grid (hours).
+    shards: tuple[int, ...] | None = None
+    times: tuple[float, ...] | None = None
 
     @classmethod
     def from_dict(cls, data: Any) -> JobRequest:
@@ -169,10 +183,53 @@ class JobRequest:
                 "curve jobs evaluate closed-form methods; use a lifetime "
                 "job for the MC reference",
             )
+        shards_raw = data.get("shards")
+        times_raw = data.get("times")
+        if kind == "mc_shards":
+            _require(
+                isinstance(shards_raw, list)
+                and 0 < len(shards_raw) <= _MAX_JOB_SHARDS,
+                "mc_shards jobs require 'shards': a non-empty list of at "
+                f"most {_MAX_JOB_SHARDS} shard indices",
+            )
+            assert isinstance(shards_raw, list)
+            for index in shards_raw:
+                _require(
+                    isinstance(index, int)
+                    and not isinstance(index, bool)
+                    and index >= 0,
+                    f"shard index must be a non-negative integer, got "
+                    f"{index!r}",
+                )
+            _require(
+                len(set(shards_raw)) == len(shards_raw),
+                "field 'shards' must not repeat indices",
+            )
+            _require(
+                isinstance(times_raw, list)
+                and 0 < len(times_raw) <= _MAX_SHARD_TIMES,
+                "mc_shards jobs require 'times': a non-empty list of at "
+                f"most {_MAX_SHARD_TIMES} evaluation times (hours)",
+            )
+            assert isinstance(times_raw, list)
+            for value in times_raw:
+                _require(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and math.isfinite(value)
+                    and value >= 0.0,
+                    f"evaluation times must be finite non-negative "
+                    f"numbers, got {value!r}",
+                )
+        else:
+            _require(
+                shards_raw is None and times_raw is None,
+                "'shards' and 'times' apply to mc_shards jobs only",
+            )
         known = {
             "kind", "design", "setup", "grid", "rho", "vdd", "ppm",
             "methods", "method", "mc_chips", "seed", "t_min", "t_max",
-            "points",
+            "points", "shards", "times",
         }
         unknown = sorted(set(data) - known)
         _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
@@ -190,12 +247,24 @@ class JobRequest:
             t_min=t_min,
             t_max=t_max,
             points=points,
+            shards=(
+                tuple(int(i) for i in shards_raw)
+                if isinstance(shards_raw, list)
+                else None
+            ),
+            times=(
+                tuple(float(v) for v in times_raw)
+                if isinstance(times_raw, list)
+                else None
+            ),
         )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready form; ``from_dict`` of it round-trips exactly."""
         doc = dataclasses.asdict(self)
         doc["methods"] = list(self.methods)
+        doc["shards"] = list(self.shards) if self.shards is not None else None
+        doc["times"] = list(self.times) if self.times is not None else None
         return doc
 
     @property
@@ -206,6 +275,8 @@ class JobRequest:
     @property
     def uses_mc(self) -> bool:
         """True when the job runs the sharded Monte-Carlo reference."""
+        if self.kind == "mc_shards":
+            return True
         return self.kind == "lifetime" and "mc" in self.methods
 
     def build_analyzer(self) -> ReliabilityAnalyzer:
@@ -251,6 +322,17 @@ def run_job(
     if request.kind == "report":
         return payloads.report_payload(request.build_analyzer)
     analyzer = request.build_analyzer()
+    if request.kind == "mc_shards":
+        assert request.shards is not None and request.times is not None
+        return payloads.mc_shards_payload(
+            analyzer,
+            list(request.times),
+            list(request.shards),
+            mc_chips=request.mc_chips,
+            seed=request.seed,
+            checkpoint_path=checkpoint_path,
+            cancel_check=cancel_check,
+        )
     if request.kind == "curve":
         assert request.t_min is not None and request.t_max is not None
         return payloads.curve_payload(

@@ -1,0 +1,28 @@
+"""RPL012 violations: stdlib network calls without explicit timeouts."""
+
+import socket
+import urllib.request
+import urllib.request as req
+from http.client import HTTPSConnection
+from urllib.request import urlopen as open_url
+
+
+def fetch(url):
+    with urllib.request.urlopen(url) as raw:
+        return raw.read()
+
+
+def fetch_aliased(url):
+    return req.urlopen(url).read()
+
+
+def fetch_from_import(url):
+    return open_url(url).read()
+
+
+def connect(host):
+    return socket.create_connection((host, 80))
+
+
+def https(host):
+    return HTTPSConnection(host)

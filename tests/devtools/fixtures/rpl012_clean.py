@@ -1,0 +1,37 @@
+"""RPL012-clean: every network call carries an explicit timeout."""
+
+import socket
+import urllib.request
+import urllib.request as req
+from http.client import HTTPSConnection
+from urllib.request import urlopen as open_url
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10.0) as raw:
+        return raw.read()
+
+
+def fetch_aliased(url):
+    return req.urlopen(url, None, 10.0).read()
+
+
+def fetch_from_import(url):
+    return open_url(url, timeout=10.0).read()
+
+
+def connect(host):
+    return socket.create_connection((host, 80), 5.0)
+
+
+def https(host):
+    return HTTPSConnection(host, 443, timeout=5.0)
+
+
+def unrelated(url):
+    # Same attribute name on a different object is not a network call.
+    class Client:
+        def urlopen(self, target):
+            return target
+
+    return Client().urlopen(url)

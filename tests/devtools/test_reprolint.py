@@ -37,6 +37,7 @@ RULE_FIXTURES = {
     "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 2),
     "RPL007": ("service/rpl007_bad.py", "service/rpl007_clean.py", 3),
     "RPL008": ("rpl008_bad.py", "rpl008_clean.py", 5),
+    "RPL012": ("rpl012_bad.py", "rpl012_clean.py", 5),
 }
 
 

@@ -7,7 +7,13 @@ import pytest
 
 from repro import obs
 from repro.errors import ConfigurationError
-from repro.exec import ResultCache, default_cache_dir, fingerprint
+from repro.exec import (
+    ResultCache,
+    default_cache_dir,
+    default_shared_cache_dir,
+    fingerprint,
+)
+from repro.exec.cache import get_json_payload, put_json_payload
 
 
 @pytest.fixture()
@@ -136,3 +142,91 @@ class TestDefaultDir:
     def test_home_fallback(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "repro"
+
+    def test_shared_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SHARED_CACHE_DIR", str(tmp_path / "s"))
+        assert default_shared_cache_dir() == tmp_path / "s"
+
+    def test_shared_nests_under_local_root(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SHARED_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_shared_cache_dir() == tmp_path / "c" / "shared"
+
+
+class TestTiers:
+    def test_unknown_tier_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cache tier"):
+            ResultCache(tmp_path, tier="regional")
+
+    def test_shared_tier_default_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SHARED_CACHE_DIR", str(tmp_path / "s"))
+        shared = ResultCache(tier="shared")
+        assert shared.root == tmp_path / "s"
+        assert shared.tier == "shared"
+
+    def test_tier_counters_incremented(self, tmp_path):
+        shared = ResultCache(tmp_path / "shared", tier="shared")
+        key = fingerprint("tiered")
+        with obs.enabled():
+            assert shared.get(key) is None
+            shared.put(key, {"v": np.ones(2)})
+            assert shared.get(key) is not None
+            assert obs.get_counter("exec.cache.shared.miss") == 1.0
+            assert obs.get_counter("exec.cache.shared.store") == 1.0
+            assert obs.get_counter("exec.cache.shared.hit") == 1.0
+            # The local tier family is untouched by shared-tier traffic,
+            # while the legacy untiered counters see everything.
+            assert obs.get_counter("exec.cache.local.hit") == 0.0
+            assert obs.get_counter("exec.cache.hit") == 1.0
+            assert obs.get_counter("exec.cache.miss") == 1.0
+
+    def test_stats_report_tier_and_hit_ratio(self, tmp_path):
+        shared = ResultCache(tmp_path / "shared", tier="shared")
+        key = fingerprint("ratio")
+        with obs.enabled():
+            shared.get(key)  # miss
+            shared.put(key, {"v": np.ones(1)})
+            shared.get(key)  # hit
+            shared.get(key)  # hit
+            shared.get(fingerprint("other"))  # miss
+            stats = shared.stats()
+        assert stats.tier == "shared"
+        assert stats.hits == 2
+        assert stats.misses == 2
+        assert stats.hit_ratio == 0.5
+        doc = stats.as_dict()
+        assert doc["tier"] == "shared"
+        assert doc["hit_ratio"] == 0.5
+
+    def test_untouched_tier_reports_zero_ratio(self, tmp_path):
+        stats = ResultCache(tmp_path / "c").stats()
+        assert stats.hit_ratio == 0.0
+        assert stats.tier == "local"
+
+
+class TestJsonPayloadEntries:
+    def test_round_trip(self, cache):
+        key = fingerprint("payload")
+        payload = {"lifetime_hours": 1.5e5, "shards": {"0": [1, 2]}}
+        put_json_payload(cache, key, payload, meta={"kind": "test"})
+        assert get_json_payload(cache, key) == payload
+        assert cache.get_meta(key)["kind"] == "test"
+
+    def test_none_cache_is_a_no_op(self):
+        put_json_payload(None, fingerprint("x"), {"a": 1})
+        assert get_json_payload(None, fingerprint("x")) is None
+
+    def test_miss_returns_none(self, cache):
+        assert get_json_payload(cache, fingerprint("absent")) is None
+
+    def test_entry_without_payload_field_is_a_miss(self, cache):
+        key = fingerprint("arrays-only")
+        cache.put(key, {"v": np.ones(2)})
+        assert get_json_payload(cache, key) is None
+
+    def test_invalid_json_counts_corrupt(self, cache):
+        key = fingerprint("bad-json")
+        cache.put(key, {"payload_json": np.array("{not json")})
+        with obs.enabled():
+            assert get_json_payload(cache, key) is None
+            assert obs.get_counter("exec.cache.corrupt") == 1.0

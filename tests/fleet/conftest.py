@@ -1,0 +1,28 @@
+"""Shared fleet-test fixtures: one small request, its serial baseline."""
+
+import pytest
+
+from repro.payloads import dump_payload
+from repro.service.requests import JobRequest, run_job
+
+#: Small enough to run in seconds, sharded enough to exercise grouping
+#: (shard_size 64 -> 3 shards for 160 chips).
+REQUEST_DOC = {
+    "kind": "lifetime",
+    "design": "C1",
+    "grid": 6,
+    "methods": ["st_fast", "mc"],
+    "mc_chips": 160,
+    "seed": 7,
+}
+
+
+@pytest.fixture(scope="session")
+def mc_request() -> JobRequest:
+    return JobRequest.from_dict(dict(REQUEST_DOC))
+
+
+@pytest.fixture(scope="session")
+def serial_bytes(mc_request) -> str:
+    """The serial (in-process) result the fleet must match byte for byte."""
+    return dump_payload(run_job(mc_request))

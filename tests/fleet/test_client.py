@@ -1,0 +1,167 @@
+"""HttpClient/BackoffPolicy: schedule, Retry-After, failure contract."""
+
+import email.message
+import io
+import random
+import urllib.error
+
+import pytest
+
+from repro.errors import WorkerUnavailable
+from repro.fleet.client import BackoffPolicy, HttpClient, HttpResponse
+
+
+class FixedRandom(random.Random):
+    """random() always returns the same value -> exact delay assertions."""
+
+    def __init__(self, value):
+        super().__init__(0)
+        self._value = value
+
+    def random(self):
+        return self._value
+
+
+def _response(status=200, body=b"{}", headers=None):
+    return HttpResponse(status=status, body=body, headers=dict(headers or {}))
+
+
+class ScriptedSend:
+    """Replaces HttpClient._send with a scripted outcome sequence."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self, method, url, body, headers):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _client(outcomes, **kwargs):
+    sleeps = []
+    kwargs.setdefault("rng", FixedRandom(0.0))
+    client = HttpClient(sleep=sleeps.append, **kwargs)
+    script = ScriptedSend(outcomes)
+    client._send = script
+    return client, script, sleeps
+
+
+class TestBackoffPolicy:
+    def test_exponential_schedule_with_jitter(self):
+        policy = BackoffPolicy(base_s=0.25, factor=2.0, max_s=8.0, jitter=0.25)
+        rng = FixedRandom(1.0)
+        delays = [policy.delay_s(attempt, rng) for attempt in range(6)]
+        # base * factor**n, capped at max_s, times (1 + jitter*1.0).
+        assert delays == pytest.approx(
+            [0.25 * 1.25, 0.5 * 1.25, 1.0 * 1.25, 2.0 * 1.25, 4.0 * 1.25, 8.0 * 1.25]
+        )
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = BackoffPolicy(base_s=1.0, factor=3.0, max_s=100.0, jitter=0.0)
+        rng = FixedRandom(0.7)
+        assert [policy.delay_s(n, rng) for n in range(3)] == [1.0, 3.0, 9.0]
+
+    def test_retry_after_overrides_and_is_capped(self):
+        policy = BackoffPolicy(retry_after_cap_s=30.0, jitter=0.0)
+        rng = FixedRandom(0.0)
+        assert policy.delay_s(0, rng, retry_after_s=12.0) == 12.0
+        assert policy.delay_s(0, rng, retry_after_s=600.0) == 30.0
+
+
+class TestHttpResponse:
+    def test_json_decodes_body(self):
+        assert _response(body=b'{"a": 1}').json() == {"a": 1}
+
+    def test_retry_after_parsing(self):
+        assert _response(headers={"retry-after": "3"}).retry_after_s == 3.0
+        assert _response(headers={"retry-after": "bogus"}).retry_after_s is None
+        assert _response(headers={"retry-after": "-1"}).retry_after_s is None
+        assert _response().retry_after_s is None
+
+
+class TestHttpClientRetries:
+    def test_connection_errors_retry_then_succeed(self):
+        ok = _response()
+        client, script, sleeps = _client(
+            [urllib.error.URLError("refused"), ConnectionResetError(), ok],
+            policy=BackoffPolicy(base_s=0.25, factor=2.0, jitter=0.0),
+        )
+        assert client.request("GET", "http://w/readyz") is ok
+        assert script.calls == 3
+        assert sleeps == [0.25, 0.5]
+
+    def test_exhausted_connection_errors_raise_worker_unavailable(self):
+        client, script, sleeps = _client(
+            [urllib.error.URLError("down")] * 3,
+            policy=BackoffPolicy(retries=2, base_s=0.1, jitter=0.0),
+        )
+        with pytest.raises(WorkerUnavailable) as info:
+            client.request("GET", "http://w/x")
+        assert info.value.url == "http://w/x"
+        assert info.value.attempts == 3
+        assert script.calls == 3
+        assert len(sleeps) == 2
+
+    def test_retry_status_honours_retry_after(self):
+        shed = _response(429, headers={"retry-after": "2"})
+        ok = _response()
+        client, script, sleeps = _client(
+            [shed, ok], policy=BackoffPolicy(base_s=0.25, jitter=0.0)
+        )
+        assert client.request("POST", "http://w/v1/jobs") is ok
+        assert sleeps == [2.0]
+
+    def test_exhausted_retry_statuses_return_last_response(self):
+        shed = _response(503)
+        client, script, _sleeps = _client(
+            [shed] * 3, policy=BackoffPolicy(retries=2, base_s=0.01, jitter=0.0)
+        )
+        assert client.request("GET", "http://w/x") is shed
+        assert script.calls == 3
+
+    def test_empty_retry_statuses_passes_shed_through(self):
+        # The load generator's configuration: a 429 is a measurement.
+        shed = _response(429)
+        client, script, sleeps = _client([shed], retry_statuses=())
+        assert client.request("POST", "http://w/v1/jobs") is shed
+        assert script.calls == 1
+        assert sleeps == []
+
+
+class TestWireLevel:
+    def test_http_error_status_is_a_response(self, monkeypatch):
+        headers = email.message.Message()
+        headers["Retry-After"] = "1"
+
+        def fake_urlopen(request, timeout):
+            raise urllib.error.HTTPError(
+                request.full_url, 429, "Too Many", headers, io.BytesIO(b"shed")
+            )
+
+        monkeypatch.setattr(
+            "urllib.request.urlopen", fake_urlopen
+        )
+        client = HttpClient(retry_statuses=())
+        response = client.request("GET", "http://w/x")
+        assert response.status == 429
+        assert response.body == b"shed"
+        assert response.retry_after_s == 1.0
+
+    def test_timeout_is_always_passed(self, monkeypatch):
+        seen = {}
+
+        class FakeRaw(io.BytesIO):
+            status = 200
+            headers = email.message.Message()
+
+        def fake_urlopen(request, timeout):
+            seen["timeout"] = timeout
+            return FakeRaw(b"{}")
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        HttpClient(timeout_s=12.5).request("GET", "http://w/x")
+        assert seen["timeout"] == 12.5

@@ -1,0 +1,232 @@
+"""FleetCoordinator: byte-identity, failover, resume, shared cache."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.exec.cache import ResultCache
+from repro.fleet import FakeTransport, FleetCoordinator
+from repro.payloads import dump_payload
+from repro.service.requests import JobRequest
+
+
+def _coordinator(workers, tmp_path, transport=None, **kwargs):
+    kwargs.setdefault(
+        "shared_cache", ResultCache(tmp_path / "shared", tier="shared")
+    )
+    return FleetCoordinator(
+        workers, transport=transport or FakeTransport(), **kwargs
+    )
+
+
+class TestByteIdentity:
+    def test_multi_worker_matches_serial(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        coordinator = _coordinator(
+            ["http://a", "http://b", "http://c"], tmp_path, group_size=1
+        )
+        assert dump_payload(coordinator.run(mc_request)) == serial_bytes
+        stats = coordinator.last_run_stats
+        assert stats["shards"] == 3
+        assert stats["groups_completed"] == 3
+        assert stats["workers_lost"] == 0
+
+    def test_single_worker_one_group_matches_serial(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        coordinator = _coordinator(["http://a"], tmp_path, group_size=64)
+        assert dump_payload(coordinator.run(mc_request)) == serial_bytes
+
+    def test_worker_killed_mid_run_still_matches_serial(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        # Deterministic mid-run kill: worker a blocks until b has
+        # completed one group and died on its second, so b's requeued
+        # group is always really reassigned.
+        import threading
+
+        from repro.errors import WorkerUnavailable
+
+        class MidRunKill(FakeTransport):
+            def __init__(self):
+                super().__init__(kill_schedule={"http://b": 1})
+                self.b_dead = threading.Event()
+
+            def run_shard_group(self, base_url, request_doc):
+                if base_url == "http://a":
+                    assert self.b_dead.wait(30.0)
+                try:
+                    return super().run_shard_group(base_url, request_doc)
+                except WorkerUnavailable:
+                    self.b_dead.set()
+                    raise
+
+        coordinator = _coordinator(
+            ["http://a", "http://b"], tmp_path, MidRunKill(), group_size=1
+        )
+        assert dump_payload(coordinator.run(mc_request)) == serial_bytes
+        stats = coordinator.last_run_stats
+        assert stats["workers_lost"] == 1
+        assert stats["groups_reassigned"] == 1
+
+    def test_worker_dead_from_the_start_still_matches_serial(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        transport = FakeTransport(kill_schedule={"http://a": 0})
+        coordinator = _coordinator(
+            ["http://a", "http://b"], tmp_path, transport, group_size=1
+        )
+        assert dump_payload(coordinator.run(mc_request)) == serial_bytes
+
+
+class TestFailover:
+    def test_all_workers_dead_raises(self, mc_request, tmp_path):
+        transport = FakeTransport(
+            kill_schedule={"http://a": 0, "http://b": 0}
+        )
+        coordinator = _coordinator(
+            ["http://a", "http://b"], tmp_path, transport, group_size=1
+        )
+        with pytest.raises(FleetError, match="unreachable"):
+            coordinator.run(mc_request)
+
+    def test_checkpoint_resume_after_total_loss(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        checkpoint = tmp_path / "fleet.ckpt.npz"
+        # First fleet: one worker finishes one group, then everyone dies.
+        transport = FakeTransport(
+            kill_schedule={"http://a": 1, "http://b": 0}
+        )
+        first = _coordinator(
+            ["http://a", "http://b"],
+            tmp_path,
+            transport,
+            group_size=1,
+            shared_cache=False,
+            checkpoint_path=str(checkpoint),
+        )
+        with pytest.raises(FleetError):
+            first.run(mc_request)
+        assert checkpoint.exists()
+        # A fresh fleet resumes the survivors' checkpoint and only runs
+        # the missing groups.
+        rescue_transport = FakeTransport()
+        rescue = _coordinator(
+            ["http://c"],
+            tmp_path,
+            rescue_transport,
+            group_size=1,
+            shared_cache=False,
+            checkpoint_path=str(checkpoint),
+        )
+        assert dump_payload(rescue.run(mc_request)) == serial_bytes
+        assert rescue_transport.calls["http://c"] == 2
+        assert not checkpoint.exists()
+
+    def test_group_size_must_be_positive(self):
+        with pytest.raises(FleetError, match="group_size"):
+            FleetCoordinator(["http://a"], group_size=0)
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(FleetError, match="at least one worker"):
+            FleetCoordinator([])
+
+
+class TestSharedCache:
+    def test_rerun_is_served_from_shared_cache(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "shared", tier="shared")
+        first = FleetCoordinator(
+            ["http://a"],
+            transport=FakeTransport(),
+            group_size=1,
+            shared_cache=cache,
+        )
+        first.run(mc_request)
+        assert first.last_run_stats["shared_cache_hits"] == 0
+        rerun_transport = FakeTransport()
+        rerun = FleetCoordinator(
+            ["http://a"],
+            transport=rerun_transport,
+            group_size=1,
+            shared_cache=cache,
+        )
+        assert dump_payload(rerun.run(mc_request)) == serial_bytes
+        stats = rerun.last_run_stats
+        assert stats["shared_cache_hits"] == stats["groups"] == 3
+        assert rerun_transport.calls == {}
+
+    def test_method_variants_share_cache_entries(self, mc_request, tmp_path):
+        # The group documents exclude the method list (the partial sums
+        # do not depend on it), so requests differing only in methods
+        # reuse every shard-group result.
+        cache = ResultCache(tmp_path / "shared", tier="shared")
+        FleetCoordinator(
+            ["http://a"],
+            transport=FakeTransport(),
+            group_size=1,
+            shared_cache=cache,
+        ).run(mc_request)
+        other_doc = {
+            k: v for k, v in mc_request.as_dict().items() if v is not None
+        }
+        other_doc["methods"] = ["mc"]
+        other = FleetCoordinator(
+            ["http://a"],
+            transport=FakeTransport(),
+            group_size=1,
+            shared_cache=cache,
+        )
+        other.run(JobRequest.from_dict(other_doc))
+        assert other.last_run_stats["shared_cache_hits"] == 3
+
+
+class TestLocalFallback:
+    def test_request_without_mc_runs_locally(self, tmp_path):
+        from repro.service.requests import run_job
+
+        request = JobRequest.from_dict(
+            {"kind": "lifetime", "design": "C1", "grid": 6}
+        )
+        transport = FakeTransport()
+        coordinator = _coordinator(["http://a"], tmp_path, transport)
+        payload = coordinator.run(request)
+        assert payload == run_job(request)
+        assert transport.calls == {}
+
+
+class TestStatus:
+    def test_status_reports_dead_and_ready(self, tmp_path):
+        transport = FakeTransport(kill_schedule={"http://b": 0})
+        transport.dead.add("http://b")
+        coordinator = _coordinator(
+            ["http://a", "http://b"], tmp_path, transport
+        )
+        report = coordinator.status()
+        assert [w["ready"] for w in report] == [True, False]
+        assert report[0]["info"]["status"] == "ready"
+        assert report[1]["info"] is None
+
+
+class TestMergeGuards:
+    def test_missing_shard_in_payload_fails(self, mc_request, tmp_path):
+        class LyingTransport(FakeTransport):
+            def run_shard_group(self, base_url, request_doc):
+                payload, traces = super().run_shard_group(
+                    base_url, request_doc
+                )
+                payload = dict(payload)
+                payload["shards"] = {}
+                return payload, traces
+
+        coordinator = _coordinator(
+            ["http://a"],
+            tmp_path,
+            LyingTransport(),
+            group_size=1,
+            shared_cache=False,
+        )
+        with pytest.raises(FleetError, match="missing shard"):
+            coordinator.run(mc_request)

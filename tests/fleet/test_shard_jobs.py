@@ -1,0 +1,171 @@
+"""The worker-side ``mc_shards`` job: validation, evaluation, service."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import reduce_curve_payloads
+from repro.errors import ServiceError
+from repro.service.requests import JobRequest, run_job
+
+SHARD_DOC = {
+    "kind": "mc_shards",
+    "design": "C1",
+    "grid": 6,
+    "mc_chips": 160,
+    "seed": 7,
+    "shards": [0, 2],
+    "times": [1.0e5, 5.0e5, 1.0e6],
+}
+
+
+class TestValidation:
+    def test_round_trips_through_as_dict(self):
+        request = JobRequest.from_dict(dict(SHARD_DOC))
+        assert request.shards == (0, 2)
+        assert request.times == (1.0e5, 5.0e5, 1.0e6)
+        assert JobRequest.from_dict(request.as_dict()) == request
+
+    def test_uses_mc(self):
+        assert JobRequest.from_dict(dict(SHARD_DOC)).uses_mc
+
+    @pytest.mark.parametrize(
+        "patch, match",
+        [
+            ({"shards": None}, "require 'shards'"),
+            ({"shards": []}, "require 'shards'"),
+            ({"shards": [0, 0]}, "must not repeat"),
+            ({"shards": [-1]}, "non-negative integer"),
+            ({"shards": [0, True]}, "non-negative integer"),
+            ({"times": None}, "require 'times'"),
+            ({"times": []}, "require 'times'"),
+            ({"times": [1.0, -2.0]}, "finite non-negative"),
+            ({"times": [float("inf")]}, "finite non-negative"),
+        ],
+    )
+    def test_rejects_malformed_fields(self, patch, match):
+        doc = dict(SHARD_DOC, **patch)
+        doc = {k: v for k, v in doc.items() if v is not None}
+        with pytest.raises(ServiceError, match=match):
+            JobRequest.from_dict(doc)
+
+    def test_shards_rejected_on_other_kinds(self):
+        doc = {
+            "kind": "lifetime",
+            "design": "C1",
+            "shards": [0],
+            "times": [1.0],
+        }
+        with pytest.raises(ServiceError, match="mc_shards jobs only"):
+            JobRequest.from_dict(doc)
+
+    def test_distinct_shard_subsets_get_distinct_keys(self):
+        base = JobRequest.from_dict(dict(SHARD_DOC))
+        other = JobRequest.from_dict(dict(SHARD_DOC, shards=[1]))
+        assert base.key != other.key
+
+
+class TestEvaluation:
+    def test_payload_matches_direct_engine_evaluation(self):
+        request = JobRequest.from_dict(dict(SHARD_DOC))
+        payload = run_job(request)
+        analyzer = request.build_analyzer()
+        direct = analyzer.mc_shard_payloads(
+            np.asarray(SHARD_DOC["times"]),
+            n_chips=160,
+            seed=7,
+            shard_indices=[0, 2],
+        )
+        assert sorted(payload["shards"]) == ["0", "2"]
+        for index, fields in direct.items():
+            shipped = payload["shards"][str(index)]
+            assert shipped["total"] == np.asarray(fields["total"]).tolist()
+            assert (
+                shipped["total_sq"] == np.asarray(fields["total_sq"]).tolist()
+            )
+            assert shipped["n_valid"] == int(fields["n_valid"])
+            assert shipped["n_bad"] == int(fields["n_bad"])
+
+    def test_json_round_trip_reduces_bit_identically(self):
+        # Partial sums survive JSON serialisation exactly, so a reduce
+        # over round-tripped payloads equals the in-process curve.
+        request = JobRequest.from_dict(
+            dict(SHARD_DOC, shards=[0, 1, 2], mc_chips=160)
+        )
+        payload = json.loads(json.dumps(run_job(request)))
+        times = np.asarray(SHARD_DOC["times"])
+        merged = {
+            int(index): fields
+            for index, fields in payload["shards"].items()
+        }
+        via_json = reduce_curve_payloads(times, merged, expected_shards=3)
+        analyzer = request.build_analyzer()
+        direct = analyzer.mc_reliability_curve(times, n_chips=160, seed=7)
+        np.testing.assert_array_equal(via_json.reliability, direct.reliability)
+        np.testing.assert_array_equal(via_json.std_error, direct.std_error)
+
+    def test_out_of_plan_shard_index_fails_the_job(self):
+        from repro.errors import ConfigurationError
+
+        request = JobRequest.from_dict(dict(SHARD_DOC, shards=[99]))
+        with pytest.raises(ConfigurationError, match="outside the plan"):
+            run_job(request)
+
+
+class TestProgress:
+    def test_total_comes_from_explicit_shard_list(self, monkeypatch):
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import Job, JobManager
+
+        manager = JobManager(workers=1, max_queue=1)
+        request = JobRequest.from_dict(dict(SHARD_DOC))
+        job = Job(
+            id="j1",
+            request=request,
+            client="t",
+            key=request.key,
+            checkpoint_path="x.npz",
+        )
+        monkeypatch.setattr(
+            jobs_mod, "_checkpoint_shards_done", lambda path: 1
+        )
+        assert manager.progress(job) == {"shards_done": 1, "shards_total": 2}
+
+
+class TestServiceIntegration:
+    def test_submit_poll_fetch_over_the_job_api(self):
+        from repro.service import JobManager, ReliabilityService
+
+        manager = JobManager(workers=1, max_queue=4)
+        manager.start()
+        try:
+            service = ReliabilityService(manager)
+            body = json.dumps(SHARD_DOC).encode("utf-8")
+            response = service.handle("POST", "/v1/jobs", body, "t")
+            assert response.status == 201
+            job_id = json.loads(response.body)["id"]
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                doc = json.loads(
+                    service.handle(
+                        "GET", f"/v1/jobs/{job_id}", b"", "t"
+                    ).body
+                )
+                if doc["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.02)
+            assert doc["state"] == "done"
+            # When checkpointing is on, progress totals come from the
+            # explicit shard list (a done job has no live checkpoint).
+            progress = doc.get("progress")
+            if progress is not None:
+                assert progress["shards_total"] == 2
+            result = service.handle(
+                "GET", f"/v1/jobs/{job_id}/result", b"", "t"
+            )
+            payload = json.loads(result.body)
+            assert payload == run_job(JobRequest.from_dict(dict(SHARD_DOC)))
+        finally:
+            manager.shutdown(drain_timeout=10.0)

@@ -1,0 +1,66 @@
+"""Property test: the remote fleet backend never changes the answer.
+
+For any worker count, shard-group size and (seeded) worker-kill
+schedule, a :class:`FleetCoordinator` run over the in-process
+:class:`FakeTransport` must produce a payload byte-identical to the
+serial ``run_job`` evaluation.  One worker is always immortal so the run
+can complete; every other worker may die after any number of completed
+shard groups, exercising the reassignment path under hypothesis's
+shrinking.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FakeTransport, FleetCoordinator
+from repro.payloads import dump_payload
+from repro.service.requests import JobRequest, run_job
+
+REQUEST_DOC = {
+    "kind": "lifetime",
+    "design": "C1",
+    "grid": 6,
+    "methods": ["mc"],
+    "mc_chips": 200,
+    "seed": 11,
+}
+
+
+@pytest.fixture(scope="module")
+def serial_bytes():
+    return dump_payload(run_job(JobRequest.from_dict(dict(REQUEST_DOC))))
+
+
+class TestRemoteBackendDeterminism:
+    @given(
+        n_mortal=st.integers(min_value=0, max_value=3),
+        group_size=st.integers(min_value=1, max_value=8),
+        kill_budgets=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=3, max_size=3
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_bit_identical_for_any_topology_and_kill_schedule(
+        self, serial_bytes, n_mortal, group_size, kill_budgets
+    ):
+        workers = ["http://immortal"] + [
+            f"http://mortal{i}" for i in range(n_mortal)
+        ]
+        kill_schedule = {
+            f"http://mortal{i}": kill_budgets[i] for i in range(n_mortal)
+        }
+        transport = FakeTransport(kill_schedule=kill_schedule)
+        coordinator = FleetCoordinator(
+            workers,
+            transport=transport,
+            group_size=group_size,
+            shared_cache=False,
+        )
+        payload = coordinator.run(
+            JobRequest.from_dict(dict(REQUEST_DOC))
+        )
+        assert dump_payload(payload) == serial_bytes
+        stats = coordinator.last_run_stats
+        assert stats["workers_lost"] <= n_mortal
+        assert stats["shards"] == 4

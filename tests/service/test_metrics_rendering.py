@@ -204,3 +204,33 @@ class TestCacheHealthGauges:
             lint_exposition(text)
         finally:
             gated.release.set()
+
+    def test_per_tier_hit_ratios_from_tier_counters(self):
+        obs.enable()
+        obs.inc("exec.cache.local.hit", 3)
+        obs.inc("exec.cache.local.miss", 1)
+        obs.inc("exec.cache.shared.hit", 9)
+        obs.inc("exec.cache.shared.miss", 1)
+        text = render_metrics_text()
+        assert "repro_exec_cache_local_hit_ratio 0.75" in text
+        assert "repro_exec_cache_shared_hit_ratio 0.9" in text
+        lint_exposition(text)
+
+    def test_tier_ratio_absent_without_tier_lookups(self):
+        obs.enable()
+        obs.inc("exec.cache.local.hit", 2)
+        text = render_metrics_text()
+        assert "repro_exec_cache_local_hit_ratio 1" in text
+        assert "repro_exec_cache_shared_hit_ratio" not in text
+
+    def test_tier_disk_entry_gauge_from_manager_cache(self, tmp_path, gated):
+        obs.enable()
+        cache = ResultCache(tmp_path / "shared", tier="shared")
+        cache.put("deadbeef" * 8, {"x": np.arange(3)})
+        manager = JobManager(workers=1, max_queue=2, compute=gated, cache=cache)
+        try:
+            text = render_metrics_text(manager)
+            assert "repro_exec_cache_shared_disk_entries 1" in text
+            lint_exposition(text)
+        finally:
+            gated.release.set()
