@@ -32,7 +32,7 @@ import tempfile
 import threading
 import time
 
-from repro.fleet.client import HttpClient
+from repro.fleet.client import BackoffPolicy, HttpClient
 
 #: Request templates, mixing design sizes (grid 6 vs 10 is a ~3x node
 #: count difference in the thermal solve).
@@ -69,10 +69,13 @@ THRESHOLDS = {
 }
 
 
-#: The shared fleet HTTP client, with status retries OFF: a shed 429/503
-#: is a *measurement* here (the shed-rate threshold), not a transient to
-#: paper over with backoff.
-_CLIENT = HttpClient(timeout_s=60.0, retry_statuses=())
+#: The shared fleet HTTP client in single-attempt mode.  Status retries
+#: are OFF because a shed 429/503 is a *measurement* here (the shed-rate
+#: threshold), and connection retries are OFF because ``_call`` times the
+#: whole ``request()`` — backoff sleeps would pollute the latency samples.
+_CLIENT = HttpClient(
+    timeout_s=60.0, policy=BackoffPolicy(retries=0), retry_statuses=()
+)
 
 
 def _call(

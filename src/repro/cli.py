@@ -272,27 +272,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.exec.cache import ResultCache
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "stats":
         # Top-level keys stay the local tier's (backwards compatible);
-        # the per-tier breakdown rides along under "tiers".
-        shared = ResultCache(tier="shared")
+        # the per-tier breakdown rides along under "tiers".  An explicit
+        # --cache-dir relocates both tiers (shared nests under it, the
+        # same layout the default roots use).
+        if args.cache_dir:
+            shared = ResultCache(
+                Path(args.cache_dir) / "shared", tier="shared"
+            )
+        else:
+            shared = ResultCache(tier="shared")
         payload = cache.stats().as_dict()
         payload["tiers"] = {
             "local": dict(payload),
             "shared": shared.stats().as_dict(),
         }
+        # The hit/miss counters describe the current process, which for
+        # a fresh CLI invocation has performed no lookups — they stay in
+        # the JSON for long-lived callers but would always print 0 here.
         lines = []
         for tier_stats in payload["tiers"].values():
             lines += [
                 f"[{tier_stats['tier']}] root : {tier_stats['root']}",
                 f"  entries    : {tier_stats['entries']}",
                 f"  total bytes: {tier_stats['total_bytes']:,}",
-                f"  hit ratio  : {tier_stats['hit_ratio']:.3f} "
-                f"({tier_stats['hits']} hits / {tier_stats['misses']} "
-                "misses this process)",
             ]
         _emit(args, payload, "\n".join(lines))
     else:  # clear

@@ -21,6 +21,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -58,6 +59,14 @@ class _RunState:
     reassigned_groups: int = 0
     workers_lost: int = 0
     failure: FleetError | None = None
+    #: Idle dispatchers must not exit while a peer still holds a group:
+    #: if that peer dies, its group is requeued and someone has to pick
+    #: it up.  They wait on this condition instead; completion, requeue,
+    #: failure, and done all notify it.
+    wakeup: threading.Condition = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wakeup = threading.Condition(self.lock)
 
 
 class FleetCoordinator:
@@ -74,8 +83,9 @@ class FleetCoordinator:
         Shard indices per dispatched job.
     shared_cache:
         The coordinator-merged cache tier.  Defaults to a
-        :class:`ResultCache` in the shared tier directory; pass ``False``
-        to disable caching.
+        :class:`ResultCache` in the shared tier directory; a str/Path
+        becomes a shared-tier cache rooted there; pass ``False`` to
+        disable caching.
     checkpoint_path:
         Where finished shards accumulate for crash resume.
     heartbeat_every_s:
@@ -88,7 +98,7 @@ class FleetCoordinator:
         workers: list[str],
         transport: WorkerTransport | None = None,
         group_size: int = DEFAULT_GROUP_SIZE,
-        shared_cache: ResultCache | bool | None = None,
+        shared_cache: ResultCache | str | Path | bool | None = None,
         checkpoint_path: str | None = None,
         heartbeat_every_s: float = 5.0,
     ) -> None:
@@ -101,11 +111,17 @@ class FleetCoordinator:
         self.group_size = group_size
         if shared_cache is False:
             self.shared_cache: ResultCache | None = None
-        elif shared_cache in (None, True):
+        elif shared_cache is None or shared_cache is True:
             self.shared_cache = ResultCache(tier="shared")
-        else:
-            assert isinstance(shared_cache, ResultCache)
+        elif isinstance(shared_cache, ResultCache):
             self.shared_cache = shared_cache
+        elif isinstance(shared_cache, (str, Path)):
+            self.shared_cache = ResultCache(shared_cache, tier="shared")
+        else:
+            raise FleetError(
+                "shared_cache must be a ResultCache, a directory path, "
+                f"a bool, or None; got {type(shared_cache).__name__}"
+            )
         self.checkpoint_path = checkpoint_path
         self.heartbeat_every_s = heartbeat_every_s
         self.last_run_stats: dict[str, Any] = {}
@@ -336,18 +352,27 @@ class FleetCoordinator:
         checkpoint: Checkpoint | None,
     ) -> None:
         last_ok = time.monotonic()
-        while not state.done.is_set():
+        while True:
             with state.lock:
-                if state.failure is not None:
+                while (
+                    not state.pending
+                    and state.in_flight > 0
+                    and state.failure is None
+                    and not state.done.is_set()
+                ):
+                    state.wakeup.wait()
+                if (
+                    state.failure is not None
+                    or state.done.is_set()
+                    or not state.pending
+                ):
+                    # Failure recorded, or the queue drained with
+                    # nothing left in flight: the run is over.
                     state.done.set()
+                    state.wakeup.notify_all()
                     return
-                if state.pending:
-                    indices = state.pending.popleft()
-                    state.in_flight += 1
-                else:
-                    if state.in_flight == 0:
-                        state.done.set()
-                    return
+                indices = state.pending.popleft()
+                state.in_flight += 1
             if time.monotonic() - last_ok > self.heartbeat_every_s:
                 if self.transport.ready(url) is None:
                     self._lose_worker(url, state, indices)
@@ -366,6 +391,7 @@ class FleetCoordinator:
                     state.failure = exc
                     state.in_flight -= 1
                     state.done.set()
+                    state.wakeup.notify_all()
                 return
             metrics.inc("fleet.groups.dispatched")
             metrics.observe(
@@ -380,6 +406,7 @@ class FleetCoordinator:
                     state.failure = exc
                     state.in_flight -= 1
                     state.done.set()
+                    state.wakeup.notify_all()
                     return
                 if checkpoint is not None:
                     for index in indices:
@@ -394,6 +421,7 @@ class FleetCoordinator:
                 state.in_flight -= 1
                 state.completed_groups += 1
                 metrics.inc("fleet.groups.completed")
+                state.wakeup.notify_all()
 
     def _lose_worker(
         self, url: str, state: _RunState, indices: list[int]
@@ -413,6 +441,7 @@ class FleetCoordinator:
                     f"{len(state.pending)} shard group(s) unfinished"
                 )
                 state.done.set()
+            state.wakeup.notify_all()
 
     def _store_shared(
         self, doc: dict[str, Any], payload: dict[str, Any]

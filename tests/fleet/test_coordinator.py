@@ -69,6 +69,68 @@ class TestByteIdentity:
         assert stats["workers_lost"] == 1
         assert stats["groups_reassigned"] == 1
 
+    def test_worker_dying_after_peers_go_idle_does_not_hang(
+        self, mc_request, serial_bytes, tmp_path
+    ):
+        # Regression: dispatcher threads used to *exit* when the queue
+        # went empty while a peer still held the last in-flight group.
+        # If that peer then died, its requeued group had no thread left
+        # to run it and the run hung forever.  Idle dispatchers now wait
+        # and pick the group up.
+        import threading
+        import time
+
+        from repro.errors import WorkerUnavailable
+
+        class DiesHoldingLastGroup(FakeTransport):
+            """b grabs one group and dies only after a drained the rest."""
+
+            def __init__(self):
+                super().__init__()
+                self.b_holding = threading.Event()
+                self.a_drained = threading.Event()
+                self.a_completed = 0
+
+            def run_shard_group(self, base_url, request_doc):
+                if base_url == "http://b":
+                    self.b_holding.set()
+                    assert self.a_drained.wait(30.0)
+                    # Let a's dispatcher see the empty queue and go
+                    # idle before the group is requeued.
+                    time.sleep(0.2)
+                    self.dead.add(base_url)
+                    raise WorkerUnavailable(
+                        "worker b died holding the last group",
+                        url=base_url,
+                    )
+                assert self.b_holding.wait(30.0)
+                payload = super().run_shard_group(base_url, request_doc)
+                self.a_completed += 1
+                if self.a_completed == 2:
+                    self.a_drained.set()
+                return payload
+
+        coordinator = _coordinator(
+            ["http://a", "http://b"],
+            tmp_path,
+            DiesHoldingLastGroup(),
+            group_size=1,
+            shared_cache=False,
+        )
+        result = {}
+        runner = threading.Thread(
+            target=lambda: result.update(payload=coordinator.run(mc_request)),
+            daemon=True,
+        )
+        runner.start()
+        runner.join(timeout=60.0)
+        assert not runner.is_alive(), "fleet run hung after late worker death"
+        assert dump_payload(result["payload"]) == serial_bytes
+        stats = coordinator.last_run_stats
+        assert stats["workers_lost"] == 1
+        assert stats["groups_reassigned"] == 1
+        assert stats["groups_completed"] == 3
+
     def test_worker_dead_from_the_start_still_matches_serial(
         self, mc_request, serial_bytes, tmp_path
     ):
@@ -131,6 +193,17 @@ class TestFailover:
     def test_needs_at_least_one_worker(self):
         with pytest.raises(FleetError, match="at least one worker"):
             FleetCoordinator([])
+
+    def test_invalid_shared_cache_raises_fleet_error(self):
+        with pytest.raises(FleetError, match="shared_cache"):
+            FleetCoordinator(["http://a"], shared_cache=123)
+
+    def test_path_shared_cache_becomes_shared_tier(self, tmp_path):
+        coordinator = FleetCoordinator(
+            ["http://a"], shared_cache=str(tmp_path / "s")
+        )
+        assert coordinator.shared_cache.tier == "shared"
+        assert coordinator.shared_cache.root == tmp_path / "s"
 
 
 class TestSharedCache:

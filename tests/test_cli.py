@@ -405,6 +405,23 @@ class TestCacheCommand:
         )
         assert json.loads(out)["entries"] == 0
 
+    def test_stats_shared_tier_follows_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, out, _err = _run(
+            capsys, "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["tiers"]["local"]["root"] == cache_dir
+        assert stats["tiers"]["shared"]["root"] == str(
+            tmp_path / "cache" / "shared"
+        )
+        # A fresh CLI process has performed no lookups, so the text
+        # output omits the (always-zero) per-process hit-ratio line.
+        code, out, _err = _run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "hit ratio" not in out
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
