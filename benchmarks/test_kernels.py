@@ -8,8 +8,10 @@ gates:
 - the factorization cache must be *reused* during the end-to-end run
   (at least one hit per distinct thermal configuration),
 - with ``REPRO_KERNELS_ASSERT_SPEEDUP=1`` on a multi-core machine, the
-  end-to-end run must be at least 2x faster than the reference paths and
-  no speedup may regress more than 25% below the committed baseline.
+  end-to-end run must be at least 2x faster than the reference paths,
+  its warm-artifact rerun at least 5x faster than the cold reference,
+  the fused batch axis must beat per-ensemble kernel dispatch, and no
+  speedup may regress more than 25% below the committed baseline.
 
 Timing on single-core or oversubscribed runners is noise, so the speedup
 assertions are opt-in via the environment flag; the structural checks
@@ -37,6 +39,13 @@ _REGRESSION_FRACTION = 0.25
 
 #: Required end-to-end improvement of the fast paths over the reference.
 _END_TO_END_MIN_SPEEDUP = 2.0
+
+#: Required improvement of the warm-artifact rerun over the cold
+#: reference run (the cross-request memoization payoff).
+_WARM_E2E_MIN_SPEEDUP = 5.0
+
+#: The fused batch axis must beat per-ensemble kernel dispatch.
+_BATCH_FUSION_MIN_SPEEDUP = 1.0
 
 
 def _assert_speedups() -> bool:
@@ -78,6 +87,16 @@ def test_kernel_benchmarks(report):
     assert end_to_end["speedup"] >= _END_TO_END_MIN_SPEEDUP, (
         f"end-to-end fast-path speedup {end_to_end['speedup']:.2f}x "
         f"< {_END_TO_END_MIN_SPEEDUP:.1f}x"
+    )
+    warm = results["end_to_end_warm"]
+    assert warm["speedup"] >= _WARM_E2E_MIN_SPEEDUP, (
+        f"warm-artifact end-to-end speedup {warm['speedup']:.2f}x "
+        f"< {_WARM_E2E_MIN_SPEEDUP:.1f}x"
+    )
+    fusion = results["micro"]["batch_fusion"]
+    assert fusion["speedup"] >= _BATCH_FUSION_MIN_SPEEDUP, (
+        f"fused batch axis {fusion['speedup']:.2f}x does not beat "
+        f"per-ensemble dispatch"
     )
 
     if baseline is None or baseline.get("scale") != results["scale"]:

@@ -46,6 +46,7 @@ from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError
 from repro.exec.backends import resolve_backend
 from repro.kernels.bench import DEFAULT_BENCH_PATH
+from repro.kernels.config import PRECISIONS, set_precision
 from repro.units import hours_to_years
 
 
@@ -265,7 +266,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     backend = resolve_backend(jobs=args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     report = run_batch(
-        spec, backend=backend, cache=cache, use_cache=not args.no_cache
+        spec,
+        backend=backend,
+        cache=cache,
+        use_cache=not args.no_cache,
+        fuse=not args.no_fuse,
     )
     _emit(args, report, batch_table(report))
     return 0
@@ -275,24 +280,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.exec.cache import ResultCache
+    from repro.kernels.artifacts import ArtifactCache
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "stats":
         # Top-level keys stay the local tier's (backwards compatible);
         # the per-tier breakdown rides along under "tiers".  An explicit
-        # --cache-dir relocates both tiers (shared nests under it, the
-        # same layout the default roots use).
+        # --cache-dir relocates every tier (shared and artifacts nest
+        # under it, the same layout the default roots use).
         if args.cache_dir:
             shared = ResultCache(
                 Path(args.cache_dir) / "shared", tier="shared"
             )
+            artifacts = ArtifactCache(Path(args.cache_dir) / "artifacts")
         else:
             shared = ResultCache(tier="shared")
+            artifacts = ArtifactCache()
         payload = cache.stats().as_dict()
         payload["tiers"] = {
             "local": dict(payload),
             "shared": shared.stats().as_dict(),
+            "artifacts": artifacts.stats().as_dict(),
         }
+        payload["tiers"]["artifacts"]["tier"] = "artifacts"
         # The hit/miss counters describe the current process, which for
         # a fresh CLI invocation has performed no lookups — they stay in
         # the JSON for long-lived callers but would always print 0 here.
@@ -305,12 +315,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ]
         _emit(args, payload, "\n".join(lines))
     else:  # clear
-        removed = cache.clear()
+        if args.artifacts:
+            artifacts = (
+                ArtifactCache(Path(args.cache_dir) / "artifacts")
+                if args.cache_dir
+                else ArtifactCache()
+            )
+            removed = artifacts.clear()
+            root = artifacts.root
+        else:
+            removed = cache.clear()
+            root = cache.root
         _emit(
             args,
-            {"root": str(cache.root), "removed": removed},
+            {"root": str(root), "removed": removed},
             f"removed {removed} cache entr"
-            f"{'y' if removed == 1 else 'ies'} from {cache.root}",
+            f"{'y' if removed == 1 else 'ies'} from {root}",
         )
     return 0
 
@@ -548,6 +568,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default=None,
+        help="numerical precision tier for the batched kernels: float64 "
+        "(default, bit-exact reference) or fast32 (float32 compute, "
+        "float64 results; see docs/performance.md for accuracy bounds). "
+        "Overrides REPRO_PRECISION.",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="design and thermal summary")
@@ -629,6 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every cell, bypassing the result cache",
+    )
+    p_batch.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="evaluate each temperature cell separately instead of fusing "
+        "the st_fast/temp_unaware temperature axis into one kernel "
+        "dispatch per design (results are bit-identical either way)",
     )
     p_batch.add_argument(
         "--cache-dir",
@@ -859,7 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     for name, help_text in (
-        ("stats", "entry count and size of the result cache"),
+        ("stats", "entry count and size of the result and artifact caches"),
         ("clear", "delete every result-cache entry"),
     ):
         p_sub = cache_sub.add_parser(name, help=help_text)
@@ -869,6 +905,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro)",
         )
+        if name == "clear":
+            p_sub.add_argument(
+                "--artifacts",
+                action="store_true",
+                help="clear the kernels artifact cache (memoized "
+                "characterizations) instead of the result cache",
+            )
         _add_obs_arguments(p_sub)
         p_sub.set_defaults(func=_cmd_cache)
 
@@ -879,6 +922,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.precision is not None:
+        set_precision(args.precision)
     log_level = getattr(args, "log_level", None)
     log_json = getattr(args, "log_json", False)
     if log_level is not None or log_json:

@@ -33,6 +33,11 @@ import numpy as np
 from repro.chip.floorplan import Floorplan
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError
+from repro.kernels.artifacts import (
+    load_artifact,
+    memoize_artifact,
+    store_artifact,
+)
 from repro.obs import metrics
 from repro.obs.trace import span
 from repro.stats.integration import NormalDist, PointMass
@@ -217,13 +222,33 @@ class BlodModel:
 
     def _v_eigensystem(self) -> tuple[np.ndarray, np.ndarray]:
         """Cached nonzero eigenpairs of ``C_j`` (frozen dataclass: the
-        cache is installed with ``object.__setattr__``)."""
+        cache is installed with ``object.__setattr__``).
+
+        The in-process cache is backed by a cross-process artifact entry
+        keyed on ``C_j`` itself, so a service worker pays the dense
+        ``eigh`` at most once per distinct block matrix; the stored
+        low-rank pair round-trips bit-exactly.
+        """
         cached = getattr(self, "_v_eig_cache", None)
         if cached is None:
-            eigvals, eigvecs = np.linalg.eigh(self.v_matrix)
-            scale = max(float(np.abs(eigvals).max(initial=0.0)), 1e-300)
-            keep = np.abs(eigvals) > 1e-12 * scale
-            cached = (eigvals[keep], eigvecs[:, keep])
+            payload = {"v_matrix": self.v_matrix}
+            stored = load_artifact("v_eigensystem", payload)
+            if (
+                stored is not None
+                and "eigvals" in stored
+                and "eigvecs" in stored
+            ):
+                cached = (stored["eigvals"], stored["eigvecs"])
+            else:
+                eigvals, eigvecs = np.linalg.eigh(self.v_matrix)
+                scale = max(float(np.abs(eigvals).max(initial=0.0)), 1e-300)
+                keep = np.abs(eigvals) > 1e-12 * scale
+                cached = (eigvals[keep], eigvecs[:, keep])
+                store_artifact(
+                    "v_eigensystem",
+                    payload,
+                    {"eigvals": cached[0], "eigvecs": cached[1]},
+                )
             object.__setattr__(self, "_v_eig_cache", cached)
         return cached
 
@@ -254,7 +279,81 @@ def characterize_blods(
         blocks=floorplan.n_blocks,
         factors=model.n_factors,
     ):
-        return _characterize(floorplan, model, assignments)
+        # The counter lives here (not in the compute path) so it counts
+        # characterised blocks whether they came from the artifact cache
+        # or from a fresh closed-form evaluation.
+        metrics.inc("blod.blocks", floorplan.n_blocks)
+        arrays = memoize_artifact(
+            "blod_characterization",
+            {
+                "names": [block.name for block in floorplan.blocks],
+                "areas": [block.total_oxide_area for block in floorplan.blocks],
+                "n_devices": [block.n_devices for block in floorplan.blocks],
+                "grid_indices": [a.grid_indices for a in assignments],
+                "fractions": [a.fractions for a in assignments],
+                "grid_means": model.grid_means,
+                "sensitivities": model.sensitivities,
+                "sigma_independent": model.sigma_independent,
+            },
+            lambda: _stack_blods(
+                _characterize(floorplan, model, assignments)
+            ),
+            required=(
+                "names",
+                "areas",
+                "n_devices",
+                "u_nominal",
+                "u_sensitivities",
+                "v_matrix",
+                "v_deterministic",
+            ),
+        )
+        return _blods_from_arrays(arrays, model.sigma_independent)
+
+
+def _stack_blods(blods: list[BlodModel]) -> dict[str, np.ndarray]:
+    """Flatten a characterisation into one array bundle for the cache."""
+    return {
+        "names": np.array([blod.name for blod in blods]),
+        "areas": np.array([blod.area for blod in blods], dtype=np.float64),
+        "n_devices": np.array(
+            [blod.n_devices for blod in blods], dtype=np.int64
+        ),
+        "u_nominal": np.array(
+            [blod.u_nominal for blod in blods], dtype=np.float64
+        ),
+        "u_sensitivities": np.stack(
+            [blod.u_sensitivities for blod in blods]
+        ),
+        "v_matrix": np.stack([blod.v_matrix for blod in blods]),
+        "v_deterministic": np.array(
+            [blod.v_deterministic for blod in blods], dtype=np.float64
+        ),
+    }
+
+
+def _blods_from_arrays(
+    arrays: dict[str, np.ndarray], sigma_independent: float
+) -> list[BlodModel]:
+    """Rebuild the model list from a (possibly cached) array bundle.
+
+    ``BlodModel.__post_init__`` re-symmetrises ``v_matrix``; on an
+    already-symmetric stored matrix ``0.5 * (M + M.T)`` is bitwise
+    idempotent, so cache hits reproduce the computed models exactly.
+    """
+    return [
+        BlodModel(
+            name=str(arrays["names"][j]),
+            area=float(arrays["areas"][j]),
+            n_devices=int(arrays["n_devices"][j]),
+            u_nominal=float(arrays["u_nominal"][j]),
+            u_sensitivities=arrays["u_sensitivities"][j],
+            sigma_independent=sigma_independent,
+            v_matrix=arrays["v_matrix"][j],
+            v_deterministic=float(arrays["v_deterministic"][j]),
+        )
+        for j in range(arrays["names"].shape[0])
+    ]
 
 
 def _characterize(
@@ -262,7 +361,6 @@ def _characterize(
     model: CanonicalThicknessModel,
     assignments: list[BlockGridAssignment],
 ) -> list[BlodModel]:
-    metrics.inc("blod.blocks", floorplan.n_blocks)
     blods: list[BlodModel] = []
     for block, assignment in zip(floorplan.blocks, assignments, strict=True):
         fractions = assignment.fractions

@@ -41,6 +41,7 @@ from repro.kernels.survival import (
     batched_rule_expectations,
     batched_sample_expectations,
     pad_rule_tables,
+    sweep_rule_expectations,
 )
 from repro.obs import metrics
 from repro.obs.trace import span
@@ -112,6 +113,17 @@ class _EnsembleAnalyzerBase:
         """
         return None
 
+    def _weibull_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block ``(alphas, bs)`` arrays, built once per analyzer."""
+        cached = self.__dict__.get("_weibull_ab")
+        if cached is None:
+            cached = (
+                np.array([block.alpha for block in self.blocks]),
+                np.array([block.b for block in self.blocks]),
+            )
+            self.__dict__["_weibull_ab"] = cached
+        return cached
+
     def _scaled_log_t_ratios(self, times: np.ndarray) -> np.ndarray:
         """``(n_blocks, n_times)`` matrix of ``b_j * ln(t / alpha_j)``.
 
@@ -120,8 +132,7 @@ class _EnsembleAnalyzerBase:
         """
         if np.any(times < 0.0):
             raise ConfigurationError("times must be non-negative")
-        alphas = np.array([block.alpha for block in self.blocks])
-        bs = np.array([block.b for block in self.blocks])
+        alphas, bs = self._weibull_vectors()
         with np.errstate(divide="ignore"):
             ratios = np.where(
                 times[None, :] > 0.0,
@@ -254,6 +265,87 @@ class StFastAnalyzer(_EnsembleAnalyzerBase):
         return np.einsum(
             "tpq,p,q->t", survival, u_rule.weights, v_rule.weights
         )
+
+
+def sweep_reliabilities(
+    analyzers: list[StFastAnalyzer],
+    times_list: list[np.ndarray | float],
+) -> list[np.ndarray] | None:
+    """Evaluate several same-design ``StFastAnalyzer`` grids in one kernel call.
+
+    Used by the batch executor to fuse a temperature axis: the rule tables
+    of ``st_fast`` depend only on the BLODs (not temperature), so a sweep
+    over operating points of one design shares a single padded node table.
+    Each analyzer contributes its own ``b_j ln(t / alpha_j)`` profile (the
+    Weibull parameters DO depend on temperature) and the concatenated
+    profiles go through one :func:`sweep_rule_expectations` dispatch.
+
+    Returns one clipped reliability array per analyzer — bitwise identical
+    to ``analyzer.reliability(times)`` — or ``None`` when fusion does not
+    apply (fast paths off, mismatched rule tables, or the fused kernel
+    declines the shape); callers must then fall back to per-analyzer calls.
+    """
+    if not analyzers or len(analyzers) != len(times_list):
+        return None
+    if not fast_paths_enabled():
+        return None
+    base = analyzers[0]
+    for analyzer in analyzers[1:]:
+        if not (
+            np.array_equal(analyzer._log_areas, base._log_areas)
+            and np.array_equal(analyzer._u_points, base._u_points)
+            and np.array_equal(analyzer._u_weights, base._u_weights)
+            and np.array_equal(analyzer._v_points, base._v_points)
+            and np.array_equal(analyzer._v_weights, base._v_weights)
+        ):
+            return None
+    times_arrays = [
+        np.atleast_1d(np.asarray(times, dtype=float)) for times in times_list
+    ]
+    if len({times.size for times in times_arrays}) == 1:
+        # Equal-length axes (every bracketing rung, and uniform time
+        # grids): build all profiles in one broadcast.  Division, log and
+        # scale are elementwise ufuncs, so each slice is bitwise equal to
+        # the per-analyzer ``_scaled_log_t_ratios`` result.
+        times_mat = np.stack(times_arrays)  # (n_analyzers, n_times)
+        if np.any(times_mat < 0.0):
+            raise ConfigurationError("times must be non-negative")
+        vectors = [analyzer._weibull_vectors() for analyzer in analyzers]
+        alphas_mat = np.stack([alphas for alphas, _ in vectors])
+        bs_mat = np.stack([bs for _, bs in vectors])
+        with np.errstate(divide="ignore"):
+            ratios = np.where(
+                times_mat[:, None, :] > 0.0,
+                np.log(times_mat[:, None, :] / alphas_mat[:, :, None]),
+                -np.inf,
+            )
+        stacked = bs_mat[:, :, None] * ratios
+        profiles = [stacked[i] for i in range(len(analyzers))]
+    else:
+        profiles = [
+            analyzer._scaled_log_t_ratios(times)
+            for analyzer, times in zip(analyzers, times_arrays, strict=True)
+        ]
+    fused = sweep_rule_expectations(
+        profiles,
+        base._log_areas,
+        base._u_points,
+        base._u_weights,
+        base._v_points,
+        base._v_weights,
+    )
+    if fused is None:
+        return None
+    for analyzer, times in zip(analyzers, times_arrays, strict=True):
+        metrics.inc(
+            "integration.subdomain_evals", times.size * analyzer._rule_nodes
+        )
+    out: list[np.ndarray] = []
+    for expectation in fused:
+        failures = 1.0 - expectation
+        value = 1.0 - failures.sum(axis=0)
+        out.append(np.clip(value, 0.0, 1.0))
+    return out
 
 
 def _draw_factors(

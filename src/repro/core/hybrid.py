@@ -17,7 +17,8 @@ import numpy as np
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN
 from repro.core.ensemble import BlockReliability
 from repro.errors import ConfigurationError
-from repro.kernels.config import fast_paths_enabled
+from repro.kernels.artifacts import memoize_artifact
+from repro.kernels.config import fast_paths_enabled, precision
 from repro.kernels.survival import batched_rule_expectations, pad_rule_tables
 from repro.obs import metrics
 from repro.obs.trace import is_enabled, span
@@ -85,9 +86,48 @@ class HybridAnalyzer:
             n_b=n_b,
         ):
             if fast_paths_enabled():
-                self._build_tables_batched(
-                    l0, tail, include_residual_fluctuation
+                # The batched build is memoized across processes: the
+                # tables depend only on the blocks' BLODs, the index
+                # axes, the rule knobs and the precision tier — all of
+                # which the payload captures exactly.
+                arrays = memoize_artifact(
+                    "hybrid_tables",
+                    {
+                        "u_nominal": [b.blod.u_nominal for b in self.blocks],
+                        "u_sensitivities": [
+                            b.blod.u_sensitivities for b in self.blocks
+                        ],
+                        "v_matrix": [b.blod.v_matrix for b in self.blocks],
+                        "v_deterministic": [
+                            b.blod.v_deterministic for b in self.blocks
+                        ],
+                        "sigma_independent": [
+                            b.blod.sigma_independent for b in self.blocks
+                        ],
+                        "n_devices": [b.blod.n_devices for b in self.blocks],
+                        "areas": [b.blod.area for b in self.blocks],
+                        "log_t_axis": self.log_t_axis,
+                        "b_axis": self.b_axis,
+                        "l0": l0,
+                        "tail": tail,
+                        "include_residual_fluctuation": (
+                            include_residual_fluctuation
+                        ),
+                        "precision": precision(),
+                    },
+                    lambda: {
+                        "tables": self._build_tables_batched(
+                            l0, tail, include_residual_fluctuation
+                        )
+                    },
+                    required=("tables",),
                 )
+                tables = np.asarray(arrays["tables"])
+                if tables.shape != self.tables.shape:
+                    tables = self._build_tables_batched(
+                        l0, tail, include_residual_fluctuation
+                    )
+                self.tables[:] = tables
             else:
                 for j, block in enumerate(blocks):
                     self.tables[j] = self._build_block_table(
@@ -136,7 +176,7 @@ class HybridAnalyzer:
         l0: int,
         tail: float,
         include_residual_fluctuation: bool,
-    ) -> None:
+    ) -> np.ndarray:
         """Build every block's table in one fused pass.
 
         All blocks share the index axes (footnote 5), so the
@@ -175,7 +215,7 @@ class HybridAnalyzer:
             flat, log_areas, u_points, u_weights, v_points, v_weights
         )
         failure = np.clip(1.0 - expectation, 1e-300, None)
-        self.tables[:] = np.log(failure).reshape(self.tables.shape)
+        return np.log(failure).reshape(self.tables.shape)
 
     def _interpolate(
         self, table: np.ndarray, log_t_ratio: np.ndarray, b: float

@@ -95,6 +95,11 @@ class LintContext:
         """True inside the HTTP service package ``repro/service``."""
         return "service" in self.path.parts
 
+    @property
+    def in_kernels(self) -> bool:
+        """True inside the fast-path package ``repro/kernels``."""
+        return "kernels" in self.path.parts
+
     def is_suppressed(self, finding: Finding) -> bool:
         if (
             "ALL" in self.file_suppressions

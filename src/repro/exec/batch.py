@@ -20,9 +20,12 @@ import numpy as np
 
 from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
+from repro.core.ensemble import sweep_reliabilities
+from repro.core.lifetime import ppm_to_reliability, solve_lifetime
 from repro.errors import ConfigurationError
 from repro.exec.backends import ExecBackend
 from repro.exec.cache import ResultCache, fingerprint
+from repro.kernels.config import fast_paths_enabled, precision
 from repro.obs import metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import span
@@ -158,8 +161,114 @@ def _cell_key(spec: SweepSpec, cell: dict[str, Any]) -> str:
             "grid_size": spec.grid_size,
             "mc_chips": spec.mc_chips,
             "seed": spec.seed,
+            "precision": precision(),
         }
     )
+
+
+# Methods whose reliability evaluation reduces to one StFastAnalyzer whose
+# rule tables are temperature-independent, so a temperature axis can share
+# a single fused kernel dispatch per bracketing rung.
+_FUSABLE_METHODS = frozenset({"st_fast", "temp_unaware"})
+
+
+def _fused_group_lifetimes(
+    pool: _AnalyzerPool,
+    spec: SweepSpec,
+    design: str,
+    method: str,
+    temps: list[float],
+) -> dict[float, float]:
+    """Solve one design/method's lifetimes across a temperature axis fused.
+
+    Replays :func:`repro.core.lifetime.solve_lifetime`'s geometric
+    bracketing ladder lock-step for every temperature, evaluating each
+    rung's candidate times for all still-unbracketed temperatures through
+    one :func:`sweep_reliabilities` kernel call and memoizing the
+    ``t -> R(t)`` pairs.  The per-temperature :func:`solve_lifetime` then
+    re-walks its ladder entirely from the memo (bitwise-identical floats,
+    since the rung times are produced by the same sequence of operations)
+    and only Brent's interior probes fall through to the ordinary
+    per-point evaluation — so the returned lifetimes are bit-identical to
+    the unfused path.  Returns whatever subset it could fuse (empty when
+    the kernel declines); missing temps fall back to per-cell evaluation.
+    """
+    analyzers = [pool.get(design, temp) for temp in temps]
+    subs = [
+        analyzer.st_fast if method == "st_fast" else analyzer.temp_unaware
+        for analyzer in analyzers
+    ]
+    target = ppm_to_reliability(spec.ppm)
+    guesses = [analyzer.guard.lifetime(target) for analyzer in analyzers]
+    memos: list[dict[float, float]] = [{} for _ in temps]
+
+    def evaluate(indices: list[int], log_ts: list[float]) -> bool:
+        """One fused rung: memoize R(exp(log_t)) for each active temp."""
+        times = [float(np.exp(log_t)) for log_t in log_ts]
+        values = sweep_reliabilities([subs[i] for i in indices], times)
+        if values is None:
+            return False
+        for i, t, value in zip(indices, times, values, strict=True):
+            memos[i][t] = float(value[0])
+        return True
+
+    # Lock-step replica of solve_lifetime's bracket expansion.  Stopping
+    # early (kernel declined, or max_expansions exhausted) is safe: the
+    # memo simply ends and solve_lifetime continues per-point from there.
+    step = np.log(4.0)
+    los = [float(np.log(guess)) for guess in guesses]
+    his = list(los)
+    if not evaluate(list(range(len(temps))), los):
+        return {}
+    climbing: list[tuple[int, bool]] = []
+    for i in range(len(temps)):
+        value = memos[i][float(np.exp(los[i]))] - target
+        if value != 0.0:  # reprolint: disable=RPL005 (mirrors solve_lifetime's exact-root check)
+            climbing.append((i, value > 0.0))
+    for _ in range(80):  # solve_lifetime's max_expansions default
+        if not climbing:
+            break
+        log_ts = []
+        for i, upward in climbing:
+            if upward:
+                his[i] = his[i] + step
+                log_ts.append(his[i])
+            else:
+                los[i] = los[i] - step
+                log_ts.append(los[i])
+        if not evaluate([i for i, _ in climbing], log_ts):
+            break
+        still: list[tuple[int, bool]] = []
+        for (i, upward), log_t in zip(climbing, log_ts, strict=True):
+            value = memos[i][float(np.exp(log_t))] - target
+            if upward and value > 0.0:
+                los[i] = his[i]
+                still.append((i, upward))
+            elif not upward and value < 0.0:
+                his[i] = los[i]
+                still.append((i, upward))
+        climbing = still
+
+    lifetimes: dict[float, float] = {}
+    for temp, analyzer, guess, memo in zip(
+        temps, analyzers, guesses, memos, strict=True
+    ):
+        def reliability_fn(
+            t: float,
+            _memo: dict[float, float] = memo,
+            _analyzer: ReliabilityAnalyzer = analyzer,
+        ) -> float:
+            hit = _memo.get(t)
+            if hit is not None:
+                return hit
+            return float(_analyzer.reliability(t, method=method))
+
+        with span("analyzer.lifetime", method=method, ppm=spec.ppm):
+            lifetimes[temp] = solve_lifetime(
+                reliability_fn, target, t_guess=guess
+            )
+    metrics.inc("exec.batch.fused_cells", len(lifetimes))
+    return lifetimes
 
 
 def run_batch(
@@ -167,17 +276,27 @@ def run_batch(
     backend: ExecBackend | None = None,
     cache: ResultCache | None = None,
     use_cache: bool = True,
+    fuse: bool = True,
 ) -> dict[str, Any]:
     """Evaluate every sweep cell; returns the consolidated report document.
 
     Cells whose fingerprint is already in the cache are served from it
     (``exec.cache.hit``); fresh results are stored on the way out.  The MC
     reference method runs through ``backend`` when one is given.
+
+    With ``fuse=True`` (default) the temperature axis of ``st_fast`` /
+    ``temp_unaware`` cells is evaluated through one fused kernel dispatch
+    per design and bracketing rung (bit-identical results; see
+    :func:`_fused_group_lifetimes`); other methods fall back transparently
+    to per-cell evaluation.
     """
     if use_cache and cache is None:
         cache = ResultCache()
     pool = _AnalyzerPool(spec, backend)
     results: list[_CellResult] = []
+    fused: dict[tuple[str, float | None, str], float] = {}
+    fused_attempted: set[tuple[str, str]] = set()
+    fused_cells = 0
     started = time.perf_counter()
     with span(
         "exec.batch",
@@ -204,8 +323,44 @@ def run_batch(
                     )
                 )
                 continue
+            coords = (cell["design"], cell["temperature_c"], cell["method"])
+            group = (cell["design"], cell["method"])
+            if (
+                fuse
+                and cell["method"] in _FUSABLE_METHODS
+                and len(spec.temperatures_c) > 1
+                and fast_paths_enabled()
+                and group not in fused_attempted
+            ):
+                fused_attempted.add(group)
+                # Fuse only the temps this sweep will actually compute:
+                # peek at cache entry paths (no counter side effects; the
+                # authoritative, counted get already ran or will run).
+                missing = [
+                    temp
+                    for temp in spec.temperatures_c
+                    if cache is None
+                    or not use_cache
+                    or not cache.path_for(
+                        _cell_key(spec, dict(cell, temperature_c=temp))
+                    ).exists()
+                ]
+                if len(missing) > 1:
+                    solved = _fused_group_lifetimes(
+                        pool, spec, cell["design"], cell["method"], missing
+                    )
+                    fused.update(
+                        {
+                            (cell["design"], temp, cell["method"]): value
+                            for temp, value in solved.items()
+                        }
+                    )
             analyzer = pool.get(cell["design"], cell["temperature_c"])
-            if cell["method"] == "mc":
+            fused_value = fused.pop(coords, None)
+            if fused_value is not None:
+                lifetime = fused_value
+                fused_cells += 1
+            elif cell["method"] == "mc":
                 lifetime = analyzer.mc_lifetime(
                     spec.ppm, n_chips=spec.mc_chips, seed=spec.seed
                 )
@@ -241,6 +396,9 @@ def run_batch(
             "backend": backend.name if backend is not None else "serial",
             "jobs": backend.jobs if backend is not None else 1,
             "cache": use_cache,
+            "fuse": fuse,
+            "fused_cells": fused_cells,
+            "precision": precision(),
         },
         "cells": [r.as_dict() for r in results],
         "totals": {

@@ -76,6 +76,13 @@ CACHE_TIERS = ("local", "shared")
 
 #: Static per-tier metric families (RPL008: dynamic parts route through a
 #: literal dict, so the metric namespace stays enumerable).
+_BASE_COUNTERS = {
+    "hit": "exec.cache.hit",
+    "miss": "exec.cache.miss",
+    "corrupt": "exec.cache.corrupt",
+    "store": "exec.cache.store",
+}
+
 _TIER_COUNTERS = {
     "local": {
         "hit": "exec.cache.local.hit",
@@ -217,23 +224,47 @@ class ResultCache:
     tier:
         ``"local"`` (default) or ``"shared"`` — labels this instance's
         metric counters and stats; never changes entry semantics.
+
+    Subclasses (the kernels-layer ``ArtifactCache``) override the class
+    attributes below to relabel the metric namespace and the default
+    roots while inheriting the entry format, atomic writes and
+    corruption handling unchanged.
     """
+
+    #: Untiered counter family every instance increments.
+    _base_counters: dict[str, str] = _BASE_COUNTERS
+    #: Per-tier counter families (also defines the valid tier names).
+    _tier_counters: dict[str, dict[str, str]] = _TIER_COUNTERS
+    #: Histogram observed once per ``get`` call.
+    _lookup_metric: str = "exec.cache.lookup_seconds"
 
     def __init__(
         self, root: str | Path | None = None, tier: str = "local"
     ) -> None:
-        if tier not in _TIER_COUNTERS:
+        tier_counters = type(self)._tier_counters
+        if tier not in tier_counters:
             raise ConfigurationError(
-                f"unknown cache tier {tier!r}; expected one of {CACHE_TIERS}"
+                f"unknown cache tier {tier!r}; "
+                f"expected one of {tuple(tier_counters)}"
             )
         if root is not None:
             self.root = Path(root)
-        elif tier == "shared":
-            self.root = default_shared_cache_dir()
         else:
-            self.root = default_cache_dir()
+            self.root = type(self)._default_root(tier)
         self.tier = tier
-        self._counters = _TIER_COUNTERS[tier]
+        self._counters = tier_counters[tier]
+
+    @classmethod
+    def _default_root(cls, tier: str) -> Path:
+        """The tier's root when none is given (overridden by subclasses)."""
+        if tier == "shared":
+            return default_shared_cache_dir()
+        return default_cache_dir()
+
+    def _count(self, event: str) -> None:
+        """Increment the untiered and tiered counters for one event."""
+        metrics.inc(self._base_counters[event])
+        metrics.inc(self._counters[event])
 
     def path_for(self, key: str) -> Path:
         """Entry path for a fingerprint key."""
@@ -252,15 +283,14 @@ class ResultCache:
             return self._get(key)
         finally:
             metrics.observe(
-                "exec.cache.lookup_seconds",
+                self._lookup_metric,
                 time.perf_counter() - lookup_started,
             )
 
     def _get(self, key: str) -> dict[str, np.ndarray] | None:
         path = self.path_for(key)
         if not path.exists():
-            metrics.inc("exec.cache.miss")
-            metrics.inc(self._counters["miss"])
+            self._count("miss")
             return None
         try:
             with np.load(path, allow_pickle=False) as handle:
@@ -278,19 +308,16 @@ class ResultCache:
             ConfigurationError,
             zipfile.BadZipFile,
         ) as exc:
-            metrics.inc("exec.cache.corrupt")
-            metrics.inc("exec.cache.miss")
-            metrics.inc(self._counters["corrupt"])
-            metrics.inc(self._counters["miss"])
+            self._count("corrupt")
+            self._count("miss")
             logger.warning(
                 "corrupted cache entry %s (%s); recomputing",
                 path,
                 exc,
-                extra={"metric": "exec.cache.corrupt"},
+                extra={"metric": self._base_counters["corrupt"]},
             )
             return None
-        metrics.inc("exec.cache.hit")
-        metrics.inc(self._counters["hit"])
+        self._count("hit")
         return arrays
 
     def get_meta(self, key: str) -> dict[str, Any] | None:
@@ -335,8 +362,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        metrics.inc("exec.cache.store")
-        metrics.inc(self._counters["store"])
+        self._count("store")
         return path
 
     # ------------------------------------------------------------------

@@ -21,22 +21,48 @@ implementation it replaces, and ``repro bench kernels`` (or
 ``docs/performance.md``.
 """
 
+from repro.kernels.artifacts import (
+    ArtifactCache,
+    artifacts_enabled,
+    default_artifact_cache_dir,
+    get_artifact_cache,
+    memoize_artifact,
+    set_artifacts_enabled,
+    use_artifacts,
+)
 from repro.kernels.config import (
+    PRECISIONS,
     fast_paths_enabled,
+    precision,
     set_fast_paths,
+    set_precision,
     use_fast_paths,
+    use_precision,
 )
 from repro.kernels.survival import (
     batched_rule_expectations,
     batched_sample_expectations,
     pad_rule_tables,
+    sweep_rule_expectations,
 )
 
 __all__ = [
+    "PRECISIONS",
+    "ArtifactCache",
+    "artifacts_enabled",
     "batched_rule_expectations",
     "batched_sample_expectations",
+    "default_artifact_cache_dir",
     "fast_paths_enabled",
+    "get_artifact_cache",
+    "memoize_artifact",
     "pad_rule_tables",
+    "precision",
+    "set_artifacts_enabled",
     "set_fast_paths",
+    "set_precision",
+    "sweep_rule_expectations",
+    "use_artifacts",
     "use_fast_paths",
+    "use_precision",
 ]

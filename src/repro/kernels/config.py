@@ -13,6 +13,19 @@ switch so that
 The switch is read once per call site through :func:`fast_paths_enabled`
 (a single module-attribute load, mirroring the ``repro.obs`` design), and
 :func:`use_fast_paths` flips it temporarily for tests/benchmarks.
+
+Precision tier
+--------------
+The same module owns the **precision tier**: ``"float64"`` (the default,
+bit-exact reference arithmetic) or ``"fast32"`` (the fused survival
+tensors and the array-Imhof kernel run their inner loops in float32 and
+cast back at the boundary — roughly half the memory traffic for
+interactive/optimizer traffic that tolerates ~1e-5 relative error; see
+``docs/performance.md`` for the measured bounds).  The tier is selected
+with ``REPRO_PRECISION`` in the environment, ``--precision`` on the CLI,
+or the ``precision`` job-payload field, and read per call site through
+:func:`precision`.  ``fast32`` only changes kernels that document it;
+reference implementations always stay float64.
 """
 
 from __future__ import annotations
@@ -22,14 +35,67 @@ import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-__all__ = ["fast_paths_enabled", "set_fast_paths", "use_fast_paths"]
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PRECISIONS",
+    "fast_paths_enabled",
+    "precision",
+    "set_fast_paths",
+    "set_precision",
+    "use_fast_paths",
+    "use_precision",
+]
 
 _DISABLE_VALUES = frozenset({"off", "0", "false", "no"})
+
+#: Supported precision tiers, default first.
+PRECISIONS = ("float64", "fast32")
 
 _lock = threading.Lock()
 _enabled: bool = (
     os.environ.get("REPRO_KERNELS", "on").strip().lower() not in _DISABLE_VALUES
 )
+
+
+def _precision_from_env() -> str:
+    raw = os.environ.get("REPRO_PRECISION", "float64").strip().lower()
+    return raw if raw in PRECISIONS else "float64"
+
+
+_precision: str = _precision_from_env()
+
+
+def precision() -> str:
+    """The active precision tier (``"float64"`` or ``"fast32"``)."""
+    return _precision
+
+
+def set_precision(tier: str) -> None:
+    """Globally select the precision tier.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown tiers so
+    a typo'd tier surfaced through the CLI/service layers fails loudly
+    rather than silently running full precision.
+    """
+    if tier not in PRECISIONS:
+        raise ConfigurationError(
+            f"unknown precision tier {tier!r}; expected one of {PRECISIONS}"
+        )
+    global _precision
+    with _lock:
+        _precision = tier
+
+
+@contextmanager
+def use_precision(tier: str) -> Iterator[None]:
+    """Temporarily select a precision tier (tests, job execution)."""
+    previous = _precision
+    set_precision(tier)
+    try:
+        yield
+    finally:
+        set_precision(previous)
 
 
 def fast_paths_enabled() -> bool:

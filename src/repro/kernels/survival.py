@@ -20,6 +20,18 @@ Blocks may carry different node counts (a degenerate BLOD variance
 collapses to a single point-mass node); tables are padded to the widest
 block with zero-weight nodes, which drop out of the weighted sums
 exactly.
+
+Precision tier
+--------------
+Under ``precision() == "fast32"`` (see :mod:`repro.kernels.config`) the
+fused evaluations cast their inputs to float32, run the transcendental
+inner loops in float32, and cast back to float64 at the boundary.  The
+saturation semantics are preserved naturally: a float32 ``exp`` that
+overflows returns ``inf`` so survival saturates at exactly 0, and an
+underflowing one returns 0 so survival saturates at exactly 1 — the same
+limits the float64 clip produces.  Accuracy against the float64
+reference is gated by ``tests/kernels/test_fast32.py`` and the measured
+bounds are documented in ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -28,12 +40,14 @@ import numpy as np
 
 from repro.core.closed_form import _EXP_MAX, _EXP_MIN
 from repro.errors import ConfigurationError
+from repro.kernels.config import precision
 from repro.obs import metrics
 
 __all__ = [
     "batched_rule_expectations",
     "batched_sample_expectations",
     "pad_rule_tables",
+    "sweep_rule_expectations",
 ]
 
 #: Soft cap on the scratch-tensor size of one fused evaluation; larger
@@ -53,6 +67,11 @@ _MAX_CHUNK_ELEMENTS = 250_000
 _FACTOR_SAFE_EXP = 700.0
 
 
+def _compute_dtype() -> type[np.floating]:
+    """The active inner-loop dtype (float32 only under ``fast32``)."""
+    return np.float32 if precision() == "fast32" else np.float64
+
+
 def pad_rule_tables(
     points: list[np.ndarray], weights: list[np.ndarray]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -66,8 +85,8 @@ def pad_rule_tables(
         raise ConfigurationError("need matching, non-empty point/weight lists")
     width = max(p.size for p in points)
     n = len(points)
-    out_points = np.empty((n, width))
-    out_weights = np.zeros((n, width))
+    out_points = np.empty((n, width), dtype=np.float64)
+    out_weights = np.zeros((n, width), dtype=np.float64)
     for j, (p, w) in enumerate(zip(points, weights, strict=True)):
         out_points[j, : p.size] = p
         out_points[j, p.size :] = p[-1]
@@ -121,7 +140,11 @@ def _expectation_chunk(
         exponent = np.clip(
             log_areas[:, None, None, None] + log_g, _EXP_MIN, _EXP_MAX
         )
-        survival = np.exp(-np.exp(exponent))
+        # The float64 clip keeps exp() finite; float32 (fast32 tier) can
+        # still overflow to inf here, which saturates survival at the
+        # same exact 0 the reference limit reaches.
+        with np.errstate(over="ignore"):
+            survival = np.exp(-np.exp(exponent))
     expectation = np.einsum("jtpq,jp,jq->jt", survival, u_weights, v_weights)
     # t = 0 (log ratio -inf) survives with probability exactly 1.
     return np.where(finite, expectation, 1.0)
@@ -149,10 +172,19 @@ def batched_rule_expectations(
         ``(n_blocks, n_nodes)`` padded quadrature tables (see
         :func:`pad_rule_tables`).
 
-    Returns the ``(n_blocks, n_times)`` expectation matrix.
+    Returns the ``(n_blocks, n_times)`` expectation matrix (always
+    float64; under the ``fast32`` tier the inner loops run in float32
+    and the result is upcast at this boundary).
     """
     n_blocks, n_times = log_t_ratios.shape
     finite = np.isfinite(log_t_ratios)
+    dtype = _compute_dtype()
+    log_t_ratios = log_t_ratios.astype(dtype=dtype, copy=False)
+    log_areas = log_areas.astype(dtype=dtype, copy=False)
+    u_points = u_points.astype(dtype=dtype, copy=False)
+    u_weights = u_weights.astype(dtype=dtype, copy=False)
+    v_points = v_points.astype(dtype=dtype, copy=False)
+    v_weights = v_weights.astype(dtype=dtype, copy=False)
     per_time = max(n_blocks * u_points.shape[1] * v_points.shape[1], 1)
     chunk = max(_MAX_CHUNK_ELEMENTS // per_time, 1)
     metrics.inc(
@@ -163,8 +195,8 @@ def batched_rule_expectations(
         return _expectation_chunk(
             log_t_ratios, finite, log_areas,
             u_points, u_weights, v_points, v_weights,
-        )
-    out = np.empty((n_blocks, n_times))
+        ).astype(dtype=np.float64, copy=False)
+    out = np.empty((n_blocks, n_times), dtype=np.float64)
     for start in range(0, n_times, chunk):
         stop = min(start + chunk, n_times)
         out[:, start:stop] = _expectation_chunk(
@@ -191,10 +223,15 @@ def batched_sample_expectations(
     n_blocks, n_times = log_t_ratios.shape
     n_samples = u_samples.shape[1]
     finite = np.isfinite(log_t_ratios)
+    dtype = _compute_dtype()
+    log_t_ratios = log_t_ratios.astype(dtype=dtype, copy=False)
+    log_areas = log_areas.astype(dtype=dtype, copy=False)
+    u_samples = u_samples.astype(dtype=dtype, copy=False)
+    v_samples = v_samples.astype(dtype=dtype, copy=False)
     per_time = max(n_blocks * n_samples, 1)
     chunk = max(_MAX_CHUNK_ELEMENTS // per_time, 1)
     metrics.inc("kernels.sample_evals", n_blocks * n_times * n_samples)
-    out = np.empty((n_blocks, n_times))
+    out = np.empty((n_blocks, n_times), dtype=np.float64)
     for start in range(0, n_times, chunk):
         stop = min(start + chunk, n_times)
         scaled = np.where(
@@ -207,8 +244,85 @@ def batched_sample_expectations(
         exponent = np.clip(
             log_areas[:, None, None] + log_g, _EXP_MIN, _EXP_MAX
         )
-        survival = np.exp(-np.exp(exponent))
+        with np.errstate(over="ignore"):
+            survival = np.exp(-np.exp(exponent))
         out[:, start:stop] = np.where(
             finite[:, start:stop], survival.mean(axis=2), 1.0
         )
+    return out
+
+
+def sweep_rule_expectations(
+    ratio_profiles: list[np.ndarray],
+    log_areas: np.ndarray,
+    u_points: np.ndarray,
+    u_weights: np.ndarray,
+    v_points: np.ndarray,
+    v_weights: np.ndarray,
+) -> list[np.ndarray] | None:
+    """Evaluate many scaled-ratio profiles through **one** fused call.
+
+    ``ratio_profiles`` is a list of ``(n_blocks, n_times_k)`` matrices —
+    typically one per temperature of a ``repro batch`` sweep, sharing the
+    per-block quadrature tables (BLODs are temperature-independent) while
+    differing in the Weibull ``(alpha_j, b_j)`` scaling baked into the
+    ratios.  The profiles are concatenated along the time axis and sent
+    through :func:`batched_rule_expectations` as a single kernel
+    dispatch.
+
+    Returns the per-profile ``(n_blocks, n_times_k)`` expectation
+    matrices, or ``None`` when fusing cannot be proven **bit-identical**
+    to evaluating each profile separately, in which case the caller must
+    fall back to per-profile dispatch.  Identity holds exactly when
+
+    - the concatenated time axis fits one evaluation chunk (then both
+      the fused and every per-profile call are single-chunk), and
+    - every profile would take the separable fast branch on its own
+      (the fused chunk's maximum is one of the per-profile maxima, so
+      the fused call takes the same branch; all remaining operations
+      are elementwise per time column or reduce over the node axes
+      only).
+    """
+    if not ratio_profiles:
+        return []
+    dtype = _compute_dtype()
+    profiles = [
+        np.asarray(p).astype(dtype=dtype, copy=False)
+        for p in ratio_profiles
+    ]
+    n_blocks = profiles[0].shape[0]
+    if any(p.ndim != 2 or p.shape[0] != n_blocks for p in profiles):
+        raise ConfigurationError(
+            "every ratio profile needs shape (n_blocks, n_times)"
+        )
+    total_times = sum(p.shape[1] for p in profiles)
+    per_time = max(n_blocks * u_points.shape[1] * v_points.shape[1], 1)
+    chunk = max(_MAX_CHUNK_ELEMENTS // per_time, 1)
+    if total_times > chunk:
+        return None
+    max_u = float(np.max(np.abs(u_points), initial=0.0))
+    max_v = float(np.max(np.abs(v_points), initial=0.0))
+    for p in profiles:
+        scaled_safe = np.where(np.isfinite(p), p, 0.0)
+        max_scale = float(np.max(np.abs(scaled_safe), initial=0.0))
+        if (
+            max_scale * max_u > _FACTOR_SAFE_EXP
+            or 0.5 * max_scale**2 * max_v > _FACTOR_SAFE_EXP
+        ):
+            return None
+    fused = batched_rule_expectations(
+        np.concatenate(profiles, axis=1),
+        log_areas,
+        u_points,
+        u_weights,
+        v_points,
+        v_weights,
+    )
+    metrics.inc("kernels.sweep_fused_profiles", len(profiles))
+    out: list[np.ndarray] = []
+    start = 0
+    for p in profiles:
+        stop = start + p.shape[1]
+        out.append(fused[:, start:stop])
+        start = stop
     return out

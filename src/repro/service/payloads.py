@@ -13,6 +13,7 @@ import math
 from typing import TYPE_CHECKING, Any
 
 from repro import obs
+from repro.kernels.artifacts import get_artifact_cache
 from repro.payloads import stamp_envelope
 from repro.thermal.factor_cache import factor_cache_stats
 
@@ -31,6 +32,10 @@ _TIER_HIT_RATIO_GAUGES = {
     "exec.cache.shared.hit_ratio": {
         "hit": "exec.cache.shared.hit",
         "miss": "exec.cache.shared.miss",
+    },
+    "kernels.artifacts.hit_ratio": {
+        "hit": "kernels.artifacts.hit",
+        "miss": "kernels.artifacts.miss",
     },
 }
 
@@ -138,6 +143,15 @@ def _cache_health_gauges(manager: JobManager | None) -> dict[str, float]:
             tier_gauge = _TIER_ENTRY_GAUGES.get(manager.cache.tier)
             if tier_gauge is not None:
                 gauges[tier_gauge] = entries
+    artifacts = get_artifact_cache()
+    if artifacts is not None:
+        try:
+            stats = artifacts.stats()
+        except OSError:  # pragma: no cover - racing cache eviction
+            pass
+        else:
+            gauges["kernels.artifacts.disk_entries"] = float(stats.entries)
+            gauges["kernels.artifacts.disk_bytes"] = float(stats.total_bytes)
     return gauges
 
 

@@ -25,6 +25,7 @@ from repro.chip.benchmarks import BENCHMARK_DEVICE_COUNTS, make_benchmark
 from repro.core.analyzer import METHODS, AnalysisConfig, ReliabilityAnalyzer
 from repro.errors import ReproError, ServiceError
 from repro.exec.cache import fingerprint
+from repro.kernels.config import PRECISIONS, use_precision
 
 __all__ = ["JOB_KINDS", "JobRequest", "run_job"]
 
@@ -100,6 +101,9 @@ class JobRequest:
     #: ``(seed, mc_chips)``, and the explicit evaluation time grid (hours).
     shards: tuple[int, ...] | None = None
     times: tuple[float, ...] | None = None
+    #: Kernel precision tier (``float64`` reference or ``fast32``); part
+    #: of the fingerprint, and recorded in the result payload.
+    precision: str = "float64"
 
     @classmethod
     def from_dict(cls, data: Any) -> JobRequest:
@@ -226,10 +230,16 @@ class JobRequest:
                 shards_raw is None and times_raw is None,
                 "'shards' and 'times' apply to mc_shards jobs only",
             )
+        precision = data.get("precision", "float64")
+        _require(
+            precision in PRECISIONS,
+            f"field 'precision' must be one of {', '.join(PRECISIONS)}, "
+            f"got {precision!r}",
+        )
         known = {
             "kind", "design", "setup", "grid", "rho", "vdd", "ppm",
             "methods", "method", "mc_chips", "seed", "t_min", "t_max",
-            "points", "shards", "times",
+            "points", "shards", "times", "precision",
         }
         unknown = sorted(set(data) - known)
         _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
@@ -257,6 +267,7 @@ class JobRequest:
                 if isinstance(times_raw, list)
                 else None
             ),
+            precision=precision,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -318,36 +329,41 @@ def run_job(
     ``cancel_check``/``checkpoint_path`` flow into the sharded MC engine
     (the only long-running path): cancellation takes effect at shard
     boundaries and a flushed checkpoint lets an interrupted job resume.
+
+    The whole evaluation runs under the request's kernel precision tier
+    (a process-wide switch, restored afterwards; the tier is part of the
+    request fingerprint, so cached results never mix tiers).
     """
-    if request.kind == "report":
-        return payloads.report_payload(request.build_analyzer)
-    analyzer = request.build_analyzer()
-    if request.kind == "mc_shards":
-        assert request.shards is not None and request.times is not None
-        return payloads.mc_shards_payload(
+    with use_precision(request.precision):
+        if request.kind == "report":
+            return payloads.report_payload(request.build_analyzer)
+        analyzer = request.build_analyzer()
+        if request.kind == "mc_shards":
+            assert request.shards is not None and request.times is not None
+            return payloads.mc_shards_payload(
+                analyzer,
+                list(request.times),
+                list(request.shards),
+                mc_chips=request.mc_chips,
+                seed=request.seed,
+                checkpoint_path=checkpoint_path,
+                cancel_check=cancel_check,
+            )
+        if request.kind == "curve":
+            assert request.t_min is not None and request.t_max is not None
+            return payloads.curve_payload(
+                analyzer,
+                request.methods[0],
+                t_min=request.t_min,
+                t_max=request.t_max,
+                points=request.points,
+            )
+        return payloads.lifetime_payload(
             analyzer,
-            list(request.times),
-            list(request.shards),
+            request.ppm,
+            request.methods,
             mc_chips=request.mc_chips,
             seed=request.seed,
             checkpoint_path=checkpoint_path,
             cancel_check=cancel_check,
         )
-    if request.kind == "curve":
-        assert request.t_min is not None and request.t_max is not None
-        return payloads.curve_payload(
-            analyzer,
-            request.methods[0],
-            t_min=request.t_min,
-            t_max=request.t_max,
-            points=request.points,
-        )
-    return payloads.lifetime_payload(
-        analyzer,
-        request.ppm,
-        request.methods,
-        mc_chips=request.mc_chips,
-        seed=request.seed,
-        checkpoint_path=checkpoint_path,
-        cancel_check=cancel_check,
-    )

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.chip.geometry import GridSpec
 from repro.errors import ConfigurationError, NumericalError
+from repro.kernels.artifacts import memoize_artifact
 from repro.obs.trace import span
 
 
@@ -121,11 +122,32 @@ class SpatialCorrelationModel:
             cells=self.grid.n_cells,
             kernel=self.kernel,
         ):
-            distances = self.grid.pairwise_center_distances()
-            kernel_fn = _KERNELS[self.kernel]
-            corr = kernel_fn(distances, self.correlation_length)
-            np.fill_diagonal(corr, 1.0)
-            return nearest_correlation_matrix(corr)
+            # The PSD projection inside needs an eigendecomposition as
+            # expensive as the PCA itself, so the finished matrix is
+            # memoized across processes.  GridSpec is a frozen value
+            # type, so its fields plus the kernel knobs key the result
+            # exactly.
+            arrays = memoize_artifact(
+                "correlation_matrix",
+                {
+                    "nx": self.grid.nx,
+                    "ny": self.grid.ny,
+                    "width": self.grid.width,
+                    "height": self.grid.height,
+                    "rho_dist": self.rho_dist,
+                    "kernel": self.kernel,
+                },
+                lambda: {"correlation": self._compute_correlation_matrix()},
+                required=("correlation",),
+            )
+            return np.asarray(arrays["correlation"])
+
+    def _compute_correlation_matrix(self) -> np.ndarray:
+        distances = self.grid.pairwise_center_distances()
+        kernel_fn = _KERNELS[self.kernel]
+        corr = kernel_fn(distances, self.correlation_length)
+        np.fill_diagonal(corr, 1.0)
+        return nearest_correlation_matrix(corr)
 
     def covariance_matrix(self, sigma_spatial: float) -> np.ndarray:
         """Covariance of the spatial component across grid cells.

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels.artifacts import memoize_artifact
 from repro.obs import metrics
 from repro.obs.trace import span
 from repro.variation.components import VariationBudget
@@ -140,44 +141,67 @@ def build_canonical_model(
     """
     if not 0.0 < energy <= 1.0:
         raise ConfigurationError(f"energy must be in (0, 1], got {energy}")
+    if max_factors is not None and max_factors < 0:
+        raise ConfigurationError(f"max_factors must be >= 0, got {max_factors}")
     n_grids = correlation.grid.n_cells
-    covariance = correlation.covariance_matrix(budget.sigma_spatial)
-    with span("pca.eig", grids=n_grids):
-        eigvals, eigvecs = np.linalg.eigh(covariance)
-    # eigh returns ascending order; flip to descending.
-    eigvals = eigvals[::-1]
-    eigvecs = eigvecs[:, ::-1]
-    eigvals = np.clip(eigvals, 0.0, None)
-
-    total = float(eigvals.sum())
-    if total <= 0.0:
-        n_keep = 0
-    else:
-        cumulative = np.cumsum(eigvals) / total
-        n_keep = int(np.searchsorted(cumulative, energy) + 1)
-        n_keep = min(n_keep, n_grids)
-    if max_factors is not None:
-        if max_factors < 0:
-            raise ConfigurationError(f"max_factors must be >= 0, got {max_factors}")
-        n_keep = min(n_keep, max_factors)
-
-    metrics.gauge("pca.spatial_factors", n_keep)
-    spatial_sens = eigvecs[:, :n_keep] * np.sqrt(eigvals[:n_keep])
-    global_sens = np.full((n_grids, 1), budget.sigma_global)
-    sensitivities = np.hstack([global_sens, spatial_sens])
-
-    grid_means = np.full(n_grids, budget.nominal_thickness)
     if mean_offsets is not None:
         mean_offsets = np.asarray(mean_offsets, dtype=float)
         if mean_offsets.shape != (n_grids,):
             raise ConfigurationError(
                 f"mean_offsets must have shape ({n_grids},), got {mean_offsets.shape}"
             )
-        grid_means = grid_means + mean_offsets
+    covariance = correlation.covariance_matrix(budget.sigma_spatial)
 
+    def _compute() -> dict[str, np.ndarray]:
+        with span("pca.eig", grids=n_grids):
+            eigvals, eigvecs = np.linalg.eigh(covariance)
+        # eigh returns ascending order; flip to descending.
+        eigvals = eigvals[::-1]
+        eigvecs = eigvecs[:, ::-1]
+        eigvals = np.clip(eigvals, 0.0, None)
+
+        total = float(eigvals.sum())
+        if total <= 0.0:
+            n_keep = 0
+        else:
+            cumulative = np.cumsum(eigvals) / total
+            n_keep = int(np.searchsorted(cumulative, energy) + 1)
+            n_keep = min(n_keep, n_grids)
+        if max_factors is not None:
+            n_keep = min(n_keep, max_factors)
+
+        spatial_sens = eigvecs[:, :n_keep] * np.sqrt(eigvals[:n_keep])
+        global_sens = np.full((n_grids, 1), budget.sigma_global)
+        sensitivities = np.hstack([global_sens, spatial_sens])
+
+        grid_means = np.full(n_grids, budget.nominal_thickness)
+        if mean_offsets is not None:
+            grid_means = grid_means + mean_offsets
+        return {"grid_means": grid_means, "sensitivities": sensitivities}
+
+    # The eigendecomposition dominates an analyzer build; memoize the
+    # canonical model across processes keyed on the exact covariance
+    # matrix plus every knob that shapes the factor basis.
+    arrays = memoize_artifact(
+        "canonical_model",
+        {
+            "covariance": covariance,
+            "sigma_global": budget.sigma_global,
+            "sigma_independent": budget.sigma_independent,
+            "nominal_thickness": budget.nominal_thickness,
+            "energy": energy,
+            "max_factors": max_factors,
+            "mean_offsets": mean_offsets,
+        },
+        _compute,
+        required=("grid_means", "sensitivities"),
+    )
+    metrics.gauge(
+        "pca.spatial_factors", arrays["sensitivities"].shape[1] - 1
+    )
     return CanonicalThicknessModel(
-        grid_means=grid_means,
-        sensitivities=sensitivities,
+        grid_means=arrays["grid_means"],
+        sensitivities=arrays["sensitivities"],
         sigma_independent=budget.sigma_independent,
     )
 

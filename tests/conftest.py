@@ -22,6 +22,20 @@ from repro import (
 )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory) -> None:
+    """Point the kernels artifact cache at a per-session scratch dir.
+
+    Keeps the suite from reading (or polluting) the developer's real
+    ``~/.cache/repro/artifacts`` store; subprocess-based tests inherit
+    the variable, so they stay isolated too.
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("artifact-cache")
+    os.environ["REPRO_ARTIFACT_CACHE_DIR"] = str(root)
+
+
 @pytest.fixture(scope="session")
 def budget() -> VariationBudget:
     """The paper's Table II variation budget."""

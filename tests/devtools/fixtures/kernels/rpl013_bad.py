@@ -1,0 +1,14 @@
+"""RPL013 violations: kernel allocations with implicit platform dtypes."""
+
+import numpy as np
+from numpy import zeros as zeros_alias
+
+
+def build_tables(n: int) -> tuple:
+    out = np.empty((n, 4))  # implicit float64
+    grid = zeros_alias(n)  # from-import alias, still no dtype
+    steps = np.arange(n)  # implicit platform int
+    axis = np.linspace(0.0, 1.0, n)  # implicit float64
+    scaled = out.astype(float)  # builtin pins the platform default
+    packed = grid.astype("f8")  # dtype string hides the width
+    return scaled, packed, steps, axis

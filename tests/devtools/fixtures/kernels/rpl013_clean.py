@@ -1,0 +1,14 @@
+"""RPL013-clean: every kernel allocation pins its dtype explicitly."""
+
+import numpy as np
+
+
+def build_tables(n: int, dtype: np.dtype) -> tuple:
+    out = np.empty((n, 4), dtype=np.float64)
+    grid = np.zeros(n, dtype=dtype)
+    steps = np.arange(n, dtype=np.int64)
+    axis = np.linspace(0.0, 1.0, n, dtype=np.float32)
+    filled = np.full((n,), 1.0, np.float64)  # positional dtype is explicit
+    scaled = out.astype(dtype=np.float32, copy=False)
+    cast = grid.astype(dtype, copy=False)  # a real dtype object flows in
+    return steps, axis, filled, scaled, cast

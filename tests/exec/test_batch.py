@@ -113,3 +113,79 @@ class TestBatchTable:
             run_batch(SPEC, backend=SerialBackend(), cache=cache)
         )
         assert "hit" in hit_text
+
+
+FUSED_SPEC = SweepSpec(
+    designs=("C1",),
+    methods=("st_fast", "temp_unaware"),
+    temperatures_c=(40.0, 70.0, 100.0),
+    grid_size=6,
+)
+
+
+class TestFusion:
+    def test_fused_lifetimes_bitwise_equal_plain(self):
+        fused = run_batch(FUSED_SPEC, use_cache=False)
+        plain = run_batch(FUSED_SPEC, use_cache=False, fuse=False)
+        assert fused["execution"]["fuse"] is True
+        assert fused["execution"]["fused_cells"] == 6
+        assert plain["execution"]["fuse"] is False
+        assert plain["execution"]["fused_cells"] == 0
+        for a, b in zip(fused["cells"], plain["cells"], strict=True):
+            # Exact float equality: fusion must be invisible in results.
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+
+    def test_fused_cells_counter(self):
+        with obs.enabled():
+            run_batch(FUSED_SPEC, use_cache=False)
+            assert obs.get_counter("exec.batch.fused_cells") == 6
+
+    def test_non_fusable_method_falls_back(self):
+        spec = SweepSpec(
+            designs=("C1",),
+            methods=("guard",),
+            temperatures_c=(40.0, 70.0),
+            grid_size=6,
+        )
+        report = run_batch(spec, use_cache=False)
+        assert report["execution"]["fused_cells"] == 0
+        assert report["totals"]["cells"] == 2
+
+    def test_single_temperature_not_fused(self):
+        spec = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(70.0,),
+            grid_size=6,
+        )
+        report = run_batch(spec, use_cache=False)
+        assert report["execution"]["fused_cells"] == 0
+
+    def test_cached_cells_excluded_from_fused_group(self, cache):
+        warm = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(40.0,),
+            grid_size=6,
+        )
+        run_batch(warm, cache=cache)
+        full = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(40.0, 70.0, 100.0),
+            grid_size=6,
+        )
+        report = run_batch(full, cache=cache)
+        # The pre-cached 40C cell is served from cache; only the two
+        # missing temperatures are solved through the fused group.
+        assert report["totals"]["cache_hits"] == 1
+        assert report["execution"]["fused_cells"] == 2
+        reference = run_batch(full, use_cache=False, fuse=False)
+        for a, b in zip(report["cells"], reference["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+
+    def test_second_run_all_cached_no_fusion_work(self, cache):
+        run_batch(FUSED_SPEC, cache=cache)
+        report = run_batch(FUSED_SPEC, cache=cache)
+        assert report["totals"]["cache_hits"] == report["totals"]["cells"]
+        assert report["execution"]["fused_cells"] == 0

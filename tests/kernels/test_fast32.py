@@ -1,0 +1,173 @@
+"""Accuracy gates for the ``fast32`` precision tier.
+
+``fast32`` runs the fused survival tensors and the array-Imhof kernel in
+float32 and upcasts at the boundary.  These tests pin the tier's
+documented accuracy contract (see ``docs/performance.md``):
+
+==========================  =========================================
+quantity                    gate (vs the float64 reference)
+==========================  =========================================
+survival / reliability      ``<= 5e-6`` absolute (measured ~1e-6)
+Imhof survival function     ``<= 1e-6`` absolute (measured ~7e-8)
+hybrid table queries        ``<= 5e-6`` absolute (measured ~5e-7)
+ppm lifetimes               ``<= 5e-2`` relative (measured ~1e-2; the
+                            10-ppm target sits at ``R = 0.99999``, so
+                            float32's ~1e-6 reliability noise is a few
+                            percent of the failure budget)
+==========================  =========================================
+
+``float64`` stays the default; a fast32 run records its tier in the
+payload so results are never mistaken for reference numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ReliabilityAnalyzer, obs, payloads
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    PRECISIONS,
+    precision,
+    set_precision,
+    use_precision,
+)
+
+SURVIVAL_ATOL = 5e-6
+IMHOF_ATOL = 1e-6
+HYBRID_ATOL = 5e-6
+LIFETIME_RTOL = 5e-2
+
+
+@pytest.fixture(scope="module")
+def times(request):
+    analyzer = request.getfixturevalue("small_analyzer")
+    center = analyzer.lifetime(10.0, method="guard")
+    grid = np.geomspace(center / 100.0, 50.0 * center, 40)
+    return np.concatenate([[0.0], grid])
+
+
+class TestSwitch:
+    def test_default_is_float64(self):
+        assert precision() == "float64"
+        assert PRECISIONS[0] == "float64"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown precision"):
+            set_precision("float16")
+        assert precision() == "float64"
+
+    def test_context_manager_restores(self):
+        with use_precision("fast32"):
+            assert precision() == "fast32"
+        assert precision() == "float64"
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        from repro.kernels.config import _precision_from_env
+
+        monkeypatch.setenv("REPRO_PRECISION", "quad")
+        assert _precision_from_env() == "float64"
+        monkeypatch.setenv("REPRO_PRECISION", "FAST32")
+        assert _precision_from_env() == "fast32"
+
+
+class TestSurvivalAccuracy:
+    @pytest.mark.parametrize("method", ["st_fast", "st_mc", "temp_unaware"])
+    def test_reliability_curves(self, small_analyzer, times, method):
+        reference = np.atleast_1d(
+            small_analyzer.reliability(times, method=method)
+        )
+        with use_precision("fast32"):
+            fast = np.atleast_1d(
+                small_analyzer.reliability(times, method=method)
+            )
+        assert fast.dtype == np.float64  # results stay float64 at the API
+        np.testing.assert_allclose(
+            fast, reference, rtol=0.0, atol=SURVIVAL_ATOL
+        )
+        # The t = 0 corner must stay exact in both tiers.
+        assert fast[0] == reference[0] == 1.0
+
+    def test_lifetime(self, small_analyzer):
+        reference = small_analyzer.lifetime(10.0, method="st_fast")
+        with use_precision("fast32"):
+            fast = small_analyzer.lifetime(10.0, method="st_fast")
+        assert abs(fast - reference) / reference <= LIFETIME_RTOL
+
+
+class TestHybridAccuracy:
+    def test_hybrid_queries(self, small_floorplan, fast_config, times):
+        reference_analyzer = ReliabilityAnalyzer(
+            small_floorplan, config=fast_config
+        )
+        reference = np.atleast_1d(
+            reference_analyzer.reliability(times, method="hybrid")
+        )
+        with use_precision("fast32"):
+            # Fresh analyzer: the tables themselves build in fast32
+            # (cached hybrid tables are keyed by tier, so this never
+            # reuses the float64 build).
+            fast_analyzer = ReliabilityAnalyzer(
+                small_floorplan, config=fast_config
+            )
+            fast = np.atleast_1d(
+                fast_analyzer.reliability(times, method="hybrid")
+            )
+        np.testing.assert_allclose(fast, reference, rtol=0.0, atol=HYBRID_ATOL)
+
+
+class TestImhofAccuracy:
+    def test_imhof_sf(self, small_analyzer):
+        form = small_analyzer.blods[0].v_quadratic_form()
+        match = form.chi2_match()
+        xs = np.asarray(
+            match.ppf(np.linspace(0.05, 0.98, 64, dtype=np.float64))
+        )
+        reference = form.imhof_sf(xs)
+        with use_precision("fast32"):
+            fast = form.imhof_sf(xs)
+        assert np.asarray(fast).dtype == np.float64
+        np.testing.assert_allclose(fast, reference, rtol=0.0, atol=IMHOF_ATOL)
+
+
+class TestPayloadRecordsTier:
+    def test_execution_info(self, small_analyzer):
+        assert payloads.execution_info(small_analyzer)["precision"] == "float64"
+        with use_precision("fast32"):
+            info = payloads.execution_info(small_analyzer)
+        assert info["precision"] == "fast32"
+
+    def test_job_request_precision_field(self):
+        from repro.service.requests import JobRequest
+
+        request = JobRequest.from_dict(
+            {"kind": "lifetime", "design": "C1", "precision": "fast32"}
+        )
+        assert request.precision == "fast32"
+        assert request.as_dict()["precision"] == "fast32"
+        # ... and the tier is part of the content address.
+        reference = JobRequest.from_dict(
+            {"kind": "lifetime", "design": "C1"}
+        )
+        assert reference.precision == "float64"
+        assert reference.key != request.key
+
+    def test_job_request_rejects_unknown_tier(self):
+        from repro.errors import ServiceError
+        from repro.service.requests import JobRequest
+
+        with pytest.raises(ServiceError, match="precision"):
+            JobRequest.from_dict(
+                {"kind": "lifetime", "design": "C1", "precision": "float16"}
+            )
+
+    def test_obs_counters_unaffected_by_tier(self, small_analyzer):
+        """Tier switching must not change which metrics fire."""
+        with obs.enabled():
+            small_analyzer.reliability(1e5, method="st_fast")
+            reference = set(obs.metrics_snapshot()["counters"])
+        with use_precision("fast32"), obs.enabled():
+            small_analyzer.reliability(1e5, method="st_fast")
+            fast = set(obs.metrics_snapshot()["counters"])
+        assert fast == reference

@@ -374,6 +374,58 @@ class TestBatch:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch", "--design", "Z9"])
 
+    def test_fusion_flag_and_identical_results(self, capsys, tmp_path):
+        argv = [
+            "batch",
+            "--design",
+            "C1",
+            "--method",
+            "st_fast",
+            "--temps",
+            "40",
+            "70",
+            "--grid",
+            "6",
+            "--no-cache",
+            "--json",
+        ]
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        fused = json.loads(out)
+        assert fused["execution"]["fuse"] is True
+        assert fused["execution"]["fused_cells"] == 2
+        code, out, _err = _run(capsys, *argv, "--no-fuse")
+        assert code == 0
+        plain = json.loads(out)
+        assert plain["execution"]["fuse"] is False
+        assert plain["execution"]["fused_cells"] == 0
+        for a, b in zip(fused["cells"], plain["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+
+    def test_precision_flag_recorded(self, capsys, tmp_path):
+        from repro.kernels import set_precision
+
+        try:
+            code, out, _err = _run(
+                capsys,
+                "--precision",
+                "fast32",
+                "batch",
+                "--design",
+                "C1",
+                "--grid",
+                "6",
+                "--no-cache",
+                "--json",
+            )
+        finally:
+            # --precision flips the process-wide tier; restore it so the
+            # rest of the in-process suite stays on the reference tier.
+            set_precision("float64")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["execution"]["precision"] == "fast32"
+
 
 class TestCacheCommand:
     def test_stats_and_clear(self, capsys, tmp_path):
@@ -515,7 +567,11 @@ class TestJobs:
         )
         assert code == 0
         payload = json.loads(out)
-        assert payload["execution"] == {"backend": "process", "jobs": 2}
+        assert payload["execution"] == {
+            "backend": "process",
+            "jobs": 2,
+            "precision": "float64",
+        }
 
     def test_default_is_serial(self, capsys, tiny_args, monkeypatch):
         monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
