@@ -8,8 +8,10 @@ The CI ``service-smoke`` job runs this against a real subprocess:
 2. hit ``/healthz`` and ``/readyz``;
 3. submit a tiny lifetime job, poll it to completion, and assert the
    result body is byte-identical to the equivalent CLI invocation;
-4. check ``/metrics`` exposes the job counters;
-5. submit a long Monte-Carlo job, send SIGTERM mid-run, and assert the
+4. submit a two-phase multi-mechanism scenario job and assert the same
+   byte-identity against ``repro scenario run --json``;
+5. check ``/metrics`` exposes the job counters;
+6. submit a long Monte-Carlo job, send SIGTERM mid-run, and assert the
    server drains and exits cleanly (checkpointing the interrupted job).
 
 Exit code 0 means every step passed.
@@ -35,6 +37,19 @@ LONG_MC_JOB = {
     "grid": 6,
     "methods": ["mc"],
     "mc_chips": 20_000,
+}
+SCENARIO_DOC = {
+    "phases": [
+        {"name": "burnin", "duration_hours": 500.0, "temperature_c": 110.0},
+        {"name": "field"},
+    ],
+    "mechanisms": ["obd", "nbti", "em"],
+}
+SCENARIO_JOB = {
+    "kind": "scenario",
+    "design": "C1",
+    "grid": 6,
+    "scenario": SCENARIO_DOC,
 }
 
 
@@ -120,6 +135,44 @@ def smoke_round_trip(checkpoint_dir: str) -> None:
         _check(
             http_body.decode("utf-8") == cli.stdout,
             "HTTP result is byte-identical to the CLI payload",
+        )
+
+        status, body = _call(
+            "POST", f"{base}/v1/jobs", json.dumps(SCENARIO_JOB).encode()
+        )
+        _check(status == 201, "scenario job submission returns 201")
+        job_id = json.loads(body)["id"]
+        _check(_wait_done(base, job_id) == "done", "scenario job completes")
+
+        _, http_body = _call("GET", f"{base}/v1/jobs/{job_id}/result")
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as handle:
+            json.dump(SCENARIO_DOC, handle)
+            scenario_path = handle.name
+        cli = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "scenario",
+                "run",
+                "--design",
+                "C1",
+                "--grid",
+                "6",
+                "--scenario",
+                scenario_path,
+                "--json",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        pathlib.Path(scenario_path).unlink()
+        _check(
+            http_body.decode("utf-8") == cli.stdout,
+            "scenario result is byte-identical to the CLI payload",
         )
 
         status, body = _call("GET", f"{base}/metrics")

@@ -7,6 +7,8 @@ Commands
 ``curve``       reliability curve over a time range
 ``thermal``     block temperatures from the power model
 ``sensitivity`` lifetime elasticities (tornado)
+``scenario``    piecewise stress scenarios (``run``: lifetime under a
+                phase schedule x mechanism set, see docs/scenarios.md)
 ``report``      one-page design report (thermal map, lifetimes, budget)
 ``batch``       sweep benchmarks x temperatures x methods into one report
 ``bench``       performance benchmarks (``kernels``: fast paths vs reference)
@@ -157,6 +159,25 @@ def _build_analyzer(args: argparse.Namespace) -> ReliabilityAnalyzer:
     return ReliabilityAnalyzer(floorplan, config=config)
 
 
+def _load_scenario_file(path: str) -> Any:
+    """Parse and validate a scenario JSON document from disk."""
+    from repro.errors import ConfigurationError
+    from repro.scenario import Scenario
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read scenario file {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"scenario file {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return Scenario.from_dict(document)
+
+
 def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
     # Every JSON envelope carries version/schema_version provenance; the
     # shared builders stamp their own payloads, setdefault covers the rest.
@@ -198,6 +219,25 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         for m, v in payload["lifetime_hours"].items()
     )
     _emit(args, payload, text)
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = _load_scenario_file(args.scenario)
+    analyzer = _build_analyzer(args)
+    payload = payloads.scenario_payload(analyzer, scenario, args.ppm)
+    hours = payload["lifetime_hours"]["st_fast"]
+    lines = [
+        f"scenario lifetime: {hours:.4e} h = "
+        f"{hours_to_years(hours):8.1f} years",
+        "mechanism damage shares:",
+    ]
+    for name, share in payload["scenario"]["mechanism_damage"].items():
+        lines.append(f"  {name:>8} {share:7.2%}")
+    lines.append("phase damage shares:")
+    for name, share in payload["scenario"]["phase_damage"].items():
+        lines.append(f"  {name:>16} {share:7.2%}")
+    _emit(args, payload, "\n".join(lines))
     return 0
 
 
@@ -254,6 +294,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.exec.batch import SweepSpec, batch_table, run_batch
     from repro.exec.cache import ResultCache
 
+    scenario = None
+    if args.scenario:
+        scenario = _load_scenario_file(args.scenario).as_dict()
     spec = SweepSpec(
         designs=tuple(args.design),
         methods=tuple(args.method),
@@ -262,6 +305,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         grid_size=args.grid,
         mc_chips=args.mc_chips,
         seed=args.seed,
+        scenario=scenario,
     )
     backend = resolve_backend(jobs=args.jobs)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -468,6 +512,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "mc_chips": args.mc_chips,
         "seed": args.seed,
     }
+    if getattr(args, "scenario", None):
+        # Scenario jobs evaluate st_fast only; the coordinator runs them
+        # locally (no MC shards to distribute), byte-identical to
+        # `repro scenario run --json`.
+        document["kind"] = "scenario"
+        document["scenario"] = _load_scenario_file(args.scenario).as_dict()
+        document["methods"] = ["st_fast"]
     request = JobRequest.from_dict(
         {key: value for key, value in document.items() if value is not None}
     )
@@ -608,6 +659,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p_curve)
     p_curve.set_defaults(func=_cmd_curve)
 
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="piecewise stress scenarios (see docs/scenarios.md)",
+    )
+    scenario_sub = p_scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    p_scenario_run = scenario_sub.add_parser(
+        "run",
+        help="lifetime under a phase schedule with a mechanism set",
+    )
+    _add_design_arguments(p_scenario_run)
+    p_scenario_run.add_argument(
+        "--scenario",
+        metavar="FILE",
+        required=True,
+        help="scenario JSON document: phases, mechanisms, composition",
+    )
+    p_scenario_run.add_argument("--ppm", type=float, default=10.0)
+    _add_jobs_argument(p_scenario_run)
+    p_scenario_run.set_defaults(func=_cmd_scenario_run)
+
     p_thermal = sub.add_parser("thermal", help="block temperatures")
     _add_design_arguments(p_thermal)
     p_thermal.set_defaults(func=_cmd_thermal)
@@ -649,6 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
         "thermal profile)",
     )
     p_batch.add_argument("--ppm", type=float, default=10.0)
+    p_batch.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="evaluate every cell under this scenario JSON document "
+        "instead of the steady operating point (st_fast cells only)",
+    )
     p_batch.add_argument(
         "--grid", type=int, default=25, help="correlation grid size"
     )
@@ -811,6 +891,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet_run.add_argument("--mc-chips", type=int, default=500)
     p_fleet_run.add_argument("--seed", type=int, default=0)
+    p_fleet_run.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="run a scenario job (phase schedule JSON) instead of a "
+        "lifetime analysis; implies --method st_fast",
+    )
     p_fleet_run.add_argument(
         "--workers",
         nargs="+",

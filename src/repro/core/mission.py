@@ -23,6 +23,11 @@ the one approximation of this module, quantified in the tests.
 With effective ``(alpha_eff, b_eff)`` per block the whole closed-form
 machinery of the paper applies unchanged; a mission analysis costs exactly
 one st_fast evaluation.
+
+The effective-age math itself lives in :mod:`repro.scenario.effective`
+(one home, shared with the ordered-phase scenario engine);
+:func:`effective_block_params` is re-exported here for compatibility.
+This module is now a thin residency-composition adapter over it.
 """
 
 from __future__ import annotations
@@ -32,9 +37,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.analyzer import ReliabilityAnalyzer
-from repro.core.ensemble import BlockReliability, StFastAnalyzer
+from repro.core.ensemble import BlockReliability
 from repro.core.lifetime import ppm_to_reliability, solve_lifetime
 from repro.errors import ConfigurationError
+from repro.scenario.effective import (  # noqa: F401  (re-export)
+    collapse_to_st_fast,
+    effective_block_params,
+    phase_dose_shares,
+)
 
 #: Tolerance for the phase time fractions summing to one.
 _FRACTION_TOL = 1e-9
@@ -114,41 +124,6 @@ class MissionProfile:
         return np.array([phase.fraction for phase in self.phases])
 
 
-def effective_block_params(
-    fractions: np.ndarray, alphas: np.ndarray, bs: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Cumulative-exposure effective ``(alpha, b)`` per block.
-
-    Parameters
-    ----------
-    fractions:
-        ``(n_phases,)`` time fractions.
-    alphas, bs:
-        ``(n_phases, n_blocks)`` per-phase per-block Weibull parameters.
-
-    Returns
-    -------
-    ``(alpha_eff, b_eff)`` arrays of shape ``(n_blocks,)``:
-    harmonic-mean characteristic life and mean slope coefficient.
-    """
-    fractions = np.asarray(fractions, dtype=float)
-    alphas = np.asarray(alphas, dtype=float)
-    bs = np.asarray(bs, dtype=float)
-    if alphas.ndim != 2 or alphas.shape != bs.shape:
-        raise ConfigurationError(
-            "alphas and bs must share shape (n_phases, n_blocks)"
-        )
-    if fractions.shape != (alphas.shape[0],):
-        raise ConfigurationError("one fraction per phase is required")
-    if np.any(fractions <= 0.0):
-        raise ConfigurationError("phase fractions must be positive")
-    if np.any(alphas <= 0.0) or np.any(bs <= 0.0):
-        raise ConfigurationError("alphas and bs must be positive")
-    alpha_eff = 1.0 / (fractions @ (1.0 / alphas))
-    b_eff = fractions @ bs
-    return alpha_eff, b_eff
-
-
 class MissionAnalyzer:
     """Ensemble reliability under a mission profile (cumulative exposure).
 
@@ -174,15 +149,11 @@ class MissionAnalyzer:
                 f"alphas must be (n_phases, {len(blocks)}), "
                 f"got {self.alphas.shape}"
             )
-        alpha_eff, b_eff = effective_block_params(
-            profile.fractions, self.alphas, self.bs
-        )
-        self.effective_blocks = [
-            BlockReliability(blod=block.blod, alpha=float(a), b=float(b))
-            for block, a, b in zip(blocks, alpha_eff, b_eff, strict=True)
-        ]
-        self._analyzer = StFastAnalyzer(
-            self.effective_blocks,
+        self.effective_blocks, self._analyzer = collapse_to_st_fast(
+            blocks,
+            profile.fractions,
+            self.alphas,
+            self.bs,
             l0=l0,
             tail=tail,
             include_residual_fluctuation=include_residual_fluctuation,
@@ -214,8 +185,7 @@ class MissionAnalyzer:
         A reliability manager uses this to see *which phase is aging which
         block*.
         """
-        rates = self.profile.fractions[:, None] / self.alphas
-        return rates / rates.sum(axis=0, keepdims=True)
+        return phase_dose_shares(self.profile.fractions, self.alphas)
 
 
 def mission_analyzer(

@@ -100,6 +100,11 @@ class LintContext:
         """True inside the fast-path package ``repro/kernels``."""
         return "kernels" in self.path.parts
 
+    @property
+    def in_mechanisms(self) -> bool:
+        """True inside the failure-mechanism package ``repro/mechanisms``."""
+        return "mechanisms" in self.path.parts
+
     def is_suppressed(self, finding: Finding) -> bool:
         if (
             "ALL" in self.file_suppressions

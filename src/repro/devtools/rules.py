@@ -1087,6 +1087,99 @@ class KernelDtypeHygiene(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# RPL014 — mechanism stress parameters must declare their units
+# ---------------------------------------------------------------------------
+
+
+@register
+class MechanismStressUnits(Rule):
+    """Mechanism plugins must declare units on stress parameters.
+
+    A :mod:`repro.mechanisms` plugin is parameterized by physical stress
+    constants — reference temperatures, supply voltages, activation
+    energies.  A bare ``t_ref_c = 100.0`` carries its unit only in the
+    author's head: a kelvin/celsius or eV/J mix-up changes an Arrhenius
+    acceleration by orders of magnitude and is invisible in review.  The
+    :mod:`repro.units` helpers (``celsius``, ``kelvin``, ``volts``,
+    ``electron_volts``) make the unit part of the declaration *and*
+    range-check the value at import time, so class-level stress constants
+    must be wrapped in one: ``t_ref_c = celsius(100.0)``.
+    """
+
+    rule_id = "RPL014"
+    name = "mechanism-stress-units"
+    summary = (
+        "repro.mechanisms class-level temperature/voltage/energy "
+        "constants must declare units via a repro.units helper "
+        "(celsius/kelvin/volts/electron_volts), not a bare float"
+    )
+
+    #: Substrings and suffixes that mark an attribute as a stress
+    #: parameter carrying a physical unit.
+    _STRESS_SUBSTRINGS = ("temp", "volt", "vdd")
+    _STRESS_SUFFIXES = ("_c", "_k", "_v", "_ev")
+
+    #: Dimensionless modifiers — a ``voltage_exponent`` or ``b_temp_slope``
+    #: scales a unit-bearing quantity but carries none itself.
+    _DIMENSIONLESS_SUFFIXES = (
+        "_exponent", "_slope", "_shape", "_scale", "_factor",
+    )
+
+    def _is_stress_name(self, name: str) -> bool:
+        lowered = name.lower()
+        if lowered.endswith(self._DIMENSIONLESS_SUFFIXES):
+            return False
+        return any(
+            token in lowered for token in self._STRESS_SUBSTRINGS
+        ) or lowered.endswith(self._STRESS_SUFFIXES)
+
+    @staticmethod
+    def _bare_number(node: ast.AST | None) -> bool:
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+        ):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test or not ctx.in_mechanisms:
+            return
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            for stmt in class_node.body:
+                if isinstance(stmt, ast.AnnAssign):
+                    targets: list[ast.AST] = [stmt.target]
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                    value = stmt.value
+                else:
+                    continue
+                if value is None or not self._bare_number(value):
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if not self._is_stress_name(target.id):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"stress parameter {target.id!r} is a bare number; "
+                        "declare its unit with a repro.units helper "
+                        "(celsius/kelvin/volts/electron_volts) so the "
+                        "value is range-checked and the unit is part of "
+                        "the declaration",
+                    )
+
+
 #: The full registry, id -> rule class (read-only view for callers).
 ALL_RULES: dict[str, type[Rule]] = _REGISTRY
 

@@ -56,6 +56,11 @@ class SweepSpec:
         Spatial-correlation grid resolution.
     mc_chips, seed:
         Monte-Carlo reference sample count and seed (``method="mc"``).
+    scenario:
+        Optional scenario document (:mod:`repro.scenario`); every cell is
+        then evaluated under the phase schedule instead of the steady
+        operating point (``st_fast`` cells only).  The canonicalised
+        schedule folds into each cell's fingerprint.
     """
 
     designs: tuple[str, ...]
@@ -65,12 +70,25 @@ class SweepSpec:
     grid_size: int = 25
     mc_chips: int = 500
     seed: int = 0
+    scenario: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.designs:
             raise ConfigurationError("sweep needs at least one design")
         if not self.methods:
             raise ConfigurationError("sweep needs at least one method")
+        if self.scenario is not None:
+            from repro.scenario.schedule import Scenario
+
+            object.__setattr__(
+                self,
+                "scenario",
+                Scenario.from_dict(self.scenario).as_dict(),
+            )
+            if any(method != "st_fast" for method in self.methods):
+                raise ConfigurationError(
+                    "scenario sweeps evaluate the st_fast method only"
+                )
         for design in self.designs:
             if design not in BENCHMARK_DEVICE_COUNTS:
                 raise ConfigurationError(
@@ -153,17 +171,20 @@ class _AnalyzerPool:
 
 def _cell_key(spec: SweepSpec, cell: dict[str, Any]) -> str:
     """Content-address of one cell: spec knobs + cell coordinates."""
-    return fingerprint(
-        {
-            "kind": "batch.lifetime",
-            "cell": cell,
-            "ppm": spec.ppm,
-            "grid_size": spec.grid_size,
-            "mc_chips": spec.mc_chips,
-            "seed": spec.seed,
-            "precision": precision(),
-        }
-    )
+    document = {
+        "kind": "batch.lifetime",
+        "cell": cell,
+        "ppm": spec.ppm,
+        "grid_size": spec.grid_size,
+        "mc_chips": spec.mc_chips,
+        "seed": spec.seed,
+        "precision": precision(),
+    }
+    if spec.scenario is not None:
+        # Folded only when present, so steady-sweep fingerprints (and the
+        # cache entries behind them) predate-and-survive this field.
+        document["scenario"] = spec.scenario
+    return fingerprint(document)
 
 
 # Methods whose reliability evaluation reduces to one StFastAnalyzer whose
@@ -327,6 +348,7 @@ def run_batch(
             group = (cell["design"], cell["method"])
             if (
                 fuse
+                and spec.scenario is None
                 and cell["method"] in _FUSABLE_METHODS
                 and len(spec.temperatures_c) > 1
                 and fast_paths_enabled()
@@ -360,6 +382,12 @@ def run_batch(
             if fused_value is not None:
                 lifetime = fused_value
                 fused_cells += 1
+            elif spec.scenario is not None:
+                from repro.scenario import Scenario, ScenarioAnalyzer
+
+                lifetime = ScenarioAnalyzer(
+                    analyzer, Scenario.from_dict(spec.scenario)
+                ).lifetime(spec.ppm)
             elif cell["method"] == "mc":
                 lifetime = analyzer.mc_lifetime(
                     spec.ppm, n_chips=spec.mc_chips, seed=spec.seed

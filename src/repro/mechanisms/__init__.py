@@ -1,0 +1,28 @@
+"""Failure-mechanism plugin registry (see :mod:`repro.mechanisms.base`).
+
+Importing the package registers the built-in mechanisms (``obd``,
+``nbti``, ``em``); scenario documents name mechanisms by their registry
+slug.
+"""
+
+from repro.mechanisms.base import (
+    FailureMechanism,
+    MechanismContext,
+    StressCondition,
+    get_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
+from repro.mechanisms.builtin import EM, NBTI, OxideBreakdown
+
+__all__ = [
+    "EM",
+    "NBTI",
+    "FailureMechanism",
+    "MechanismContext",
+    "OxideBreakdown",
+    "StressCondition",
+    "get_mechanism",
+    "mechanism_names",
+    "register_mechanism",
+]

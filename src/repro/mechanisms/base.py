@@ -1,0 +1,183 @@
+"""Failure-mechanism plugin protocol and registry.
+
+The paper's chip-level machinery — BLOD characterisation, the first-order
+weakest-link combination of eq. (18)/(28) — is agnostic to *which* wearout
+physics supplies the per-block Weibull parameters.  This module opens that
+seam: a :class:`FailureMechanism` maps a steady stress condition
+(per-block temperatures + supply voltage) onto per-block
+``(alpha, b)`` pairs, exactly the contract
+:meth:`repro.core.obd_model.OBDModel.block_params` already fulfils for
+oxide breakdown.  The scenario engine races every registered mechanism's
+blocks in one weakest-link sum, so a chip fails when its *weakest device
+under its weakest mechanism* fails.
+
+Plugins register under a stable name with :func:`register_mechanism`::
+
+    @register_mechanism
+    class Corrosion(FailureMechanism):
+        name = "corrosion"
+
+        def block_params(self, context, stress):
+            ...
+
+Stress parameters on mechanism classes must declare their units via the
+:mod:`repro.units` helpers (``celsius``/``volts``/``electron_volts``) —
+enforced by reprolint rule RPL014.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.obd_model import DeviceReliabilityParams, OBDModel
+
+__all__ = [
+    "FailureMechanism",
+    "MechanismContext",
+    "StressCondition",
+    "get_mechanism",
+    "mechanism_names",
+    "register_mechanism",
+]
+
+
+@dataclass(frozen=True)
+class StressCondition:
+    """One steady stress point: per-block temperatures and supply voltage.
+
+    Parameters
+    ----------
+    temperatures_c:
+        Per-block temperatures in celsius (floorplan order).
+    vdd:
+        Supply voltage in volts; ``None`` means each mechanism's own
+        reference voltage.
+    """
+
+    temperatures_c: np.ndarray
+    vdd: float | None = None
+
+    def __post_init__(self) -> None:
+        temps = np.asarray(self.temperatures_c, dtype=float)
+        if temps.ndim != 1 or temps.size == 0:
+            raise ConfigurationError(
+                "stress condition needs a 1-D per-block temperature vector"
+            )
+        if self.vdd is not None and self.vdd <= 0.0:
+            raise ConfigurationError(
+                f"stress vdd must be positive, got {self.vdd}"
+            )
+        object.__setattr__(self, "temperatures_c", temps)
+
+
+@dataclass(frozen=True)
+class MechanismContext:
+    """What a mechanism may read from the prepared design analysis.
+
+    Parameters
+    ----------
+    obd_model:
+        The design's calibrated oxide-breakdown model (reference point of
+        the analysis; :class:`OxideBreakdown` delegates to it directly).
+    nominal_thickness_nm:
+        Nominal oxide thickness of the process (nm).  Mechanisms whose
+        Weibull shape does not scale with thickness divide their shape
+        parameter by it, so ``beta = b * x`` lands on the intended slope
+        at the nominal thickness.
+    """
+
+    obd_model: OBDModel
+    nominal_thickness_nm: float
+
+    def __post_init__(self) -> None:
+        if self.nominal_thickness_nm <= 0.0:
+            raise ConfigurationError(
+                "nominal thickness must be positive, got "
+                f"{self.nominal_thickness_nm}"
+            )
+
+
+class FailureMechanism(ABC):
+    """One wearout physics: stress condition -> per-block Weibull params.
+
+    Subclasses set a unique class-level ``name`` and implement
+    :meth:`block_params`; registering with :func:`register_mechanism`
+    makes the mechanism available to scenario documents by that name.
+    """
+
+    #: Registry key; subclasses must override with a non-empty slug.
+    name: str = ""
+
+    @abstractmethod
+    def block_params(
+        self, context: MechanismContext, stress: StressCondition
+    ) -> list[DeviceReliabilityParams]:
+        """Per-block ``(alpha, b)`` under one steady stress condition."""
+
+    def aging_rates(
+        self, context: MechanismContext, stress: StressCondition
+    ) -> np.ndarray:
+        """Per-block effective-age advance rate (1/hours) under ``stress``.
+
+        The cumulative-exposure damage rate: one hour at this condition
+        advances a block's effective age by ``1 / alpha`` of its
+        characteristic life.  Shared by every mechanism; the scenario
+        engine integrates these rates over a phase schedule.
+        """
+        params = self.block_params(context, stress)
+        return np.array([1.0 / p.alpha for p in params])
+
+
+_REGISTRY: dict[str, type[FailureMechanism]] = {}
+#: Registration normally happens at import time, but a service worker
+#: thread may import a plugin module lazily — guard the check-then-insert.
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_mechanism(
+    cls: type[FailureMechanism],
+) -> type[FailureMechanism]:
+    """Class decorator: register a :class:`FailureMechanism` by its name."""
+    if not issubclass(cls, FailureMechanism):
+        raise ConfigurationError(
+            f"{cls!r} must subclass FailureMechanism to register"
+        )
+    name = cls.name
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"mechanism {cls.__name__} must set a non-empty 'name'"
+        )
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"mechanism name {name!r} is already registered by "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[name] = cls
+    return cls
+
+
+def get_mechanism(name: str) -> FailureMechanism:
+    """Instantiate the registered mechanism called ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mechanism {name!r}; registered: "
+            f"{', '.join(mechanism_names())}"
+        ) from None
+    return cls()
+
+
+def mechanism_names() -> tuple[str, ...]:
+    """Registered mechanism names, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,136 @@
+"""Built-in failure mechanisms: oxide breakdown, NBTI, electromigration.
+
+:class:`OxideBreakdown` delegates to the design's calibrated
+:class:`~repro.core.obd_model.OBDModel`, so a scenario that races only
+``obd`` is bit-identical to the paper's single-mechanism analysis.
+
+:class:`NBTI` and :class:`EM` follow the ``oldspot`` parameterization
+(SNIPPETS.md snippet 3): Weibull shape 2 at the nominal condition, NBTI
+with the interface-trap activation energy ``E_A = 0.58 eV`` and voltage
+exponent ``Gamma = 2.2``, EM as Black's equation with current-density
+exponent ``n = 2`` and ``E_A = 0.8 eV``.  Their characteristic lives sit
+above the OBD life at the reference condition, but their shallower
+Weibull slope (shape 2 against the oxide's ~3 at nominal thickness)
+gives them a fatter early-failure tail, so at ppm criteria they broaden
+the weakest-link race rather than merely trailing oxide breakdown.
+
+Every temperature/voltage/energy constant declares its unit through the
+:mod:`repro.units` helpers (reprolint RPL014).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.obd_model import DeviceReliabilityParams
+from repro.mechanisms.base import (
+    FailureMechanism,
+    MechanismContext,
+    StressCondition,
+    register_mechanism,
+)
+from repro.units import (
+    BOLTZMANN_EV,
+    celsius,
+    celsius_to_kelvin,
+    electron_volts,
+    volts,
+)
+
+__all__ = ["EM", "NBTI", "OxideBreakdown"]
+
+
+@register_mechanism
+class OxideBreakdown(FailureMechanism):
+    """Gate-oxide breakdown: the paper's model, verbatim.
+
+    Delegates to the analysis' own OBD model, so the returned per-block
+    parameters are float-for-float identical to the single-mechanism
+    path of :class:`~repro.core.analyzer.ReliabilityAnalyzer`.
+    """
+
+    name = "obd"
+
+    def block_params(
+        self, context: MechanismContext, stress: StressCondition
+    ) -> list[DeviceReliabilityParams]:
+        return context.obd_model.block_params(
+            stress.temperatures_c, stress.vdd
+        )
+
+
+@dataclass(frozen=True)
+class _ArrheniusVoltageMechanism(FailureMechanism):
+    """Shared Arrhenius x power-law-voltage acceleration form.
+
+    ``alpha(T, V) = alpha_ref * exp(Ea/k (1/T - 1/Tref))
+    * (v_ref / V)^voltage_exponent`` with a thickness-independent Weibull
+    shape: ``beta = weibull_shape`` at the nominal oxide thickness, so
+    ``b = weibull_shape / x_nominal``.
+    """
+
+    alpha_ref_hours: float = 1.0e9
+    t_ref_c: float = celsius(100.0)
+    v_ref_v: float = volts(1.2)
+    activation_energy_ev: float = electron_volts(0.5)
+    voltage_exponent: float = 2.0
+    weibull_shape: float = 2.0
+
+    def alpha(self, temperature_c: float, vdd: float | None = None) -> float:
+        """Characteristic life (hours) at one temperature/voltage point."""
+        vdd = self.v_ref_v if vdd is None else vdd
+        temp_k = celsius_to_kelvin(temperature_c)
+        ref_k = celsius_to_kelvin(self.t_ref_c)
+        arrhenius = np.exp(
+            self.activation_energy_ev
+            / BOLTZMANN_EV
+            * (1.0 / temp_k - 1.0 / ref_k)
+        )
+        voltage = (self.v_ref_v / vdd) ** self.voltage_exponent
+        return float(self.alpha_ref_hours * arrhenius * voltage)
+
+    def block_params(
+        self, context: MechanismContext, stress: StressCondition
+    ) -> list[DeviceReliabilityParams]:
+        b = self.weibull_shape / context.nominal_thickness_nm
+        return [
+            DeviceReliabilityParams(
+                alpha=self.alpha(float(temp), stress.vdd), b=b
+            )
+            for temp in np.asarray(stress.temperatures_c, dtype=float)
+        ]
+
+
+@register_mechanism
+@dataclass(frozen=True)
+class NBTI(_ArrheniusVoltageMechanism):
+    """Negative-bias temperature instability (oldspot parameterization).
+
+    Interface-trap generation: activation energy ``E_ADH2 = 0.58 eV``,
+    voltage acceleration exponent ``Gamma_IT = 2.2``, Weibull shape 2.
+    """
+
+    name = "nbti"
+
+    alpha_ref_hours: float = 9.0e8
+    activation_energy_ev: float = electron_volts(0.58)
+    voltage_exponent: float = 2.2
+
+
+@register_mechanism
+@dataclass(frozen=True)
+class EM(_ArrheniusVoltageMechanism):
+    """Electromigration via Black's equation (oldspot parameterization).
+
+    ``MTTF ~ j^-n exp(Ea/kT)`` with ``n = 2`` and ``E_A = 0.8 eV``; the
+    block current density scales with the supply voltage, so the
+    power-law voltage term stands in for ``j / j_ref``.
+    """
+
+    name = "em"
+
+    alpha_ref_hours: float = 1.4e9
+    activation_energy_ev: float = electron_volts(0.8)
+    voltage_exponent: float = 2.0

@@ -38,6 +38,7 @@ __all__ = [
     "lifetime_payload",
     "mc_shards_payload",
     "report_payload",
+    "scenario_payload",
     "stamp_envelope",
 ]
 
@@ -165,6 +166,44 @@ def mc_shards_payload(
                     "n_bad": int(np.asarray(payload["n_bad"])),
                 }
                 for index, payload in sorted(payload_map.items())
+            },
+            "execution": execution_info(analyzer),
+        }
+    )
+
+
+def scenario_payload(
+    analyzer: ReliabilityAnalyzer,
+    scenario: Any,
+    ppm: float,
+) -> dict[str, Any]:
+    """The ``repro scenario run`` document: lifetime under a schedule.
+
+    Layout mirrors :func:`lifetime_payload` (``st_fast`` is the one
+    method scenarios evaluate) with one extra ``scenario`` key between
+    ``lifetime_years`` and ``execution`` carrying the canonical phase
+    schedule, the resolved per-phase block temperatures and the
+    per-mechanism / per-phase damage attribution.  A single steady-phase
+    OBD-only scenario therefore reduces to the ``repro lifetime`` payload
+    byte-for-byte once the ``scenario`` key is dropped.
+    """
+    from repro.scenario.engine import ScenarioAnalyzer
+
+    evaluation = ScenarioAnalyzer(analyzer, scenario)
+    lifetime = evaluation.lifetime(ppm)
+    return stamp_envelope(
+        {
+            "ppm": ppm,
+            "lifetime_hours": {"st_fast": lifetime},
+            "lifetime_years": {"st_fast": hours_to_years(lifetime)},
+            "scenario": {
+                **scenario.as_dict(),
+                "phase_temperatures_c": [
+                    temps.tolist()
+                    for temps in evaluation.phase_temperatures
+                ],
+                "mechanism_damage": evaluation.mechanism_damage(lifetime),
+                "phase_damage": evaluation.phase_damage(lifetime),
             },
             "execution": execution_info(analyzer),
         }

@@ -1,0 +1,125 @@
+"""Cumulative-exposure effective-age math, in one place.
+
+The library's one damage model for time-varying stress: oxide defects
+(and the other mechanisms' wearout) accumulate at a per-condition rate,
+so time spent at condition ``p`` advances a block's effective age at the
+speed ratio ``alpha_ref / alpha_p``.  For a block whose conditions share
+the Weibull slope coefficient the mixture collapses *exactly* to a single
+equivalent condition,
+
+    1 / alpha_eff_j = sum_p  w_p / alpha_{j,p}
+
+(the weight-averaged harmonic mean).  The slope coefficient ``b`` varies
+only weakly with temperature (|db/b| ~ 1-2 % across realistic profiles),
+so the effective slope is the weighted mean — the one approximation of
+the collapse, quantified in the tests and documented in
+``docs/scenarios.md``.
+
+Both composition styles build on these functions: unordered residency
+fractions (:class:`repro.core.mission.MissionProfile`, weights = time
+fractions) and ordered phase schedules (:mod:`repro.scenario`, weights =
+normalised durations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ensemble import BlockReliability, StFastAnalyzer
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "collapse_to_st_fast",
+    "effective_block_params",
+    "phase_dose_shares",
+]
+
+
+def effective_block_params(
+    fractions: np.ndarray, alphas: np.ndarray, bs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative-exposure effective ``(alpha, b)`` per block.
+
+    Parameters
+    ----------
+    fractions:
+        ``(n_phases,)`` time fractions (or any positive weights summing
+        to one).
+    alphas, bs:
+        ``(n_phases, n_blocks)`` per-phase per-block Weibull parameters.
+
+    Returns
+    -------
+    ``(alpha_eff, b_eff)`` arrays of shape ``(n_blocks,)``:
+    harmonic-mean characteristic life and mean slope coefficient.
+    """
+    fractions = np.asarray(fractions, dtype=float)
+    alphas = np.asarray(alphas, dtype=float)
+    bs = np.asarray(bs, dtype=float)
+    if alphas.ndim != 2 or alphas.shape != bs.shape:
+        raise ConfigurationError(
+            "alphas and bs must share shape (n_phases, n_blocks)"
+        )
+    if fractions.shape != (alphas.shape[0],):
+        raise ConfigurationError("one fraction per phase is required")
+    if np.any(fractions <= 0.0):
+        raise ConfigurationError("phase fractions must be positive")
+    if np.any(alphas <= 0.0) or np.any(bs <= 0.0):
+        raise ConfigurationError("alphas and bs must be positive")
+    alpha_eff = 1.0 / (fractions @ (1.0 / alphas))
+    b_eff = fractions @ bs
+    return alpha_eff, b_eff
+
+
+def phase_dose_shares(
+    fractions: np.ndarray, alphas: np.ndarray
+) -> np.ndarray:
+    """``(n_phases, n_blocks)`` share of each block's damage per phase.
+
+    Under cumulative exposure the dose rate of phase ``p`` in block ``j``
+    is ``w_p / alpha_{j,p}``; shares are normalised per block.  A
+    reliability manager uses this to see *which phase is aging which
+    block*.
+    """
+    fractions = np.asarray(fractions, dtype=float)
+    alphas = np.asarray(alphas, dtype=float)
+    rates = fractions[:, None] / alphas
+    return rates / rates.sum(axis=0, keepdims=True)
+
+
+def collapse_to_st_fast(
+    blocks: list[BlockReliability],
+    fractions: np.ndarray,
+    alphas: np.ndarray,
+    bs: np.ndarray,
+    l0: int = 10,
+    tail: float = 1e-6,
+    rule: str = "midpoint",
+    include_residual_fluctuation: bool = True,
+) -> tuple[list[BlockReliability], StFastAnalyzer]:
+    """Collapse a weighted phase mixture into one ``st_fast`` analyzer.
+
+    Builds the per-block effective ``(alpha, b)`` with
+    :func:`effective_block_params` (reusing each block's BLOD — the
+    process variation does not change with the workload) and wraps them
+    in a standard :class:`StFastAnalyzer`, so the whole closed-form
+    machinery of the paper applies unchanged: a mixture analysis costs
+    exactly one ``st_fast`` evaluation.
+    """
+    alpha_eff, b_eff = effective_block_params(fractions, alphas, bs)
+    if len(blocks) != alpha_eff.size:
+        raise ConfigurationError(
+            f"expected parameters for {len(blocks)} blocks, "
+            f"got {alpha_eff.size}"
+        )
+    effective_blocks = [
+        BlockReliability(blod=block.blod, alpha=float(a), b=float(b))
+        for block, a, b in zip(blocks, alpha_eff, b_eff, strict=True)
+    ]
+    return effective_blocks, StFastAnalyzer(
+        effective_blocks,
+        l0=l0,
+        tail=tail,
+        rule=rule,
+        include_residual_fluctuation=include_residual_fluctuation,
+    )

@@ -32,8 +32,10 @@ __all__ = ["JOB_KINDS", "JobRequest", "run_job"]
 #: Analysis kinds a job can request.  The first three mirror the CLI
 #: commands; ``mc_shards`` is the fleet worker primitive — evaluate an
 #: explicit subset of the deterministic MC shard plan on an explicit time
-#: grid and return the per-shard partial sums.
-JOB_KINDS = ("lifetime", "curve", "report", "mc_shards")
+#: grid and return the per-shard partial sums.  ``scenario`` evaluates a
+#: piecewise stress schedule (:mod:`repro.scenario`) and mirrors
+#: ``repro scenario run --json``.
+JOB_KINDS = ("lifetime", "curve", "report", "mc_shards", "scenario")
 
 #: Upper bound on the correlation grid through the service — a 200x200
 #: grid is already a 40k-cell covariance problem; anything larger is a
@@ -101,6 +103,10 @@ class JobRequest:
     #: ``(seed, mc_chips)``, and the explicit evaluation time grid (hours).
     shards: tuple[int, ...] | None = None
     times: tuple[float, ...] | None = None
+    #: ``scenario`` only: the canonical scenario document
+    #: (:meth:`repro.scenario.Scenario.as_dict`) — the full phase
+    #: schedule and mechanism set fold into the fingerprint.
+    scenario: dict[str, Any] | None = None
     #: Kernel precision tier (``float64`` reference or ``fast32``); part
     #: of the fingerprint, and recorded in the result payload.
     precision: str = "float64"
@@ -230,6 +236,34 @@ class JobRequest:
                 shards_raw is None and times_raw is None,
                 "'shards' and 'times' apply to mc_shards jobs only",
             )
+        scenario_raw = data.get("scenario")
+        scenario_doc: dict[str, Any] | None = None
+        if kind == "scenario":
+            _require(
+                isinstance(scenario_raw, dict),
+                "scenario jobs require 'scenario': a schedule document "
+                "with 'phases' (see docs/scenarios.md)",
+            )
+            _require(
+                tuple(methods_raw) == ("st_fast",),
+                "scenario jobs evaluate the st_fast method only",
+            )
+            # Validate eagerly (400 at submit time) and canonicalise, so
+            # the fingerprint keys on the normalised schedule rather than
+            # whichever optional keys the client happened to spell out.
+            from repro.scenario.schedule import Scenario
+
+            try:
+                scenario_doc = Scenario.from_dict(scenario_raw).as_dict()
+            except ReproError as exc:
+                raise ServiceError(
+                    f"invalid 'scenario' document: {exc}"
+                ) from exc
+        else:
+            _require(
+                scenario_raw is None,
+                "'scenario' applies to scenario jobs only",
+            )
         precision = data.get("precision", "float64")
         _require(
             precision in PRECISIONS,
@@ -239,7 +273,7 @@ class JobRequest:
         known = {
             "kind", "design", "setup", "grid", "rho", "vdd", "ppm",
             "methods", "method", "mc_chips", "seed", "t_min", "t_max",
-            "points", "shards", "times", "precision",
+            "points", "shards", "times", "scenario", "precision",
         }
         unknown = sorted(set(data) - known)
         _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
@@ -267,6 +301,7 @@ class JobRequest:
                 if isinstance(times_raw, list)
                 else None
             ),
+            scenario=scenario_doc,
             precision=precision,
         )
 
@@ -348,6 +383,15 @@ def run_job(
                 seed=request.seed,
                 checkpoint_path=checkpoint_path,
                 cancel_check=cancel_check,
+            )
+        if request.kind == "scenario":
+            from repro.scenario.schedule import Scenario
+
+            assert request.scenario is not None
+            return payloads.scenario_payload(
+                analyzer,
+                Scenario.from_dict(request.scenario),
+                request.ppm,
             )
         if request.kind == "curve":
             assert request.t_min is not None and request.t_max is not None

@@ -63,6 +63,61 @@ def kelvin_to_celsius(temp_k: float) -> float:
     return temp_k - CELSIUS_OFFSET
 
 
+def celsius(value: float) -> float:
+    """Declare a temperature constant in celsius.
+
+    The unit-declaration helper mechanism plugins use for their stress
+    parameters (reprolint RPL014 requires it): validates the value is a
+    physical temperature and returns it unchanged, so the declaration
+    carries its unit at the definition site.
+
+    Raises
+    ------
+    UnitError
+        If the value is not finite or below absolute zero.
+    """
+    celsius_to_kelvin(value)
+    return float(value)
+
+
+def kelvin(value: float) -> float:
+    """Declare a temperature constant in kelvin (validated, returned as-is).
+
+    Raises
+    ------
+    UnitError
+        If the value is not finite or negative.
+    """
+    kelvin_to_celsius(value)
+    return float(value)
+
+
+def volts(value: float) -> float:
+    """Declare a voltage constant in volts (validated, returned as-is).
+
+    Raises
+    ------
+    UnitError
+        If the value is not finite or non-positive.
+    """
+    if not math.isfinite(value) or value <= 0.0:
+        raise UnitError(f"voltage must be finite and positive, got {value!r}")
+    return float(value)
+
+
+def electron_volts(value: float) -> float:
+    """Declare an energy constant in eV (validated, returned as-is).
+
+    Raises
+    ------
+    UnitError
+        If the value is not finite or non-positive.
+    """
+    if not math.isfinite(value) or value <= 0.0:
+        raise UnitError(f"energy must be finite and positive, got {value!r}")
+    return float(value)
+
+
 def hours_to_years(hours: float) -> float:
     """Convert a duration in hours to years (365.25-day years)."""
     return hours / HOURS_PER_YEAR

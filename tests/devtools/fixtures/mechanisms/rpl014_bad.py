@@ -1,0 +1,13 @@
+"""Violating fixture for RPL014: bare stress constants in a mechanism."""
+
+
+class LeakyMechanism:
+    """A mechanism plugin whose stress parameters carry no units."""
+
+    name = "leaky"
+
+    t_ref_c = 100.0
+    v_ref_v: float = 1.2
+    activation_energy_ev = 0.58
+    delta_temp_c = -10.0
+    weibull_shape = 2.0

@@ -1,0 +1,18 @@
+"""Clean fixture for RPL014: stress constants declare their units."""
+
+from repro.units import celsius, electron_volts, volts
+
+
+class TidyMechanism:
+    """Stress parameters wrapped in the repro.units helpers."""
+
+    name = "tidy"
+
+    t_ref_c = celsius(100.0)
+    v_ref_v: float = volts(1.2)
+    activation_energy_ev = electron_volts(0.58)
+    # Dimensionless modifiers are exempt: they scale a unit-bearing
+    # quantity but carry no unit of their own.
+    voltage_exponent = 2.2
+    b_temp_slope = -6.0e-4
+    weibull_shape = 2.0

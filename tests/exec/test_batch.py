@@ -189,3 +189,102 @@ class TestFusion:
         report = run_batch(FUSED_SPEC, cache=cache)
         assert report["totals"]["cache_hits"] == report["totals"]["cells"]
         assert report["execution"]["fused_cells"] == 0
+
+
+SCHEDULE = {
+    "phases": [
+        {"name": "burnin", "duration_hours": 500.0, "temperature_c": 110.0},
+        {"name": "field"},
+    ],
+    "mechanisms": ["obd", "nbti"],
+}
+
+SCENARIO_SPEC = SweepSpec(
+    designs=("C1",),
+    methods=("st_fast",),
+    grid_size=6,
+    scenario=SCHEDULE,
+)
+
+
+class TestScenarioSweeps:
+    def test_spec_canonicalises_schedule(self):
+        from repro.scenario import Scenario
+
+        assert (
+            SCENARIO_SPEC.scenario == Scenario.from_dict(SCHEDULE).as_dict()
+        )
+
+    def test_scenario_requires_st_fast_only(self):
+        with pytest.raises(ConfigurationError, match="st_fast"):
+            SweepSpec(
+                designs=("C1",),
+                methods=("st_fast", "guard"),
+                scenario=SCHEDULE,
+            )
+
+    def test_cells_match_scenario_analyzer(self):
+        from repro.scenario import Scenario, ScenarioAnalyzer
+        from repro.service import JobRequest
+
+        report = run_batch(SCENARIO_SPEC, use_cache=False)
+        analyzer = JobRequest.from_dict(
+            {"kind": "lifetime", "design": "C1", "grid": 6}
+        ).build_analyzer()
+        reference = ScenarioAnalyzer(
+            analyzer, Scenario.from_dict(SCHEDULE)
+        ).lifetime(SCENARIO_SPEC.ppm)
+        assert report["cells"][0]["lifetime_hours"] == reference
+
+    def test_second_run_served_from_cache(self, cache):
+        first = run_batch(SCENARIO_SPEC, backend=SerialBackend(), cache=cache)
+        assert first["totals"]["cache_hits"] == 0
+        with obs.enabled():
+            second = run_batch(
+                SCENARIO_SPEC, backend=SerialBackend(), cache=cache
+            )
+            hits = obs.get_counter("exec.cache.hit")
+            misses = obs.get_counter("exec.cache.miss")
+        assert second["totals"]["cache_hits"] == second["totals"]["cells"]
+        # Same acceptance bar as steady sweeps: >= 90 % cache hits.
+        assert hits / (hits + misses) >= 0.9
+        for a, b in zip(first["cells"], second["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+            assert b["cached"]
+
+    def test_schedule_is_part_of_the_fingerprint(self, cache):
+        run_batch(SCENARIO_SPEC, cache=cache)
+        hotter = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            grid_size=6,
+            scenario={
+                **SCHEDULE,
+                "phases": [
+                    {**SCHEDULE["phases"][0], "temperature_c": 120.0},
+                    SCHEDULE["phases"][1],
+                ],
+            },
+        )
+        report = run_batch(hotter, cache=cache)
+        assert report["totals"]["cache_hits"] == 0
+
+    def test_steady_cells_ignore_scenario_machinery(self, cache):
+        # A plain sweep's fingerprints must not change just because the
+        # spec gained an (unset) scenario field — pre-existing caches
+        # keep working.
+        run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        report = run_batch(SPEC, backend=SerialBackend(), cache=cache)
+        assert report["totals"]["cache_hits"] == report["totals"]["cells"]
+
+    def test_scenario_cells_never_fuse(self):
+        spec = SweepSpec(
+            designs=("C1",),
+            methods=("st_fast",),
+            temperatures_c=(40.0, 70.0, 100.0),
+            grid_size=6,
+            scenario=SCHEDULE,
+        )
+        report = run_batch(spec, use_cache=False)
+        assert report["execution"]["fused_cells"] == 0
+        assert report["totals"]["cells"] == 3

@@ -269,6 +269,36 @@ class TestLocalFallback:
         assert payload == run_job(request)
         assert transport.calls == {}
 
+    def test_scenario_job_runs_locally_byte_identical(self, tmp_path):
+        from repro.payloads import dump_payload
+        from repro.service.requests import run_job
+
+        request = JobRequest.from_dict(
+            {
+                "kind": "scenario",
+                "design": "C1",
+                "grid": 6,
+                "scenario": {
+                    "phases": [
+                        {
+                            "name": "burnin",
+                            "duration_hours": 500.0,
+                            "temperature_c": 110.0,
+                        },
+                        {"name": "field"},
+                    ],
+                    "mechanisms": ["obd", "nbti", "em"],
+                },
+            }
+        )
+        transport = FakeTransport()
+        coordinator = _coordinator(["http://a"], tmp_path, transport)
+        payload = coordinator.run(request)
+        # No MC shards to distribute: the scenario evaluates locally and
+        # must match the service worker's document byte for byte.
+        assert dump_payload(payload) == dump_payload(run_job(request))
+        assert transport.calls == {}
+
 
 class TestStatus:
     def test_status_reports_dead_and_ready(self, tmp_path):

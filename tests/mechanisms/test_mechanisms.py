@@ -1,0 +1,154 @@
+"""Tests for the failure-mechanism plugin registry and builtins."""
+
+import numpy as np
+import pytest
+
+from repro.core.obd_model import DeviceReliabilityParams, OBDModel
+from repro.errors import ConfigurationError
+from repro.mechanisms import (
+    EM,
+    NBTI,
+    FailureMechanism,
+    MechanismContext,
+    OxideBreakdown,
+    StressCondition,
+    get_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
+
+
+def _context() -> MechanismContext:
+    return MechanismContext(obd_model=OBDModel(), nominal_thickness_nm=2.2)
+
+
+def _stress(temps=(80.0, 100.0), vdd=None) -> StressCondition:
+    return StressCondition(
+        temperatures_c=np.asarray(temps, dtype=float), vdd=vdd
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"em", "nbti", "obd"} <= set(mechanism_names())
+
+    def test_names_sorted(self):
+        assert list(mechanism_names()) == sorted(mechanism_names())
+
+    def test_get_mechanism_instantiates(self):
+        assert isinstance(get_mechanism("obd"), OxideBreakdown)
+        assert isinstance(get_mechanism("nbti"), NBTI)
+        assert isinstance(get_mechanism("em"), EM)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown mechanism"):
+            get_mechanism("rust")
+
+    def test_register_requires_subclass(self):
+        with pytest.raises(ConfigurationError, match="must subclass"):
+            register_mechanism(dict)
+
+    def test_register_requires_name(self):
+        class Nameless(FailureMechanism):
+            def block_params(self, context, stress):
+                return []
+
+        with pytest.raises(ConfigurationError, match="non-empty 'name'"):
+            register_mechanism(Nameless)
+
+    def test_register_rejects_duplicate_name(self):
+        class Impostor(FailureMechanism):
+            name = "obd"
+
+            def block_params(self, context, stress):
+                return []
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_mechanism(Impostor)
+
+    def test_register_idempotent_for_same_class(self):
+        assert register_mechanism(OxideBreakdown) is OxideBreakdown
+
+
+class TestStressCondition:
+    def test_normalises_temperatures(self):
+        stress = StressCondition(temperatures_c=[70, 90])
+        assert stress.temperatures_c.dtype == np.float64
+        assert stress.temperatures_c.shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="1-D"):
+            StressCondition(temperatures_c=np.array([]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError, match="1-D"):
+            StressCondition(temperatures_c=np.zeros((2, 2)))
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(ConfigurationError, match="vdd"):
+            StressCondition(temperatures_c=[80.0], vdd=0.0)
+
+
+class TestMechanismContext:
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ConfigurationError, match="thickness"):
+            MechanismContext(obd_model=OBDModel(), nominal_thickness_nm=0.0)
+
+
+class TestOxideBreakdown:
+    def test_delegates_to_obd_model_exactly(self):
+        context = _context()
+        stress = _stress(vdd=1.25)
+        ours = OxideBreakdown().block_params(context, stress)
+        reference = context.obd_model.block_params(
+            stress.temperatures_c, stress.vdd
+        )
+        assert ours == reference
+
+
+class TestArrheniusMechanisms:
+    @pytest.mark.parametrize("mechanism", [NBTI(), EM()])
+    def test_alpha_at_reference_is_alpha_ref(self, mechanism):
+        assert mechanism.alpha(mechanism.t_ref_c) == pytest.approx(
+            mechanism.alpha_ref_hours
+        )
+
+    @pytest.mark.parametrize("mechanism", [NBTI(), EM()])
+    def test_hotter_is_shorter(self, mechanism):
+        assert mechanism.alpha(125.0) < mechanism.alpha(80.0)
+
+    @pytest.mark.parametrize("mechanism", [NBTI(), EM()])
+    def test_overvoltage_is_shorter(self, mechanism):
+        ref = mechanism.v_ref_v
+        assert mechanism.alpha(100.0, vdd=ref * 1.1) < mechanism.alpha(
+            100.0, vdd=ref
+        )
+
+    @pytest.mark.parametrize("mechanism", [NBTI(), EM()])
+    def test_block_params_shape_and_slope(self, mechanism):
+        context = _context()
+        params = mechanism.block_params(context, _stress((70.0, 90.0, 110.0)))
+        assert len(params) == 3
+        for prm in params:
+            assert isinstance(prm, DeviceReliabilityParams)
+            # beta = b * x lands on the intended Weibull shape at the
+            # nominal thickness.
+            assert prm.b * context.nominal_thickness_nm == pytest.approx(
+                mechanism.weibull_shape
+            )
+        assert params[0].alpha > params[1].alpha > params[2].alpha
+
+    def test_em_steeper_than_nbti_in_temperature(self):
+        # E_A(EM) = 0.8 eV > E_A(NBTI) = 0.58 eV: EM accelerates faster.
+        nbti, em = NBTI(), EM()
+        nbti_ratio = nbti.alpha(80.0) / nbti.alpha(120.0)
+        em_ratio = em.alpha(80.0) / em.alpha(120.0)
+        assert em_ratio > nbti_ratio
+
+    def test_aging_rates_are_reciprocal_alphas(self):
+        context = _context()
+        stress = _stress()
+        mechanism = NBTI()
+        rates = mechanism.aging_rates(context, stress)
+        alphas = [p.alpha for p in mechanism.block_params(context, stress)]
+        assert np.allclose(rates, [1.0 / a for a in alphas], rtol=0.0)

@@ -1,0 +1,89 @@
+"""Property-based tests for the ordered-phase scenario engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, ScenarioAnalyzer, StressPhase
+
+durations = st.floats(min_value=10.0, max_value=5e3)
+temperatures = st.floats(min_value=40.0, max_value=120.0)
+
+
+@st.composite
+def finite_phases(draw, min_phases=2, max_phases=4):
+    """A list of (duration, temperature) finite-phase specs."""
+    n = draw(st.integers(min_value=min_phases, max_value=max_phases))
+    return [
+        (draw(durations), draw(temperatures)) for _ in range(n)
+    ]
+
+
+def _scenario(finite, final_temp=75.0):
+    phases = [
+        StressPhase(
+            name=f"p{i}", duration_hours=duration, temperature_c=temp
+        )
+        for i, (duration, temp) in enumerate(finite)
+    ]
+    phases.append(StressPhase(name="final", temperature_c=final_temp))
+    return Scenario(phases=tuple(phases))
+
+
+class TestOrderedScenarioProperties:
+    @given(finite_phases(), st.randoms(use_true_random=False))
+    @settings(max_examples=15, deadline=None)
+    def test_finite_phase_order_invariance(
+        self, small_analyzer, finite, random
+    ):
+        """Past the finite span, only the accumulated dose matters."""
+        shuffled = list(finite)
+        random.shuffle(shuffled)
+        total = sum(duration for duration, _ in finite)
+        times = np.array([total, 2.0 * total, 10.0 * total])
+        base = ScenarioAnalyzer(small_analyzer, _scenario(finite))
+        perm = ScenarioAnalyzer(small_analyzer, _scenario(shuffled))
+        np.testing.assert_allclose(
+            perm.reliability(times), base.reliability(times), rtol=1e-9
+        )
+
+    @given(
+        durations,
+        temperatures,
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_splitting_a_phase_is_a_no_op(
+        self, small_analyzer, duration, temp, cut
+    ):
+        whole = _scenario([(duration, temp)])
+        split = _scenario(
+            [(duration * cut, temp), (duration * (1.0 - cut), temp)]
+        )
+        times = np.array(
+            [0.5 * duration, duration, 3.0 * duration, 20.0 * duration]
+        )
+        r_whole = ScenarioAnalyzer(small_analyzer, whole).reliability(times)
+        r_split = ScenarioAnalyzer(small_analyzer, split).reliability(times)
+        np.testing.assert_allclose(r_split, r_whole, rtol=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=2,
+            max_size=4,
+        ),
+        st.floats(min_value=1.05, max_value=3.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unnormalised_residency_fractions_raise(self, raw, skew):
+        """Fractions that do not sum to one are a configuration error."""
+        fractions = np.array(raw) / np.sum(raw) * skew
+        phases = tuple(
+            StressPhase(name=f"p{i}", fraction=min(float(f), 1.0))
+            for i, f in enumerate(fractions)
+        )
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            Scenario(phases=phases, composition="residency")

@@ -1,0 +1,196 @@
+"""Tests for the scenario schedule document model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, StressPhase
+
+
+def _ordered(*phases: StressPhase, **kwargs) -> Scenario:
+    return Scenario(phases=phases, **kwargs)
+
+
+class TestStressPhase:
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            StressPhase(name="")
+
+    @pytest.mark.parametrize("duration", [0.0, -1.0, float("inf")])
+    def test_rejects_bad_duration(self, duration):
+        with pytest.raises(ConfigurationError, match="duration_hours"):
+            StressPhase(name="p", duration_hours=duration)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_rejects_bad_fraction(self, fraction):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            StressPhase(name="p", fraction=fraction)
+
+    def test_rejects_temperature_and_power_scale(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            StressPhase(name="p", temperature_c=80.0, power_scale=1.2)
+
+    def test_rejects_nonfinite_temperature(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            StressPhase(name="p", temperature_c=float("nan"))
+
+    def test_rejects_empty_temperature_list(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            StressPhase(name="p", temperature_c=[])
+
+    def test_temperature_list_canonicalised_to_tuple(self):
+        phase = StressPhase(name="p", temperature_c=[70, 90])
+        assert phase.temperature_c == (70.0, 90.0)
+
+    def test_temperatures_for_broadcasts_scalar(self):
+        phase = StressPhase(name="p", temperature_c=85.0)
+        assert np.array_equal(phase.temperatures_for(3), np.full(3, 85.0))
+
+    def test_temperatures_for_checks_length(self):
+        phase = StressPhase(name="p", temperature_c=(70.0, 90.0))
+        with pytest.raises(ConfigurationError, match="expected 3"):
+            phase.temperatures_for(3)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown phase field"):
+            StressPhase.from_dict({"name": "p", "watts": 3.0})
+
+    def test_round_trip(self):
+        phase = StressPhase(
+            name="burnin",
+            duration_hours=168.0,
+            temperature_c=(100.0, 120.0),
+            vdd=1.3,
+        )
+        assert StressPhase.from_dict(phase.as_dict()) == phase
+
+
+class TestScenarioValidation:
+    def test_needs_phases(self):
+        with pytest.raises(ConfigurationError, match="at least one phase"):
+            Scenario(phases=())
+
+    def test_unique_phase_names(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            _ordered(
+                StressPhase(name="p", duration_hours=1.0),
+                StressPhase(name="p"),
+            )
+
+    def test_unknown_composition(self):
+        with pytest.raises(ConfigurationError, match="composition"):
+            _ordered(StressPhase(name="p"), composition="parallel")
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ConfigurationError, match="unknown mechanism"):
+            _ordered(StressPhase(name="p"), mechanisms=("rust",))
+
+    def test_duplicate_mechanisms(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            _ordered(StressPhase(name="p"), mechanisms=("obd", "obd"))
+
+    def test_ordered_interior_phase_needs_duration(self):
+        with pytest.raises(ConfigurationError, match="duration_hours"):
+            _ordered(StressPhase(name="a"), StressPhase(name="z"))
+
+    def test_ordered_final_phase_must_be_open_ended(self):
+        with pytest.raises(ConfigurationError, match="open-ended|omit"):
+            _ordered(
+                StressPhase(name="a", duration_hours=10.0),
+                StressPhase(name="z", duration_hours=10.0),
+            )
+
+    def test_ordered_rejects_fractions(self):
+        with pytest.raises(ConfigurationError, match="residency"):
+            _ordered(
+                StressPhase(name="a", duration_hours=10.0, fraction=0.5),
+                StressPhase(name="z"),
+            )
+
+    def test_residency_needs_fractions(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            Scenario(
+                phases=(StressPhase(name="a"),), composition="residency"
+            )
+
+    def test_residency_rejects_durations(self):
+        with pytest.raises(ConfigurationError, match="ordered"):
+            Scenario(
+                phases=(
+                    StressPhase(name="a", fraction=0.5, duration_hours=2.0),
+                    StressPhase(name="b", fraction=0.5),
+                ),
+                composition="residency",
+            )
+
+    def test_residency_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            Scenario(
+                phases=(
+                    StressPhase(name="a", fraction=0.5),
+                    StressPhase(name="b", fraction=0.4),
+                ),
+                composition="residency",
+            )
+
+    def test_finite_durations_ordered_only(self):
+        scenario = Scenario(
+            phases=(
+                StressPhase(name="a", fraction=0.5),
+                StressPhase(name="b", fraction=0.5),
+            ),
+            composition="residency",
+        )
+        with pytest.raises(ConfigurationError, match="ordered"):
+            scenario.finite_durations
+
+    def test_fractions_residency_only(self):
+        scenario = _ordered(
+            StressPhase(name="a", duration_hours=10.0),
+            StressPhase(name="z"),
+        )
+        with pytest.raises(ConfigurationError, match="residency"):
+            scenario.fractions
+
+
+class TestScenarioDocument:
+    def test_round_trip_canonical(self):
+        scenario = Scenario(
+            phases=(
+                StressPhase(
+                    name="burnin",
+                    duration_hours=168.0,
+                    temperature_c=125.0,
+                    vdd=1.3,
+                ),
+                StressPhase(name="field"),
+            ),
+            mechanisms=("obd", "nbti"),
+        )
+        doc = scenario.as_dict()
+        assert Scenario.from_dict(doc) == scenario
+        # Canonical form is stable under a second round trip.
+        assert Scenario.from_dict(doc).as_dict() == doc
+
+    def test_from_dict_defaults(self):
+        scenario = Scenario.from_dict({"phases": [{"name": "field"}]})
+        assert scenario.composition == "ordered"
+        assert scenario.mechanisms == ("obd",)
+
+    def test_from_dict_accepts_mechanism_string(self):
+        scenario = Scenario.from_dict(
+            {"phases": [{"name": "field"}], "mechanisms": "nbti"}
+        )
+        assert scenario.mechanisms == ("nbti",)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            Scenario.from_dict({"phases": [{"name": "p"}], "extra": 1})
+
+    def test_from_dict_rejects_empty_phases(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            Scenario.from_dict({"phases": []})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            Scenario.from_dict([1, 2])

@@ -1,0 +1,107 @@
+"""Scenario jobs through the service request layer."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.payloads import dump_payload, scenario_payload
+from repro.scenario import Scenario
+from repro.service import JobRequest
+from repro.service.requests import run_job
+
+SCHEDULE = {
+    "phases": [
+        {
+            "name": "burnin",
+            "duration_hours": 500.0,
+            "temperature_c": 110.0,
+        },
+        {"name": "field"},
+    ],
+    "mechanisms": ["obd", "nbti"],
+}
+
+
+def _doc(**overrides):
+    doc = {
+        "kind": "scenario",
+        "design": "C1",
+        "grid": 6,
+        "scenario": SCHEDULE,
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    def test_minimal_scenario_request(self):
+        request = JobRequest.from_dict(_doc())
+        assert request.kind == "scenario"
+        assert request.methods == ("st_fast",)
+        assert request.scenario is not None
+
+    def test_round_trips_through_as_dict(self):
+        request = JobRequest.from_dict(_doc())
+        assert JobRequest.from_dict(request.as_dict()) == request
+
+    def test_scenario_document_required(self):
+        with pytest.raises(ServiceError, match="schedule document"):
+            JobRequest.from_dict({"kind": "scenario", "design": "C1"})
+
+    def test_st_fast_only(self):
+        with pytest.raises(ServiceError, match="st_fast"):
+            JobRequest.from_dict(_doc(methods=["st_mc"]))
+
+    def test_invalid_schedule_rejected_at_submit(self):
+        bad = {"phases": [{"name": "p", "watts": 3}]}
+        with pytest.raises(ServiceError, match="invalid 'scenario'"):
+            JobRequest.from_dict(_doc(scenario=bad))
+
+    def test_scenario_key_rejected_on_other_kinds(self):
+        with pytest.raises(ServiceError, match="scenario jobs only"):
+            JobRequest.from_dict(
+                {"kind": "lifetime", "design": "C1", "scenario": SCHEDULE}
+            )
+
+
+class TestFingerprint:
+    def test_schedule_is_canonicalised(self):
+        # Equivalent spellings (defaults elided vs explicit, mechanisms
+        # as string vs singleton list) must coalesce to one cache key.
+        elided = {"phases": [{"name": "field"}], "mechanisms": "obd"}
+        explicit = Scenario.from_dict(elided).as_dict()
+        assert (
+            JobRequest.from_dict(_doc(scenario=elided)).key
+            == JobRequest.from_dict(_doc(scenario=explicit)).key
+        )
+
+    def test_schedule_changes_the_key(self):
+        base = JobRequest.from_dict(_doc()).key
+        hotter = {
+            **SCHEDULE,
+            "phases": [
+                {**SCHEDULE["phases"][0], "temperature_c": 120.0},
+                SCHEDULE["phases"][1],
+            ],
+        }
+        fewer = {**SCHEDULE, "mechanisms": ["obd"]}
+        assert JobRequest.from_dict(_doc(scenario=hotter)).key != base
+        assert JobRequest.from_dict(_doc(scenario=fewer)).key != base
+
+    def test_kind_changes_the_key(self):
+        scenario_key = JobRequest.from_dict(_doc()).key
+        lifetime_key = JobRequest.from_dict(
+            {"kind": "lifetime", "design": "C1", "grid": 6}
+        ).key
+        assert scenario_key != lifetime_key
+
+
+class TestRunJob:
+    def test_matches_direct_payload_byte_for_byte(self):
+        request = JobRequest.from_dict(_doc(ppm=100.0))
+        served = run_job(request)
+        direct = scenario_payload(
+            request.build_analyzer(),
+            Scenario.from_dict(SCHEDULE),
+            100.0,
+        )
+        assert dump_payload(served) == dump_payload(direct)

@@ -109,6 +109,98 @@ class TestLifetime:
         assert payload["lifetime_hours"]["mc"] > 0.0
 
 
+class TestScenario:
+    @pytest.fixture()
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "phases": [
+                        {
+                            "name": "burnin",
+                            "duration_hours": 500.0,
+                            "temperature_c": 110.0,
+                        },
+                        {"name": "field"},
+                    ],
+                    "mechanisms": ["obd", "nbti"],
+                }
+            )
+        )
+        return str(path)
+
+    def test_text_output(self, capsys, tiny_args, scenario_file):
+        code, out, _err = _run(
+            capsys,
+            "scenario",
+            "run",
+            *tiny_args,
+            "--scenario",
+            scenario_file,
+            "--ppm",
+            "100",
+        )
+        assert code == 0
+        assert "scenario lifetime:" in out
+        assert "mechanism damage shares:" in out
+        assert "burnin" in out and "field" in out
+
+    def test_json_matches_service_byte_for_byte(
+        self, capsys, tiny_args, scenario_file
+    ):
+        from repro.payloads import dump_payload
+        from repro.service.requests import JobRequest, run_job
+
+        code, out, _err = _run(
+            capsys,
+            "scenario",
+            "run",
+            *tiny_args,
+            "--scenario",
+            scenario_file,
+            "--ppm",
+            "100",
+            "--json",
+        )
+        assert code == 0
+        request = JobRequest.from_dict(
+            {
+                "kind": "scenario",
+                "design": "C1",
+                "grid": 6,
+                "ppm": 100.0,
+                "scenario": json.loads(
+                    open(scenario_file).read()  # noqa: SIM115
+                ),
+            }
+        )
+        assert out == dump_payload(run_job(request)) + "\n"
+
+    def test_missing_file_reports_error(self, capsys, tiny_args, tmp_path):
+        code, _out, err = _run(
+            capsys,
+            "scenario",
+            "run",
+            *tiny_args,
+            "--scenario",
+            str(tmp_path / "absent.json"),
+        )
+        assert code != 0
+        assert "scenario" in err.lower()
+
+    def test_invalid_schedule_reports_error(
+        self, capsys, tiny_args, tmp_path
+    ):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"phases": []}))
+        code, _out, err = _run(
+            capsys, "scenario", "run", *tiny_args, "--scenario", str(path)
+        )
+        assert code != 0
+        assert "phase" in err.lower()
+
+
 class TestCurve:
     def test_curve_points(self, capsys, tiny_args):
         code, out, _err = _run(
@@ -400,6 +492,47 @@ class TestBatch:
         assert plain["execution"]["fuse"] is False
         assert plain["execution"]["fused_cells"] == 0
         for a, b in zip(fused["cells"], plain["cells"], strict=True):
+            assert a["lifetime_hours"] == b["lifetime_hours"]
+
+    def test_scenario_sweep_and_cache_hit(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "phases": [
+                        {
+                            "name": "burnin",
+                            "duration_hours": 500.0,
+                            "temperature_c": 110.0,
+                        },
+                        {"name": "field"},
+                    ]
+                }
+            )
+        )
+        argv = [
+            "batch",
+            "--design",
+            "C1",
+            "--method",
+            "st_fast",
+            "--grid",
+            "6",
+            "--scenario",
+            str(path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+        ]
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        first = json.loads(out)
+        assert first["totals"]["cache_hits"] == 0
+        code, out, _err = _run(capsys, *argv)
+        assert code == 0
+        second = json.loads(out)
+        assert second["totals"]["cache_hits"] == second["totals"]["cells"]
+        for a, b in zip(first["cells"], second["cells"], strict=True):
             assert a["lifetime_hours"] == b["lifetime_hours"]
 
     def test_precision_flag_recorded(self, capsys, tmp_path):

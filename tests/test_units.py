@@ -94,3 +94,35 @@ class TestConstants:
 
     def test_absolute_zero(self):
         assert units.ABSOLUTE_ZERO_CELSIUS == pytest.approx(-273.15)
+
+
+class TestUnitDeclarations:
+    """The declaration helpers mechanism plugins use (RPL014)."""
+
+    def test_values_pass_through_unchanged(self):
+        assert units.celsius(100.0) == 100.0
+        assert units.kelvin(300.0) == 300.0
+        assert units.volts(1.2) == 1.2
+        assert units.electron_volts(0.58) == 0.58
+
+    def test_integers_become_floats(self):
+        value = units.celsius(100)
+        assert isinstance(value, float)
+
+    @pytest.mark.parametrize(
+        "declare,bad",
+        [
+            (units.celsius, -300.0),
+            (units.celsius, float("nan")),
+            (units.kelvin, -1.0),
+            (units.kelvin, float("inf")),
+            (units.volts, 0.0),
+            (units.volts, -1.2),
+            (units.volts, float("nan")),
+            (units.electron_volts, 0.0),
+            (units.electron_volts, float("-inf")),
+        ],
+    )
+    def test_unphysical_constants_rejected(self, declare, bad):
+        with pytest.raises(UnitError):
+            declare(bad)
